@@ -1,0 +1,53 @@
+// Shared infrastructure for the study benches: one trained analyzer per
+// process (scale via JSTRACED_BENCH_SCALE), and formatting helpers that
+// print each reproduced number next to the paper's reported value.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/pipeline.h"
+#include "analysis/wild.h"
+
+namespace jst::bench {
+
+// Scale factor: 1 = quick defaults (minutes for the full suite).
+// JSTRACED_BENCH_SCALE=4 approaches paper-protocol sizes.
+double scale();
+
+// Scaled count helper.
+std::size_t scaled(std::size_t base);
+
+// Builds and trains the shared analyzer (cached per process).
+const analysis::TransformationAnalyzer& analyzer();
+
+// Fresh regular corpus disjoint from training (seeded differently).
+std::vector<std::string> held_out_regular(std::size_t count,
+                                          std::uint64_t seed);
+
+// --- output helpers ---
+
+void print_header(std::string_view title, std::string_view paper_ref);
+void print_row(std::string_view metric, double paper_value,
+               double measured_value, std::string_view unit = "%");
+void print_note(std::string_view text);
+void print_series_header(std::string_view x_label,
+                         std::string_view series_names);
+void print_footer();
+
+// Measured transformed-rate of a simulated population under the trained
+// level-1 detector.
+struct PopulationMeasurement {
+  double transformed_rate = 0.0;
+  double minified_rate = 0.0;
+  double obfuscated_rate = 0.0;
+  // Average level-2 confidence per technique over transformed scripts.
+  std::vector<double> technique_confidence;
+  std::size_t script_count = 0;
+};
+
+PopulationMeasurement measure_population(const analysis::PopulationSpec& spec,
+                                         std::size_t count,
+                                         std::uint64_t seed);
+
+}  // namespace jst::bench

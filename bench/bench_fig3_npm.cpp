@@ -1,0 +1,45 @@
+// §IV-B2 / Figure 3 — npm Top 10k packages: 8.7% of scripts transformed
+// (8.46% minified / 0.25% obfuscated, ~8x less than Alexa); technique mix
+// dominated by minification simple (58.34%) and advanced (36.57%).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace jst;
+  using namespace jst::bench;
+
+  const auto spec = analysis::npm_spec();
+  const auto measurement = measure_population(spec, scaled(260), 0x09b3);
+
+  print_header("npm Top 10k packages", "section IV-B2, Figure 3");
+  print_row("scripts transformed", 8.70, 100.0 * measurement.transformed_rate);
+  print_row("scripts minified", 8.46, 100.0 * measurement.minified_rate);
+  print_row("scripts obfuscated", 0.25, 100.0 * measurement.obfuscated_rate);
+
+  std::printf("\nFigure 3: technique probability in transformed scripts\n");
+  const double paper_values[transform::kTechniqueCount] = {
+      4.5,    // identifier obfuscation
+      1.5,    // string obfuscation
+      0.8,    // global array
+      0.2,    // no alphanumeric
+      0.8,    // dead code injection
+      0.4,    // control-flow flattening
+      0.2,    // self-defending
+      0.4,    // debug protection
+      58.34,  // minification simple
+      36.57,  // minification advanced
+  };
+  std::printf("%-28s %10s %10s\n", "technique", "paper", "measured");
+  for (transform::Technique technique : transform::all_techniques()) {
+    const auto index = static_cast<std::size_t>(technique);
+    std::printf("%-28s %9.2f%% %9.2f%%\n",
+                std::string(transform::technique_name(technique)).c_str(),
+                paper_values[index],
+                100.0 * measurement.technique_confidence[index]);
+  }
+  print_note("npm scripts are fully transformed when transformed at all "
+             "(no regular-head/minified-tail mixtures, unlike Alexa)");
+  print_footer();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// §IV-D1 / Figures 6-7 — Alexa Top 2k, 2015-05 .. 2020-09: the share of
+// transformed scripts rises steadily; minification simple grows from
+// 38.74% to 47.02% while advanced drifts 43.77% -> 40% and identifier
+// obfuscation declines 8.23% -> 6.21%.
+#include <cstdio>
+
+#include "analysis/longitudinal.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace jst;
+  using namespace jst::bench;
+  using transform::Technique;
+
+  const std::size_t per_month = scaled(64);
+  const std::size_t month_step = 8;  // sample every ~8 months
+
+  print_header("Longitudinal Alexa Top 2k", "section IV-D1, Figures 6-7");
+  std::printf("%-10s %12s %12s %12s %12s\n", "month", "transformed",
+              "min simple", "min adv", "id obf");
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (std::size_t month = 0; month < analysis::kMonthCount;
+       month += month_step) {
+    const auto spec = analysis::alexa_month_spec(month);
+    const auto measurement = measure_population(spec, per_month, 0x60 + month);
+    const auto confidence = [&](Technique technique) {
+      return 100.0 *
+             measurement.technique_confidence[static_cast<std::size_t>(technique)];
+    };
+    std::printf("%-10s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
+                analysis::month_label(month).c_str(),
+                100.0 * measurement.transformed_rate,
+                confidence(Technique::kMinificationSimple),
+                confidence(Technique::kMinificationAdvanced),
+                confidence(Technique::kIdentifierObfuscation));
+    xs.push_back(static_cast<double>(month));
+    ys.push_back(measurement.transformed_rate);
+  }
+  std::printf("\n");
+  // Least-squares slope over the sampled months (robust to per-month
+  // sampling noise), scaled to the whole 65-month window.
+  double x_mean = 0.0;
+  double y_mean = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    x_mean += xs[i];
+    y_mean += ys[i];
+  }
+  x_mean /= static_cast<double>(xs.size());
+  y_mean /= static_cast<double>(ys.size());
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    numerator += (xs[i] - x_mean) * (ys[i] - y_mean);
+    denominator += (xs[i] - x_mean) * (xs[i] - x_mean);
+  }
+  const double slope = denominator > 0.0 ? numerator / denominator : 0.0;
+  print_row("trend: transformed share delta (rising)", 14.0,
+            100.0 * slope * (analysis::kMonthCount - 1), " pp");
+  print_note("paper: steady increase driven by minification-simple growth "
+             "(38.74% -> 47.02%)");
+  print_footer();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// §III-E1 — level-2 detector on single-configuration samples: subset
+// accuracy (paper: 86.95%) and Top-k accuracy (Top-1 99.63%, Top-2 90.85%,
+// Top-3 98.95%; higher k impossible since ground truths have <= 3 labels).
+#include <cstdio>
+
+#include "analysis/dataset.h"
+#include "bench_common.h"
+#include "ml/metrics.h"
+
+int main() {
+  using namespace jst;
+  using namespace jst::bench;
+
+  const auto& model = analyzer();
+  const std::size_t per_technique = scaled(24);
+  const auto bases = held_out_regular(scaled(60), 0x1ef2);
+  Rng rng(0x1ef2c0de);
+
+  std::vector<std::vector<std::size_t>> predicted_sets;
+  std::vector<std::vector<std::size_t>> truth_sets;
+  std::size_t topk_hits[4] = {0, 0, 0, 0};
+  std::size_t total = 0;
+
+  for (transform::Technique technique : transform::all_techniques()) {
+    for (std::size_t i = 0; i < per_technique; ++i) {
+      const std::string& base = bases[rng.index(bases.size())];
+      const auto sample = analysis::make_transformed_sample(base, technique, rng);
+      const auto row = features::extract_from_source(
+          sample.source, model.options().detector.features);
+      const auto truth = analysis::indices_from_techniques(sample.techniques);
+
+      // Subset prediction: labels over 50% confidence (count must match).
+      const auto probabilities = model.level2().predict_proba(row);
+      std::vector<std::size_t> subset;
+      for (std::size_t j = 0; j < probabilities.size(); ++j) {
+        if (probabilities[j] >= 0.5) subset.push_back(j);
+      }
+      predicted_sets.push_back(subset);
+      truth_sets.push_back(truth);
+
+      for (std::size_t k = 1; k <= 3; ++k) {
+        const auto topk = analysis::indices_from_techniques(
+            model.level2().predict_topk(row, k));
+        if (ml::topk_correct(topk, truth)) ++topk_hits[k];
+      }
+      ++total;
+    }
+  }
+
+  // Top-k can only be correct when the ground truth has >= k labels; the
+  // attainable ceiling depends on the tool stand-ins' label cardinality.
+  std::size_t at_least[4] = {0, 0, 0, 0};
+  for (const auto& truth : truth_sets) {
+    for (std::size_t k = 1; k <= 3; ++k) {
+      if (truth.size() >= k) ++at_least[k];
+    }
+  }
+
+  print_header("Level-2 detector accuracy (test set 1)", "section III-E1");
+  print_row("subset (exact set) accuracy", 86.95,
+            100.0 * ml::subset_accuracy(predicted_sets, truth_sets));
+  const auto pct = [total](std::size_t count) {
+    return 100.0 * static_cast<double>(count) / static_cast<double>(total);
+  };
+  print_row("Top-1 accuracy", 99.63, pct(topk_hits[1]));
+  print_row("Top-2 accuracy", 90.85, pct(topk_hits[2]));
+  print_row("Top-3 accuracy", 98.95, pct(topk_hits[3]));
+  std::printf("%-44s %10s %8.2f%% %8.2f%% %8.2f%%\n",
+              "attainable ceiling (truth >= k labels)", "k=1..3:",
+              pct(at_least[1]), pct(at_least[2]), pct(at_least[3]));
+  print_note("1,023 possible predictions; ground truths carry 1-3 labels. "
+             "Our tool stand-ins' label cardinality differs from the "
+             "paper's tools, bounding Top-2/Top-3 (see EXPERIMENTS.md; the "
+             "paper's Top-2 < Top-3 is itself non-monotonic)");
+  print_footer();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Engineering microbenchmarks: throughput of every pipeline stage
+// (tokenize, parse, CFG, data flow, n-grams, hand-picked features,
+// level-1/level-2 inference, and each transformer).
+#include <benchmark/benchmark.h>
+
+#include "analysis/pipeline.h"
+#include "bench_common.h"
+#include "cfg/cfg.h"
+#include "corpus/generator.h"
+#include "dataflow/dataflow.h"
+#include "features/feature_extractor.h"
+#include "lexer/lexer.h"
+#include "parser/parser.h"
+#include "transform/transform.h"
+
+namespace {
+
+using namespace jst;
+
+const std::string& sample_source() {
+  static const std::string kSource = [] {
+    corpus::ProgramGenerator generator(0xbe9c4);
+    corpus::GeneratorOptions options;
+    options.min_bytes = 8 * 1024;
+    return generator.generate(options);
+  }();
+  return kSource;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Lexer::tokenize(sample_source()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sample_source().size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_program(sample_source()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sample_source().size()));
+}
+BENCHMARK(BM_Parse);
+
+void BM_ControlFlow(benchmark::State& state) {
+  const ParseResult parsed = parse_program(sample_source());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_control_flow(parsed.ast));
+  }
+}
+BENCHMARK(BM_ControlFlow);
+
+void BM_DataFlow(benchmark::State& state) {
+  const ParseResult parsed = parse_program(sample_source());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_data_flow(parsed.ast));
+  }
+}
+BENCHMARK(BM_DataFlow);
+
+void BM_NgramFeatures(benchmark::State& state) {
+  const ParseResult parsed = parse_program(sample_source());
+  features::NgramConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        features::ngram_features(parsed.ast.root(), config));
+  }
+}
+BENCHMARK(BM_NgramFeatures);
+
+void BM_HandpickedFeatures(benchmark::State& state) {
+  const ScriptAnalysis analysis = analyze_script(sample_source());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::handpicked_features(analysis));
+  }
+}
+BENCHMARK(BM_HandpickedFeatures);
+
+void BM_FullFeatureExtraction(benchmark::State& state) {
+  features::FeatureConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        features::extract_from_source(sample_source(), config));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sample_source().size()));
+}
+BENCHMARK(BM_FullFeatureExtraction);
+
+void BM_AnalyzeEndToEnd(benchmark::State& state) {
+  const auto& model = jst::bench::analyzer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.analyze(sample_source()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sample_source().size()));
+}
+BENCHMARK(BM_AnalyzeEndToEnd);
+
+void BM_Minify(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform::minify(sample_source()));
+  }
+}
+BENCHMARK(BM_Minify);
+
+void BM_ObfuscateIdentifiers(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        transform::obfuscate_identifiers(sample_source(), rng));
+  }
+}
+BENCHMARK(BM_ObfuscateIdentifiers);
+
+void BM_FlattenControlFlow(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        transform::flatten_control_flow(sample_source(), rng));
+  }
+}
+BENCHMARK(BM_FlattenControlFlow);
+
+void BM_Pack(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform::pack(sample_source(), rng));
+  }
+}
+BENCHMARK(BM_Pack);
+
+void BM_JsFuckEncode(benchmark::State& state) {
+  const std::string small = "alert('covered');";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform::no_alnum_transform(small));
+  }
+}
+BENCHMARK(BM_JsFuckEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

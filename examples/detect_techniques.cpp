@@ -1,0 +1,97 @@
+// CLI: classify JavaScript files from disk (or stdin).
+//
+//   $ ./detect_techniques file1.js [file2.js ...]
+//   $ cat script.js | ./detect_techniques -
+//
+// Prints one JSON report per input, mirroring the paper's per-script
+// output: eligibility, level-1 probabilities, technique confidences.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/pipeline.h"
+#include "support/json_writer.h"
+
+namespace {
+
+std::string read_all(std::istream& in) {
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void report_json(const char* name, const jst::analysis::ScriptReport& report) {
+  using namespace jst;
+  JsonWriter json;
+  json.begin_object();
+  json.key("file");
+  json.value(name);
+  json.key("parsed");
+  json.value(report.parsed);
+  if (report.parsed) {
+    json.key("eligible");
+    json.value(report.eligible);
+    json.key("level1");
+    json.begin_object();
+    json.key("p_regular");
+    json.value(report.level1.p_regular);
+    json.key("p_minified");
+    json.value(report.level1.p_minified);
+    json.key("p_obfuscated");
+    json.value(report.level1.p_obfuscated);
+    json.key("transformed");
+    json.value(report.level1.transformed());
+    json.end_object();
+    json.key("techniques");
+    json.begin_array();
+    for (transform::Technique technique : report.techniques) {
+      json.begin_object();
+      json.key("name");
+      json.value(transform::technique_name(technique));
+      json.key("confidence");
+      json.value(report.technique_confidence[static_cast<std::size_t>(technique)]);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jst;
+
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <file.js>... ('-' reads from stdin)\n", argv[0]);
+    return 2;
+  }
+
+  analysis::PipelineOptions options;
+  options.training_regular_count = 80;
+  options.per_technique_count = 16;
+  analysis::TransformationAnalyzer analyzer(options);
+  std::fprintf(stderr, "[detect] training detectors...\n");
+  analyzer.train();
+
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string source;
+    if (std::string(argv[i]) == "-") {
+      source = read_all(std::cin);
+    } else {
+      std::ifstream file(argv[i]);
+      if (!file) {
+        std::fprintf(stderr, "[detect] cannot open %s\n", argv[i]);
+        ++failures;
+        continue;
+      }
+      source = read_all(file);
+    }
+    report_json(argv[i], analyzer.analyze(source));
+  }
+  return failures == 0 ? 0 : 1;
+}

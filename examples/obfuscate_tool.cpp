@@ -1,0 +1,59 @@
+// CLI obfuscator/minifier: applies any of the ten monitored techniques
+// (the jstraced stand-ins for obfuscator.io / JSFuck / javascript-minifier
+// / Closure) plus the Dean Edwards packer.
+//
+//   $ ./obfuscate_tool <technique|pack|list> [seed] < in.js > out.js
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "support/error.h"
+#include "transform/transform.h"
+
+int main(int argc, char** argv) {
+  using namespace jst;
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <technique|pack|list> [seed] < in.js\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "list") {
+    for (transform::Technique technique : transform::all_techniques()) {
+      std::printf("%s\n",
+                  std::string(transform::technique_name(technique)).c_str());
+    }
+    std::printf("pack\n");
+    return 0;
+  }
+
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  const std::string source = buffer.str();
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
+  Rng rng(seed);
+
+  try {
+    std::string out;
+    if (mode == "pack") {
+      out = transform::pack(source, rng);
+    } else {
+      const auto technique = transform::technique_from_name(mode);
+      if (!technique.has_value()) {
+        std::fprintf(stderr, "unknown technique '%s' (try 'list')\n",
+                     mode.c_str());
+        return 2;
+      }
+      out = transform::apply_technique(*technique, source, rng);
+    }
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::printf("\n");
+  } catch (const ParseError& error) {
+    std::fprintf(stderr, "input does not parse: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ground-truth dataset construction (§III-D).
+//
+// The paper collects 21,000 regular scripts and transforms each with every
+// technique; we synthesize the regular corpus (generator + seed snippets)
+// and apply the transform module. Counts are configurable so experiments
+// scale from smoke tests to paper-protocol sizes.
+#pragma once
+
+#include <vector>
+
+#include "analysis/labels.h"
+#include "corpus/generator.h"
+#include "features/feature_extractor.h"
+#include "ml/multilabel.h"
+#include "support/rng.h"
+
+namespace jst::analysis {
+
+struct CorpusSpec {
+  std::size_t regular_count = 300;
+  std::uint64_t seed = 42;
+  // Mixing: fraction of regular files seeded from handwritten snippets
+  // (possibly concatenated with generated code).
+  double snippet_fraction = 0.25;
+};
+
+// Generates `regular_count` regular JavaScript sources.
+std::vector<std::string> generate_regular_corpus(const CorpusSpec& spec);
+
+// Transforms `source` with one technique; labels follow
+// transform::labels_produced().
+Sample make_transformed_sample(const std::string& source,
+                               transform::Technique technique, Rng& rng);
+
+// Applies a specific technique combination in normalized tool-pipeline
+// order (injection -> encodings -> structure -> renaming -> minification);
+// labels are the union of each technique's produced labels.
+Sample apply_configuration(const std::string& source,
+                           std::vector<transform::Technique> techniques,
+                           Rng& rng);
+
+// Applies a random combination of `technique_count` distinct techniques
+// sequentially (§III-E2's mixed set). Minification-after-obfuscation order
+// is normalized so the result stays parseable and label-faithful.
+Sample make_mixed_sample(const std::string& source,
+                         std::size_t technique_count, Rng& rng);
+
+Sample make_regular_sample(const std::string& source);
+
+// Feature extraction over samples.
+struct FeatureTable {
+  std::vector<std::vector<float>> rows;
+  std::vector<Sample> samples;  // aligned with rows
+
+  ml::Matrix matrix() const { return ml::Matrix{&rows}; }
+};
+
+FeatureTable extract_features(std::vector<Sample> samples,
+                              const features::FeatureConfig& config);
+
+// Level-1 label matrix: columns [regular, minified, obfuscated].
+ml::LabelMatrix level1_labels(const std::vector<Sample>& samples);
+// Level-2 label matrix: 10 technique columns.
+ml::LabelMatrix level2_labels(const std::vector<Sample>& samples);
+
+}  // namespace jst::analysis

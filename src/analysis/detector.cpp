@@ -1,0 +1,83 @@
+#include "analysis/detector.h"
+
+#include <istream>
+#include <ostream>
+
+#include "support/error.h"
+
+namespace jst::analysis {
+namespace {
+
+std::unique_ptr<ml::MultiLabelClassifier> make_classifier(bool chain) {
+  if (chain) return std::make_unique<ml::ClassifierChain>();
+  return std::make_unique<ml::BinaryRelevance>();
+}
+
+}  // namespace
+
+Level1Detector::Level1Detector(DetectorConfig config)
+    : config_(std::move(config)),
+      classifier_(make_classifier(config_.classifier_chain)) {}
+
+void Level1Detector::fit(const ml::Matrix& data, const ml::LabelMatrix& labels,
+                         Rng& rng) {
+  if (!labels.empty() && labels[0].size() != 3) {
+    throw ModelError("Level1Detector::fit: expected 3 label columns");
+  }
+  classifier_->fit(data, labels, config_.forest, rng);
+}
+
+Level1Detector::Prediction Level1Detector::predict(
+    std::span<const float> row) const {
+  const std::vector<double> probabilities = classifier_->predict_proba(row);
+  Prediction prediction;
+  prediction.p_regular = probabilities[0];
+  prediction.p_minified = probabilities[1];
+  prediction.p_obfuscated = probabilities[2];
+  return prediction;
+}
+
+void Level1Detector::save(std::ostream& out) const {
+  classifier_->save(out);
+}
+
+void Level1Detector::load(std::istream& in) { classifier_->load(in); }
+
+Level2Detector::Level2Detector(DetectorConfig config)
+    : config_(std::move(config)),
+      classifier_(make_classifier(config_.classifier_chain)) {}
+
+void Level2Detector::fit(const ml::Matrix& data, const ml::LabelMatrix& labels,
+                         Rng& rng) {
+  if (!labels.empty() && labels[0].size() != transform::kTechniqueCount) {
+    throw ModelError("Level2Detector::fit: expected 10 label columns");
+  }
+  classifier_->fit(data, labels, config_.forest, rng);
+}
+
+std::vector<double> Level2Detector::predict_proba(
+    std::span<const float> row) const {
+  return classifier_->predict_proba(row);
+}
+
+std::vector<transform::Technique> Level2Detector::predict_techniques(
+    std::span<const float> row) const {
+  const std::vector<std::size_t> indices = classifier_->predict_topk_thresholded(
+      row, config_.level2_topk, config_.level2_threshold);
+  return techniques_from_indices(indices);
+}
+
+std::vector<transform::Technique> Level2Detector::predict_topk(
+    std::span<const float> row, std::size_t k) const {
+  return techniques_from_indices(classifier_->predict_topk(row, k));
+}
+
+}  // namespace jst::analysis
+
+namespace jst::analysis {
+
+void Level2Detector::save(std::ostream& out) const { classifier_->save(out); }
+
+void Level2Detector::load(std::istream& in) { classifier_->load(in); }
+
+}  // namespace jst::analysis

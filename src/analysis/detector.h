@@ -1,0 +1,85 @@
+// The two multi-task detectors (§III-C).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "analysis/labels.h"
+#include "features/feature_extractor.h"
+#include "ml/metrics.h"
+#include "ml/multilabel.h"
+
+namespace jst::analysis {
+
+struct DetectorConfig {
+  features::FeatureConfig features;
+  ml::ForestParams forest;
+  // Classifier-chain (paper's pick) vs. independence assumption.
+  bool classifier_chain = true;
+  // Level-2 decision rule: up to `topk` labels whose confidence clears
+  // `threshold` (empirically 10% in the paper, §III-E2).
+  double level2_threshold = 0.10;
+  std::size_t level2_topk = 7;
+};
+
+// Level 1: multi-task over {regular, minified, obfuscated}.
+class Level1Detector {
+ public:
+  explicit Level1Detector(DetectorConfig config = {});
+
+  void fit(const ml::Matrix& data, const ml::LabelMatrix& labels, Rng& rng);
+
+  struct Prediction {
+    double p_regular = 0.0;
+    double p_minified = 0.0;
+    double p_obfuscated = 0.0;
+    bool minified() const { return p_minified >= 0.5; }
+    bool obfuscated() const { return p_obfuscated >= 0.5; }
+    // "We consider that a file is transformed if level 1 flagged it as
+    // obfuscated and/or minified."
+    bool transformed() const { return minified() || obfuscated(); }
+    bool regular() const { return !transformed(); }
+  };
+
+  Prediction predict(std::span<const float> row) const;
+  const DetectorConfig& config() const { return config_; }
+
+  // Persist/restore the trained classifier (config is NOT serialized; the
+  // loader must be constructed with the same DetectorConfig).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  DetectorConfig config_;
+  std::unique_ptr<ml::MultiLabelClassifier> classifier_;
+};
+
+// Level 2: multi-task over the ten techniques.
+class Level2Detector {
+ public:
+  explicit Level2Detector(DetectorConfig config = {});
+
+  void fit(const ml::Matrix& data, const ml::LabelMatrix& labels, Rng& rng);
+
+  // Per-technique confidence, index = Technique value.
+  std::vector<double> predict_proba(std::span<const float> row) const;
+
+  // Paper's final rule: the top-k most confident techniques above the
+  // threshold.
+  std::vector<transform::Technique> predict_techniques(
+      std::span<const float> row) const;
+  std::vector<transform::Technique> predict_topk(std::span<const float> row,
+                                                 std::size_t k) const;
+
+  const DetectorConfig& config() const { return config_; }
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  DetectorConfig config_;
+  std::unique_ptr<ml::MultiLabelClassifier> classifier_;
+};
+
+}  // namespace jst::analysis

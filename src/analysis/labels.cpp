@@ -1,0 +1,51 @@
+#include "analysis/labels.h"
+
+namespace jst::analysis {
+
+Level1Truth level1_from_techniques(
+    const std::vector<transform::Technique>& techniques) {
+  Level1Truth truth;
+  if (techniques.empty()) {
+    truth.regular = true;
+    return truth;
+  }
+  for (transform::Technique technique : techniques) {
+    if (transform::is_minification(technique)) {
+      truth.minified = true;
+    } else {
+      truth.obfuscated = true;
+    }
+  }
+  return truth;
+}
+
+std::vector<std::uint8_t> technique_row(
+    const std::vector<transform::Technique>& techniques) {
+  std::vector<std::uint8_t> row(transform::kTechniqueCount, 0);
+  for (transform::Technique technique : techniques) {
+    row[static_cast<std::size_t>(technique)] = 1;
+  }
+  return row;
+}
+
+std::vector<transform::Technique> techniques_from_indices(
+    const std::vector<std::size_t>& indices) {
+  std::vector<transform::Technique> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) {
+    out.push_back(static_cast<transform::Technique>(index));
+  }
+  return out;
+}
+
+std::vector<std::size_t> indices_from_techniques(
+    const std::vector<transform::Technique>& techniques) {
+  std::vector<std::size_t> out;
+  out.reserve(techniques.size());
+  for (transform::Technique technique : techniques) {
+    out.push_back(static_cast<std::size_t>(technique));
+  }
+  return out;
+}
+
+}  // namespace jst::analysis

@@ -1,0 +1,45 @@
+// Ground-truth label structures shared by training and evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "transform/technique.h"
+
+namespace jst::analysis {
+
+// Level-1 classes (§III-C): a multi-task detector over
+// {regular, minified, obfuscated}; a file counts as *transformed* when it
+// is minified and/or obfuscated.
+struct Level1Truth {
+  bool regular = false;
+  bool minified = false;
+  bool obfuscated = false;
+
+  bool transformed() const { return minified || obfuscated; }
+};
+
+// A labeled sample: source plus its technique label set.
+struct Sample {
+  std::string source;
+  std::vector<transform::Technique> techniques;  // empty = regular
+  Level1Truth level1;
+};
+
+// Derives the level-1 truth from a technique label set.
+Level1Truth level1_from_techniques(
+    const std::vector<transform::Technique>& techniques);
+
+// Converts a technique set to a 10-wide binary row (LabelMatrix row).
+std::vector<std::uint8_t> technique_row(
+    const std::vector<transform::Technique>& techniques);
+
+// Indices of set bits -> technique list.
+std::vector<transform::Technique> techniques_from_indices(
+    const std::vector<std::size_t>& indices);
+
+std::vector<std::size_t> indices_from_techniques(
+    const std::vector<transform::Technique>& techniques);
+
+}  // namespace jst::analysis

@@ -1,0 +1,33 @@
+// Longitudinal models (§IV-D): 65 monthly population specs, 2015-05
+// through 2020-09, for Alexa Top 2k, npm Top 2k, and the malware feeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/wild.h"
+
+namespace jst::analysis {
+
+constexpr std::size_t kMonthCount = 65;  // 2015-05 .. 2020-09
+
+// "2015-05", "2015-06", ... for month_index in [0, 65).
+std::string month_label(std::size_t month_index);
+
+// Alexa Top 2k trend (Figures 6/7): transformed share rises steadily;
+// minification-simple grows 38.74% -> 47.02% while advanced drifts
+// 43.77% -> 40% and identifier obfuscation declines 8.23% -> 6.21%.
+PopulationSpec alexa_month_spec(std::size_t month_index);
+
+// npm Top 2k (Figures 6/8): three phases — ~7.4% (high churn / 24.22%
+// relative stddev), ~17.95% (stable), ~15.17% — with technique mix
+// roughly constant (58.62% simple / 34.28% advanced / 9.71% id-obf).
+// Month-to-month package churn is modeled as seeded noise.
+PopulationSpec npm_month_spec(std::size_t month_index);
+
+// Malware waves (Figure 5): per-month mixes fluctuate strongly; each
+// month one randomly dominant configuration rides on the base mix.
+PopulationSpec malware_month_spec(const PopulationSpec& base,
+                                  std::size_t month_index);
+
+}  // namespace jst::analysis

@@ -1,0 +1,109 @@
+#include "analysis/pipeline.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "support/error.h"
+
+namespace jst::analysis {
+
+TransformationAnalyzer::TransformationAnalyzer(PipelineOptions options)
+    : options_(std::move(options)),
+      level1_(options_.detector),
+      level2_(options_.detector) {}
+
+void TransformationAnalyzer::train() {
+  CorpusSpec spec;
+  spec.regular_count = options_.training_regular_count;
+  spec.seed = options_.seed;
+  train_on(generate_regular_corpus(spec));
+}
+
+void TransformationAnalyzer::train_on(
+    const std::vector<std::string>& regular_sources) {
+  if (regular_sources.empty()) {
+    throw InvalidArgument("train_on: empty regular corpus");
+  }
+  Rng rng(options_.seed ^ 0x5eedf00dULL);
+
+  // Build pools: regular + per-technique transformed.
+  std::vector<Sample> samples;
+  samples.reserve(regular_sources.size() +
+                  options_.per_technique_count * transform::kTechniqueCount);
+  for (const std::string& source : regular_sources) {
+    samples.push_back(make_regular_sample(source));
+  }
+  for (transform::Technique technique : transform::all_techniques()) {
+    for (std::size_t i = 0; i < options_.per_technique_count; ++i) {
+      const std::string& base = regular_sources[rng.index(regular_sources.size())];
+      samples.push_back(make_transformed_sample(base, technique, rng));
+    }
+  }
+
+  FeatureTable table =
+      extract_features(std::move(samples), options_.detector.features);
+  const ml::LabelMatrix level1_matrix = level1_labels(table.samples);
+  const ml::LabelMatrix level2_matrix = level2_labels(table.samples);
+
+  Rng level1_rng = rng.split();
+  level1_.fit(table.matrix(), level1_matrix, level1_rng);
+
+  // Level 2 trains on transformed samples only.
+  std::vector<std::vector<float>> transformed_rows;
+  ml::LabelMatrix transformed_labels;
+  for (std::size_t i = 0; i < table.samples.size(); ++i) {
+    if (!table.samples[i].techniques.empty()) {
+      transformed_rows.push_back(table.rows[i]);
+      transformed_labels.push_back(level2_matrix[i]);
+    }
+  }
+  Rng level2_rng = rng.split();
+  level2_.fit(ml::Matrix{&transformed_rows}, transformed_labels, level2_rng);
+  trained_ = true;
+}
+
+void TransformationAnalyzer::save(std::ostream& out) const {
+  if (!trained_) throw ModelError("save: detector not trained");
+  out << "jstraced-analyzer-v1 "
+      << features::feature_dimension(options_.detector.features) << '\n';
+  level1_.save(out);
+  level2_.save(out);
+}
+
+void TransformationAnalyzer::load(std::istream& in) {
+  std::string magic;
+  std::size_t dimension = 0;
+  if (!(in >> magic >> dimension) || magic != "jstraced-analyzer-v1") {
+    throw ModelError("load: unrecognized analyzer format");
+  }
+  if (dimension != features::feature_dimension(options_.detector.features)) {
+    throw ModelError("load: feature dimension mismatch with configuration");
+  }
+  level1_.load(in);
+  level2_.load(in);
+  trained_ = true;
+}
+
+ScriptReport TransformationAnalyzer::analyze(std::string_view source) const {
+  if (!trained_) throw ModelError("analyze: detector not trained");
+  ScriptReport report;
+  ScriptAnalysis analysis;
+  try {
+    analysis = analyze_script(source, options_.detector.features.analysis);
+  } catch (const ParseError&) {
+    return report;
+  }
+  report.parsed = true;
+  report.eligible = script_eligible(analysis);
+  const std::vector<float> row =
+      features::extract(analysis, options_.detector.features);
+  report.level1 = level1_.predict(row);
+  report.technique_confidence = level2_.predict_proba(row);
+  if (report.level1.transformed()) {
+    report.techniques = level2_.predict_techniques(row);
+  }
+  return report;
+}
+
+}  // namespace jst::analysis

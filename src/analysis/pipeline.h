@@ -1,0 +1,69 @@
+// End-to-end trainer + analyzer: the whole §III pipeline in one object.
+//
+// Training mirrors §III-D2's composition at configurable scale: a regular
+// corpus, one transformed pool per technique; level 1 trains on
+// regular/minified/obfuscated thirds (the two minification techniques
+// represented equally, likewise the eight obfuscation techniques), level 2
+// trains on per-technique pools.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+
+#include "analysis/dataset.h"
+#include "analysis/detector.h"
+
+namespace jst::analysis {
+
+struct PipelineOptions {
+  DetectorConfig detector;
+  // Number of regular base scripts synthesized for training.
+  std::size_t training_regular_count = 240;
+  // Per-technique transformed samples for level 2 (and pooled for level 1).
+  std::size_t per_technique_count = 60;
+  std::uint64_t seed = 1234;
+};
+
+// Result of analyzing one script in the wild.
+struct ScriptReport {
+  bool parsed = false;
+  bool eligible = false;  // paper's size/AST filter
+  Level1Detector::Prediction level1;
+  std::vector<double> technique_confidence;  // 10 entries
+  std::vector<transform::Technique> techniques;  // thresholded top-k
+};
+
+class TransformationAnalyzer {
+ public:
+  explicit TransformationAnalyzer(PipelineOptions options = {});
+
+  // Synthesizes training data and fits both detectors.
+  void train();
+  // Fits from an externally built corpus (regular sources only; transforms
+  // are applied internally).
+  void train_on(const std::vector<std::string>& regular_sources);
+
+  bool trained() const { return trained_; }
+
+  // Persist a trained analyzer / restore it without retraining. The
+  // PipelineOptions must match between save and load (a feature-dimension
+  // header is checked). Throws ModelError on mismatch.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+  // Full per-script report; returns parsed=false on parse errors.
+  ScriptReport analyze(std::string_view source) const;
+
+  const Level1Detector& level1() const { return level1_; }
+  const Level2Detector& level2() const { return level2_; }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+  Level1Detector level1_;
+  Level2Detector level2_;
+  bool trained_ = false;
+};
+
+}  // namespace jst::analysis

@@ -1,0 +1,231 @@
+#include "ast/ast.h"
+
+namespace jst {
+
+std::string_view node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kProgram: return "Program";
+    case NodeKind::kExpressionStatement: return "ExpressionStatement";
+    case NodeKind::kBlockStatement: return "BlockStatement";
+    case NodeKind::kVariableDeclaration: return "VariableDeclaration";
+    case NodeKind::kVariableDeclarator: return "VariableDeclarator";
+    case NodeKind::kFunctionDeclaration: return "FunctionDeclaration";
+    case NodeKind::kClassDeclaration: return "ClassDeclaration";
+    case NodeKind::kReturnStatement: return "ReturnStatement";
+    case NodeKind::kIfStatement: return "IfStatement";
+    case NodeKind::kForStatement: return "ForStatement";
+    case NodeKind::kForInStatement: return "ForInStatement";
+    case NodeKind::kForOfStatement: return "ForOfStatement";
+    case NodeKind::kWhileStatement: return "WhileStatement";
+    case NodeKind::kDoWhileStatement: return "DoWhileStatement";
+    case NodeKind::kSwitchStatement: return "SwitchStatement";
+    case NodeKind::kSwitchCase: return "SwitchCase";
+    case NodeKind::kBreakStatement: return "BreakStatement";
+    case NodeKind::kContinueStatement: return "ContinueStatement";
+    case NodeKind::kThrowStatement: return "ThrowStatement";
+    case NodeKind::kTryStatement: return "TryStatement";
+    case NodeKind::kCatchClause: return "CatchClause";
+    case NodeKind::kLabeledStatement: return "LabeledStatement";
+    case NodeKind::kEmptyStatement: return "EmptyStatement";
+    case NodeKind::kDebuggerStatement: return "DebuggerStatement";
+    case NodeKind::kWithStatement: return "WithStatement";
+    case NodeKind::kIdentifier: return "Identifier";
+    case NodeKind::kLiteral: return "Literal";
+    case NodeKind::kTemplateLiteral: return "TemplateLiteral";
+    case NodeKind::kTemplateElement: return "TemplateElement";
+    case NodeKind::kTaggedTemplateExpression: return "TaggedTemplateExpression";
+    case NodeKind::kThisExpression: return "ThisExpression";
+    case NodeKind::kSuper: return "Super";
+    case NodeKind::kArrayExpression: return "ArrayExpression";
+    case NodeKind::kObjectExpression: return "ObjectExpression";
+    case NodeKind::kProperty: return "Property";
+    case NodeKind::kFunctionExpression: return "FunctionExpression";
+    case NodeKind::kArrowFunctionExpression: return "ArrowFunctionExpression";
+    case NodeKind::kClassExpression: return "ClassExpression";
+    case NodeKind::kClassBody: return "ClassBody";
+    case NodeKind::kMethodDefinition: return "MethodDefinition";
+    case NodeKind::kSequenceExpression: return "SequenceExpression";
+    case NodeKind::kUnaryExpression: return "UnaryExpression";
+    case NodeKind::kBinaryExpression: return "BinaryExpression";
+    case NodeKind::kLogicalExpression: return "LogicalExpression";
+    case NodeKind::kAssignmentExpression: return "AssignmentExpression";
+    case NodeKind::kUpdateExpression: return "UpdateExpression";
+    case NodeKind::kConditionalExpression: return "ConditionalExpression";
+    case NodeKind::kCallExpression: return "CallExpression";
+    case NodeKind::kNewExpression: return "NewExpression";
+    case NodeKind::kMemberExpression: return "MemberExpression";
+    case NodeKind::kSpreadElement: return "SpreadElement";
+    case NodeKind::kRestElement: return "RestElement";
+    case NodeKind::kYieldExpression: return "YieldExpression";
+    case NodeKind::kAwaitExpression: return "AwaitExpression";
+    case NodeKind::kAssignmentPattern: return "AssignmentPattern";
+    case NodeKind::kArrayPattern: return "ArrayPattern";
+    case NodeKind::kObjectPattern: return "ObjectPattern";
+  }
+  return "Unknown";
+}
+
+bool Node::is_statement() const {
+  switch (kind) {
+    case NodeKind::kExpressionStatement:
+    case NodeKind::kBlockStatement:
+    case NodeKind::kVariableDeclaration:
+    case NodeKind::kFunctionDeclaration:
+    case NodeKind::kClassDeclaration:
+    case NodeKind::kReturnStatement:
+    case NodeKind::kIfStatement:
+    case NodeKind::kForStatement:
+    case NodeKind::kForInStatement:
+    case NodeKind::kForOfStatement:
+    case NodeKind::kWhileStatement:
+    case NodeKind::kDoWhileStatement:
+    case NodeKind::kSwitchStatement:
+    case NodeKind::kBreakStatement:
+    case NodeKind::kContinueStatement:
+    case NodeKind::kThrowStatement:
+    case NodeKind::kTryStatement:
+    case NodeKind::kLabeledStatement:
+    case NodeKind::kEmptyStatement:
+    case NodeKind::kDebuggerStatement:
+    case NodeKind::kWithStatement:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Node::is_expression() const {
+  switch (kind) {
+    case NodeKind::kIdentifier:
+    case NodeKind::kLiteral:
+    case NodeKind::kTemplateLiteral:
+    case NodeKind::kTaggedTemplateExpression:
+    case NodeKind::kThisExpression:
+    case NodeKind::kSuper:
+    case NodeKind::kArrayExpression:
+    case NodeKind::kObjectExpression:
+    case NodeKind::kFunctionExpression:
+    case NodeKind::kArrowFunctionExpression:
+    case NodeKind::kClassExpression:
+    case NodeKind::kSequenceExpression:
+    case NodeKind::kUnaryExpression:
+    case NodeKind::kBinaryExpression:
+    case NodeKind::kLogicalExpression:
+    case NodeKind::kAssignmentExpression:
+    case NodeKind::kUpdateExpression:
+    case NodeKind::kConditionalExpression:
+    case NodeKind::kCallExpression:
+    case NodeKind::kNewExpression:
+    case NodeKind::kMemberExpression:
+    case NodeKind::kYieldExpression:
+    case NodeKind::kAwaitExpression:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Node::is_function() const {
+  return kind == NodeKind::kFunctionDeclaration ||
+         kind == NodeKind::kFunctionExpression ||
+         kind == NodeKind::kArrowFunctionExpression;
+}
+
+bool Node::is_loop() const {
+  switch (kind) {
+    case NodeKind::kForStatement:
+    case NodeKind::kForInStatement:
+    case NodeKind::kForOfStatement:
+    case NodeKind::kWhileStatement:
+    case NodeKind::kDoWhileStatement:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Node* Ast::make(NodeKind kind) {
+  nodes_.emplace_back();
+  Node* node = &nodes_.back();
+  node->kind = kind;
+  return node;
+}
+
+Node* Ast::make_identifier(std::string name) {
+  Node* node = make(NodeKind::kIdentifier);
+  node->str_value = std::move(name);
+  return node;
+}
+
+Node* Ast::make_string(std::string value) {
+  Node* node = make(NodeKind::kLiteral);
+  node->lit_kind = LiteralKind::kString;
+  node->str_value = std::move(value);
+  return node;
+}
+
+Node* Ast::make_number(double value) {
+  Node* node = make(NodeKind::kLiteral);
+  node->lit_kind = LiteralKind::kNumber;
+  node->num_value = value;
+  return node;
+}
+
+Node* Ast::make_bool(bool value) {
+  Node* node = make(NodeKind::kLiteral);
+  node->lit_kind = LiteralKind::kBoolean;
+  node->num_value = value ? 1.0 : 0.0;
+  return node;
+}
+
+Node* Ast::make_null() {
+  Node* node = make(NodeKind::kLiteral);
+  node->lit_kind = LiteralKind::kNull;
+  return node;
+}
+
+Node* Ast::make_regex(std::string pattern, std::string flags) {
+  Node* node = make(NodeKind::kLiteral);
+  node->lit_kind = LiteralKind::kRegExp;
+  node->str_value = std::move(pattern);
+  node->raw = std::move(flags);
+  return node;
+}
+
+Node* Ast::clone(const Node* node) {
+  if (node == nullptr) return nullptr;
+  Node* copy = make(node->kind);
+  copy->str_value = node->str_value;
+  copy->raw = node->raw;
+  copy->num_value = node->num_value;
+  copy->lit_kind = node->lit_kind;
+  copy->flag_a = node->flag_a;
+  copy->flag_b = node->flag_b;
+  copy->flag_c = node->flag_c;
+  copy->line = node->line;
+  copy->kids.reserve(node->kids.size());
+  for (const Node* kid : node->kids) copy->kids.push_back(clone(kid));
+  return copy;
+}
+
+std::size_t Ast::finalize() {
+  node_count_ = 0;
+  if (root_ == nullptr) return 0;
+  // Iterative pre-order traversal assigning ids and parents.
+  std::vector<Node*> stack = {root_};
+  root_->parent = nullptr;
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    node->id = static_cast<std::uint32_t>(node_count_++);
+    for (auto it = node->kids.rbegin(); it != node->kids.rend(); ++it) {
+      if (*it != nullptr) {
+        (*it)->parent = node;
+        stack.push_back(*it);
+      }
+    }
+  }
+  return node_count_;
+}
+
+}  // namespace jst

@@ -1,0 +1,174 @@
+// Abstract Syntax Tree for JavaScript, following Esprima's (ESTree's) node
+// taxonomy so the paper's feature definitions (§III-A/B) map one-to-one.
+//
+// Nodes are "fat": a single struct with a kind tag, positional children,
+// and a small payload. Child layout per kind is documented below; optional
+// slots hold nullptr. Variadic kinds place fixed slots first and the
+// variable tail afterwards.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace jst {
+
+enum class NodeKind : std::uint8_t {
+  kProgram,  // children: body...
+
+  // --- Statements ---
+  kExpressionStatement,  // [expression]
+  kBlockStatement,       // body...
+  kVariableDeclaration,  // declarators... ; str_value = "var"|"let"|"const"
+  kVariableDeclarator,   // [id, init?]
+  kFunctionDeclaration,  // [id, body, params...]; flags: generator/async
+  kClassDeclaration,     // [id, superClass?, classBody]
+  kReturnStatement,      // [argument?]
+  kIfStatement,          // [test, consequent, alternate?]
+  kForStatement,         // [init?, test?, update?, body]
+  kForInStatement,       // [left, right, body]
+  kForOfStatement,       // [left, right, body]
+  kWhileStatement,       // [test, body]
+  kDoWhileStatement,     // [body, test]
+  kSwitchStatement,      // [discriminant, cases...]
+  kSwitchCase,           // [test?, consequent...]
+  kBreakStatement,       // [label?]
+  kContinueStatement,    // [label?]
+  kThrowStatement,       // [argument]
+  kTryStatement,         // [block, handler?, finalizer?]
+  kCatchClause,          // [param?, body]
+  kLabeledStatement,     // [label, body]
+  kEmptyStatement,       // no children
+  kDebuggerStatement,    // no children
+  kWithStatement,        // [object, body]
+
+  // --- Expressions ---
+  kIdentifier,            // str_value = name
+  kLiteral,               // payload via lit_kind/str_value/num_value/raw
+  kTemplateLiteral,       // [quasis..., expressions...] interleaved:
+                          //   quasi0, expr0, quasi1, expr1, ..., quasiN
+  kTemplateElement,       // str_value = cooked text
+  kTaggedTemplateExpression,  // [tag, quasi]
+  kThisExpression,        // no children
+  kSuper,                 // no children
+  kArrayExpression,       // elements... (nullptr = hole)
+  kObjectExpression,      // properties...
+  kProperty,              // [key, value]; flags: computed/shorthand;
+                          //   str_value = "init"|"get"|"set"
+  kFunctionExpression,    // [id?, body, params...]
+  kArrowFunctionExpression,  // [body, params...]; flag_a: expression body
+  kClassExpression,       // [id?, superClass?, classBody]
+  kClassBody,             // methods...
+  kMethodDefinition,      // [key, value(FunctionExpression)];
+                          //   str_value = "method"|"constructor"|"get"|"set"
+  kSequenceExpression,    // expressions...
+  kUnaryExpression,       // [argument]; str_value = operator
+  kBinaryExpression,      // [left, right]; str_value = operator
+  kLogicalExpression,     // [left, right]; str_value = "&&"|"||"|"??"
+  kAssignmentExpression,  // [left, right]; str_value = operator
+  kUpdateExpression,      // [argument]; str_value = "++"|"--"; flag_a: prefix
+  kConditionalExpression, // [test, consequent, alternate]
+  kCallExpression,        // [callee, arguments...]
+  kNewExpression,         // [callee, arguments...]
+  kMemberExpression,      // [object, property]; flag_a: computed
+  kSpreadElement,         // [argument]
+  kRestElement,           // [argument]
+  kYieldExpression,       // [argument?]; flag_a: delegate
+  kAwaitExpression,       // [argument]
+
+  // --- Patterns ---
+  kAssignmentPattern,     // [left, right]
+  kArrayPattern,          // elements... (nullptr = hole)
+  kObjectPattern,         // properties...
+};
+
+constexpr std::size_t kNodeKindCount =
+    static_cast<std::size_t>(NodeKind::kObjectPattern) + 1;
+
+enum class LiteralKind : std::uint8_t {
+  kString,
+  kNumber,
+  kBoolean,
+  kNull,
+  kRegExp,
+};
+
+std::string_view node_kind_name(NodeKind kind);
+
+struct Node {
+  NodeKind kind = NodeKind::kProgram;
+  std::vector<Node*> kids;
+
+  // Payload (meaning depends on kind; see enum comments).
+  std::string str_value;
+  std::string raw;          // literal raw text / regex flags
+  double num_value = 0.0;
+  LiteralKind lit_kind = LiteralKind::kNull;
+  bool flag_a = false;      // computed / prefix / delegate / expression-body
+  bool flag_b = false;      // shorthand / generator / static
+  bool flag_c = false;      // async
+
+  // Source position (propagated from the first token of the production).
+  std::size_t line = 0;
+
+  // Stable id within the owning Ast; assigned by Ast::finalize().
+  std::uint32_t id = 0;
+  Node* parent = nullptr;
+
+  bool is_statement() const;
+  bool is_expression() const;
+  bool is_function() const;   // declaration, expression, or arrow
+  bool is_loop() const;
+
+  // Convenience accessors (bounds-checked; nullptr for missing optionals).
+  Node* kid(std::size_t i) const { return i < kids.size() ? kids[i] : nullptr; }
+};
+
+// Arena-owning AST. Node addresses are stable (deque storage). Typical
+// lifecycle: parser builds nodes via make(), sets the root, and calls
+// finalize() to assign ids/parents; transformers may mutate the tree and
+// re-finalize.
+class Ast {
+ public:
+  Ast() = default;
+  Ast(Ast&&) noexcept = default;
+  Ast& operator=(Ast&&) noexcept = default;
+  Ast(const Ast&) = delete;
+  Ast& operator=(const Ast&) = delete;
+
+  Node* make(NodeKind kind);
+  Node* make_identifier(std::string name);
+  Node* make_string(std::string value);
+  Node* make_number(double value);
+  Node* make_bool(bool value);
+  Node* make_null();
+  Node* make_regex(std::string pattern, std::string flags);
+
+  // Deep copy of `node` (and its subtree) into this arena.
+  Node* clone(const Node* node);
+
+  Node* root() const { return root_; }
+  void set_root(Node* root) { root_ = root; }
+
+  // Assigns pre-order ids and parent pointers from the root; returns the
+  // number of reachable nodes.
+  std::size_t finalize();
+
+  // Number of nodes allocated in the arena (including detached ones).
+  std::size_t allocated() const { return nodes_.size(); }
+  // Number of nodes reachable from the root after the last finalize().
+  std::size_t node_count() const { return node_count_; }
+
+ private:
+  std::deque<Node> nodes_;
+  Node* root_ = nullptr;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace jst

@@ -1,0 +1,17 @@
+// Esprima-style JSON serialization of the AST.
+//
+// Produces the familiar ESTree shape ({"type": "Program", "body": [...]})
+// so downstream tooling (or a Python notebook reproducing the paper's
+// plots) can consume jstraced's trees directly.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.h"
+
+namespace jst {
+
+// Serializes a (sub)tree. `pretty` adds two-space indentation.
+std::string ast_to_json(const Node* root, bool pretty = false);
+
+}  // namespace jst

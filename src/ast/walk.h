@@ -1,0 +1,37 @@
+// Tree traversal utilities.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace jst {
+
+// Pre-order visit of all non-null nodes. The callback may not mutate the
+// tree structure above the visited node.
+void walk_preorder(Node* root, const std::function<void(Node&)>& visit);
+void walk_preorder(const Node* root,
+                   const std::function<void(const Node&)>& visit);
+
+// Post-order visit (children before parent).
+void walk_postorder(Node* root, const std::function<void(Node&)>& visit);
+
+// Pre-order sequence of node kinds — the "list of syntactic units" the
+// paper slides a 4-gram window over (§III-B).
+std::vector<NodeKind> preorder_kinds(const Node* root);
+
+// Maximum depth of the tree (root = depth 1; empty tree = 0).
+std::size_t tree_depth(const Node* root);
+
+// Maximum number of nodes at any single depth level ("breadth").
+std::size_t tree_breadth(const Node* root);
+
+// Total number of non-null nodes.
+std::size_t count_nodes(const Node* root);
+
+// Collects every node of the given kind (pre-order).
+std::vector<Node*> collect_kind(Node* root, NodeKind kind);
+std::vector<const Node*> collect_kind(const Node* root, NodeKind kind);
+
+}  // namespace jst

@@ -1,0 +1,325 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "ast/walk.h"
+
+namespace jst {
+namespace {
+
+// Builder with break/continue context stacks. Exits of a statement are the
+// CFG nodes from which control falls through to the lexically following
+// statement.
+class CfgBuilder {
+ public:
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> build(const Node* root) {
+    if (root != nullptr) {
+      visit_body(root->kids, *root);
+      // Nested functions get their own sub-graphs.
+      walk_preorder(root, [this](const Node& node) {
+        if (node.is_function()) {
+          const Node* body = function_body(node);
+          if (body != nullptr && body->kind == NodeKind::kBlockStatement) {
+            BreakableStack saved_breakables;
+            saved_breakables.swap(breakables_);
+            visit_body(body->kids, *body);
+            saved_breakables.swap(breakables_);
+          }
+          // Expression-bodied arrows have conditional-expression nodes only.
+        }
+      });
+    }
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+    return std::move(edges_);
+  }
+
+ private:
+  using Exits = std::vector<const Node*>;
+  struct Breakable {
+    std::string label;          // empty for unlabeled targets
+    const Node* continue_target;  // nullptr for switch
+    Exits* break_sink;
+  };
+  using BreakableStack = std::vector<Breakable>;
+
+  static const Node* function_body(const Node& function) {
+    // Layout: FunctionDeclaration/Expression: [id, body, params...];
+    // ArrowFunctionExpression: [body, params...].
+    if (function.kind == NodeKind::kArrowFunctionExpression) {
+      return function.kid(0);
+    }
+    return function.kid(1);
+  }
+
+  void edge(const Node* from, const Node* to) {
+    if (from == nullptr || to == nullptr) return;
+    edges_.emplace_back(from->id, to->id);
+  }
+
+  void edges_from(const Exits& froms, const Node* to) {
+    for (const Node* from : froms) edge(from, to);
+  }
+
+  // Adds statement -> ConditionalExpression edges for every conditional
+  // expression syntactically inside `statement` (not crossing function
+  // boundaries), plus nesting edges between conditionals.
+  void link_conditional_expressions(const Node& statement) {
+    // Manual stack walk that stops at nested functions and nested
+    // statements (those are visited on their own).
+    std::vector<std::pair<const Node*, const Node*>> stack;  // (node, nearest cfg parent)
+    for (const Node* kid : statement.kids) {
+      if (kid != nullptr && !kid->is_statement() &&
+          kid->kind != NodeKind::kSwitchCase &&
+          kid->kind != NodeKind::kCatchClause) {
+        stack.emplace_back(kid, &statement);
+      }
+    }
+    while (!stack.empty()) {
+      auto [node, cfg_parent] = stack.back();
+      stack.pop_back();
+      const Node* next_parent = cfg_parent;
+      if (node->kind == NodeKind::kConditionalExpression) {
+        edge(cfg_parent, node);
+        next_parent = node;
+      }
+      if (node->is_function()) continue;  // separate sub-graph
+      for (const Node* kid : node->kids) {
+        if (kid != nullptr && !kid->is_statement()) {
+          stack.emplace_back(kid, next_parent);
+        }
+      }
+    }
+  }
+
+  Exits visit_body(const std::vector<Node*>& statements, const Node& owner) {
+    Exits previous = {&owner};
+    bool first = true;
+    for (const Node* statement : statements) {
+      if (statement == nullptr) continue;
+      if (first) {
+        // The container (block/program) flows into its first statement
+        // only for blocks nested as CFG nodes; for Program we treat the
+        // first statement as the entry, so skip the self edge there.
+        first = false;
+        if (owner.kind != NodeKind::kProgram) {
+          edges_from(previous, statement);
+        }
+      } else {
+        edges_from(previous, statement);
+      }
+      previous = visit_statement(*statement);
+    }
+    return previous;
+  }
+
+  Exits visit_statement(const Node& node) {
+    link_conditional_expressions(node);
+    switch (node.kind) {
+      case NodeKind::kBlockStatement:
+        return visit_body(node.kids, node);
+
+      case NodeKind::kIfStatement: {
+        Exits exits;
+        const Node* consequent = node.kid(1);
+        edge(&node, consequent);
+        Exits consequent_exits = visit_statement(*consequent);
+        exits.insert(exits.end(), consequent_exits.begin(),
+                     consequent_exits.end());
+        if (node.kid(2) != nullptr) {
+          edge(&node, node.kids[2]);
+          Exits alternate_exits = visit_statement(*node.kids[2]);
+          exits.insert(exits.end(), alternate_exits.begin(),
+                       alternate_exits.end());
+        } else {
+          exits.push_back(&node);  // false branch falls through
+        }
+        return exits;
+      }
+
+      case NodeKind::kWhileStatement:
+      case NodeKind::kDoWhileStatement:
+      case NodeKind::kForStatement:
+      case NodeKind::kForInStatement:
+      case NodeKind::kForOfStatement: {
+        Exits breaks;
+        breakables_.push_back({pending_label_, &node, &breaks});
+        pending_label_.clear();
+        const Node* body = loop_body(node);
+        edge(&node, body);
+        Exits body_exits = visit_statement(*body);
+        edges_from(body_exits, &node);  // back edge
+        breakables_.pop_back();
+        Exits exits = {&node};
+        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        return exits;
+      }
+
+      case NodeKind::kSwitchStatement: {
+        Exits breaks;
+        breakables_.push_back({pending_label_, nullptr, &breaks});
+        pending_label_.clear();
+        Exits previous_case_exits;
+        bool has_default = false;
+        for (std::size_t i = 1; i < node.kids.size(); ++i) {
+          const Node& switch_case = *node.kids[i];
+          if (switch_case.kid(0) == nullptr) has_default = true;
+          // Dispatch edge from the switch to the case's first statement.
+          const Node* first_statement = nullptr;
+          Exits case_exits = previous_case_exits;
+          for (std::size_t j = 1; j < switch_case.kids.size(); ++j) {
+            const Node* statement = switch_case.kids[j];
+            if (first_statement == nullptr) {
+              first_statement = statement;
+              edge(&node, statement);
+              edges_from(previous_case_exits, statement);  // fallthrough
+              case_exits.clear();
+            } else {
+              edges_from(case_exits, statement);
+            }
+            case_exits = visit_statement(*statement);
+          }
+          previous_case_exits = case_exits;
+        }
+        breakables_.pop_back();
+        Exits exits = previous_case_exits;
+        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        if (!has_default) exits.push_back(&node);
+        return exits;
+      }
+
+      case NodeKind::kTryStatement: {
+        const Node* block = node.kid(0);
+        const Node* handler = node.kid(1);
+        const Node* finalizer = node.kid(2);
+        edge(&node, block);
+        Exits exits = visit_statement(*block);
+        if (handler != nullptr) {
+          edge(&node, handler);  // exception path
+          const Node* handler_body = handler->kid(1);
+          edge(handler, handler_body);
+          Exits handler_exits = visit_statement(*handler_body);
+          exits.insert(exits.end(), handler_exits.begin(), handler_exits.end());
+        }
+        if (finalizer != nullptr) {
+          edges_from(exits, finalizer);
+          exits = visit_statement(*finalizer);
+        }
+        return exits;
+      }
+
+      case NodeKind::kLabeledStatement: {
+        pending_label_ = node.kids[0]->str_value;
+        const Node* body = node.kid(1);
+        edge(&node, body);
+        if (body->is_loop() || body->kind == NodeKind::kSwitchStatement) {
+          return visit_statement(*body);
+        }
+        // Labeled block: breaks to this label exit the block.
+        Exits breaks;
+        breakables_.push_back({pending_label_, nullptr, &breaks});
+        pending_label_.clear();
+        Exits exits = visit_statement(*body);
+        breakables_.pop_back();
+        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        return exits;
+      }
+
+      case NodeKind::kBreakStatement: {
+        const std::string label =
+            node.kid(0) != nullptr ? node.kids[0]->str_value : std::string();
+        for (auto it = breakables_.rbegin(); it != breakables_.rend(); ++it) {
+          if (label.empty() || it->label == label) {
+            it->break_sink->push_back(&node);
+            break;
+          }
+        }
+        return {};
+      }
+
+      case NodeKind::kContinueStatement: {
+        const std::string label =
+            node.kid(0) != nullptr ? node.kids[0]->str_value : std::string();
+        for (auto it = breakables_.rbegin(); it != breakables_.rend(); ++it) {
+          if (it->continue_target != nullptr &&
+              (label.empty() || it->label == label)) {
+            edge(&node, it->continue_target);
+            break;
+          }
+        }
+        return {};
+      }
+
+      case NodeKind::kReturnStatement:
+      case NodeKind::kThrowStatement:
+        return {};  // leaves the function / propagates
+
+      case NodeKind::kWithStatement: {
+        const Node* body = node.kid(1);
+        edge(&node, body);
+        return visit_statement(*body);
+      }
+
+      default:
+        // Straight-line statements: the node itself is the single exit.
+        return {&node};
+    }
+  }
+
+  static const Node* loop_body(const Node& loop) {
+    switch (loop.kind) {
+      case NodeKind::kWhileStatement: return loop.kid(1);
+      case NodeKind::kDoWhileStatement: return loop.kid(0);
+      case NodeKind::kForStatement: return loop.kid(3);
+      case NodeKind::kForInStatement:
+      case NodeKind::kForOfStatement:
+        return loop.kid(2);
+      default:
+        return nullptr;
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  BreakableStack breakables_;
+  std::string pending_label_;
+};
+
+}  // namespace
+
+std::unordered_map<std::uint32_t, std::size_t> ControlFlow::out_degrees()
+    const {
+  std::unordered_map<std::uint32_t, std::size_t> degrees;
+  for (const auto& [from, to] : edges) {
+    (void)to;
+    ++degrees[from];
+  }
+  return degrees;
+}
+
+std::size_t ControlFlow::branch_node_count() const {
+  std::size_t count = 0;
+  for (const auto& [node, degree] : out_degrees()) {
+    (void)node;
+    if (degree >= 2) ++count;
+  }
+  return count;
+}
+
+std::size_t ControlFlow::back_edge_count() const {
+  std::size_t count = 0;
+  for (const auto& [from, to] : edges) {
+    if (to <= from) ++count;
+  }
+  return count;
+}
+
+ControlFlow build_control_flow(const Ast& ast) {
+  ControlFlow flow;
+  CfgBuilder builder;
+  flow.edges = builder.build(ast.root());
+  return flow;
+}
+
+}  // namespace jst

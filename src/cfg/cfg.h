@@ -1,0 +1,42 @@
+// Control-flow augmentation of the AST.
+//
+// Following the paper's JSTAP adjustment (§III-A): "we restrict flows of
+// control to nodes having an impact on program execution paths, meaning
+// statement nodes, CatchClause, and ConditionalExpression."
+//
+// The graph is intra-procedural (one sub-graph per function plus the
+// top-level program), with edges for sequencing, branching (if/switch/
+// conditional expressions), loop back-edges, break/continue (including
+// labeled forms), and exception paths into CatchClause.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace jst {
+
+struct ControlFlow {
+  // Deduplicated directed edges between node ids (Ast::finalize() order).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+  std::size_t edge_count() const { return edges.size(); }
+
+  // Out-degree per source node id.
+  std::unordered_map<std::uint32_t, std::size_t> out_degrees() const;
+
+  // Number of nodes with out-degree >= 2 (branch points).
+  std::size_t branch_node_count() const;
+
+  // Number of back edges (edge to an id <= own id, i.e., loops; pre-order
+  // ids make ancestors smaller).
+  std::size_t back_edge_count() const;
+};
+
+// Builds the control-flow edges for a finalized AST. The AST must have had
+// Ast::finalize() called (ids and parents assigned).
+ControlFlow build_control_flow(const Ast& ast);
+
+}  // namespace jst

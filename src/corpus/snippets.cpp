@@ -1,0 +1,397 @@
+#include "corpus/snippets.h"
+
+#include <array>
+
+namespace jst::corpus {
+namespace {
+
+constexpr std::string_view kEventEmitter = R"JS(
+// Minimal event emitter, modeled after the Node.js API surface.
+function EventEmitter() {
+  this.listeners = {};
+}
+
+EventEmitter.prototype.on = function (name, handler) {
+  if (!this.listeners[name]) {
+    this.listeners[name] = [];
+  }
+  this.listeners[name].push(handler);
+  return this;
+};
+
+EventEmitter.prototype.off = function (name, handler) {
+  var bucket = this.listeners[name];
+  if (!bucket) {
+    return this;
+  }
+  var index = bucket.indexOf(handler);
+  if (index >= 0) {
+    bucket.splice(index, 1);
+  }
+  return this;
+};
+
+EventEmitter.prototype.emit = function (name) {
+  var bucket = this.listeners[name] || [];
+  var args = Array.prototype.slice.call(arguments, 1);
+  for (var i = 0; i < bucket.length; i++) {
+    try {
+      bucket[i].apply(this, args);
+    } catch (err) {
+      console.error("listener failed", err);
+    }
+  }
+  return bucket.length > 0;
+};
+)JS";
+
+constexpr std::string_view kFetchWrapper = R"JS(
+/**
+ * Tiny fetch wrapper with a JSON convenience layer and retries.
+ */
+const DEFAULT_RETRIES = 3;
+
+async function requestJson(url, options = {}) {
+  const retries = options.retries || DEFAULT_RETRIES;
+  let lastError = null;
+  for (let attempt = 0; attempt < retries; attempt++) {
+    try {
+      const response = await fetch(url, {
+        method: options.method || "GET",
+        headers: { "Content-Type": "application/json" },
+        body: options.body ? JSON.stringify(options.body) : undefined,
+      });
+      if (!response.ok) {
+        throw new Error("HTTP " + response.status);
+      }
+      return await response.json();
+    } catch (err) {
+      lastError = err;
+      await new Promise((resolve) => setTimeout(resolve, 100 * (attempt + 1)));
+    }
+  }
+  throw lastError;
+}
+
+function buildQuery(params) {
+  return Object.keys(params)
+    .filter((key) => params[key] !== undefined)
+    .map((key) => key + "=" + encodeURIComponent(params[key]))
+    .join("&");
+}
+)JS";
+
+constexpr std::string_view kDomUtils = R"JS(
+// DOM helpers in the style of a small utility library.
+var dom = (function () {
+  function byId(id) {
+    return document.getElementById(id);
+  }
+
+  function create(tag, className, text) {
+    var node = document.createElement(tag);
+    if (className) {
+      node.className = className;
+    }
+    if (text) {
+      node.textContent = text;
+    }
+    return node;
+  }
+
+  function toggle(element, visible) {
+    element.style.display = visible ? "" : "none";
+  }
+
+  function delegate(root, selector, type, handler) {
+    root.addEventListener(type, function (event) {
+      var target = event.target;
+      while (target && target !== root) {
+        if (target.matches(selector)) {
+          handler.call(target, event);
+          return;
+        }
+        target = target.parentNode;
+      }
+    });
+  }
+
+  return { byId: byId, create: create, toggle: toggle, delegate: delegate };
+})();
+)JS";
+
+constexpr std::string_view kLruCache = R"JS(
+class LruCache {
+  constructor(capacity) {
+    this.capacity = capacity;
+    this.map = new Map();
+  }
+
+  get(key) {
+    if (!this.map.has(key)) {
+      return undefined;
+    }
+    const value = this.map.get(key);
+    this.map.delete(key);
+    this.map.set(key, value);
+    return value;
+  }
+
+  put(key, value) {
+    if (this.map.has(key)) {
+      this.map.delete(key);
+    } else if (this.map.size >= this.capacity) {
+      const oldest = this.map.keys().next().value;
+      this.map.delete(oldest);
+    }
+    this.map.set(key, value);
+  }
+
+  get size() {
+    return this.map.size;
+  }
+}
+
+module.exports = LruCache;
+)JS";
+
+constexpr std::string_view kValidation = R"JS(
+// Form validation rules, data-driven.
+var rules = {
+  required: function (value) {
+    return value !== null && value !== undefined && value !== "";
+  },
+  minLength: function (value, limit) {
+    return typeof value === "string" && value.length >= limit;
+  },
+  pattern: function (value, re) {
+    return re.test(String(value));
+  },
+};
+
+function validate(fields, spec) {
+  var errors = [];
+  for (var name in spec) {
+    var checks = spec[name];
+    var value = fields[name];
+    for (var i = 0; i < checks.length; i++) {
+      var check = checks[i];
+      var rule = rules[check.rule];
+      if (!rule) {
+        throw new Error("unknown rule: " + check.rule);
+      }
+      if (!rule(value, check.arg)) {
+        errors.push({ field: name, rule: check.rule });
+        break;
+      }
+    }
+  }
+  return { ok: errors.length === 0, errors: errors };
+}
+)JS";
+
+constexpr std::string_view kStateStore = R"JS(
+// A small observable store, redux-flavored.
+function createStore(reducer, initialState) {
+  let state = initialState;
+  const subscribers = [];
+
+  function getState() {
+    return state;
+  }
+
+  function dispatch(action) {
+    state = reducer(state, action);
+    subscribers.forEach((fn) => fn(state));
+    return action;
+  }
+
+  function subscribe(fn) {
+    subscribers.push(fn);
+    return function unsubscribe() {
+      const index = subscribers.indexOf(fn);
+      if (index >= 0) {
+        subscribers.splice(index, 1);
+      }
+    };
+  }
+
+  dispatch({ type: "@@init" });
+  return { getState, dispatch, subscribe };
+}
+
+const counter = (state = { count: 0 }, action) => {
+  switch (action.type) {
+    case "increment":
+      return { count: state.count + 1 };
+    case "decrement":
+      return { count: state.count - 1 };
+    default:
+      return state;
+  }
+};
+)JS";
+
+constexpr std::string_view kDateFormat = R"JS(
+// Date formatting without dependencies.
+var MONTHS = ["Jan", "Feb", "Mar", "Apr", "May", "Jun",
+              "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+
+function pad(value, width) {
+  var text = String(value);
+  while (text.length < width) {
+    text = "0" + text;
+  }
+  return text;
+}
+
+function formatDate(date, pattern) {
+  return pattern
+    .replace("YYYY", String(date.getFullYear()))
+    .replace("MMM", MONTHS[date.getMonth()])
+    .replace("MM", pad(date.getMonth() + 1, 2))
+    .replace("DD", pad(date.getDate(), 2))
+    .replace("hh", pad(date.getHours(), 2))
+    .replace("mm", pad(date.getMinutes(), 2))
+    .replace("ss", pad(date.getSeconds(), 2));
+}
+
+function relativeTime(from, to) {
+  var delta = Math.max(0, to - from) / 1000;
+  if (delta < 60) return "just now";
+  if (delta < 3600) return Math.floor(delta / 60) + " minutes ago";
+  if (delta < 86400) return Math.floor(delta / 3600) + " hours ago";
+  return Math.floor(delta / 86400) + " days ago";
+}
+)JS";
+
+constexpr std::string_view kDebounce = R"JS(
+// Rate-limiting helpers found in virtually every frontend bundle.
+function debounce(fn, wait) {
+  var timer = null;
+  return function () {
+    var context = this;
+    var args = arguments;
+    if (timer) {
+      clearTimeout(timer);
+    }
+    timer = setTimeout(function () {
+      timer = null;
+      fn.apply(context, args);
+    }, wait);
+  };
+}
+
+function throttle(fn, interval) {
+  var last = 0;
+  var pending = null;
+  return function () {
+    var now = Date.now();
+    var args = arguments;
+    if (now - last >= interval) {
+      last = now;
+      fn.apply(this, args);
+    } else if (!pending) {
+      var remaining = interval - (now - last);
+      var context = this;
+      pending = setTimeout(function () {
+        pending = null;
+        last = Date.now();
+        fn.apply(context, args);
+      }, remaining);
+    }
+  };
+}
+)JS";
+
+constexpr std::string_view kRouter = R"JS(
+// Hash-based router with parameter extraction.
+const routes = [];
+
+function route(pattern, handler) {
+  const names = [];
+  const regex = new RegExp(
+    "^" +
+      pattern.replace(/:([a-zA-Z]+)/g, function (match, name) {
+        names.push(name);
+        return "([^/]+)";
+      }) +
+      "$"
+  );
+  routes.push({ regex: regex, names: names, handler: handler });
+}
+
+function navigate(path) {
+  for (const entry of routes) {
+    const match = entry.regex.exec(path);
+    if (match) {
+      const params = {};
+      entry.names.forEach(function (name, index) {
+        params[name] = decodeURIComponent(match[index + 1]);
+      });
+      return entry.handler(params);
+    }
+  }
+  return null;
+}
+
+window.addEventListener("hashchange", function () {
+  navigate(location.hash.slice(1) || "/");
+});
+)JS";
+
+constexpr std::string_view kCsvParser = R"JS(
+// Small CSV parser handling quotes and escaped quotes.
+function parseCsv(text, delimiter) {
+  delimiter = delimiter || ",";
+  var rows = [];
+  var row = [];
+  var field = "";
+  var inQuotes = false;
+  for (var i = 0; i < text.length; i++) {
+    var ch = text[i];
+    if (inQuotes) {
+      if (ch === '"') {
+        if (text[i + 1] === '"') {
+          field += '"';
+          i++;
+        } else {
+          inQuotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch === '"') {
+      inQuotes = true;
+    } else if (ch === delimiter) {
+      row.push(field);
+      field = "";
+    } else if (ch === "\n") {
+      row.push(field);
+      rows.push(row);
+      row = [];
+      field = "";
+    } else if (ch !== "\r") {
+      field += ch;
+    }
+  }
+  if (field.length > 0 || row.length > 0) {
+    row.push(field);
+    rows.push(row);
+  }
+  return rows;
+}
+
+module.exports = { parseCsv: parseCsv };
+)JS";
+
+constexpr std::array<std::string_view, 10> kSnippets = {
+    kEventEmitter, kFetchWrapper, kDomUtils,  kLruCache, kValidation,
+    kStateStore,   kDateFormat,   kDebounce,  kRouter,   kCsvParser,
+};
+
+}  // namespace
+
+std::span<const std::string_view> seed_snippets() { return kSnippets; }
+
+}  // namespace jst::corpus

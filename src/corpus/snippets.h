@@ -1,0 +1,14 @@
+// Handwritten realistic JavaScript fixtures.
+//
+// Used to diversify the synthetic corpus with natural code textures and as
+// parser/feature test inputs. All snippets parse with jstraced's parser.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace jst::corpus {
+
+std::span<const std::string_view> seed_snippets();
+
+}  // namespace jst::corpus

@@ -1,0 +1,175 @@
+#include "corpus/vocab.h"
+
+#include <array>
+
+#include "lexer/lexer.h"
+
+namespace jst::corpus {
+namespace {
+
+constexpr std::array<std::string_view, 72> kNouns = {
+    "user",    "item",    "data",    "value",   "result",  "config",
+    "option",  "element", "node",    "list",    "index",   "count",
+    "name",    "key",     "entry",   "cache",   "buffer",  "stream",
+    "event",   "handler", "callback","request", "response","error",
+    "status",  "message", "payload", "token",   "session", "client",
+    "server",  "model",   "view",    "state",   "store",   "action",
+    "record",  "field",   "column",  "row",     "table",   "query",
+    "filter",  "sorter",  "mapper",  "reducer", "widget",  "panel",
+    "button",  "input",   "form",    "page",    "route",   "path",
+    "file",    "folder",  "image",   "color",   "style",   "theme",
+    "layout",  "grid",    "chart",   "graph",   "timer",   "queue",
+    "stack",   "pool",    "worker",  "task",    "job",     "batch",
+};
+
+constexpr std::array<std::string_view, 48> kVerbs = {
+    "get",     "set",     "fetch",   "load",    "save",    "update",
+    "delete",  "remove",  "add",     "insert",  "create",  "build",
+    "make",    "init",    "start",   "stop",    "run",     "execute",
+    "process", "handle",  "parse",   "format",  "render",  "draw",
+    "compute", "calculate","validate","check",  "verify",  "test",
+    "find",    "search",  "filter",  "sort",    "map",     "reduce",
+    "merge",   "split",   "join",    "copy",    "clone",   "reset",
+    "clear",   "flush",   "send",    "receive", "open",    "close",
+};
+
+constexpr std::array<std::string_view, 24> kAdjectives = {
+    "new",    "old",     "current", "next",   "prev",    "last",
+    "first",  "active",  "pending", "cached", "dirty",   "valid",
+    "max",    "min",     "total",   "base",   "default", "temp",
+    "local",  "remote",  "global",  "inner",  "outer",   "raw",
+};
+
+constexpr std::array<std::string_view, 40> kProperties = {
+    "length",   "name",     "id",        "type",     "value",
+    "data",     "children", "parent",    "style",    "className",
+    "innerHTML","textContent","options", "config",   "status",
+    "message",  "code",     "body",      "headers",  "url",
+    "method",   "params",   "state",     "props",    "target",
+    "current",  "next",     "prev",      "items",    "keys",
+    "values",   "entries",  "size",      "count",    "index",
+    "offset",   "width",    "height",    "left",     "top",
+};
+
+constexpr std::array<std::string_view, 40> kMethods = {
+    "push",        "pop",          "shift",       "slice",
+    "splice",      "concat",       "join",        "split",
+    "indexOf",     "includes",     "map",         "filter",
+    "forEach",     "reduce",       "find",        "some",
+    "every",       "sort",         "reverse",     "keys",
+    "toString",    "toLowerCase",  "toUpperCase", "trim",
+    "replace",     "charAt",       "substring",   "apply",
+    "call",        "bind",         "then",        "catch",
+    "addEventListener", "removeEventListener",    "querySelector",
+    "getElementById",   "setAttribute",           "getAttribute",
+    "appendChild", "hasOwnProperty",
+};
+
+constexpr std::array<std::string_view, 16> kGlobals = {
+    "console", "Math",    "JSON",     "Object",  "Array",   "String",
+    "Number",  "Date",    "Promise",  "RegExp",  "window",  "document",
+    "module",  "exports", "process",  "Error",
+};
+
+constexpr std::array<std::string_view, 36> kStrings = {
+    "ok",            "error",            "success",
+    "failed",        "loading",          "complete",
+    "click",         "change",           "submit",
+    "keydown",       "mouseover",        "resize",
+    "GET",           "POST",             "PUT",
+    "DELETE",        "application/json", "text/html",
+    "utf-8",         "active",           "disabled",
+    "hidden",        "visible",          "container",
+    "wrapper",       "content",          "header",
+    "footer",        "main",             "button",
+    "invalid input", "not found",        "timeout",
+    "unauthorized",  "missing parameter","unexpected state",
+};
+
+constexpr std::array<std::string_view, 20> kComments = {
+    "TODO: handle the edge case where the list is empty",
+    "initialize the default configuration",
+    "make sure the handler runs only once",
+    "fall back to the cached value when offline",
+    "see RFC 2616 section 14.9 for details",
+    "this is a workaround for an old browser bug",
+    "keep this in sync with the server-side validation",
+    "note: the order of these checks matters",
+    "lazily create the instance on first use",
+    "avoid reflowing the layout more than once",
+    "the timeout value was tuned empirically",
+    "FIXME: remove once the legacy API is gone",
+    "normalize the input before comparing",
+    "guard against concurrent modification",
+    "prefer the explicit option when provided",
+    "convert to milliseconds",
+    "the result is memoized below",
+    "chain the promise so errors propagate",
+    "strip the trailing slash",
+    "update the UI after the data settles",
+};
+
+constexpr std::array<std::string_view, 12> kUrls = {
+    "/api/v1/users",      "/api/v1/items",     "/api/session",
+    "/assets/main.css",   "/images/logo.png",  "https://example.com/api",
+    "https://cdn.example.com/lib.js",          "/search?q=",
+    "/account/settings",  "/static/app.js",    "/data.json",
+    "/health",
+};
+
+}  // namespace
+
+std::span<const std::string_view> noun_words() { return kNouns; }
+std::span<const std::string_view> verb_words() { return kVerbs; }
+std::span<const std::string_view> adjective_words() { return kAdjectives; }
+std::span<const std::string_view> property_names() { return kProperties; }
+std::span<const std::string_view> method_names() { return kMethods; }
+std::span<const std::string_view> global_names() { return kGlobals; }
+std::span<const std::string_view> string_pool() { return kStrings; }
+std::span<const std::string_view> comment_pool() { return kComments; }
+std::span<const std::string_view> url_pool() { return kUrls; }
+
+namespace {
+
+std::string capitalize(std::string_view word) {
+  std::string out(word);
+  if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  return out;
+}
+
+std::string_view random_word(Rng& rng, std::size_t position) {
+  switch (position == 0 ? rng.index(3) : rng.index(2)) {
+    case 0: return rng.choice(noun_words());
+    case 1: return position == 0 ? rng.choice(verb_words())
+                                 : rng.choice(noun_words());
+    default: return rng.choice(adjective_words());
+  }
+}
+
+}  // namespace
+
+std::string camel_identifier(Rng& rng, std::size_t words) {
+  std::string out(random_word(rng, 0));
+  for (std::size_t i = 1; i < words; ++i) {
+    out += capitalize(random_word(rng, i));
+  }
+  // Single vocabulary words can collide with reserved words ("new",
+  // "delete", "default"); extend those into two-word identifiers.
+  if (is_js_keyword(out) || out == "true" || out == "false" ||
+      out == "null") {
+    out += capitalize(random_word(rng, 1));
+  }
+  return out;
+}
+
+std::string pascal_identifier(Rng& rng, std::size_t words) {
+  std::string out = capitalize(random_word(rng, 0));
+  for (std::size_t i = 1; i < words; ++i) {
+    out += capitalize(random_word(rng, i));
+  }
+  return out;
+}
+
+}  // namespace jst::corpus

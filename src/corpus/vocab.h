@@ -1,0 +1,27 @@
+// Vocabulary pools for realistic synthetic JavaScript.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "support/rng.h"
+
+namespace jst::corpus {
+
+std::span<const std::string_view> noun_words();
+std::span<const std::string_view> verb_words();
+std::span<const std::string_view> adjective_words();
+std::span<const std::string_view> property_names();   // obj.<prop>
+std::span<const std::string_view> method_names();     // obj.<method>()
+std::span<const std::string_view> global_names();     // console, Math, ...
+std::span<const std::string_view> string_pool();      // literal contents
+std::span<const std::string_view> comment_pool();     // line comments
+std::span<const std::string_view> url_pool();
+
+// camelCase identifier like `userName`, `fetchItemsFromCache`.
+std::string camel_identifier(Rng& rng, std::size_t words = 2);
+// PascalCase class-like name.
+std::string pascal_identifier(Rng& rng, std::size_t words = 2);
+
+}  // namespace jst::corpus

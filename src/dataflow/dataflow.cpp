@@ -1,0 +1,474 @@
+#include "dataflow/dataflow.h"
+
+#include <memory>
+
+#include "ast/walk.h"
+
+namespace jst {
+namespace {
+
+struct Scope {
+  enum class Kind { kFunction, kBlock, kCatch };
+  Kind kind = Kind::kFunction;
+  Scope* parent = nullptr;
+  std::unordered_map<std::string, std::size_t> bindings;  // name -> index
+};
+
+class DataFlowBuilder {
+ public:
+  explicit DataFlowBuilder(DataFlow& out) : out_(out) {}
+
+  void run(const Node* root) {
+    if (root == nullptr) return;
+    Scope* global = new_scope(Scope::Kind::kFunction, nullptr);
+    hoist_into_function_scope(root, global);
+    collect_lexical(root->kids, global);
+    for (const Node* statement : root->kids) visit(statement, global);
+    // Emit def -> use edges: declaration and every assignment site are
+    // definition sources; every read is a destination.
+    for (const Binding& binding : out_.bindings) {
+      std::vector<const Node*> defs;
+      if (binding.declaration != nullptr) defs.push_back(binding.declaration);
+      defs.insert(defs.end(), binding.assignments.begin(),
+                  binding.assignments.end());
+      for (const Node* def : defs) {
+        for (const Node* use : binding.uses) {
+          if (def != use) out_.edges.emplace_back(def->id, use->id);
+        }
+      }
+    }
+  }
+
+ private:
+  Scope* new_scope(Scope::Kind kind, Scope* parent) {
+    scopes_.push_back(std::make_unique<Scope>());
+    Scope* scope = scopes_.back().get();
+    scope->kind = kind;
+    scope->parent = parent;
+    ++out_.scope_count;
+    return scope;
+  }
+
+  Scope* enclosing_function_scope(Scope* scope) {
+    while (scope->kind != Scope::Kind::kFunction && scope->parent != nullptr) {
+      scope = scope->parent;
+    }
+    return scope;
+  }
+
+  std::size_t bind(const std::string& name, Scope* scope,
+                   const Node* declaration) {
+    auto it = scope->bindings.find(name);
+    if (it != scope->bindings.end()) {
+      // Redeclaration (var x twice, or function overriding var): keep the
+      // first binding, update the declaration node if missing.
+      Binding& binding = out_.bindings[it->second];
+      if (binding.declaration == nullptr) binding.declaration = declaration;
+      return it->second;
+    }
+    Binding binding;
+    binding.name = name;
+    binding.declaration = declaration;
+    out_.bindings.push_back(std::move(binding));
+    const std::size_t index = out_.bindings.size() - 1;
+    scope->bindings.emplace(name, index);
+    return index;
+  }
+
+  Binding* resolve(const std::string& name, Scope* scope) {
+    for (Scope* s = scope; s != nullptr; s = s->parent) {
+      auto it = s->bindings.find(name);
+      if (it != s->bindings.end()) return &out_.bindings[it->second];
+    }
+    return nullptr;
+  }
+
+  // --- declaration collection ---
+
+  // Binds all identifiers in a binding pattern into `scope`.
+  void bind_pattern(const Node* pattern, Scope* scope, bool is_parameter) {
+    if (pattern == nullptr) return;
+    switch (pattern->kind) {
+      case NodeKind::kIdentifier: {
+        const std::size_t index = bind(pattern->str_value, scope, pattern);
+        out_.bindings[index].is_parameter = is_parameter;
+        break;
+      }
+      case NodeKind::kArrayPattern:
+        for (const Node* element : pattern->kids) {
+          bind_pattern(element, scope, is_parameter);
+        }
+        break;
+      case NodeKind::kObjectPattern:
+        for (const Node* property : pattern->kids) {
+          if (property == nullptr) continue;
+          if (property->kind == NodeKind::kRestElement) {
+            bind_pattern(property->kid(0), scope, is_parameter);
+          } else {
+            bind_pattern(property->kid(1), scope, is_parameter);
+          }
+        }
+        break;
+      case NodeKind::kAssignmentPattern:
+        bind_pattern(pattern->kid(0), scope, is_parameter);
+        // The default value is an expression, resolved during visit().
+        break;
+      case NodeKind::kRestElement:
+        bind_pattern(pattern->kid(0), scope, is_parameter);
+        break;
+      default:
+        break;  // member-expression targets bind nothing
+    }
+  }
+
+  // Hoists `var` declarators and function declarations from the subtree
+  // into the function scope, without descending into nested functions.
+  void hoist_into_function_scope(const Node* node, Scope* function_scope) {
+    if (node == nullptr) return;
+    for (const Node* kid : node->kids) {
+      if (kid == nullptr) continue;
+      if (kid->kind == NodeKind::kFunctionDeclaration) {
+        if (kid->kid(0) != nullptr) {
+          const std::size_t index =
+              bind(kid->kids[0]->str_value, function_scope, kid->kids[0]);
+          out_.bindings[index].is_function_name = true;
+          out_.bindings[index].init = kid;
+        }
+        continue;  // do not hoist through the nested function
+      }
+      if (kid->is_function()) continue;
+      if (kid->kind == NodeKind::kVariableDeclaration &&
+          kid->str_value == "var") {
+        for (const Node* declarator : kid->kids) {
+          bind_pattern(declarator->kid(0), function_scope, false);
+        }
+        // Initializers may contain more nested statements (rare), recurse.
+        hoist_into_function_scope(kid, function_scope);
+        continue;
+      }
+      hoist_into_function_scope(kid, function_scope);
+    }
+  }
+
+  // Binds let/const/class declared directly in this statement list.
+  void collect_lexical(const std::vector<Node*>& statements, Scope* scope) {
+    for (const Node* statement : statements) {
+      if (statement == nullptr) continue;
+      if (statement->kind == NodeKind::kVariableDeclaration &&
+          statement->str_value != "var") {
+        for (const Node* declarator : statement->kids) {
+          bind_pattern(declarator->kid(0), scope, false);
+        }
+      } else if (statement->kind == NodeKind::kClassDeclaration &&
+                 statement->kid(0) != nullptr) {
+        bind(statement->kids[0]->str_value, scope, statement->kids[0]);
+      }
+    }
+  }
+
+  // --- reference resolution ---
+
+  void record_use(const Node* identifier, Scope* scope) {
+    Binding* binding = resolve(identifier->str_value, scope);
+    if (binding == nullptr) {
+      ++out_.unresolved_uses;
+      return;
+    }
+    binding->uses.push_back(identifier);
+  }
+
+  void record_write(const Node* identifier, Scope* scope) {
+    Binding* binding = resolve(identifier->str_value, scope);
+    if (binding == nullptr) {
+      ++out_.unresolved_uses;
+      return;
+    }
+    binding->assignments.push_back(identifier);
+  }
+
+  // Visits write targets (assignment LHS / for-in heads): identifiers are
+  // writes; member expressions read their object; patterns recurse.
+  void visit_target(const Node* target, Scope* scope) {
+    if (target == nullptr) return;
+    switch (target->kind) {
+      case NodeKind::kIdentifier:
+        record_write(target, scope);
+        break;
+      case NodeKind::kMemberExpression:
+        visit(target->kid(0), scope);
+        if (target->flag_a) visit(target->kid(1), scope);
+        break;
+      case NodeKind::kArrayPattern:
+        for (const Node* element : target->kids) visit_target(element, scope);
+        break;
+      case NodeKind::kObjectPattern:
+        for (const Node* property : target->kids) {
+          if (property == nullptr) continue;
+          if (property->kind == NodeKind::kRestElement) {
+            visit_target(property->kid(0), scope);
+          } else {
+            if (property->flag_a) visit(property->kid(0), scope);
+            visit_target(property->kid(1), scope);
+          }
+        }
+        break;
+      case NodeKind::kAssignmentPattern:
+        visit_target(target->kid(0), scope);
+        visit(target->kid(1), scope);
+        break;
+      case NodeKind::kRestElement:
+        visit_target(target->kid(0), scope);
+        break;
+      default:
+        visit(target, scope);
+    }
+  }
+
+  void visit_function(const Node* function, Scope* outer) {
+    Scope* scope = new_scope(Scope::Kind::kFunction, outer);
+    const bool is_arrow = function->kind == NodeKind::kArrowFunctionExpression;
+    const std::size_t first_param = is_arrow ? 1 : 2;
+    const Node* body = is_arrow ? function->kid(0) : function->kid(1);
+    // Function-expression names are visible inside the function.
+    if (!is_arrow && function->kind == NodeKind::kFunctionExpression &&
+        function->kid(0) != nullptr) {
+      const std::size_t index =
+          bind(function->kids[0]->str_value, scope, function->kids[0]);
+      out_.bindings[index].is_function_name = true;
+      out_.bindings[index].init = function;
+    }
+    for (std::size_t i = first_param; i < function->kids.size(); ++i) {
+      bind_pattern(function->kids[i], scope, /*is_parameter=*/true);
+    }
+    if (body != nullptr && body->kind == NodeKind::kBlockStatement) {
+      hoist_into_function_scope(body, scope);
+      collect_lexical(body->kids, scope);
+      // Parameter defaults are expressions in the function scope.
+      for (std::size_t i = first_param; i < function->kids.size(); ++i) {
+        visit_pattern_defaults(function->kids[i], scope);
+      }
+      for (const Node* statement : body->kids) visit(statement, scope);
+    } else if (body != nullptr) {
+      for (std::size_t i = first_param; i < function->kids.size(); ++i) {
+        visit_pattern_defaults(function->kids[i], scope);
+      }
+      visit(body, scope);  // expression-bodied arrow
+    }
+  }
+
+  void visit_pattern_defaults(const Node* pattern, Scope* scope) {
+    if (pattern == nullptr) return;
+    if (pattern->kind == NodeKind::kAssignmentPattern) {
+      visit(pattern->kid(1), scope);
+      visit_pattern_defaults(pattern->kid(0), scope);
+      return;
+    }
+    for (const Node* kid : pattern->kids) visit_pattern_defaults(kid, scope);
+  }
+
+  void visit_block_like(const Node* node, Scope* outer) {
+    Scope* scope = new_scope(Scope::Kind::kBlock, outer);
+    collect_lexical(node->kids, scope);
+    for (const Node* statement : node->kids) visit(statement, scope);
+  }
+
+  void visit(const Node* node, Scope* scope) {
+    if (node == nullptr) return;
+    switch (node->kind) {
+      case NodeKind::kIdentifier:
+        record_use(node, scope);
+        break;
+
+      case NodeKind::kBlockStatement:
+        visit_block_like(node, scope);
+        break;
+
+      case NodeKind::kVariableDeclaration:
+        for (const Node* declarator : node->kids) {
+          // Binding was established during hoisting/lexical collection;
+          // here we attach the initializer and resolve it.
+          const Node* id = declarator->kid(0);
+          const Node* init = declarator->kid(1);
+          if (id != nullptr && id->kind == NodeKind::kIdentifier) {
+            Binding* binding = resolve(id->str_value, scope);
+            if (binding != nullptr) {
+              if (binding->init == nullptr) binding->init = init;
+              // Redeclarations (`var x` appearing twice) share one binding;
+              // record the extra declarator identifiers as write sites so
+              // renaming and def-use edges cover them.
+              if (binding->declaration != id) {
+                binding->assignments.push_back(id);
+              }
+            }
+          } else {
+            visit_pattern_defaults(id, scope);
+          }
+          visit(init, scope);
+        }
+        break;
+
+      case NodeKind::kFunctionDeclaration:
+      case NodeKind::kFunctionExpression:
+      case NodeKind::kArrowFunctionExpression:
+        visit_function(node, scope);
+        break;
+
+      case NodeKind::kClassDeclaration:
+      case NodeKind::kClassExpression: {
+        visit(node->kid(1), scope);  // superclass expression
+        const Node* body = node->kid(2);
+        if (body != nullptr) {
+          for (const Node* method : body->kids) {
+            if (method->flag_a) visit(method->kid(0), scope);  // computed key
+            visit_function(method->kid(1), scope);
+          }
+        }
+        break;
+      }
+
+      case NodeKind::kCatchClause: {
+        Scope* catch_scope = new_scope(Scope::Kind::kCatch, scope);
+        if (node->kid(0) != nullptr) {
+          bind_pattern(node->kids[0], catch_scope, false);
+        }
+        // The catch body is a block; give it its own lexical scope under
+        // the catch scope.
+        visit_block_like(node->kid(1), catch_scope);
+        break;
+      }
+
+      case NodeKind::kTryStatement:
+        visit(node->kid(0), scope);
+        visit(node->kid(1), scope);  // CatchClause handled above
+        visit(node->kid(2), scope);
+        break;
+
+      case NodeKind::kForStatement: {
+        Scope* for_scope = new_scope(Scope::Kind::kBlock, scope);
+        const Node* init = node->kid(0);
+        if (init != nullptr &&
+            init->kind == NodeKind::kVariableDeclaration &&
+            init->str_value != "var") {
+          for (const Node* declarator : init->kids) {
+            bind_pattern(declarator->kid(0), for_scope, false);
+          }
+        }
+        visit(init, for_scope);
+        visit(node->kid(1), for_scope);
+        visit(node->kid(2), for_scope);
+        visit(node->kid(3), for_scope);
+        break;
+      }
+
+      case NodeKind::kForInStatement:
+      case NodeKind::kForOfStatement: {
+        Scope* for_scope = new_scope(Scope::Kind::kBlock, scope);
+        const Node* left = node->kid(0);
+        if (left != nullptr && left->kind == NodeKind::kVariableDeclaration) {
+          if (left->str_value != "var") {
+            for (const Node* declarator : left->kids) {
+              bind_pattern(declarator->kid(0), for_scope, false);
+            }
+          }
+          // Loop variable is written each iteration.
+          const Node* id = left->kid(0) != nullptr ? left->kids[0]->kid(0)
+                                                   : nullptr;
+          if (id != nullptr && id->kind == NodeKind::kIdentifier) {
+            record_write(id, for_scope);
+          }
+        } else {
+          visit_target(left, for_scope);
+        }
+        visit(node->kid(1), for_scope);
+        visit(node->kid(2), for_scope);
+        break;
+      }
+
+      case NodeKind::kAssignmentExpression: {
+        const Node* target = node->kid(0);
+        visit_target(target, scope);
+        if (node->str_value != "=" && target != nullptr &&
+            target->kind == NodeKind::kIdentifier) {
+          record_use(target, scope);  // compound assignment also reads
+        }
+        visit(node->kid(1), scope);
+        break;
+      }
+
+      case NodeKind::kUpdateExpression: {
+        const Node* argument = node->kid(0);
+        if (argument != nullptr && argument->kind == NodeKind::kIdentifier) {
+          record_use(argument, scope);
+          record_write(argument, scope);
+        } else {
+          visit(argument, scope);
+        }
+        break;
+      }
+
+      case NodeKind::kMemberExpression:
+        visit(node->kid(0), scope);
+        if (node->flag_a) visit(node->kid(1), scope);  // computed only
+        break;
+
+      case NodeKind::kProperty:
+        if (node->flag_a) visit(node->kid(0), scope);  // computed key
+        visit(node->kid(1), scope);
+        break;
+
+      case NodeKind::kMethodDefinition:
+        if (node->flag_a) visit(node->kid(0), scope);
+        visit_function(node->kid(1), scope);
+        break;
+
+      case NodeKind::kLabeledStatement:
+        visit(node->kid(1), scope);  // label identifier is not a reference
+        break;
+
+      case NodeKind::kBreakStatement:
+      case NodeKind::kContinueStatement:
+        break;  // label identifier is not a reference
+
+      case NodeKind::kSwitchStatement: {
+        visit(node->kid(0), scope);
+        Scope* switch_scope = new_scope(Scope::Kind::kBlock, scope);
+        for (std::size_t i = 1; i < node->kids.size(); ++i) {
+          const Node* switch_case = node->kids[i];
+          collect_lexical(
+              std::vector<Node*>(switch_case->kids.begin() + 1,
+                                 switch_case->kids.end()),
+              switch_scope);
+        }
+        for (std::size_t i = 1; i < node->kids.size(); ++i) {
+          const Node* switch_case = node->kids[i];
+          visit(switch_case->kid(0), switch_scope);
+          for (std::size_t j = 1; j < switch_case->kids.size(); ++j) {
+            visit(switch_case->kids[j], switch_scope);
+          }
+        }
+        break;
+      }
+
+      default:
+        for (const Node* kid : node->kids) visit(kid, scope);
+    }
+  }
+
+  DataFlow& out_;
+  std::vector<std::unique_ptr<Scope>> scopes_;
+};
+
+}  // namespace
+
+DataFlow build_data_flow(const Ast& ast, const DataFlowOptions& options) {
+  DataFlow flow;
+  if (ast.node_count() > options.node_budget) {
+    flow.completed = false;
+    return flow;
+  }
+  DataFlowBuilder builder(flow);
+  builder.run(ast.root());
+  return flow;
+}
+
+}  // namespace jst

@@ -1,0 +1,61 @@
+#include "features/analysis_pipeline.h"
+
+#include "ast/walk.h"
+
+namespace jst {
+
+ScriptAnalysis analyze_script(std::string_view source,
+                              const AnalysisOptions& options) {
+  ScriptAnalysis analysis;
+  analysis.parse = parse_program(source);
+  if (options.build_cfg) {
+    analysis.control_flow = build_control_flow(analysis.parse.ast);
+  }
+  if (options.build_dataflow) {
+    DataFlowOptions dataflow_options;
+    dataflow_options.node_budget = options.dataflow_node_budget;
+    analysis.data_flow = build_data_flow(analysis.parse.ast, dataflow_options);
+  }
+  return analysis;
+}
+
+bool size_eligible(std::string_view source) {
+  return source.size() >= 512 && source.size() <= 2 * 1024 * 1024;
+}
+
+bool script_eligible(const ScriptAnalysis& analysis) {
+  if (analysis.parse.source_bytes < 512 ||
+      analysis.parse.source_bytes > 2 * 1024 * 1024) {
+    return false;
+  }
+  bool eligible = false;
+  walk_preorder(static_cast<const Node*>(analysis.parse.ast.root()),
+                [&eligible](const Node& node) {
+                  switch (node.kind) {
+                    // Conditional control-flow nodes (paper footnote 2).
+                    case NodeKind::kDoWhileStatement:
+                    case NodeKind::kWhileStatement:
+                    case NodeKind::kForStatement:
+                    case NodeKind::kForOfStatement:
+                    case NodeKind::kForInStatement:
+                    case NodeKind::kIfStatement:
+                    case NodeKind::kConditionalExpression:
+                    case NodeKind::kTryStatement:
+                    case NodeKind::kSwitchStatement:
+                    // Function nodes (paper footnote 3).
+                    case NodeKind::kArrowFunctionExpression:
+                    case NodeKind::kFunctionExpression:
+                    case NodeKind::kFunctionDeclaration:
+                    // CallExpression (incl. tagged templates, footnote 4).
+                    case NodeKind::kCallExpression:
+                    case NodeKind::kTaggedTemplateExpression:
+                      eligible = true;
+                      break;
+                    default:
+                      break;
+                  }
+                });
+  return eligible;
+}
+
+}  // namespace jst

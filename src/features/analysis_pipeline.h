@@ -1,0 +1,36 @@
+// One-stop static analysis of a JavaScript source: AST construction plus
+// control-flow and data-flow augmentation (the paper's §III-A pipeline).
+#pragma once
+
+#include <string_view>
+
+#include "cfg/cfg.h"
+#include "dataflow/dataflow.h"
+#include "parser/parser.h"
+
+namespace jst {
+
+struct AnalysisOptions {
+  // Node budget standing in for the paper's 2-minute data-flow timeout.
+  std::size_t dataflow_node_budget = 2'000'000;
+  bool build_cfg = true;
+  bool build_dataflow = true;
+};
+
+struct ScriptAnalysis {
+  ParseResult parse;
+  ControlFlow control_flow;
+  DataFlow data_flow;
+};
+
+// Throws ParseError on malformed input.
+ScriptAnalysis analyze_script(std::string_view source,
+                              const AnalysisOptions& options = {});
+
+// The paper's script-eligibility filter (§III-D1): between 512 bytes and
+// 2 MB, and the AST contains at least one conditional control-flow node,
+// function node, or CallExpression.
+bool script_eligible(const ScriptAnalysis& analysis);
+bool size_eligible(std::string_view source);
+
+}  // namespace jst

@@ -1,0 +1,48 @@
+#include "features/feature_extractor.h"
+
+namespace jst::features {
+
+std::size_t feature_dimension(const FeatureConfig& config) {
+  std::size_t dimension = 0;
+  if (config.use_handpicked) dimension += handpicked_feature_names().size();
+  if (config.use_ngrams) dimension += config.ngram.hash_dim;
+  return dimension;
+}
+
+std::vector<std::string> feature_names(const FeatureConfig& config) {
+  std::vector<std::string> names;
+  if (config.use_handpicked) {
+    names = handpicked_feature_names();
+  }
+  if (config.use_ngrams) {
+    for (std::size_t i = 0; i < config.ngram.hash_dim; ++i) {
+      names.push_back("ngram" + std::to_string(config.ngram.n) + "_" +
+                      std::to_string(i));
+    }
+  }
+  return names;
+}
+
+std::vector<float> extract(const ScriptAnalysis& analysis,
+                           const FeatureConfig& config) {
+  std::vector<float> out;
+  out.reserve(feature_dimension(config));
+  if (config.use_handpicked) {
+    std::vector<float> handpicked = handpicked_features(analysis);
+    out.insert(out.end(), handpicked.begin(), handpicked.end());
+  }
+  if (config.use_ngrams) {
+    std::vector<float> ngrams =
+        ngram_features(analysis.parse.ast.root(), config.ngram);
+    out.insert(out.end(), ngrams.begin(), ngrams.end());
+  }
+  return out;
+}
+
+std::vector<float> extract_from_source(std::string_view source,
+                                       const FeatureConfig& config) {
+  const ScriptAnalysis analysis = analyze_script(source, config.analysis);
+  return extract(analysis, config);
+}
+
+}  // namespace jst::features

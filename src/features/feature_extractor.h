@@ -1,0 +1,37 @@
+// The complete vector space (§III-B): hashed AST 4-grams plus hand-picked
+// features, each feature pinned to one consistent dimension.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "features/analysis_pipeline.h"
+#include "features/handpicked.h"
+#include "features/ngram.h"
+
+namespace jst::features {
+
+struct FeatureConfig {
+  bool use_ngrams = true;
+  bool use_handpicked = true;
+  NgramConfig ngram;
+  AnalysisOptions analysis;
+};
+
+// Total dimensionality under `config`.
+std::size_t feature_dimension(const FeatureConfig& config);
+
+// Names aligned with extract()'s output (hand-picked names, then
+// "ngram4_<bucket>").
+std::vector<std::string> feature_names(const FeatureConfig& config);
+
+// Extracts the feature vector from an already-analyzed script.
+std::vector<float> extract(const ScriptAnalysis& analysis,
+                           const FeatureConfig& config);
+
+// Parses + analyzes + extracts in one call. Throws ParseError.
+std::vector<float> extract_from_source(std::string_view source,
+                                       const FeatureConfig& config);
+
+}  // namespace jst::features

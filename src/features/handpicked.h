@@ -1,0 +1,29 @@
+// Hand-picked features (§III-B).
+//
+// Implements the features the paper names explicitly — AST depth/breadth
+// per line, MemberExpression-to-unique-Identifier ratio, proportions of
+// CallExpression/Literal/Identifier nodes, built-in function presence,
+// string-operation counts, average identifier length, characters per line,
+// ternary-operator proportion, dot-vs-bracket notation ratio, array/
+// dictionary sizes, and the data-flow-based "fetched from a structure"
+// proportion — plus the companion signals the same in-depth study of the
+// ten techniques yields (hex identifier prefixes, encoded-string ratios,
+// switch-in-loop dispatchers, debugger density, self-defending markers,
+// JSFuck-style operator densities, comment volume, whitespace ratios, CFG
+// shape).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "features/analysis_pipeline.h"
+
+namespace jst::features {
+
+// Stable list of hand-picked feature names; the returned vector of
+// handpicked_features() uses the same order.
+const std::vector<std::string>& handpicked_feature_names();
+
+std::vector<float> handpicked_features(const ScriptAnalysis& analysis);
+
+}  // namespace jst::features

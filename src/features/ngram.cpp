@@ -1,0 +1,33 @@
+#include "features/ngram.h"
+
+#include "ast/walk.h"
+#include "support/strings.h"
+
+namespace jst::features {
+
+std::vector<float> ngram_features(const Node* root, const NgramConfig& config) {
+  std::vector<float> histogram(config.hash_dim, 0.0f);
+  const std::vector<NodeKind> kinds = preorder_kinds(root);
+  if (kinds.size() < config.n || config.hash_dim == 0) return histogram;
+
+  const std::size_t windows = kinds.size() - config.n + 1;
+  for (std::size_t i = 0; i < windows; ++i) {
+    // FNV-1a over the kind bytes of the window.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::size_t j = 0; j < config.n; ++j) {
+      hash ^= static_cast<std::uint8_t>(kinds[i + j]);
+      hash *= 0x100000001b3ULL;
+    }
+    ++histogram[hash % config.hash_dim];
+  }
+  const float scale = 1.0f / static_cast<float>(windows);
+  for (float& value : histogram) value *= scale;
+  return histogram;
+}
+
+std::size_t ngram_window_count(const Node* root, std::size_t n) {
+  const std::size_t count = count_nodes(root);
+  return count >= n ? count - n + 1 : 0;
+}
+
+}  // namespace jst::features

@@ -1,0 +1,27 @@
+// Hashed AST n-gram features.
+//
+// The paper extracts 4-grams over "the list of syntactic units" of the AST
+// (pre-order node-kind sequence). We hash each n-gram into a fixed number
+// of buckets (the vector-space dimensions stay consistent across samples,
+// §III-B) and store relative frequencies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace jst::features {
+
+struct NgramConfig {
+  std::size_t n = 4;
+  std::size_t hash_dim = 512;
+};
+
+// Relative-frequency histogram of hashed n-grams, size = config.hash_dim.
+std::vector<float> ngram_features(const Node* root, const NgramConfig& config);
+
+// Raw n-gram window count for a tree (windows = max(0, kinds - n + 1)).
+std::size_t ngram_window_count(const Node* root, std::size_t n);
+
+}  // namespace jst::features

@@ -1,0 +1,704 @@
+#include "interp/builtins.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "interp/interpreter.h"
+
+namespace jst::interp {
+namespace {
+
+using Native =
+    std::function<Value(Interpreter&, const Value&, const std::vector<Value>&)>;
+
+FunctionPtr native(std::string name, Native body) {
+  auto function = std::make_shared<JsFunction>();
+  function->name = std::move(name);
+  function->native = std::move(body);
+  return function;
+}
+
+Value arg_or_undefined(const std::vector<Value>& args, std::size_t index) {
+  return index < args.size() ? args[index] : Value(Undefined{});
+}
+
+// --- string helpers -----------------------------------------------------
+
+Value string_split(const std::string& text, const std::vector<Value>& args) {
+  std::vector<Value> parts;
+  if (args.empty() || std::holds_alternative<Undefined>(args[0])) {
+    parts.emplace_back(text);
+    return make_array(std::move(parts));
+  }
+  const std::string separator = to_string_value(args[0]);
+  if (separator.empty()) {
+    for (char c : text) parts.emplace_back(std::string(1, c));
+    return make_array(std::move(parts));
+  }
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t position = text.find(separator, start);
+    if (position == std::string::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, position - start));
+    start = position + separator.size();
+  }
+  return make_array(std::move(parts));
+}
+
+}  // namespace
+
+Value string_method(const std::string& receiver, const std::string& name) {
+  const std::string text = receiver;
+  if (name == "split") {
+    return native("split", [text](Interpreter&, const Value&,
+                                  const std::vector<Value>& args) {
+      return string_split(text, args);
+    });
+  }
+  if (name == "charAt") {
+    return native("charAt", [text](Interpreter&, const Value&,
+                                   const std::vector<Value>& args) -> Value {
+      const auto index = static_cast<std::size_t>(
+          std::max(0.0, to_number(arg_or_undefined(args, 0))));
+      return index < text.size() ? std::string(1, text[index]) : std::string();
+    });
+  }
+  if (name == "charCodeAt") {
+    return native("charCodeAt", [text](Interpreter&, const Value&,
+                                       const std::vector<Value>& args) -> Value {
+      const double raw = args.empty() ? 0.0 : to_number(args[0]);
+      const auto index = static_cast<std::size_t>(std::max(0.0, raw));
+      if (index >= text.size()) return std::nan("");
+      return static_cast<double>(static_cast<unsigned char>(text[index]));
+    });
+  }
+  if (name == "indexOf") {
+    return native("indexOf", [text](Interpreter&, const Value&,
+                                    const std::vector<Value>& args) -> Value {
+      const std::string needle = to_string_value(arg_or_undefined(args, 0));
+      const std::size_t position = text.find(needle);
+      return position == std::string::npos ? -1.0
+                                           : static_cast<double>(position);
+    });
+  }
+  if (name == "includes") {
+    return native("includes", [text](Interpreter&, const Value&,
+                                     const std::vector<Value>& args) -> Value {
+      return text.find(to_string_value(arg_or_undefined(args, 0))) !=
+             std::string::npos;
+    });
+  }
+  if (name == "slice" || name == "substring") {
+    const bool is_slice = name == "slice";
+    return native(name, [text, is_slice](Interpreter&, const Value&,
+                                         const std::vector<Value>& args) -> Value {
+      const auto size = static_cast<double>(text.size());
+      double start = args.empty() ? 0.0 : to_number(args[0]);
+      double end = args.size() > 1 && !std::holds_alternative<Undefined>(args[1])
+                       ? to_number(args[1])
+                       : size;
+      if (is_slice) {
+        if (start < 0) start += size;
+        if (end < 0) end += size;
+      }
+      start = std::clamp(start, 0.0, size);
+      end = std::clamp(end, 0.0, size);
+      if (!is_slice && start > end) std::swap(start, end);
+      if (start >= end) return std::string();
+      return text.substr(static_cast<std::size_t>(start),
+                         static_cast<std::size_t>(end - start));
+    });
+  }
+  if (name == "substr") {
+    return native("substr", [text](Interpreter&, const Value&,
+                                   const std::vector<Value>& args) -> Value {
+      const auto size = static_cast<double>(text.size());
+      double start = args.empty() ? 0.0 : to_number(args[0]);
+      if (start < 0) start = std::max(size + start, 0.0);
+      start = std::min(start, size);
+      const double count =
+          args.size() > 1 ? to_number(args[1]) : size - start;
+      if (count <= 0) return std::string();
+      return text.substr(static_cast<std::size_t>(start),
+                         static_cast<std::size_t>(
+                             std::min(count, size - start)));
+    });
+  }
+  if (name == "toUpperCase" || name == "toLowerCase") {
+    const bool upper = name == "toUpperCase";
+    return native(name, [text, upper](Interpreter&, const Value&,
+                                      const std::vector<Value>&) -> Value {
+      std::string out = text;
+      for (char& c : out) {
+        c = upper ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                  : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      return out;
+    });
+  }
+  if (name == "trim") {
+    return native("trim", [text](Interpreter&, const Value&,
+                                 const std::vector<Value>&) -> Value {
+      std::size_t begin = 0;
+      std::size_t end = text.size();
+      while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+      }
+      while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+      }
+      return text.substr(begin, end - begin);
+    });
+  }
+  if (name == "replace") {
+    // String-pattern replace only (first occurrence), per spec.
+    return native("replace", [text](Interpreter&, const Value&,
+                                    const std::vector<Value>& args) -> Value {
+      const std::string pattern = to_string_value(arg_or_undefined(args, 0));
+      const std::string replacement = to_string_value(arg_or_undefined(args, 1));
+      const std::size_t position = text.find(pattern);
+      if (position == std::string::npos || pattern.empty()) return text;
+      std::string out = text;
+      out.replace(position, pattern.size(), replacement);
+      return out;
+    });
+  }
+  if (name == "concat") {
+    return native("concat", [text](Interpreter&, const Value&,
+                                   const std::vector<Value>& args) -> Value {
+      std::string out = text;
+      for (const Value& argument : args) out += to_string_value(argument);
+      return out;
+    });
+  }
+  if (name == "repeat") {
+    return native("repeat", [text](Interpreter&, const Value&,
+                                   const std::vector<Value>& args) -> Value {
+      const auto count = static_cast<std::size_t>(
+          std::max(0.0, to_number(arg_or_undefined(args, 0))));
+      std::string out;
+      for (std::size_t i = 0; i < count; ++i) out += text;
+      return out;
+    });
+  }
+  if (name == "padStart") {
+    return native("padStart", [text](Interpreter&, const Value&,
+                                     const std::vector<Value>& args) -> Value {
+      const auto width = static_cast<std::size_t>(
+          std::max(0.0, to_number(arg_or_undefined(args, 0))));
+      std::string pad = args.size() > 1 ? to_string_value(args[1]) : " ";
+      if (pad.empty()) pad = " ";
+      std::string out = text;
+      while (out.size() < width) {
+        out.insert(0, pad.substr(0, std::min(pad.size(), width - out.size())));
+      }
+      return out;
+    });
+  }
+  if (name == "toString") {
+    return native("toString", [text](Interpreter&, const Value&,
+                                     const std::vector<Value>&) -> Value {
+      return text;
+    });
+  }
+  return Undefined{};
+}
+
+Value array_method(const ObjectPtr& receiver, const std::string& name) {
+  if (name == "push") {
+    return native("push", [receiver](Interpreter&, const Value&,
+                                     const std::vector<Value>& args) -> Value {
+      for (const Value& argument : args) receiver->elements.push_back(argument);
+      return static_cast<double>(receiver->elements.size());
+    });
+  }
+  if (name == "pop") {
+    return native("pop", [receiver](Interpreter&, const Value&,
+                                    const std::vector<Value>&) -> Value {
+      if (receiver->elements.empty()) return Undefined{};
+      Value last = receiver->elements.back();
+      receiver->elements.pop_back();
+      return last;
+    });
+  }
+  if (name == "shift") {
+    return native("shift", [receiver](Interpreter&, const Value&,
+                                      const std::vector<Value>&) -> Value {
+      if (receiver->elements.empty()) return Undefined{};
+      Value first = receiver->elements.front();
+      receiver->elements.erase(receiver->elements.begin());
+      return first;
+    });
+  }
+  if (name == "join") {
+    return native("join", [receiver](Interpreter&, const Value&,
+                                     const std::vector<Value>& args) -> Value {
+      const std::string separator =
+          args.empty() || std::holds_alternative<Undefined>(args[0])
+              ? ","
+              : to_string_value(args[0]);
+      std::string out;
+      for (std::size_t i = 0; i < receiver->elements.size(); ++i) {
+        if (i > 0) out += separator;
+        const Value& element = receiver->elements[i];
+        if (!std::holds_alternative<Undefined>(element) &&
+            !std::holds_alternative<Null>(element)) {
+          out += to_string_value(element);
+        }
+      }
+      return out;
+    });
+  }
+  if (name == "reverse") {
+    return native("reverse", [receiver](Interpreter&, const Value&,
+                                        const std::vector<Value>&) -> Value {
+      std::reverse(receiver->elements.begin(), receiver->elements.end());
+      return receiver;
+    });
+  }
+  if (name == "slice") {
+    return native("slice", [receiver](Interpreter&, const Value&,
+                                      const std::vector<Value>& args) -> Value {
+      const auto size = static_cast<double>(receiver->elements.size());
+      double start = args.empty() ? 0.0 : to_number(args[0]);
+      double end = args.size() > 1 && !std::holds_alternative<Undefined>(args[1])
+                       ? to_number(args[1])
+                       : size;
+      if (start < 0) start += size;
+      if (end < 0) end += size;
+      start = std::clamp(start, 0.0, size);
+      end = std::clamp(end, 0.0, size);
+      std::vector<Value> out;
+      for (auto i = static_cast<std::size_t>(start);
+           i < static_cast<std::size_t>(end); ++i) {
+        out.push_back(receiver->elements[i]);
+      }
+      return make_array(std::move(out));
+    });
+  }
+  if (name == "indexOf") {
+    return native("indexOf", [receiver](Interpreter&, const Value&,
+                                        const std::vector<Value>& args) -> Value {
+      const Value needle = arg_or_undefined(args, 0);
+      for (std::size_t i = 0; i < receiver->elements.size(); ++i) {
+        if (strict_equals(receiver->elements[i], needle)) {
+          return static_cast<double>(i);
+        }
+      }
+      return -1.0;
+    });
+  }
+  if (name == "includes") {
+    return native("includes", [receiver](Interpreter&, const Value&,
+                                         const std::vector<Value>& args) -> Value {
+      const Value needle = arg_or_undefined(args, 0);
+      for (const Value& element : receiver->elements) {
+        if (strict_equals(element, needle)) return true;
+      }
+      return false;
+    });
+  }
+  if (name == "concat") {
+    return native("concat", [receiver](Interpreter&, const Value&,
+                                       const std::vector<Value>& args) -> Value {
+      std::vector<Value> out = receiver->elements;
+      for (const Value& argument : args) {
+        if (const ObjectPtr* array = std::get_if<ObjectPtr>(&argument);
+            array != nullptr && (*array)->is_array) {
+          out.insert(out.end(), (*array)->elements.begin(),
+                     (*array)->elements.end());
+        } else {
+          out.push_back(argument);
+        }
+      }
+      return make_array(std::move(out));
+    });
+  }
+  if (name == "map" || name == "filter" || name == "forEach") {
+    const int mode = name == "map" ? 0 : (name == "filter" ? 1 : 2);
+    return native(name, [receiver, mode](Interpreter& interpreter, const Value&,
+                                         const std::vector<Value>& args) -> Value {
+      const Value callback = arg_or_undefined(args, 0);
+      std::vector<Value> out;
+      for (std::size_t i = 0; i < receiver->elements.size(); ++i) {
+        const Value result = interpreter.call_function(
+            callback, Undefined{},
+            {receiver->elements[i], static_cast<double>(i), Value(receiver)});
+        if (mode == 0) out.push_back(result);
+        if (mode == 1 && to_boolean(result)) {
+          out.push_back(receiver->elements[i]);
+        }
+      }
+      if (mode == 2) return Undefined{};
+      return make_array(std::move(out));
+    });
+  }
+  if (name == "reduce") {
+    return native("reduce", [receiver](Interpreter& interpreter, const Value&,
+                                       const std::vector<Value>& args) -> Value {
+      const Value callback = arg_or_undefined(args, 0);
+      std::size_t start = 0;
+      Value accumulator;
+      if (args.size() > 1) {
+        accumulator = args[1];
+      } else {
+        if (receiver->elements.empty()) {
+          throw ThrownValue{Value(std::string(
+              "TypeError: reduce of empty array with no initial value"))};
+        }
+        accumulator = receiver->elements[0];
+        start = 1;
+      }
+      for (std::size_t i = start; i < receiver->elements.size(); ++i) {
+        accumulator = interpreter.call_function(
+            callback, Undefined{},
+            {accumulator, receiver->elements[i], static_cast<double>(i)});
+      }
+      return accumulator;
+    });
+  }
+  if (name == "some" || name == "every" || name == "find") {
+    const int mode = name == "some" ? 0 : (name == "every" ? 1 : 2);
+    return native(name, [receiver, mode](Interpreter& interpreter, const Value&,
+                                         const std::vector<Value>& args) -> Value {
+      const Value callback = arg_or_undefined(args, 0);
+      for (std::size_t i = 0; i < receiver->elements.size(); ++i) {
+        const bool hit = to_boolean(interpreter.call_function(
+            callback, Undefined{},
+            {receiver->elements[i], static_cast<double>(i)}));
+        if (mode == 0 && hit) return true;
+        if (mode == 1 && !hit) return false;
+        if (mode == 2 && hit) return receiver->elements[i];
+      }
+      if (mode == 0) return false;
+      if (mode == 1) return true;
+      return Undefined{};
+    });
+  }
+  if (name == "sort") {
+    return native("sort", [receiver](Interpreter& interpreter, const Value&,
+                                     const std::vector<Value>& args) -> Value {
+      const Value comparator = arg_or_undefined(args, 0);
+      std::stable_sort(
+          receiver->elements.begin(), receiver->elements.end(),
+          [&](const Value& a, const Value& b) {
+            if (std::holds_alternative<FunctionPtr>(comparator)) {
+              return to_number(interpreter.call_function(comparator,
+                                                         Undefined{}, {a, b})) <
+                     0.0;
+            }
+            return to_string_value(a) < to_string_value(b);
+          });
+      return receiver;
+    });
+  }
+  if (name == "splice") {
+    return native("splice", [receiver](Interpreter&, const Value&,
+                                       const std::vector<Value>& args) -> Value {
+      const auto size = static_cast<double>(receiver->elements.size());
+      double start = args.empty() ? 0.0 : to_number(args[0]);
+      if (start < 0) start += size;
+      start = std::clamp(start, 0.0, size);
+      double remove = args.size() > 1 ? to_number(args[1]) : size - start;
+      remove = std::clamp(remove, 0.0, size - start);
+      const auto begin =
+          receiver->elements.begin() + static_cast<std::ptrdiff_t>(start);
+      std::vector<Value> removed(begin,
+                                 begin + static_cast<std::ptrdiff_t>(remove));
+      auto tail =
+          receiver->elements.erase(begin, begin + static_cast<std::ptrdiff_t>(remove));
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        tail = receiver->elements.insert(tail, args[i]) + 1;
+      }
+      return make_array(std::move(removed));
+    });
+  }
+  if (name == "toString") {
+    return native("toString", [receiver](Interpreter&, const Value&,
+                                         const std::vector<Value>&) -> Value {
+      return to_string_value(Value(receiver));
+    });
+  }
+  return Undefined{};
+}
+
+Value number_method(double receiver, const std::string& name) {
+  if (name == "toString") {
+    return native("toString", [receiver](Interpreter&, const Value&,
+                                         const std::vector<Value>& args) -> Value {
+      const int base =
+          args.empty() ? 10 : static_cast<int>(to_number(args[0]));
+      if (base == 10 || receiver != std::floor(receiver)) {
+        return to_string_value(Value(receiver));
+      }
+      // Integer in base 2..36.
+      static constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+      auto value = static_cast<long long>(receiver);
+      const bool negative = value < 0;
+      if (negative) value = -value;
+      std::string out;
+      do {
+        out.insert(out.begin(), kDigits[value % base]);
+        value /= base;
+      } while (value > 0);
+      if (negative) out.insert(out.begin(), '-');
+      return out;
+    });
+  }
+  if (name == "toFixed") {
+    return native("toFixed", [receiver](Interpreter&, const Value&,
+                                        const std::vector<Value>& args) -> Value {
+      const int digits = args.empty() ? 0 : static_cast<int>(to_number(args[0]));
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*f", digits, receiver);
+      return std::string(buf);
+    });
+  }
+  return Undefined{};
+}
+
+Value function_method(const FunctionPtr& receiver, const std::string& name) {
+  if (name == "call") {
+    return native("call", [receiver](Interpreter& interpreter, const Value&,
+                                     const std::vector<Value>& args) -> Value {
+      const Value this_value = arg_or_undefined(args, 0);
+      std::vector<Value> rest(args.begin() + (args.empty() ? 0 : 1), args.end());
+      return interpreter.call_function(Value(receiver), this_value, rest);
+    });
+  }
+  if (name == "apply") {
+    return native("apply", [receiver](Interpreter& interpreter, const Value&,
+                                      const std::vector<Value>& args) -> Value {
+      const Value this_value = arg_or_undefined(args, 0);
+      std::vector<Value> forwarded;
+      if (args.size() > 1) {
+        if (const ObjectPtr* array = std::get_if<ObjectPtr>(&args[1]);
+            array != nullptr && (*array)->is_array) {
+          forwarded = (*array)->elements;
+        }
+      }
+      return interpreter.call_function(Value(receiver), this_value, forwarded);
+    });
+  }
+  if (name == "bind") {
+    return native("bind", [receiver](Interpreter&, const Value&,
+                                     const std::vector<Value>& args) -> Value {
+      const Value bound_this = arg_or_undefined(args, 0);
+      std::vector<Value> bound_args(args.begin() + (args.empty() ? 0 : 1),
+                                    args.end());
+      return native("bound " + receiver->name,
+                    [receiver, bound_this, bound_args](
+                        Interpreter& interpreter, const Value&,
+                        const std::vector<Value>& call_args) -> Value {
+                      std::vector<Value> all = bound_args;
+                      all.insert(all.end(), call_args.begin(), call_args.end());
+                      return interpreter.call_function(Value(receiver),
+                                                       bound_this, all);
+                    });
+    });
+  }
+  return Undefined{};
+}
+
+void install_builtins(Interpreter& interpreter, Environment& globals,
+                      std::vector<std::string>& log) {
+  (void)interpreter;
+
+  // console.log / console.error
+  auto console = std::make_shared<JsObject>();
+  const auto log_fn = [&log](Interpreter&, const Value&,
+                             const std::vector<Value>& args) -> Value {
+    std::ostringstream line;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) line << " ";
+      line << to_string_value(args[i]);
+    }
+    log.push_back(line.str());
+    return Undefined{};
+  };
+  console->properties["log"] = native("log", log_fn);
+  console->properties["error"] = native("error", log_fn);
+  console->properties["warn"] = native("warn", log_fn);
+  globals.declare("console", Value(console));
+
+  // Math
+  auto math = std::make_shared<JsObject>();
+  const auto unary_math = [](const char* name, double (*fn)(double)) {
+    return native(name, [fn](Interpreter&, const Value&,
+                             const std::vector<Value>& args) -> Value {
+      return fn(args.empty() ? std::nan("") : to_number(args[0]));
+    });
+  };
+  math->properties["floor"] = unary_math("floor", std::floor);
+  math->properties["ceil"] = unary_math("ceil", std::ceil);
+  math->properties["round"] = unary_math("round", std::round);
+  math->properties["abs"] = unary_math("abs", std::fabs);
+  math->properties["sqrt"] = unary_math("sqrt", std::sqrt);
+  math->properties["max"] =
+      native("max", [](Interpreter&, const Value&,
+                       const std::vector<Value>& args) -> Value {
+        double best = -HUGE_VAL;
+        for (const Value& argument : args) {
+          best = std::max(best, to_number(argument));
+        }
+        return args.empty() ? -HUGE_VAL : best;
+      });
+  math->properties["min"] =
+      native("min", [](Interpreter&, const Value&,
+                       const std::vector<Value>& args) -> Value {
+        double best = HUGE_VAL;
+        for (const Value& argument : args) {
+          best = std::min(best, to_number(argument));
+        }
+        return args.empty() ? HUGE_VAL : best;
+      });
+  math->properties["pow"] =
+      native("pow", [](Interpreter&, const Value&,
+                       const std::vector<Value>& args) -> Value {
+        return std::pow(to_number(arg_or_undefined(args, 0)),
+                        to_number(arg_or_undefined(args, 1)));
+      });
+  math->properties["PI"] = 3.141592653589793;
+  globals.declare("Math", Value(math));
+
+  // String namespace (fromCharCode).
+  auto string_ns = std::make_shared<JsObject>();
+  string_ns->properties["fromCharCode"] =
+      native("fromCharCode", [](Interpreter&, const Value&,
+                                const std::vector<Value>& args) -> Value {
+        std::string out;
+        for (const Value& argument : args) {
+          out += static_cast<char>(
+              static_cast<unsigned char>(to_number(argument)));
+        }
+        return out;
+      });
+  globals.declare("String", Value(string_ns));
+
+  // JSON.stringify (subset: primitives + arrays + plain objects).
+  auto json = std::make_shared<JsObject>();
+  json->properties["stringify"] = native(
+      "stringify",
+      [](Interpreter&, const Value&, const std::vector<Value>& args) -> Value {
+        std::function<std::string(const Value&)> encode =
+            [&encode](const Value& value) -> std::string {
+          if (std::holds_alternative<Undefined>(value)) return "null";
+          if (std::holds_alternative<Null>(value)) return "null";
+          if (const bool* b = std::get_if<bool>(&value)) {
+            return *b ? "true" : "false";
+          }
+          if (std::holds_alternative<double>(value)) {
+            return to_string_value(value);
+          }
+          if (const std::string* s = std::get_if<std::string>(&value)) {
+            std::string out = "\"";
+            for (char c : *s) {
+              if (c == '"' || c == '\\') out += '\\';
+              out += c;
+            }
+            return out + "\"";
+          }
+          if (const ObjectPtr* obj = std::get_if<ObjectPtr>(&value)) {
+            std::string out;
+            if ((*obj)->is_array) {
+              out = "[";
+              for (std::size_t i = 0; i < (*obj)->elements.size(); ++i) {
+                if (i > 0) out += ",";
+                out += encode((*obj)->elements[i]);
+              }
+              return out + "]";
+            }
+            out = "{";
+            bool first = true;
+            for (const auto& [key, property] : (*obj)->properties) {
+              if (!first) out += ",";
+              first = false;
+              out += "\"" + key + "\":" + encode(property);
+            }
+            return out + "}";
+          }
+          return "null";
+        };
+        return encode(arg_or_undefined(args, 0));
+      });
+  globals.declare("JSON", Value(json));
+
+  // parseInt / parseFloat / isNaN
+  globals.declare(
+      "parseInt",
+      Value(native("parseInt", [](Interpreter&, const Value&,
+                                  const std::vector<Value>& args) -> Value {
+        const std::string text = to_string_value(arg_or_undefined(args, 0));
+        const int base =
+            args.size() > 1 && !std::holds_alternative<Undefined>(args[1])
+                ? static_cast<int>(to_number(args[1]))
+                : 10;
+        try {
+          std::size_t consumed = 0;
+          const long long value = std::stoll(text, &consumed, base);
+          return consumed > 0 ? Value(static_cast<double>(value))
+                              : Value(std::nan(""));
+        } catch (...) {
+          return std::nan("");
+        }
+      })));
+  globals.declare(
+      "parseFloat",
+      Value(native("parseFloat", [](Interpreter&, const Value&,
+                                    const std::vector<Value>& args) -> Value {
+        try {
+          return std::stod(to_string_value(arg_or_undefined(args, 0)));
+        } catch (...) {
+          return std::nan("");
+        }
+      })));
+  globals.declare(
+      "isNaN", Value(native("isNaN", [](Interpreter&, const Value&,
+                                        const std::vector<Value>& args) -> Value {
+        return std::isnan(to_number(arg_or_undefined(args, 0)));
+      })));
+
+  // Array namespace (isArray).
+  auto array_ns = std::make_shared<JsObject>();
+  array_ns->properties["isArray"] =
+      native("isArray", [](Interpreter&, const Value&,
+                           const std::vector<Value>& args) -> Value {
+        const Value value = arg_or_undefined(args, 0);
+        const ObjectPtr* object = std::get_if<ObjectPtr>(&value);
+        return object != nullptr && (*object)->is_array;
+      });
+  globals.declare("Array", Value(array_ns));
+
+  // Object namespace (keys, values).
+  auto object_ns = std::make_shared<JsObject>();
+  object_ns->properties["keys"] =
+      native("keys", [](Interpreter&, const Value&,
+                        const std::vector<Value>& args) -> Value {
+        std::vector<Value> keys;
+        const Value value = arg_or_undefined(args, 0);
+        if (const ObjectPtr* object = std::get_if<ObjectPtr>(&value)) {
+          for (const auto& [key, property] : (*object)->properties) {
+            (void)property;
+            keys.emplace_back(key);
+          }
+        }
+        return make_array(std::move(keys));
+      });
+  globals.declare("Object", Value(object_ns));
+
+  // Error constructor: returns an object with a message property.
+  globals.declare(
+      "Error", Value(native("Error", [](Interpreter&, const Value&,
+                                        const std::vector<Value>& args) -> Value {
+        auto error = std::make_shared<JsObject>();
+        error->properties["message"] =
+            to_string_value(arg_or_undefined(args, 0));
+        return error;
+      })));
+}
+
+}  // namespace jst::interp

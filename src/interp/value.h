@@ -1,0 +1,86 @@
+// JavaScript value model for the reference interpreter.
+//
+// The interpreter exists to *test* the transformation tools: a transformed
+// program must behave identically to its original. It covers the dynamic
+// semantics the transformers can affect — numbers, strings, booleans,
+// objects/arrays, closures, prototypes are NOT modeled (no `class` at
+// runtime, no getters in the value model) — enough to execute the corpus
+// fixtures and every transformer's output except the eval-based ones.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace jst::interp {
+
+class Environment;
+struct JsObject;
+struct JsFunction;
+
+struct Undefined {
+  bool operator==(const Undefined&) const = default;
+};
+struct Null {
+  bool operator==(const Null&) const = default;
+};
+
+using ObjectPtr = std::shared_ptr<JsObject>;
+using FunctionPtr = std::shared_ptr<JsFunction>;
+
+using Value = std::variant<Undefined, Null, bool, double, std::string,
+                           ObjectPtr, FunctionPtr>;
+
+// Ordinary object; arrays are objects with `is_array` and dense `elements`.
+struct JsObject {
+  bool is_array = false;
+  std::vector<Value> elements;             // when is_array
+  std::map<std::string, Value> properties; // named properties
+
+  Value get(const std::string& key) const;
+  void set(const std::string& key, Value value);
+};
+
+class Interpreter;
+
+// User function (AST + closure) or native builtin.
+struct JsFunction {
+  std::string name;
+  const Node* declaration = nullptr;       // FunctionDecl/Expr/Arrow
+  std::shared_ptr<Environment> closure;
+  bool is_arrow = false;
+  // Native: called with (interpreter, this, args).
+  std::function<Value(Interpreter&, const Value&, const std::vector<Value>&)>
+      native;
+};
+
+// --- conversions (ES-like semantics, simplified) ---
+bool to_boolean(const Value& value);
+double to_number(const Value& value);
+std::string to_string_value(const Value& value);
+std::string type_of(const Value& value);
+bool strict_equals(const Value& a, const Value& b);
+bool loose_equals(const Value& a, const Value& b);
+
+// Makes a fresh array object.
+ObjectPtr make_array(std::vector<Value> elements = {});
+
+// Raised inside the interpreter for `throw` and runtime errors; carries
+// the thrown JS value.
+struct ThrownValue {
+  Value value;
+};
+
+// Raised when a program exceeds the step budget or uses an unsupported
+// feature.
+class InterpreterError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace jst::interp

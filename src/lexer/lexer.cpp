@@ -1,0 +1,588 @@
+#include "lexer/lexer.h"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "support/strings.h"
+
+namespace jst {
+namespace {
+
+const std::unordered_set<std::string_view>& keyword_set() {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "break",    "case",     "catch",   "class",  "const",   "continue",
+      "debugger", "default",  "delete",  "do",     "else",    "export",
+      "extends",  "finally",  "for",     "function", "if",    "import",
+      "in",       "instanceof", "new",   "return", "super",   "switch",
+      "this",     "throw",    "try",     "typeof", "var",     "void",
+      "while",    "with",     "yield",
+  };
+  return kKeywords;
+}
+
+bool is_id_start(char c) {
+  return strings::is_ascii_alpha(c) || c == '_' || c == '$';
+}
+
+bool is_id_part(char c) {
+  return strings::is_ascii_alnum(c) || c == '_' || c == '$';
+}
+
+bool is_line_terminator(char c) { return c == '\n' || c == '\r'; }
+
+}  // namespace
+
+bool is_js_keyword(std::string_view word) {
+  return keyword_set().count(word) > 0;
+}
+
+Lexer::Lexer(std::string_view source) : source_(source) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+bool Lexer::eof(std::size_t ahead) const {
+  return pos_ + ahead >= source_.size();
+}
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 0;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (eof() || peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::fail(const std::string& message) const {
+  throw ParseError(message, line_, column_);
+}
+
+void Lexer::skip_trivia() {
+  while (!eof()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r') {
+      advance();
+    } else if (c == '\n') {
+      newline_pending_ = true;
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      const std::size_t start = pos_;
+      while (!eof() && !is_line_terminator(peek())) advance();
+      ++comment_count_;
+      comment_bytes_ += pos_ - start;
+    } else if (c == '/' && peek(1) == '*') {
+      const std::size_t start = pos_;
+      advance();
+      advance();
+      bool closed = false;
+      while (!eof()) {
+        if (peek() == '\n') newline_pending_ = true;
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) fail("unterminated block comment");
+      ++comment_count_;
+      comment_bytes_ += pos_ - start;
+    } else if (c == '<' && peek(1) == '!' && peek(2) == '-' && peek(3) == '-') {
+      // HTML-style open comment: skip to end of line (legacy web JS).
+      const std::size_t start = pos_;
+      while (!eof() && !is_line_terminator(peek())) advance();
+      ++comment_count_;
+      comment_bytes_ += pos_ - start;
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::make_token(TokenType type, std::size_t start_offset,
+                        std::size_t start_line, std::size_t start_column) {
+  Token token;
+  token.type = type;
+  token.offset = start_offset;
+  token.line = start_line;
+  token.column = start_column;
+  token.raw = std::string(source_.substr(start_offset, pos_ - start_offset));
+  token.newline_before = newline_pending_;
+  return token;
+}
+
+bool Lexer::regex_allowed() const {
+  if (!previous_.has_value()) return true;
+  const Token& prev = *previous_;
+  switch (prev.type) {
+    case TokenType::kIdentifier:
+    case TokenType::kNumericLiteral:
+    case TokenType::kStringLiteral:
+    case TokenType::kTemplate:
+    case TokenType::kRegularExpression:
+    case TokenType::kBooleanLiteral:
+    case TokenType::kNullLiteral:
+      return false;
+    case TokenType::kKeyword:
+      // `this` and `super` end an expression; everything else (return,
+      // typeof, in, case, ...) is followed by an expression position.
+      return prev.value != "this" && prev.value != "super";
+    case TokenType::kPunctuator:
+      // After a closing bracket of an expression, '/' is division. After
+      // ')' it is ambiguous (if/for/while conditions end with ')'), and
+      // Esprima resolves this with parser feedback; our tokenizer-level
+      // heuristic treats ')' and ']' as expression ends, '}' as a block
+      // end (regex allowed), matching typical minified code.
+      return prev.value != ")" && prev.value != "]" && prev.value != "++" &&
+             prev.value != "--";
+    default:
+      return true;
+  }
+}
+
+Token Lexer::next() {
+  newline_pending_ = false;
+  skip_trivia();
+  const std::size_t start_offset = pos_;
+  const std::size_t start_line = line_;
+  const std::size_t start_column = column_;
+  if (eof()) {
+    Token token = make_token(TokenType::kEndOfFile, start_offset, start_line,
+                             start_column);
+    return token;
+  }
+
+  const char c = peek();
+  Token token;
+  if (is_id_start(c) || c == '\\') {
+    token = scan_identifier_or_keyword();
+  } else if (strings::is_ascii_digit(c) ||
+             (c == '.' && strings::is_ascii_digit(peek(1)))) {
+    token = scan_number();
+  } else if (c == '"' || c == '\'') {
+    token = scan_string(c);
+  } else if (c == '`') {
+    token = scan_template();
+  } else if (c == '/' && regex_allowed()) {
+    token = scan_regex();
+  } else {
+    token = scan_punctuator();
+  }
+  previous_ = token;
+  return token;
+}
+
+Token Lexer::scan_identifier_or_keyword() {
+  const std::size_t start_offset = pos_;
+  const std::size_t start_line = line_;
+  const std::size_t start_column = column_;
+  std::string name;
+  while (!eof()) {
+    const char c = peek();
+    if (is_id_part(c)) {
+      name.push_back(advance());
+    } else if (c == '\\' && peek(1) == 'u') {
+      // \uXXXX identifier escape: decode the hex, keep the low byte as the
+      // cooked character (sufficient for the ASCII identifiers we target).
+      advance();
+      advance();
+      unsigned code = 0;
+      if (peek() == '{') {
+        advance();
+        while (!eof() && peek() != '}') {
+          if (!strings::is_hex_digit(peek())) fail("bad unicode escape");
+          code = code * 16 + static_cast<unsigned>(
+                                 std::strtol(std::string(1, advance()).c_str(),
+                                             nullptr, 16));
+        }
+        if (!match('}')) fail("unterminated unicode escape");
+      } else {
+        for (int i = 0; i < 4; ++i) {
+          if (eof() || !strings::is_hex_digit(peek())) {
+            fail("bad unicode escape in identifier");
+          }
+          code = code * 16 + static_cast<unsigned>(
+                                 std::strtol(std::string(1, advance()).c_str(),
+                                             nullptr, 16));
+        }
+      }
+      name.push_back(static_cast<char>(code & 0x7f));
+    } else if (static_cast<unsigned char>(c) >= 0x80) {
+      // Pass non-ASCII identifier bytes through (UTF-8 identifiers occur in
+      // obfuscated code).
+      name.push_back(advance());
+    } else {
+      break;
+    }
+  }
+  if (name.empty()) {
+    // A lone '\' not starting a \uXXXX escape: no progress was made; this
+    // must be a hard error or the tokenizer would loop forever.
+    fail("unexpected '\\'");
+  }
+  Token token;
+  if (name == "true" || name == "false") {
+    token = make_token(TokenType::kBooleanLiteral, start_offset, start_line,
+                       start_column);
+  } else if (name == "null") {
+    token = make_token(TokenType::kNullLiteral, start_offset, start_line,
+                       start_column);
+  } else if (is_js_keyword(name)) {
+    token =
+        make_token(TokenType::kKeyword, start_offset, start_line, start_column);
+  } else {
+    token = make_token(TokenType::kIdentifier, start_offset, start_line,
+                       start_column);
+  }
+  token.value = std::move(name);
+  return token;
+}
+
+Token Lexer::scan_number() {
+  const std::size_t start_offset = pos_;
+  const std::size_t start_line = line_;
+  const std::size_t start_column = column_;
+
+  double value = 0.0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    if (!strings::is_hex_digit(peek())) fail("missing hex digits");
+    while (!eof() && strings::is_hex_digit(peek())) {
+      value = value * 16 +
+              std::strtol(std::string(1, advance()).c_str(), nullptr, 16);
+    }
+  } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+    advance();
+    advance();
+    if (peek() != '0' && peek() != '1') fail("missing binary digits");
+    while (peek() == '0' || peek() == '1') value = value * 2 + (advance() - '0');
+  } else if (peek() == '0' && (peek(1) == 'o' || peek(1) == 'O')) {
+    advance();
+    advance();
+    if (peek() < '0' || peek() > '7') fail("missing octal digits");
+    while (peek() >= '0' && peek() <= '7') value = value * 8 + (advance() - '0');
+  } else if (peek() == '0' && strings::is_ascii_digit(peek(1))) {
+    // Legacy octal (non-strict); fall back to decimal if 8/9 appear.
+    std::string digits;
+    advance();
+    while (strings::is_ascii_digit(peek())) digits.push_back(advance());
+    const bool octal = digits.find('8') == std::string::npos &&
+                       digits.find('9') == std::string::npos;
+    value = std::strtod(digits.c_str(), nullptr);
+    if (octal) value = static_cast<double>(std::strtoll(digits.c_str(), nullptr, 8));
+  } else {
+    std::string digits;
+    while (strings::is_ascii_digit(peek())) digits.push_back(advance());
+    if (peek() == '.') {
+      digits.push_back(advance());
+      while (strings::is_ascii_digit(peek())) digits.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      digits.push_back(advance());
+      if (peek() == '+' || peek() == '-') digits.push_back(advance());
+      if (!strings::is_ascii_digit(peek())) fail("missing exponent digits");
+      while (strings::is_ascii_digit(peek())) digits.push_back(advance());
+    }
+    value = std::strtod(digits.c_str(), nullptr);
+  }
+  if (is_id_start(peek())) fail("identifier starts immediately after number");
+
+  Token token = make_token(TokenType::kNumericLiteral, start_offset, start_line,
+                           start_column);
+  token.number = value;
+  token.value = token.raw;
+  return token;
+}
+
+Token Lexer::scan_string(char quote) {
+  const std::size_t start_offset = pos_;
+  const std::size_t start_line = line_;
+  const std::size_t start_column = column_;
+  advance();  // opening quote
+  std::string cooked;
+  while (true) {
+    if (eof()) fail("unterminated string literal");
+    char c = advance();
+    if (c == quote) break;
+    if (is_line_terminator(c)) fail("newline in string literal");
+    if (c != '\\') {
+      cooked.push_back(c);
+      continue;
+    }
+    if (eof()) fail("unterminated escape sequence");
+    const char esc = advance();
+    switch (esc) {
+      case 'n': cooked.push_back('\n'); break;
+      case 't': cooked.push_back('\t'); break;
+      case 'r': cooked.push_back('\r'); break;
+      case 'b': cooked.push_back('\b'); break;
+      case 'f': cooked.push_back('\f'); break;
+      case 'v': cooked.push_back('\v'); break;
+      case '0':
+        if (!strings::is_ascii_digit(peek())) {
+          cooked.push_back('\0');
+          break;
+        }
+        [[fallthrough]];
+      case '1': case '2': case '3': case '4':
+      case '5': case '6': case '7': {
+        // Legacy octal escape.
+        unsigned code = static_cast<unsigned>(esc - '0');
+        for (int i = 0; i < 2 && peek() >= '0' && peek() <= '7'; ++i) {
+          code = code * 8 + static_cast<unsigned>(advance() - '0');
+          if (code > 255) break;
+        }
+        cooked.push_back(static_cast<char>(code & 0xff));
+        break;
+      }
+      case 'x': {
+        unsigned code = 0;
+        for (int i = 0; i < 2; ++i) {
+          if (eof() || !strings::is_hex_digit(peek())) fail("bad hex escape");
+          code = code * 16 + static_cast<unsigned>(std::strtol(
+                                 std::string(1, advance()).c_str(), nullptr, 16));
+        }
+        cooked.push_back(static_cast<char>(code));
+        break;
+      }
+      case 'u': {
+        unsigned code = 0;
+        if (peek() == '{') {
+          advance();
+          while (!eof() && peek() != '}') {
+            if (!strings::is_hex_digit(peek())) fail("bad unicode escape");
+            code = code * 16 + static_cast<unsigned>(std::strtol(
+                                   std::string(1, advance()).c_str(), nullptr, 16));
+          }
+          if (!match('}')) fail("unterminated unicode escape");
+        } else {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !strings::is_hex_digit(peek())) {
+              fail("bad unicode escape");
+            }
+            code = code * 16 + static_cast<unsigned>(std::strtol(
+                                   std::string(1, advance()).c_str(), nullptr, 16));
+          }
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          cooked.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          cooked.push_back(static_cast<char>(0xc0 | (code >> 6)));
+          cooked.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+          cooked.push_back(static_cast<char>(0xe0 | (code >> 12)));
+          cooked.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+          cooked.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+        break;
+      }
+      case '\n':  // line continuation
+        break;
+      case '\r':
+        if (peek() == '\n') advance();
+        break;
+      default:
+        cooked.push_back(esc);
+    }
+  }
+  Token token = make_token(TokenType::kStringLiteral, start_offset, start_line,
+                           start_column);
+  token.value = std::move(cooked);
+  return token;
+}
+
+Token Lexer::scan_template() {
+  const std::size_t start_offset = pos_;
+  const std::size_t start_line = line_;
+  const std::size_t start_column = column_;
+  advance();  // opening backtick
+
+  std::vector<std::string> quasis;
+  std::vector<std::string> expressions;
+  std::string current;
+  while (true) {
+    if (eof()) fail("unterminated template literal");
+    char c = advance();
+    if (c == '`') break;
+    if (c == '\\') {
+      if (eof()) fail("unterminated template escape");
+      current.push_back('\\');
+      current.push_back(advance());
+      continue;
+    }
+    if (c == '$' && peek() == '{') {
+      advance();  // '{'
+      quasis.push_back(std::move(current));
+      current.clear();
+      // Balanced scan of the substitution expression, skipping over nested
+      // strings, templates, and comments so their braces do not count.
+      std::string expr;
+      int depth = 1;
+      while (depth > 0) {
+        if (eof()) fail("unterminated template substitution");
+        char e = advance();
+        if (e == '{') {
+          ++depth;
+          expr.push_back(e);
+        } else if (e == '}') {
+          --depth;
+          if (depth > 0) expr.push_back(e);
+        } else if (e == '"' || e == '\'') {
+          expr.push_back(e);
+          while (true) {
+            if (eof()) fail("unterminated string in template substitution");
+            char s = advance();
+            expr.push_back(s);
+            if (s == '\\') {
+              if (eof()) fail("unterminated escape");
+              expr.push_back(advance());
+            } else if (s == e) {
+              break;
+            }
+          }
+        } else if (e == '`') {
+          // Nested template: balanced scan with its own substitution depth.
+          expr.push_back(e);
+          int nested_subst = 0;
+          while (true) {
+            if (eof()) fail("unterminated nested template");
+            char t = advance();
+            expr.push_back(t);
+            if (t == '\\') {
+              if (eof()) fail("unterminated escape");
+              expr.push_back(advance());
+            } else if (t == '$' && peek() == '{') {
+              expr.push_back(advance());
+              ++nested_subst;
+            } else if (t == '}' && nested_subst > 0) {
+              --nested_subst;
+            } else if (t == '`' && nested_subst == 0) {
+              break;
+            }
+          }
+        } else if (e == '/' && peek() == '/') {
+          while (!eof() && !is_line_terminator(peek())) advance();
+        } else if (e == '/' && peek() == '*') {
+          advance();
+          while (!eof() && !(peek() == '*' && peek(1) == '/')) advance();
+          if (!eof()) {
+            advance();
+            advance();
+          }
+        } else {
+          expr.push_back(e);
+        }
+      }
+      expressions.push_back(std::move(expr));
+    } else {
+      current.push_back(c);
+    }
+  }
+  quasis.push_back(std::move(current));
+
+  Token token =
+      make_token(TokenType::kTemplate, start_offset, start_line, start_column);
+  token.value = token.raw;
+  token.template_expressions = std::move(expressions);
+  token.template_quasis = std::move(quasis);
+  return token;
+}
+
+Token Lexer::scan_regex() {
+  const std::size_t start_offset = pos_;
+  const std::size_t start_line = line_;
+  const std::size_t start_column = column_;
+  advance();  // '/'
+  std::string pattern;
+  bool in_class = false;
+  while (true) {
+    if (eof()) fail("unterminated regular expression");
+    char c = advance();
+    if (is_line_terminator(c)) fail("newline in regular expression");
+    if (c == '\\') {
+      if (eof()) fail("unterminated regex escape");
+      pattern.push_back('\\');
+      pattern.push_back(advance());
+      continue;
+    }
+    if (c == '[') in_class = true;
+    if (c == ']') in_class = false;
+    if (c == '/' && !in_class) break;
+    pattern.push_back(c);
+  }
+  std::string flags;
+  while (!eof() && is_id_part(peek())) flags.push_back(advance());
+
+  Token token = make_token(TokenType::kRegularExpression, start_offset,
+                           start_line, start_column);
+  token.value = std::move(pattern);
+  token.regex_flags = std::move(flags);
+  return token;
+}
+
+Token Lexer::scan_punctuator() {
+  const std::size_t start_offset = pos_;
+  const std::size_t start_line = line_;
+  const std::size_t start_column = column_;
+
+  // Longest-match over the ES punctuator table.
+  static constexpr std::array<std::string_view, 50> kMulti = {
+      ">>>=", "...",  "===", "!==", ">>>", "**=", "<<=", ">>=", "&&=", "||=",
+      "?\?=", "=>",   "==",  "!=",  "<=",  ">=",  "&&",  "||",  "??",  "?.",
+      "++",   "--",   "<<",  ">>",  "+=",  "-=",  "*=",  "/=",  "%=",  "&=",
+      "|=",   "^=",   "**",  "{",   "}",   "(",   ")",   "[",   "]",   ";",
+      ",",    "<",    ">",   "+",   "-",   "*",   "/",   "%",   "&",   "|",
+  };
+  static constexpr std::array<std::string_view, 7> kSingle = {
+      "^", "!", "~", "?", ":", "=", ".",
+  };
+
+  const std::string_view rest = source_.substr(pos_);
+  for (std::string_view candidate : kMulti) {
+    if (rest.substr(0, candidate.size()) == candidate) {
+      for (std::size_t i = 0; i < candidate.size(); ++i) advance();
+      Token token = make_token(TokenType::kPunctuator, start_offset, start_line,
+                               start_column);
+      token.value = std::string(candidate);
+      return token;
+    }
+  }
+  for (std::string_view candidate : kSingle) {
+    if (!rest.empty() && rest[0] == candidate[0]) {
+      advance();
+      Token token = make_token(TokenType::kPunctuator, start_offset, start_line,
+                               start_column);
+      token.value = std::string(candidate);
+      return token;
+    }
+  }
+  fail(std::string("unexpected character '") + peek() + "'");
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view source) {
+  Lexer lexer(source);
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = lexer.next();
+    if (token.type == TokenType::kEndOfFile) break;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace jst

@@ -1,0 +1,77 @@
+// JavaScript tokenizer.
+//
+// A hand-written scanner covering the ES2017 subset jstraced works with:
+// identifiers (ASCII + $ + _ + \uXXXX escapes passed through), all numeric
+// literal forms, single/double-quoted strings with escapes, template
+// literals (scanned as one composite token with balanced ${...}
+// substitution extraction), regular expression literals (disambiguated
+// from division by previous-token context, as in Esprima's tokenizer),
+// comments (line, block, and HTML-comment-like `<!--`), and the full
+// punctuator set.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer/token.h"
+#include "support/error.h"
+
+namespace jst {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  // Scans and returns the next token; returns kEndOfFile at the end.
+  // Throws ParseError on malformed input.
+  Token next();
+
+  // Tokenizes an entire source (excluding the EOF token).
+  static std::vector<Token> tokenize(std::string_view source);
+
+  // Number of comments skipped so far and their total byte size.
+  std::size_t comment_count() const { return comment_count_; }
+  std::size_t comment_bytes() const { return comment_bytes_; }
+
+  std::size_t line() const { return line_; }
+
+ private:
+  char peek(std::size_t ahead = 0) const;
+  bool eof(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  // Skips whitespace and comments; records whether a newline was crossed.
+  void skip_trivia();
+
+  Token make_token(TokenType type, std::size_t start_offset,
+                   std::size_t start_line, std::size_t start_column);
+
+  Token scan_identifier_or_keyword();
+  Token scan_number();
+  Token scan_string(char quote);
+  Token scan_template();
+  Token scan_regex();
+  Token scan_punctuator();
+
+  // True when a '/' in the current position starts a regex rather than a
+  // division operator, judged from the previously emitted token.
+  bool regex_allowed() const;
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 0;
+  bool newline_pending_ = false;
+  std::optional<Token> previous_;
+  std::size_t comment_count_ = 0;
+  std::size_t comment_bytes_ = 0;
+};
+
+// True if `word` is a reserved keyword (not including null/true/false).
+bool is_js_keyword(std::string_view word);
+
+}  // namespace jst

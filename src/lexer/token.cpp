@@ -1,0 +1,21 @@
+#include "lexer/token.h"
+
+namespace jst {
+
+std::string_view token_type_name(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier: return "Identifier";
+    case TokenType::kKeyword: return "Keyword";
+    case TokenType::kBooleanLiteral: return "Boolean";
+    case TokenType::kNullLiteral: return "Null";
+    case TokenType::kNumericLiteral: return "Numeric";
+    case TokenType::kStringLiteral: return "String";
+    case TokenType::kTemplate: return "Template";
+    case TokenType::kRegularExpression: return "RegularExpression";
+    case TokenType::kPunctuator: return "Punctuator";
+    case TokenType::kEndOfFile: return "EOF";
+  }
+  return "Unknown";
+}
+
+}  // namespace jst

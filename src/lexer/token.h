@@ -1,0 +1,54 @@
+// Lexical tokens for the JavaScript tokenizer.
+//
+// Mirrors Esprima's token taxonomy so that downstream token-level features
+// match the paper's abstraction (§III-A: "we also leverage Esprima to
+// collect lexical units (i.e., tokens)").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jst {
+
+enum class TokenType {
+  kIdentifier,      // foo, let (contextual keywords stay identifiers)
+  kKeyword,         // if, function, var, ...
+  kBooleanLiteral,  // true / false
+  kNullLiteral,     // null
+  kNumericLiteral,  // 42, 0x2a, 3.14e-2, 0b101, 0o17
+  kStringLiteral,   // 'a', "b"
+  kTemplate,        // `text ${expr} text` (whole literal, one token)
+  kRegularExpression,
+  kPunctuator,      // { } ( ) + === => ...
+  kEndOfFile,
+};
+
+std::string_view token_type_name(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEndOfFile;
+  // Cooked value: identifier name, keyword text, decoded string value,
+  // punctuator text, regex pattern (without flags), raw template text.
+  std::string value;
+  // Exact source slice.
+  std::string raw;
+  // For numeric literals.
+  double number = 0.0;
+  // For regular expressions.
+  std::string regex_flags;
+  // For templates: source slices of each ${...} substitution expression.
+  std::vector<std::string> template_expressions;
+  // Cooked text chunks between substitutions (size = substitutions + 1).
+  std::vector<std::string> template_quasis;
+
+  std::size_t offset = 0;  // byte offset of the first character
+  std::size_t line = 1;    // 1-based
+  std::size_t column = 0;  // 0-based
+  // True when a line terminator appears between the previous token and this
+  // one (needed for automatic semicolon insertion).
+  bool newline_before = false;
+};
+
+}  // namespace jst

@@ -1,0 +1,81 @@
+// CART binary decision tree with probability estimates.
+//
+// Replaces the scikit-learn tree the paper builds on. Splits minimize Gini
+// impurity; leaves store the positive-class fraction of their training
+// samples, so predict() yields calibrated-ish probabilities that the
+// forest averages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace jst::ml {
+
+// Row-major dense feature matrix view.
+struct Matrix {
+  const std::vector<std::vector<float>>* rows = nullptr;
+  std::size_t row_count() const { return rows == nullptr ? 0 : rows->size(); }
+  std::size_t column_count() const {
+    return row_count() == 0 ? 0 : (*rows)[0].size();
+  }
+  float at(std::size_t row, std::size_t column) const {
+    return (*rows)[row][column];
+  }
+};
+
+struct TreeParams {
+  std::size_t max_depth = 24;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 1;
+  // Number of feature candidates per split; 0 = sqrt(feature count).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  // Fits on the samples selected by `indices` (bootstrap subset).
+  void fit(const Matrix& data, std::span<const std::uint8_t> labels,
+           std::span<const std::size_t> indices, const TreeParams& params,
+           Rng& rng);
+
+  // Probability of the positive class.
+  double predict(std::span<const float> row) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const { return depth_; }
+
+  // Accumulates impurity-decrease feature importances into `out`
+  // (size = feature count).
+  void add_feature_importance(std::vector<double>& out) const;
+
+  // Text serialization (whitespace-separated; version-checked by the
+  // forest wrapper).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  struct TreeNode {
+    std::int32_t feature = -1;       // -1 for leaves
+    float threshold = 0.0f;          // go left when value <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    float value = 0.0f;              // leaf: positive-class probability
+    float importance = 0.0f;         // weighted impurity decrease
+  };
+
+  std::int32_t build(const Matrix& data, std::span<const std::uint8_t> labels,
+                     std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, std::size_t depth,
+                     const TreeParams& params, Rng& rng);
+
+  std::vector<TreeNode> nodes_;
+  std::size_t depth_ = 0;
+  std::size_t feature_count_ = 0;
+};
+
+}  // namespace jst::ml

@@ -1,0 +1,113 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace jst::ml {
+namespace {
+
+bool contains(std::span<const std::size_t> haystack, std::size_t needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+}  // namespace
+
+double subset_accuracy(const std::vector<std::vector<std::size_t>>& predicted,
+                       const std::vector<std::vector<std::size_t>>& truth) {
+  if (predicted.size() != truth.size()) {
+    throw InvalidArgument("subset_accuracy: size mismatch");
+  }
+  if (predicted.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    std::vector<std::size_t> a = predicted[i];
+    std::vector<std::size_t> b = truth[i];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a == b) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+bool topk_correct(std::span<const std::size_t> topk,
+                  std::span<const std::size_t> truth) {
+  if (topk.empty()) return false;
+  for (std::size_t label : topk) {
+    if (!contains(truth, label)) return false;
+  }
+  return true;
+}
+
+std::size_t wrong_labels(std::span<const std::size_t> predicted,
+                         std::span<const std::size_t> truth) {
+  std::size_t wrong = 0;
+  for (std::size_t label : predicted) {
+    if (!contains(truth, label)) ++wrong;
+  }
+  return wrong;
+}
+
+std::size_t missing_labels(std::span<const std::size_t> predicted,
+                           std::span<const std::size_t> truth) {
+  std::size_t missing = 0;
+  for (std::size_t label : truth) {
+    if (!contains(predicted, label)) ++missing;
+  }
+  return missing;
+}
+
+void BinaryConfusion::add(bool predicted, bool actual) {
+  if (predicted && actual) {
+    ++true_positive;
+  } else if (predicted && !actual) {
+    ++false_positive;
+  } else if (!predicted && actual) {
+    ++false_negative;
+  } else {
+    ++true_negative;
+  }
+}
+
+double BinaryConfusion::accuracy() const {
+  const std::size_t all = total();
+  if (all == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(all);
+}
+
+double BinaryConfusion::precision() const {
+  const std::size_t denominator = true_positive + false_positive;
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(true_positive) /
+         static_cast<double>(denominator);
+}
+
+double BinaryConfusion::recall() const {
+  const std::size_t denominator = true_positive + false_negative;
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(true_positive) /
+         static_cast<double>(denominator);
+}
+
+double BinaryConfusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double binary_accuracy(std::span<const bool> predicted,
+                       std::span<const bool> truth) {
+  if (predicted.size() != truth.size()) {
+    throw InvalidArgument("binary_accuracy: size mismatch");
+  }
+  if (predicted.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+}  // namespace jst::ml

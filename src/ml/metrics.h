@@ -1,0 +1,47 @@
+// Evaluation metrics used throughout the paper's experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace jst::ml {
+
+// Exact-match ("subset") accuracy over multi-label predictions: both the
+// predicted labels and their number must match the ground truth (§III-E1).
+double subset_accuracy(const std::vector<std::vector<std::size_t>>& predicted,
+                       const std::vector<std::vector<std::size_t>>& truth);
+
+// Paper's Top-k rule: a Top-k prediction is correct when ALL k most
+// probable labels are part of the ground-truth label set.
+bool topk_correct(std::span<const std::size_t> topk,
+                  std::span<const std::size_t> truth);
+
+// Wrong labels: predictions not in the ground truth. Missing labels:
+// ground-truth labels not predicted (Figure 1's secondary axes).
+std::size_t wrong_labels(std::span<const std::size_t> predicted,
+                         std::span<const std::size_t> truth);
+std::size_t missing_labels(std::span<const std::size_t> predicted,
+                           std::span<const std::size_t> truth);
+
+struct BinaryConfusion {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+
+  void add(bool predicted, bool actual);
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  std::size_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+};
+
+// Simple accuracy of boolean predictions.
+double binary_accuracy(std::span<const bool> predicted,
+                       std::span<const bool> truth);
+
+}  // namespace jst::ml

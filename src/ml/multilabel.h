@@ -1,0 +1,85 @@
+// Multi-task (multi-label) classification wrappers.
+//
+// The paper (§III-C/D3) compares two scikit-learn strategies over random
+// forests and selects the second:
+//  - binary relevance ("classifiers independence assumption"): one
+//    independent binary classifier per label;
+//  - classifier chain: classifier at position P additionally receives the
+//    labels of positions [0, P-1] as features (ground truth at training
+//    time, thresholded predictions at inference time).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/random_forest.h"
+
+namespace jst::ml {
+
+// Binary label matrix: labels[i][j] == 1 iff sample i carries label j.
+using LabelMatrix = std::vector<std::vector<std::uint8_t>>;
+
+class MultiLabelClassifier {
+ public:
+  virtual ~MultiLabelClassifier() = default;
+
+  virtual void fit(const Matrix& data, const LabelMatrix& labels,
+                   const ForestParams& params, Rng& rng) = 0;
+
+  // Per-label positive probability (independent scores; they do not sum
+  // to 1 — the paper leans on this for its confidence-threshold analysis).
+  virtual std::vector<double> predict_proba(
+      std::span<const float> row) const = 0;
+
+  virtual std::size_t label_count() const = 0;
+
+  // Text serialization of the trained per-label forests.
+  virtual void save(std::ostream& out) const = 0;
+  virtual void load(std::istream& in) = 0;
+
+  // Labels with probability >= threshold.
+  std::vector<std::size_t> predict_set(std::span<const float> row,
+                                       double threshold = 0.5) const;
+
+  // Indices of the k most probable labels, most probable first.
+  std::vector<std::size_t> predict_topk(std::span<const float> row,
+                                        std::size_t k) const;
+
+  // Top-k restricted to labels whose probability clears `threshold`
+  // (the paper's final level-2 decision rule, threshold = 0.10).
+  std::vector<std::size_t> predict_topk_thresholded(std::span<const float> row,
+                                                    std::size_t k,
+                                                    double threshold) const;
+};
+
+class BinaryRelevance final : public MultiLabelClassifier {
+ public:
+  void fit(const Matrix& data, const LabelMatrix& labels,
+           const ForestParams& params, Rng& rng) override;
+  std::vector<double> predict_proba(std::span<const float> row) const override;
+  std::size_t label_count() const override { return forests_.size(); }
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+
+ private:
+  std::vector<RandomForest> forests_;
+};
+
+class ClassifierChain final : public MultiLabelClassifier {
+ public:
+  void fit(const Matrix& data, const LabelMatrix& labels,
+           const ForestParams& params, Rng& rng) override;
+  std::vector<double> predict_proba(std::span<const float> row) const override;
+  std::size_t label_count() const override { return forests_.size(); }
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+
+ private:
+  std::vector<RandomForest> forests_;
+  double chain_threshold_ = 0.5;
+};
+
+}  // namespace jst::ml

@@ -1,0 +1,71 @@
+#include "ml/random_forest.h"
+
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "support/error.h"
+
+namespace jst::ml {
+
+void RandomForest::fit(const Matrix& data, std::span<const std::uint8_t> labels,
+                       const ForestParams& params, Rng& rng) {
+  if (data.row_count() == 0) throw ModelError("RandomForest::fit: empty data");
+  trees_.clear();
+  trees_.resize(params.tree_count);
+  feature_count_ = data.column_count();
+  const std::size_t row_count = data.row_count();
+  const auto sample_count = static_cast<std::size_t>(
+      static_cast<double>(row_count) * params.bootstrap_fraction);
+  std::vector<std::size_t> bootstrap(std::max<std::size_t>(sample_count, 1));
+  for (DecisionTree& tree : trees_) {
+    for (std::size_t& index : bootstrap) index = rng.index(row_count);
+    tree.fit(data, labels, bootstrap, params.tree, rng);
+  }
+}
+
+double RandomForest::predict_proba(std::span<const float> row) const {
+  if (trees_.empty()) throw ModelError("RandomForest::predict before fit");
+  double total = 0.0;
+  for (const DecisionTree& tree : trees_) total += tree.predict(row);
+  return total / static_cast<double>(trees_.size());
+}
+
+namespace {
+constexpr const char* kForestMagic = "jstraced-forest-v1";
+}
+
+void RandomForest::save(std::ostream& out) const {
+  out << kForestMagic << '\n';
+  out << trees_.size() << ' ' << feature_count_ << '\n';
+  for (const DecisionTree& tree : trees_) tree.save(out);
+}
+
+void RandomForest::load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kForestMagic) {
+    throw ModelError("RandomForest::load: unrecognized format");
+  }
+  std::size_t count = 0;
+  if (!(in >> count >> feature_count_)) {
+    throw ModelError("RandomForest::load: bad header");
+  }
+  trees_.assign(count, DecisionTree{});
+  for (DecisionTree& tree : trees_) tree.load(in);
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  std::vector<double> importance(feature_count_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    tree.add_feature_importance(importance);
+  }
+  const double total =
+      std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0.0) {
+    for (double& value : importance) value /= total;
+  }
+  return importance;
+}
+
+}  // namespace jst::ml

@@ -1,0 +1,50 @@
+// Random forest (bagged CART trees) for binary classification, mirroring
+// the scikit-learn estimator the paper uses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "support/rng.h"
+
+namespace jst::ml {
+
+struct ForestParams {
+  std::size_t tree_count = 48;
+  TreeParams tree;
+  // Bootstrap sample fraction (with replacement).
+  double bootstrap_fraction = 1.0;
+};
+
+class RandomForest {
+ public:
+  void fit(const Matrix& data, std::span<const std::uint8_t> labels,
+           const ForestParams& params, Rng& rng);
+
+  // Averaged positive-class probability across trees.
+  double predict_proba(std::span<const float> row) const;
+
+  bool predict(std::span<const float> row, double threshold = 0.5) const {
+    return predict_proba(row) >= threshold;
+  }
+
+  bool trained() const { return !trees_.empty(); }
+  std::size_t tree_count() const { return trees_.size(); }
+
+  // Normalized Gini feature importances (sums to 1 unless all zero).
+  std::vector<double> feature_importance() const;
+
+  // Text serialization: save a trained forest, load it back without
+  // retraining. Throws ModelError on format mismatch.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t feature_count_ = 0;
+};
+
+}  // namespace jst::ml

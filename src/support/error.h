@@ -1,0 +1,38 @@
+// Error types shared across jstraced modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jst {
+
+// Raised when JavaScript input cannot be tokenized or parsed.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t line, std::size_t column)
+      : std::runtime_error(message + " (line " + std::to_string(line) +
+                           ", column " + std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+// Raised on API misuse (violated preconditions that are caller bugs).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+// Raised when a model is used before training or with mismatched dimensions.
+class ModelError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace jst

@@ -1,0 +1,102 @@
+#include "support/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace jst {
+
+void JsonWriter::maybe_comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  maybe_comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  if (!needs_comma_.empty()) needs_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  maybe_comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  if (!needs_comma_.empty()) needs_comma_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  maybe_comma();
+  out_ += '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') out_ += '\\';
+    out_ += c;
+  }
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  maybe_comma();
+  out_ += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::value(double number) {
+  maybe_comma();
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", number);
+  out_ += buf;
+}
+
+void JsonWriter::value(long long number) {
+  maybe_comma();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool flag) {
+  maybe_comma();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  maybe_comma();
+  out_ += "null";
+}
+
+}  // namespace jst

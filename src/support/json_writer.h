@@ -1,0 +1,44 @@
+// Minimal streaming JSON writer, used to dump experiment results and
+// feature vectors for external plotting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jst {
+
+// Builds a JSON document incrementally. Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("accuracy"); w.value(0.9941);
+//   w.key("labels"); w.begin_array(); w.value("regular"); w.end_array();
+//   w.end_object();
+//   std::string doc = w.str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(long long number);
+  void value(int number) { value(static_cast<long long>(number)); }
+  void value(std::size_t number) { value(static_cast<long long>(number)); }
+  void value(bool flag);
+  void null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void maybe_comma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open container
+  bool after_key_ = false;
+};
+
+}  // namespace jst

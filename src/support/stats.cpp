@@ -1,0 +1,92 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace jst::stats {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double m = mean(values);
+  double total = 0.0;
+  for (double v : values) total += (v - m) * (v - m);
+  return total / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double fraction = rank - static_cast<double>(lo);
+  return sorted[lo] + fraction * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) { return percentile(values, 50); }
+
+double min(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double relative_stddev_percent(std::span<const double> values) {
+  const double m = mean(values);
+  if (m == 0.0) return 0.0;
+  return 100.0 * stddev(values) / m;
+}
+
+double byte_entropy(std::span<const unsigned char> data) {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (unsigned char byte : data) ++counts[byte];
+  double entropy = 0.0;
+  const auto total = static_cast<double>(data.size());
+  for (std::size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+void Accumulator::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace jst::stats

@@ -1,0 +1,45 @@
+// Descriptive statistics helpers for feature extraction and experiment
+// reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace jst::stats {
+
+double mean(std::span<const double> values);           // 0 when empty
+double variance(std::span<const double> values);       // population variance
+double stddev(std::span<const double> values);
+double median(std::span<const double> values);         // 0 when empty
+double percentile(std::span<const double> values, double p);  // p in [0,100]
+double min(std::span<const double> values);            // 0 when empty
+double max(std::span<const double> values);            // 0 when empty
+
+// Relative standard deviation in percent (100 * stddev / mean); 0 when the
+// mean is 0.
+double relative_stddev_percent(std::span<const double> values);
+
+// Shannon entropy (bits) of the byte distribution of `data`.
+double byte_entropy(std::span<const unsigned char> data);
+
+// Running mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace jst::stats

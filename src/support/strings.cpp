@@ -1,0 +1,168 @@
+#include "support/strings.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace jst::strings {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+           c == '\v';
+  };
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool is_ascii_digit(char c) { return c >= '0' && c <= '9'; }
+
+bool is_ascii_alpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+bool is_ascii_alnum(char c) { return is_ascii_digit(c) || is_ascii_alpha(c); }
+
+bool is_hex_digit(char c) {
+  return is_ascii_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+bool is_identifier(std::string_view text) {
+  if (text.empty()) return false;
+  const char first = text[0];
+  if (!is_ascii_alpha(first) && first != '_' && first != '$') return false;
+  for (std::size_t i = 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!is_ascii_alnum(c) && c != '_' && c != '$') return false;
+  }
+  return true;
+}
+
+std::size_t count_lines(std::string_view text) {
+  std::size_t lines = 1;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+std::string escape_js_string(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\v': out += "\\v"; break;
+      case '\0': out += "\\0"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\x%02x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex_escape_all(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() * 4);
+  for (char c : text) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "\\x%02x", static_cast<unsigned char>(c));
+    out += buf;
+  }
+  return out;
+}
+
+std::string unicode_escape_all(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() * 6);
+  for (char c : text) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+    out += buf;
+  }
+  return out;
+}
+
+std::string format_double(double value, int max_precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", max_precision, value);
+  std::string out(buf);
+  if (out.find('.') != std::string::npos) {
+    while (!out.empty() && out.back() == '0') out.pop_back();
+    if (!out.empty() && out.back() == '.') out.pop_back();
+  }
+  return out;
+}
+
+std::string to_base_n(std::uint64_t value, unsigned base) {
+  static constexpr char kDigits[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  if (base < 2 || base > 62) throw InvalidArgument("to_base_n: base out of range");
+  if (value == 0) return "0";
+  std::string out;
+  while (value > 0) {
+    out.insert(out.begin(), kDigits[value % base]);
+    value /= base;
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+double alnum_ratio(std::string_view text) {
+  if (text.empty()) return 0.0;
+  std::size_t alnum = 0;
+  for (char c : text) {
+    if (is_ascii_alnum(c)) ++alnum;
+  }
+  return static_cast<double>(alnum) / static_cast<double>(text.size());
+}
+
+}  // namespace jst::strings

@@ -1,0 +1,54 @@
+// Small string utilities used throughout jstraced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jst::strings {
+
+// Splits on a single-character delimiter; keeps empty pieces.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+// Removes ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool is_ascii_digit(char c);
+bool is_ascii_alpha(char c);
+bool is_ascii_alnum(char c);
+bool is_hex_digit(char c);
+
+// True if `text` is a valid JavaScript identifier (ASCII subset).
+bool is_identifier(std::string_view text);
+
+// Counts '\n' + 1 (an empty string has one line).
+std::size_t count_lines(std::string_view text);
+
+// Escapes a string for embedding inside a double-quoted JS string literal.
+std::string escape_js_string(std::string_view text);
+
+// Hex-escapes every character as \xHH (for string obfuscation).
+std::string hex_escape_all(std::string_view text);
+
+// Unicode-escapes every character as \uHHHH (for string obfuscation).
+std::string unicode_escape_all(std::string_view text);
+
+// Formats a double with fixed precision, trimming trailing zeros.
+std::string format_double(double value, int max_precision = 6);
+
+// Converts value to base-N using digits 0-9a-zA-Z (Dean Edwards packer style,
+// N in [2, 62]).
+std::string to_base_n(std::uint64_t value, unsigned base);
+
+// FNV-1a 64-bit hash.
+std::uint64_t fnv1a(std::string_view text);
+
+// Ratio of characters that are alphanumeric.
+double alnum_ratio(std::string_view text);
+
+}  // namespace jst::strings

@@ -1,0 +1,58 @@
+// Identifier obfuscation: randomize every local variable and function name.
+// Naming styles cover the generators seen in the wild — obfuscator.io's
+// hexadecimal (_0x1a2b3c), packer-style 1-2 letter names, and random
+// alphanumeric — so the detector learns the technique, not one tool's
+// naming scheme. The code layout is otherwise untouched, which is why the
+// paper's manual analysis found such samples "look very regular" (§IV-C1).
+#include <unordered_set>
+
+#include "codegen/codegen.h"
+#include "parser/parser.h"
+#include "transform/rename.h"
+#include "transform/transform.h"
+
+namespace jst::transform {
+namespace {
+
+std::string make_name(IdentifierObfuscationOptions::Style style, Rng& rng) {
+  using Style = IdentifierObfuscationOptions::Style;
+  switch (style) {
+    case Style::kHex:
+      return hex_name(rng);
+    case Style::kShort:
+      return rng.identifier(1 + rng.index(2));
+    case Style::kAlnum:
+      return rng.identifier(5 + rng.index(6));
+    case Style::kAuto:
+      break;
+  }
+  return hex_name(rng);
+}
+
+}  // namespace
+
+std::string obfuscate_identifiers(
+    std::string_view source, Rng& rng,
+    const IdentifierObfuscationOptions& options) {
+  using Style = IdentifierObfuscationOptions::Style;
+  Style style = options.style;
+  if (style == Style::kAuto) {
+    // Hex dominates in the wild; the others keep the concept general.
+    const double roll = rng.uniform();
+    style = roll < 0.6 ? Style::kHex
+                       : (roll < 0.8 ? Style::kShort : Style::kAlnum);
+  }
+  ParseResult parsed = parse_program(source);
+  std::unordered_set<std::string> used;
+  rename_bindings(parsed.ast,
+                  [&rng, &used, style](std::size_t, const std::string&) {
+                    std::string name = make_name(style, rng);
+                    while (is_js_keyword(name) || !used.insert(name).second) {
+                      name = make_name(style, rng);
+                    }
+                    return name;
+                  });
+  return to_source(parsed.ast.root());
+}
+
+}  // namespace jst::transform

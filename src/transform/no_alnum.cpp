@@ -1,0 +1,276 @@
+// No-alphanumeric rewriting (JSFuck / JSXFuck style): the whole program is
+// re-expressed using only the six characters [ ] ( ) ! +.
+//
+// Construction (self-consistent bootstrap, V8 function-stringification
+// assumed for character indices — the output only needs to parse and to
+// exhibit the technique's syntactic shape for the detector):
+//   false       -> ![]           true  -> !![]
+//   undefined   -> [][[]]        NaN   -> +[![]]
+//   digit d     -> +[] / +!![] / !![]+!![][+...]
+//   "false"/"true"/"undefined"/"NaN" -> atom+[]
+//   []["flat"]  -> the Array.prototype.flat function; its string yields
+//                  'c','o',' ','(',')','{','[',']','v','}'
+//   constructor strings of String/Number/Boolean yield 'S','g','m','b','B'
+//   any lowercase letter -> (+("n"))["toString"](+("36"))
+//   '%'         -> ([]["flat"]["constructor"]("return escape")()([]["flat"]))[8+...]
+//   any char    -> []["flat"]["constructor"]("return unescape")()("%hh")
+//   program     -> []["flat"]["constructor"]("<encoded source>")()
+#include <unordered_map>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "transform/transform.h"
+
+namespace jst::transform {
+namespace {
+
+class JsFuckEncoder {
+ public:
+  // Expression evaluating to the number `value` (non-negative integer).
+  std::string number(std::uint64_t value) {
+    if (value <= 9) return digit_number(static_cast<unsigned>(value));
+    // +("multi-digit string")
+    return "+(" + string_of_digits(value) + ")";
+  }
+
+  // Expression evaluating to the string form of `value`.
+  std::string string_of_digits(std::uint64_t value) {
+    const std::string digits = std::to_string(value);
+    std::string out;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      if (i > 0) out += "+";
+      out += "(" + digit_string(static_cast<unsigned>(digits[i] - '0')) + ")";
+    }
+    return out;
+  }
+
+  // Expression evaluating to the one-character string `c` (memoized).
+  const std::string& character(char c) {
+    auto it = char_cache_.find(c);
+    if (it != char_cache_.end()) return it->second;
+    std::string expr = build_character(c);
+    return char_cache_.emplace(c, std::move(expr)).first->second;
+  }
+
+  // Expression evaluating to the arbitrary string `text`.
+  std::string string(std::string_view text) {
+    if (text.empty()) return "([]+[])";
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (i > 0) out += "+";
+      out += "(" + character(text[i]) + ")";
+    }
+    return out;
+  }
+
+  // Full program: Function(source)() spelled in the six characters.
+  std::string program(std::string_view source) {
+    return function_constructor() + "(" + string(source) + ")()";
+  }
+
+ private:
+  static std::string digit_number(unsigned d) {
+    if (d == 0) return "+[]";
+    std::string out = "+!![]";
+    for (unsigned i = 1; i < d; ++i) out += "+!![]";
+    return d == 1 ? out : "(" + out + ")";
+  }
+
+  static std::string digit_string(unsigned d) {
+    if (d == 0) return "+[]+[]";
+    std::string out = "!![]";
+    for (unsigned i = 1; i < d; ++i) out += "+!![]";
+    return out + "+[]";
+  }
+
+  // Indexing helper: (base)[index-expression].
+  static std::string at(const std::string& base, unsigned index) {
+    return "(" + base + ")[" + digit_number(index) + "]";
+  }
+
+  static std::string flat_function() { return "[][" /*"flat"*/ "FLAT]"; }
+
+  std::string flat() {
+    // []["flat"] — "flat" spelled from cheap chars.
+    return "[][" + cheap_string("flat") + "]";
+  }
+
+  std::string function_constructor() {
+    // []["flat"]["constructor"]
+    return "(" + flat() + ")[" + cheap_string("constructor") + "]";
+  }
+
+  // Strings composed only of characters available without recursion.
+  std::string cheap_string(std::string_view text) {
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (i > 0) out += "+";
+      out += "(" + cheap_character(text[i]) + ")";
+    }
+    return out;
+  }
+
+  // Characters extracted from atom strings only (no Function bootstrap).
+  std::string cheap_character(char c) {
+    const std::string kFalse = "(![]+[])";        // "false"
+    const std::string kTrue = "(!![]+[])";        // "true"
+    const std::string kUndefined = "([][[]]+[])"; // "undefined"
+    const std::string kNan = "(+[![]]+[])";       // "NaN"
+    switch (c) {
+      case 'f': return at(kFalse, 0);
+      case 'a': return at(kFalse, 1);
+      case 'l': return at(kFalse, 2);
+      case 's': return at(kFalse, 3);
+      case 'e': return at(kTrue, 3);
+      case 't': return at(kTrue, 0);
+      case 'r': return at(kTrue, 1);
+      case 'u': return at(kTrue, 2);
+      case 'n': return at(kUndefined, 1);
+      case 'd': return at(kUndefined, 2);
+      case 'i': return at(kUndefined, 5);
+      case 'N': return at(kNan, 0);
+      // From "function flat() { [native code] }".
+      case 'c': return at(flat_string(), 3);
+      case 'o': return at(flat_string(), 6);
+      case ' ': return at(flat_string(), 8);
+      case '(': return at(flat_string(), 13);
+      case ')': return at(flat_string(), 14);
+      case '{': return at(flat_string(), 16);
+      case '[': return at(flat_string(), 18);
+      case 'v': return at(flat_string(), 23);
+      case ']': return at(flat_string(), 30);
+      case '}': return at(flat_string(), 32);
+      default:
+        throw InvalidArgument(std::string("no cheap encoding for '") + c +
+                              "'");
+    }
+  }
+
+  std::string flat_string() {
+    // []["flat"]+[] == "function flat() { [native code] }"
+    return "(" + flat() + "+[])";
+  }
+
+  std::string string_ctor_string() {
+    // ([]+[])["constructor"]+[] == "function String() { [native code] }"
+    return "((([]+[])[" + cheap_string("constructor") + "])+[])";
+  }
+
+  std::string number_ctor_string() {
+    return "(((+[])[" + cheap_string("constructor") + "])+[])";
+  }
+
+  std::string boolean_ctor_string() {
+    return "(((![])[" + cheap_string("constructor") + "])+[])";
+  }
+
+  std::string build_character(char c) {
+    // 1. Cheap atoms.
+    switch (c) {
+      case 'f': case 'a': case 'l': case 's': case 'e': case 't': case 'r':
+      case 'u': case 'n': case 'd': case 'i': case 'N': case 'c': case 'o':
+      case ' ': case '(': case ')': case '{': case '[': case ']': case '}':
+      case 'v':
+        return cheap_character(c);
+      default:
+        break;
+    }
+    if (c >= '0' && c <= '9') {
+      return digit_string(static_cast<unsigned>(c - '0'));
+    }
+    // 2. Constructor-string extras.
+    switch (c) {
+      case 'S': return at(string_ctor_string(), 9);
+      case 'g': return at(string_ctor_string(), 14);
+      case 'm': return at(number_ctor_string(), 11);
+      case 'b': return at(number_ctor_string(), 12);
+      case 'B': return at(boolean_ctor_string(), 9);
+      default:
+        break;
+    }
+    // 3. Any lowercase letter via Number.prototype.toString(36).
+    if (c >= 'a' && c <= 'z') {
+      const unsigned value = 10 + static_cast<unsigned>(c - 'a');
+      return "(" + number(value) + ")[" + to_string_name() + "](" +
+             number(36) + ")";
+    }
+    // 4. Everything else through unescape("%hh").
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%02x", static_cast<unsigned char>(c));
+    const std::string hex(buf);
+    return unescape_fn() + "(" + percent_char() + "+(" + character(hex[0]) +
+           ")+(" + character(hex[1]) + "))";
+  }
+
+  std::string to_string_name() {
+    // "toString": 't','o' cheap + 'S' + "tring" cheap-ish.
+    if (to_string_cache_.empty()) {
+      std::string out;
+      const char* text = "toString";
+      for (const char* p = text; *p != '\0'; ++p) {
+        if (p != text) out += "+";
+        if (*p == 'S') {
+          out += "(" + at(string_ctor_string(), 9) + ")";
+        } else if (*p == 'g') {
+          out += "(" + at(string_ctor_string(), 14) + ")";
+        } else {
+          out += "(" + cheap_character(*p) + ")";
+        }
+      }
+      to_string_cache_ = out;
+    }
+    return to_string_cache_;
+  }
+
+  // Spells a string via the general per-character table ('p' of "escape"
+  // comes from the toString(36) path, everything else is cheap). Safe
+  // against recursion: none of these characters route through unescape.
+  std::string general_string(std::string_view text) {
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (i > 0) out += "+";
+      out += "(" + character(text[i]) + ")";
+    }
+    return out;
+  }
+
+  std::string unescape_fn() {
+    // []["flat"]["constructor"]("return unescape")()
+    if (unescape_cache_.empty()) {
+      unescape_cache_ = "(" + function_constructor() + "(" +
+                        general_string("return unescape") + ")())";
+    }
+    return unescape_cache_;
+  }
+
+  std::string percent_char() {
+    // escape([]["flat"]) replaces the space at index 8 with "%20", so the
+    // '%' character sits at index 8 of the escaped function string.
+    if (percent_cache_.empty()) {
+      const std::string escape_fn = "(" + function_constructor() + "(" +
+                                    general_string("return escape") + ")())";
+      percent_cache_ =
+          "(" + at(escape_fn + "(" + flat() + ")", 8) + ")";
+    }
+    return percent_cache_;
+  }
+
+  std::unordered_map<char, std::string> char_cache_;
+  std::string to_string_cache_;
+  std::string unescape_cache_;
+  std::string percent_cache_;
+};
+
+}  // namespace
+
+std::string no_alnum_transform(std::string_view source,
+                               const NoAlnumOptions& options) {
+  std::string_view clipped = source;
+  if (clipped.size() > options.max_source_bytes) {
+    clipped = clipped.substr(0, options.max_source_bytes);
+  }
+  JsFuckEncoder encoder;
+  return encoder.program(clipped);
+}
+
+}  // namespace jst::transform

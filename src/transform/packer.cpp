@@ -1,0 +1,144 @@
+// Dean Edwards p.a.c.k.e.r (the engine behind the Daft Logic obfuscator,
+// §III-E3's "unseen tool").
+//
+// The source is minified, its repeated words are replaced by base-62
+// tokens, and the payload is wrapped in the classic bootstrap:
+//
+//   eval(function(p,a,c,k,e,d){e=function(c){return(c<a?'':e(parseInt(c/a)))
+//   +((c=c%a)>35?String.fromCharCode(c+29):c.toString(36))};if(!''.replace(
+//   /^/,String)){while(c--){d[e(c)]=k[c]||e(c)}k=[function(e){return d[e]}];
+//   e=function(){return'\\w+'};c=1};while(c--){if(k[c]){p=p.replace(new
+//   RegExp('\\b'+e(c)+'\\b','g'),k[c])}}return p}('<payload>',62,N,'<words>'
+//   .split('|'),0,{}))
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "lexer/lexer.h"
+#include "support/strings.h"
+#include "transform/transform.h"
+
+namespace jst::transform {
+namespace {
+
+// Base-62 token in p.a.c.k.e.r's encoding order (0-9, a-z, A-Z).
+std::string packer_token(std::size_t index) {
+  static constexpr char kDigits[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  if (index == 0) return "0";
+  std::string out;
+  while (index > 0) {
+    out.insert(out.begin(), kDigits[index % 62]);
+    index /= 62;
+  }
+  return out;
+}
+
+bool is_word_char(char c) {
+  return strings::is_ascii_alnum(c) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+std::string pack(std::string_view source, Rng& rng) {
+  // Stage 1: minify (the packer always runs on compacted source; this is
+  // why the paper's level-2 detector reports minification for packed
+  // files).
+  MinifyOptions minify_options;
+  minify_options.rename_locals = true;
+  minify_options.advanced = true;
+  minify_options.line_limit = 0;  // single line
+  const std::string minified = minify(source, minify_options);
+
+  // Stage 2: find repeated words (identifier-like runs) worth replacing.
+  std::map<std::string, std::size_t> word_counts;
+  std::size_t i = 0;
+  while (i < minified.size()) {
+    if (is_word_char(minified[i])) {
+      std::size_t j = i;
+      while (j < minified.size() && is_word_char(minified[j])) ++j;
+      ++word_counts[minified.substr(i, j - i)];
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  std::vector<std::string> words;
+  for (const auto& [word, count] : word_counts) {
+    // Replacing pays off when the word repeats and is longer than its
+    // token; numeric literal pieces are left alone.
+    if (count >= 2 && word.size() >= 2 &&
+        !strings::is_ascii_digit(word[0])) {
+      words.push_back(word);
+    }
+  }
+  // Deterministic but shuffled dictionary order, like repacked samples in
+  // the wild.
+  rng.shuffle(words);
+  if (words.size() > 600) words.resize(600);
+
+  std::map<std::string, std::string> token_of;
+  for (std::size_t index = 0; index < words.size(); ++index) {
+    token_of[words[index]] = packer_token(index);
+  }
+
+  // Stage 3: rewrite payload word-by-word.
+  std::string payload;
+  payload.reserve(minified.size());
+  i = 0;
+  while (i < minified.size()) {
+    if (is_word_char(minified[i])) {
+      std::size_t j = i;
+      while (j < minified.size() && is_word_char(minified[j])) ++j;
+      const std::string word = minified.substr(i, j - i);
+      const auto it = token_of.find(word);
+      payload += (it != token_of.end()) ? it->second : word;
+      i = j;
+    } else {
+      payload += minified[i++];
+    }
+  }
+
+  // Stage 4: escape payload and dictionary for single-quoted embedding.
+  const auto escape_single = [](const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+      if (c == '\\') out += "\\\\";
+      else if (c == '\'') out += "\\'";
+      else if (c == '\n') out += "\\n";
+      else out += c;
+    }
+    return out;
+  };
+
+  std::string dictionary;
+  for (std::size_t index = 0; index < words.size(); ++index) {
+    if (index > 0) dictionary += '|';
+    dictionary += words[index];
+  }
+
+  std::string out;
+  out.reserve(payload.size() + dictionary.size() + 512);
+  out +=
+      "eval(function(p,a,c,k,e,d){e=function(c){return(c<a?'':e(parseInt(c/a)))"
+      "+((c=c%a)>35?String.fromCharCode(c+29):c.toString(36))};"
+      "if(!''.replace(/^/,String)){while(c--){d[e(c)]=k[c]||e(c)}"
+      "k=[function(e){return d[e]}];e=function(){return'\\\\w+'};c=1};"
+      "while(c--){if(k[c]){p=p.replace(new RegExp('\\\\b'+e(c)+'\\\\b','g'),"
+      "k[c])}}return p}('";
+  out += escape_single(payload);
+  out += "',62,";
+  out += std::to_string(words.size());
+  out += ",'";
+  out += escape_single(dictionary);
+  out += "'.split('|'),0,{}))";
+  return out;
+}
+
+std::vector<Technique> packer_labels() {
+  return {Technique::kMinificationAdvanced, Technique::kMinificationSimple,
+          Technique::kIdentifierObfuscation, Technique::kStringObfuscation};
+}
+
+}  // namespace jst::transform

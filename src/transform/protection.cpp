@@ -1,0 +1,103 @@
+// Code-protection transformations (obfuscator.io's selfDefending and
+// debugProtection options, §II-A "code protection").
+//
+// Self-defending: an IIFE stringifies one of its own functions and checks
+// the compact formatting with regular expressions; reformatting (beautify)
+// or renaming breaks the check. The construct only makes sense on minified
+// output, so the transformer minifies — the paper notes such tool
+// configurations yield multiple ground-truth labels.
+//
+// Debug protection: a recursive constructor("debugger") pump re-triggers
+// the debugger whenever DevTools pauses, plus an interval re-arming it.
+#include "codegen/codegen.h"
+#include "parser/parser.h"
+#include "transform/rename.h"
+#include "transform/transform.h"
+
+namespace jst::transform {
+namespace {
+
+std::string self_defending_template(Rng& rng) {
+  const std::string outer = hex_name(rng);
+  const std::string probe = hex_name(rng);
+  const std::string first = hex_name(rng);
+  return "var " + outer +
+         " = (function () {\n"
+         "  var " + first + " = true;\n"
+         "  return function (context, fn) {\n"
+         "    var wrapped = " + first + " ? function () {\n"
+         "      if (fn) {\n"
+         "        var result = fn[\"apply\"](context, arguments);\n"
+         "        fn = null;\n"
+         "        return result;\n"
+         "      }\n"
+         "    } : function () {};\n"
+         "    " + first + " = false;\n"
+         "    return wrapped;\n"
+         "  };\n"
+         "})();\n"
+         "var " + probe + " = " + outer + "(this, function () {\n"
+         "  var compact = new RegExp(\"function *\\\\( *\\\\)\");\n"
+         "  var spaced = new RegExp(\"\\\\+\\\\+ *(?:[a-zA-Z_$][0-9a-zA-Z_$]*)\", \"i\");\n"
+         "  var self = " + probe +
+         "[\"constructor\"](\"return this\")()[\"toString\"]();\n"
+         "  if (!compact[\"test\"](self + \"chain\") ||\n"
+         "      !spaced[\"test\"](self + \"input\")) {\n"
+         "    (function () {} [\"constructor\"](\"while (true) {}\"))();\n"
+         "  }\n"
+         "});\n" +
+         probe + "();\n";
+}
+
+std::string debug_protection_template(Rng& rng) {
+  const std::string pump = hex_name(rng);
+  const std::string counter = hex_name(rng);
+  return "(function () {\n"
+         "  function " + pump + "(" + counter + ") {\n"
+         "    if (typeof " + counter + " === \"string\") {\n"
+         "      return function (arg) {} [\"constructor\"](\"while (true) {}\")"
+         "[\"apply\"](\"counter\");\n"
+         "    } else {\n"
+         "      if ((\"\" + " + counter + " / " + counter +
+         ")[\"length\"] !== 1 || " + counter + " % 20 === 0) {\n"
+         "        (function () { return true; })"
+         "[\"constructor\"](\"debugger\")[\"call\"](\"action\");\n"
+         "      } else {\n"
+         "        (function () { return false; })"
+         "[\"constructor\"](\"debugger\")[\"apply\"](\"stateObject\");\n"
+         "      }\n"
+         "    }\n"
+         "    " + pump + "(++" + counter + ");\n"
+         "  }\n"
+         "  try {\n"
+         "    setInterval(function () { " + pump + "(0); }, 4000);\n"
+         "  } catch (err) {}\n"
+         "})();\n";
+}
+
+}  // namespace
+
+std::string add_self_defending(std::string_view source, Rng& rng) {
+  std::string combined = self_defending_template(rng);
+  combined += source;
+  // Self-defending requires the compact form: emit minified (locals keep
+  // their names — the wrapper only guards formatting).
+  ParseResult parsed = parse_program(combined);
+  CodegenOptions options;
+  options.minify = true;
+  options.minified_line_limit = 900;
+  return generate(parsed.ast.root(), options);
+}
+
+std::string add_debug_protection(std::string_view source, Rng& rng) {
+  std::string combined = debug_protection_template(rng);
+  combined += source;
+  // obfuscator.io's debugProtection ships with compact output.
+  ParseResult parsed = parse_program(combined);
+  CodegenOptions options;
+  options.minify = true;
+  options.minified_line_limit = 900;
+  return generate(parsed.ast.root(), options);
+}
+
+}  // namespace jst::transform

@@ -1,0 +1,66 @@
+#include "transform/rename.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dataflow/dataflow.h"
+#include "lexer/lexer.h"
+
+namespace jst::transform {
+
+std::size_t rename_bindings(
+    Ast& ast,
+    const std::function<std::string(std::size_t ordinal,
+                                    const std::string& old_name)>& make_name) {
+  ast.finalize();
+  const DataFlow flow = build_data_flow(ast);
+
+  // Assign one new name per distinct old name (consistent across scopes —
+  // stronger than necessary but always safe w.r.t. shadowing, and exactly
+  // what uglify's "keep shadows consistent" fallback does).
+  std::unordered_map<std::string, std::string> mapping;
+  std::size_t ordinal = 0;
+  std::size_t renamed = 0;
+  for (const Binding& binding : flow.bindings) {
+    // Never rename names that are also used unresolved elsewhere (could be
+    // a global like `window` redeclared locally in one scope). Simpler and
+    // safe: skip very common host globals.
+    if (binding.name.empty()) continue;
+    auto [it, inserted] = mapping.emplace(binding.name, "");
+    if (inserted) {
+      it->second = make_name(ordinal++, binding.name);
+    }
+    const std::string& new_name = it->second;
+    const auto apply = [&](const Node* node) {
+      // Nodes come from this AST; renaming via const_cast is confined here.
+      auto* mutable_node = const_cast<Node*>(node);
+      mutable_node->str_value = new_name;
+    };
+    if (binding.declaration != nullptr &&
+        binding.declaration->kind == NodeKind::kIdentifier) {
+      apply(binding.declaration);
+    }
+    for (const Node* use : binding.uses) apply(use);
+    for (const Node* write : binding.assignments) apply(write);
+    ++renamed;
+  }
+  ast.finalize();
+  return renamed;
+}
+
+std::string short_name(std::size_t ordinal) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string name;
+  std::size_t value = ordinal;
+  do {
+    name.insert(name.begin(), kAlphabet[value % 26]);
+    value /= 26;
+  } while (value-- > 0);
+  // Skip keywords like `do`, `if`, `in`: append a digit.
+  if (is_js_keyword(name)) name += "0";
+  return name;
+}
+
+std::string hex_name(Rng& rng) { return "_0x" + rng.hex_string(6); }
+
+}  // namespace jst::transform

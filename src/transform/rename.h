@@ -1,0 +1,28 @@
+// Binding renaming shared by identifier obfuscation and minification.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ast/ast.h"
+#include "support/rng.h"
+
+namespace jst::transform {
+
+// Renames every resolvable binding in the (finalized) AST using `make_name`,
+// which receives the binding ordinal and the old name and returns the new
+// one. Globals (unresolved identifiers) and property names are untouched.
+// Returns the number of renamed bindings. Re-finalizes the AST.
+std::size_t rename_bindings(
+    Ast& ast,
+    const std::function<std::string(std::size_t ordinal,
+                                    const std::string& old_name)>& make_name);
+
+// Generates minifier-style short names: a, b, ..., z, aa, ab, ...
+// skipping JavaScript keywords.
+std::string short_name(std::size_t ordinal);
+
+// Generates obfuscator.io-style hex names: _0x1a2b3c.
+std::string hex_name(Rng& rng);
+
+}  // namespace jst::transform

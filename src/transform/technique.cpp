@@ -1,0 +1,35 @@
+#include "transform/technique.h"
+
+namespace jst::transform {
+
+std::string_view technique_name(Technique technique) {
+  switch (technique) {
+    case Technique::kIdentifierObfuscation: return "identifier_obfuscation";
+    case Technique::kStringObfuscation: return "string_obfuscation";
+    case Technique::kGlobalArray: return "global_array";
+    case Technique::kNoAlphanumeric: return "no_alphanumeric";
+    case Technique::kDeadCodeInjection: return "dead_code_injection";
+    case Technique::kControlFlowFlattening: return "control_flow_flattening";
+    case Technique::kSelfDefending: return "self_defending";
+    case Technique::kDebugProtection: return "debug_protection";
+    case Technique::kMinificationSimple: return "minification_simple";
+    case Technique::kMinificationAdvanced: return "minification_advanced";
+  }
+  return "unknown";
+}
+
+std::optional<Technique> technique_from_name(std::string_view name) {
+  for (Technique technique : all_techniques()) {
+    if (technique_name(technique) == name) return technique;
+  }
+  return std::nullopt;
+}
+
+bool is_minification(Technique technique) {
+  return technique == Technique::kMinificationSimple ||
+         technique == Technique::kMinificationAdvanced;
+}
+
+bool is_obfuscation(Technique technique) { return !is_minification(technique); }
+
+}  // namespace jst::transform

@@ -1,0 +1,40 @@
+// The ten monitored transformation techniques (§II-C).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace jst::transform {
+
+enum class Technique : std::uint8_t {
+  kIdentifierObfuscation = 0,
+  kStringObfuscation,
+  kGlobalArray,
+  kNoAlphanumeric,
+  kDeadCodeInjection,
+  kControlFlowFlattening,
+  kSelfDefending,
+  kDebugProtection,
+  kMinificationSimple,
+  kMinificationAdvanced,
+};
+
+constexpr std::size_t kTechniqueCount = 10;
+
+constexpr std::array<Technique, kTechniqueCount> all_techniques() {
+  return {Technique::kIdentifierObfuscation, Technique::kStringObfuscation,
+          Technique::kGlobalArray,          Technique::kNoAlphanumeric,
+          Technique::kDeadCodeInjection,    Technique::kControlFlowFlattening,
+          Technique::kSelfDefending,        Technique::kDebugProtection,
+          Technique::kMinificationSimple,   Technique::kMinificationAdvanced};
+}
+
+std::string_view technique_name(Technique technique);
+std::optional<Technique> technique_from_name(std::string_view name);
+
+// Obfuscation vs. minification family (level-1 class of a technique).
+bool is_minification(Technique technique);
+bool is_obfuscation(Technique technique);
+
+}  // namespace jst::transform

@@ -1,0 +1,84 @@
+#include "transform/transform.h"
+
+#include "support/error.h"
+
+namespace jst::transform {
+
+std::string apply_technique(Technique technique, std::string_view source,
+                            Rng& rng) {
+  switch (technique) {
+    case Technique::kIdentifierObfuscation:
+      return obfuscate_identifiers(source, rng);
+    case Technique::kStringObfuscation:
+      return obfuscate_strings(source, rng);
+    case Technique::kGlobalArray:
+      return global_array_transform(source, rng);
+    case Technique::kNoAlphanumeric:
+      return no_alnum_transform(source);
+    case Technique::kDeadCodeInjection:
+      return inject_dead_code(source, rng);
+    case Technique::kControlFlowFlattening:
+      return flatten_control_flow(source, rng);
+    case Technique::kSelfDefending:
+      return add_self_defending(source, rng);
+    case Technique::kDebugProtection:
+      return add_debug_protection(source, rng);
+    case Technique::kMinificationSimple: {
+      MinifyOptions options;
+      options.advanced = false;
+      return minify(source, options);
+    }
+    case Technique::kMinificationAdvanced: {
+      MinifyOptions options;
+      options.advanced = true;
+      return minify(source, options);
+    }
+  }
+  throw InvalidArgument("apply_technique: unknown technique");
+}
+
+std::string apply_techniques(std::span<const Technique> techniques,
+                             std::string_view source, Rng& rng) {
+  std::string current(source);
+  for (Technique technique : techniques) {
+    current = apply_technique(technique, current, rng);
+  }
+  return current;
+}
+
+std::vector<Technique> labels_produced(Technique technique) {
+  // Mirrors what each transformer actually emits. The obfuscator.io-family
+  // tools always compact their output (and some rename identifiers), so a
+  // single configuration carries up to three ground-truth labels — exactly
+  // the property the paper reports for its tool configurations (§III-E1).
+  switch (technique) {
+    case Technique::kGlobalArray:
+      // Encoded string array + compact output.
+      return {Technique::kGlobalArray, Technique::kStringObfuscation,
+              Technique::kMinificationSimple};
+    case Technique::kDeadCodeInjection:
+      // Injection + hex renaming + compact output.
+      return {Technique::kDeadCodeInjection,
+              Technique::kIdentifierObfuscation,
+              Technique::kMinificationSimple};
+    case Technique::kControlFlowFlattening:
+      // Dispatcher + hex renaming + compact output.
+      return {Technique::kControlFlowFlattening,
+              Technique::kIdentifierObfuscation,
+              Technique::kMinificationSimple};
+    case Technique::kSelfDefending:
+      // Self-defending only works on compact output.
+      return {Technique::kSelfDefending, Technique::kMinificationSimple};
+    case Technique::kDebugProtection:
+      // Ships with compact output.
+      return {Technique::kDebugProtection, Technique::kMinificationSimple};
+    case Technique::kMinificationAdvanced:
+      // Closure-style advanced minification subsumes the simple passes.
+      return {Technique::kMinificationAdvanced,
+              Technique::kMinificationSimple};
+    default:
+      return {technique};
+  }
+}
+
+}  // namespace jst::transform

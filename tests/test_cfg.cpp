@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ast/walk.h"
+#include "cfg/cfg.h"
+#include "parser/parser.h"
+
+namespace jst {
+namespace {
+
+struct Built {
+  ParseResult parse;
+  ControlFlow flow;
+};
+
+Built build(std::string_view source) {
+  Built out;
+  out.parse = parse_program(source);
+  out.flow = build_control_flow(out.parse.ast);
+  return out;
+}
+
+// Finds the id of the i-th node of `kind` in pre-order.
+std::uint32_t id_of(const Built& built, NodeKind kind, std::size_t index = 0) {
+  const auto nodes = collect_kind(
+      static_cast<const Node*>(built.parse.ast.root()), kind);
+  EXPECT_LT(index, nodes.size());
+  return nodes[index]->id;
+}
+
+bool has_edge(const Built& built, std::uint32_t from, std::uint32_t to) {
+  for (const auto& [a, b] : built.flow.edges) {
+    if (a == from && b == to) return true;
+  }
+  return false;
+}
+
+TEST(Cfg, SequenceEdges) {
+  const Built built = build("a(); b(); c();");
+  // stmt1 -> stmt2 -> stmt3.
+  const std::uint32_t s1 = id_of(built, NodeKind::kExpressionStatement, 0);
+  const std::uint32_t s2 = id_of(built, NodeKind::kExpressionStatement, 1);
+  const std::uint32_t s3 = id_of(built, NodeKind::kExpressionStatement, 2);
+  EXPECT_TRUE(has_edge(built, s1, s2));
+  EXPECT_TRUE(has_edge(built, s2, s3));
+  EXPECT_FALSE(has_edge(built, s1, s3));
+}
+
+TEST(Cfg, IfBranches) {
+  const Built built = build("if (c) { a(); } else { b(); } d();");
+  const std::uint32_t if_id = id_of(built, NodeKind::kIfStatement);
+  const std::uint32_t then_block = id_of(built, NodeKind::kBlockStatement, 0);
+  const std::uint32_t else_block = id_of(built, NodeKind::kBlockStatement, 1);
+  EXPECT_TRUE(has_edge(built, if_id, then_block));
+  EXPECT_TRUE(has_edge(built, if_id, else_block));
+  // Both branch exits reach the following statement.
+  const std::uint32_t after = id_of(built, NodeKind::kExpressionStatement, 2);
+  const std::uint32_t a_stmt = id_of(built, NodeKind::kExpressionStatement, 0);
+  const std::uint32_t b_stmt = id_of(built, NodeKind::kExpressionStatement, 1);
+  EXPECT_TRUE(has_edge(built, a_stmt, after));
+  EXPECT_TRUE(has_edge(built, b_stmt, after));
+}
+
+TEST(Cfg, IfWithoutElseFallsThrough) {
+  const Built built = build("if (c) a(); b();");
+  const std::uint32_t if_id = id_of(built, NodeKind::kIfStatement);
+  const std::uint32_t after = id_of(built, NodeKind::kExpressionStatement, 1);
+  EXPECT_TRUE(has_edge(built, if_id, after));
+}
+
+TEST(Cfg, LoopBackEdge) {
+  const Built built = build("while (c) { a(); } b();");
+  const std::uint32_t loop = id_of(built, NodeKind::kWhileStatement);
+  const std::uint32_t body_stmt = id_of(built, NodeKind::kExpressionStatement, 0);
+  EXPECT_TRUE(has_edge(built, body_stmt, loop));  // back edge
+  EXPECT_GE(built.flow.back_edge_count(), 1u);
+}
+
+TEST(Cfg, BreakExitsLoop) {
+  const Built built = build("while (c) { if (x) break; a(); } b();");
+  const std::uint32_t break_id = id_of(built, NodeKind::kBreakStatement);
+  const std::uint32_t after = id_of(built, NodeKind::kExpressionStatement, 1);
+  EXPECT_TRUE(has_edge(built, break_id, after));
+}
+
+TEST(Cfg, ContinueTargetsLoop) {
+  const Built built = build("for (;;) { if (x) continue; a(); }");
+  const std::uint32_t continue_id = id_of(built, NodeKind::kContinueStatement);
+  const std::uint32_t loop = id_of(built, NodeKind::kForStatement);
+  EXPECT_TRUE(has_edge(built, continue_id, loop));
+}
+
+TEST(Cfg, ReturnHasNoFallthrough) {
+  const Built built = build("function f() { return 1; unreachable(); }");
+  const std::uint32_t return_id = id_of(built, NodeKind::kReturnStatement);
+  for (const auto& [from, to] : built.flow.edges) {
+    (void)to;
+    EXPECT_NE(from, return_id);
+  }
+}
+
+TEST(Cfg, SwitchDispatchesToCases) {
+  const Built built =
+      build("switch (x) { case 1: a(); break; case 2: b(); } c();");
+  const std::uint32_t switch_id = id_of(built, NodeKind::kSwitchStatement);
+  const std::uint32_t a_stmt = id_of(built, NodeKind::kExpressionStatement, 0);
+  const std::uint32_t b_stmt = id_of(built, NodeKind::kExpressionStatement, 1);
+  EXPECT_TRUE(has_edge(built, switch_id, a_stmt));
+  EXPECT_TRUE(has_edge(built, switch_id, b_stmt));
+  // No default: switch itself can fall through to c().
+  const std::uint32_t after = id_of(built, NodeKind::kExpressionStatement, 2);
+  EXPECT_TRUE(has_edge(built, switch_id, after));
+}
+
+TEST(Cfg, SwitchFallthroughBetweenCases) {
+  const Built built = build("switch (x) { case 1: a(); case 2: b(); }");
+  const std::uint32_t a_stmt = id_of(built, NodeKind::kExpressionStatement, 0);
+  const std::uint32_t b_stmt = id_of(built, NodeKind::kExpressionStatement, 1);
+  EXPECT_TRUE(has_edge(built, a_stmt, b_stmt));
+}
+
+TEST(Cfg, TryCatchExceptionEdge) {
+  const Built built = build("try { a(); } catch (e) { b(); } c();");
+  const std::uint32_t try_id = id_of(built, NodeKind::kTryStatement);
+  const std::uint32_t handler = id_of(built, NodeKind::kCatchClause);
+  EXPECT_TRUE(has_edge(built, try_id, handler));
+  // Handler body exit reaches c().
+  const std::uint32_t b_stmt = id_of(built, NodeKind::kExpressionStatement, 1);
+  const std::uint32_t after = id_of(built, NodeKind::kExpressionStatement, 2);
+  EXPECT_TRUE(has_edge(built, b_stmt, after));
+}
+
+TEST(Cfg, FinallyChains) {
+  const Built built = build("try { a(); } finally { f(); } c();");
+  const std::uint32_t a_stmt = id_of(built, NodeKind::kExpressionStatement, 0);
+  const std::uint32_t finally_block = id_of(built, NodeKind::kBlockStatement, 1);
+  EXPECT_TRUE(has_edge(built, a_stmt, finally_block));
+}
+
+TEST(Cfg, ConditionalExpressionIsFlowNode) {
+  const Built built = build("var v = c ? a : b;");
+  const std::uint32_t declaration =
+      id_of(built, NodeKind::kVariableDeclaration);
+  const std::uint32_t conditional =
+      id_of(built, NodeKind::kConditionalExpression);
+  EXPECT_TRUE(has_edge(built, declaration, conditional));
+}
+
+TEST(Cfg, NestedConditionalExpressions) {
+  const Built built = build("var v = c ? (d ? a : b) : e;");
+  const std::uint32_t outer = id_of(built, NodeKind::kConditionalExpression, 0);
+  const std::uint32_t inner = id_of(built, NodeKind::kConditionalExpression, 1);
+  EXPECT_TRUE(has_edge(built, outer, inner));
+}
+
+TEST(Cfg, FunctionBodiesAreSeparateSubgraphs) {
+  const Built built = build("function f() { a(); b(); } f(); g();");
+  const std::uint32_t a_stmt = id_of(built, NodeKind::kExpressionStatement, 0);
+  const std::uint32_t b_stmt = id_of(built, NodeKind::kExpressionStatement, 1);
+  EXPECT_TRUE(has_edge(built, a_stmt, b_stmt));  // inside f
+  // The function declaration participates in the top-level sequence.
+  const std::uint32_t fn = id_of(built, NodeKind::kFunctionDeclaration);
+  const std::uint32_t call_f = id_of(built, NodeKind::kExpressionStatement, 2);
+  EXPECT_TRUE(has_edge(built, fn, call_f));
+}
+
+TEST(Cfg, LabeledBreakTargets) {
+  const Built built = build(
+      "outer: while (a) { while (b) { break outer; } } done();");
+  const std::uint32_t break_id = id_of(built, NodeKind::kBreakStatement);
+  const std::uint32_t after = id_of(built, NodeKind::kExpressionStatement, 0);
+  EXPECT_TRUE(has_edge(built, break_id, after));
+}
+
+TEST(Cfg, EdgesAreDeduplicated) {
+  const Built built = build("a(); a(); if (x) { y(); }");
+  std::set<std::pair<std::uint32_t, std::uint32_t>> unique(
+      built.flow.edges.begin(), built.flow.edges.end());
+  EXPECT_EQ(unique.size(), built.flow.edges.size());
+}
+
+TEST(Cfg, EmptyProgramHasNoEdges) {
+  const Built built = build("");
+  EXPECT_EQ(built.flow.edge_count(), 0u);
+}
+
+TEST(Cfg, BranchNodeCount) {
+  const Built built = build("if (a) { x(); } else { y(); }");
+  EXPECT_GE(built.flow.branch_node_count(), 1u);
+}
+
+TEST(Cfg, DoWhileBackEdge) {
+  const Built built = build("do { a(); } while (c);");
+  EXPECT_GE(built.flow.back_edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace jst

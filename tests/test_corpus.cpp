@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/snippets.h"
+#include "corpus/vocab.h"
+#include "features/analysis_pipeline.h"
+#include "parser/parser.h"
+#include "support/strings.h"
+
+namespace jst {
+namespace {
+
+TEST(Vocab, PoolsNonEmpty) {
+  EXPECT_FALSE(corpus::noun_words().empty());
+  EXPECT_FALSE(corpus::verb_words().empty());
+  EXPECT_FALSE(corpus::property_names().empty());
+  EXPECT_FALSE(corpus::method_names().empty());
+  EXPECT_FALSE(corpus::string_pool().empty());
+  EXPECT_FALSE(corpus::comment_pool().empty());
+}
+
+TEST(Vocab, CamelIdentifierIsValid) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = corpus::camel_identifier(rng, 1 + rng.index(3));
+    EXPECT_TRUE(strings::is_identifier(name)) << name;
+  }
+}
+
+TEST(Vocab, PascalIdentifierStartsUppercase) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const std::string name = corpus::pascal_identifier(rng, 2);
+    EXPECT_TRUE(name[0] >= 'A' && name[0] <= 'Z') << name;
+  }
+}
+
+TEST(Snippets, AllSnippetsParse) {
+  for (std::string_view snippet : corpus::seed_snippets()) {
+    EXPECT_TRUE(parses(snippet)) << snippet.substr(0, 80);
+  }
+}
+
+TEST(Snippets, AllSnippetsSubstantial) {
+  for (std::string_view snippet : corpus::seed_snippets()) {
+    const ScriptAnalysis analysis = analyze_script(snippet);
+    EXPECT_GT(analysis.parse.ast.node_count(), 30u);
+  }
+}
+
+TEST(Generator, OutputParses) {
+  corpus::ProgramGenerator generator(99);
+  for (int i = 0; i < 20; ++i) {
+    const std::string program = generator.generate();
+    EXPECT_TRUE(parses(program)) << program.substr(0, 200);
+  }
+}
+
+TEST(Generator, RespectsMinBytes) {
+  corpus::ProgramGenerator generator(100);
+  corpus::GeneratorOptions options;
+  options.min_bytes = 2000;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GE(generator.generate(options).size(), 2000u);
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  corpus::ProgramGenerator a(123);
+  corpus::ProgramGenerator b(123);
+  EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  corpus::ProgramGenerator a(1);
+  corpus::ProgramGenerator b(2);
+  EXPECT_NE(a.generate(), b.generate());
+}
+
+TEST(Generator, ContainsComments) {
+  corpus::ProgramGenerator generator(7);
+  corpus::GeneratorOptions options;
+  options.min_bytes = 3000;
+  options.comment_line_probability = 0.3;
+  const std::string program = generator.generate(options);
+  EXPECT_NE(program.find("//"), std::string::npos);
+}
+
+TEST(Generator, EligiblePerPaperFilter) {
+  corpus::ProgramGenerator generator(8);
+  corpus::GeneratorOptions options;
+  options.min_bytes = 1024;
+  for (int i = 0; i < 10; ++i) {
+    const std::string program = generator.generate(options);
+    const ScriptAnalysis analysis = analyze_script(program);
+    EXPECT_TRUE(script_eligible(analysis));
+  }
+}
+
+TEST(Generator, NodeFlavorEmitsRequire) {
+  corpus::ProgramGenerator generator(9);
+  corpus::GeneratorOptions options;
+  options.flavor = 2;
+  options.min_bytes = 6000;
+  bool saw_require = false;
+  for (int i = 0; i < 10 && !saw_require; ++i) {
+    saw_require =
+        generator.generate(options).find("require(") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_require);
+}
+
+TEST(Generator, ScopedReferencesResolve) {
+  corpus::ProgramGenerator generator(10);
+  corpus::GeneratorOptions options;
+  options.min_bytes = 3000;
+  const std::string program = generator.generate(options);
+  const ScriptAnalysis analysis = analyze_script(program);
+  std::size_t resolved = 0;
+  for (const Binding& binding : analysis.data_flow.bindings) {
+    resolved += binding.uses.size();
+  }
+  EXPECT_GT(resolved, 5u);
+}
+
+}  // namespace
+}  // namespace jst

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataflow/dataflow.h"
+#include "parser/parser.h"
+
+namespace jst {
+namespace {
+
+struct Built {
+  ParseResult parse;
+  DataFlow flow;
+};
+
+Built build(std::string_view source) {
+  Built out;
+  out.parse = parse_program(source);
+  out.flow = build_data_flow(out.parse.ast);
+  return out;
+}
+
+const Binding* find_binding(const Built& built, std::string_view name) {
+  for (const Binding& binding : built.flow.bindings) {
+    if (binding.name == name) return &binding;
+  }
+  return nullptr;
+}
+
+TEST(DataFlow, SimpleDefUse) {
+  const Built built = build("var a = 1; use(a); use(a + a);");
+  const Binding* a = find_binding(built, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->uses.size(), 3u);
+  EXPECT_EQ(built.flow.edge_count(), 3u);  // decl -> each use
+}
+
+TEST(DataFlow, AssignmentsAreExtraDefs) {
+  const Built built = build("var a = 1; a = 2; use(a);");
+  const Binding* a = find_binding(built, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->assignments.size(), 1u);
+  EXPECT_EQ(a->uses.size(), 1u);
+  // decl -> use and write -> use.
+  EXPECT_EQ(built.flow.edge_count(), 2u);
+}
+
+TEST(DataFlow, CompoundAssignmentReadsAndWrites) {
+  const Built built = build("var a = 0; a += 1;");
+  const Binding* a = find_binding(built, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->assignments.size(), 1u);
+  EXPECT_EQ(a->uses.size(), 1u);  // the compound read
+}
+
+TEST(DataFlow, UpdateExpressionReadsAndWrites) {
+  const Built built = build("var i = 0; i++;");
+  const Binding* i = find_binding(built, "i");
+  ASSERT_NE(i, nullptr);
+  EXPECT_EQ(i->assignments.size(), 1u);
+  EXPECT_EQ(i->uses.size(), 1u);
+}
+
+TEST(DataFlow, FunctionScoping) {
+  const Built built = build(
+      "var x = 1; function f() { var x = 2; return x; } use(x);");
+  // Two distinct bindings named x.
+  std::size_t x_count = 0;
+  for (const Binding& binding : built.flow.bindings) {
+    if (binding.name == "x") ++x_count;
+  }
+  EXPECT_EQ(x_count, 2u);
+}
+
+TEST(DataFlow, InnerUseResolvesToInnerBinding) {
+  const Built built = build("var x = 1; function f() { var x = 2; use(x); }");
+  for (const Binding& binding : built.flow.bindings) {
+    if (binding.name != "x") continue;
+    if (binding.declaration != nullptr && binding.declaration->line == 1 &&
+        binding.uses.empty()) {
+      SUCCEED();
+      return;
+    }
+  }
+  // The outer x must have no recorded uses.
+  std::size_t outer_uses = 999;
+  for (const Binding& binding : built.flow.bindings) {
+    if (binding.name == "x" && binding.uses.empty()) outer_uses = 0;
+  }
+  EXPECT_EQ(outer_uses, 0u);
+}
+
+TEST(DataFlow, ClosureCapturesOuter) {
+  const Built built =
+      build("var captured = 1; function f() { return captured; }");
+  const Binding* captured = find_binding(built, "captured");
+  ASSERT_NE(captured, nullptr);
+  EXPECT_EQ(captured->uses.size(), 1u);
+}
+
+TEST(DataFlow, ParametersAreBindings) {
+  const Built built = build("function f(p, q) { return p + q; }");
+  const Binding* p = find_binding(built, "p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->is_parameter);
+  EXPECT_EQ(p->uses.size(), 1u);
+}
+
+TEST(DataFlow, VarHoistingThroughBlocks) {
+  const Built built = build("function f() { { var h = 1; } return h; }");
+  const Binding* h = find_binding(built, "h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->uses.size(), 1u);  // resolved despite the block
+}
+
+TEST(DataFlow, LetIsBlockScoped) {
+  const Built built = build(
+      "let y = 1; { let y = 2; inner(y); } outer(y);");
+  std::size_t bindings_named_y = 0;
+  for (const Binding& binding : built.flow.bindings) {
+    if (binding.name == "y") {
+      ++bindings_named_y;
+      EXPECT_EQ(binding.uses.size(), 1u);
+    }
+  }
+  EXPECT_EQ(bindings_named_y, 2u);
+}
+
+TEST(DataFlow, CatchParameterScoped) {
+  const Built built = build("try { f(); } catch (e) { log(e); } ");
+  const Binding* e = find_binding(built, "e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->uses.size(), 1u);
+}
+
+TEST(DataFlow, UnresolvedGlobalsCounted) {
+  const Built built = build("console.log(window.location);");
+  EXPECT_GE(built.flow.unresolved_uses, 2u);  // console, window
+}
+
+TEST(DataFlow, PropertyNamesAreNotReferences) {
+  const Built built = build("var obj = {}; obj.prop = 1; use(obj.prop);");
+  EXPECT_EQ(find_binding(built, "prop"), nullptr);
+  const Binding* obj = find_binding(built, "obj");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->uses.size(), 2u);
+}
+
+TEST(DataFlow, ComputedMemberKeyIsReference) {
+  const Built built = build("var key = 'a'; var o = {}; use(o[key]);");
+  const Binding* key = find_binding(built, "key");
+  ASSERT_NE(key, nullptr);
+  EXPECT_EQ(key->uses.size(), 1u);
+}
+
+TEST(DataFlow, InitializerRecorded) {
+  const Built built = build("var table = [1, 2, 3]; use(table);");
+  const Binding* table = find_binding(built, "table");
+  ASSERT_NE(table, nullptr);
+  ASSERT_NE(table->init, nullptr);
+  EXPECT_EQ(table->init->kind, NodeKind::kArrayExpression);
+}
+
+TEST(DataFlow, FunctionNameBinding) {
+  const Built built = build("function helper() {} helper();");
+  const Binding* helper = find_binding(built, "helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_TRUE(helper->is_function_name);
+  EXPECT_EQ(helper->uses.size(), 1u);
+}
+
+TEST(DataFlow, ForLoopVariable) {
+  const Built built = build("for (var i = 0; i < 3; i++) { use(i); }");
+  const Binding* i = find_binding(built, "i");
+  ASSERT_NE(i, nullptr);
+  EXPECT_GE(i->uses.size(), 2u);  // test + body (update is read+write)
+}
+
+TEST(DataFlow, ForOfLoopVariableWritten) {
+  const Built built = build("for (const item of list) { use(item); }");
+  const Binding* item = find_binding(built, "item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->uses.size(), 1u);
+  EXPECT_EQ(item->assignments.size(), 1u);  // written by the loop
+}
+
+TEST(DataFlow, ShadowingParameterNotConfused) {
+  const Built built =
+      build("var v = 1; function f(v) { return v; } use(v);");
+  std::size_t total_v_uses = 0;
+  for (const Binding& binding : built.flow.bindings) {
+    if (binding.name == "v") total_v_uses += binding.uses.size();
+  }
+  EXPECT_EQ(total_v_uses, 2u);
+}
+
+TEST(DataFlow, DestructuredBindings) {
+  const Built built = build("var { a, b: renamed } = src; use(a, renamed);");
+  EXPECT_NE(find_binding(built, "a"), nullptr);
+  EXPECT_NE(find_binding(built, "renamed"), nullptr);
+  EXPECT_EQ(find_binding(built, "b"), nullptr);
+}
+
+TEST(DataFlow, NodeBudgetSkipsAnalysis) {
+  ParseResult parsed = parse_program("var a = 1; use(a);");
+  DataFlowOptions options;
+  options.node_budget = 1;
+  const DataFlow flow = build_data_flow(parsed.ast, options);
+  EXPECT_FALSE(flow.completed);
+  EXPECT_EQ(flow.edge_count(), 0u);
+}
+
+TEST(DataFlow, ScopeCountGrowsWithNesting) {
+  const Built flat = build("var a = 1;");
+  const Built nested = build(
+      "function f() { { let x = 1; } } function g() { try {} catch (e) {} }");
+  EXPECT_GT(nested.flow.scope_count, flat.flow.scope_count);
+}
+
+}  // namespace
+}  // namespace jst

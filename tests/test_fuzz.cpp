@@ -1,0 +1,130 @@
+// Robustness sweeps: randomly mutated / truncated / garbage inputs must
+// never crash the lexer, parser, or analysis pipeline — every failure is
+// a clean ParseError. This is the property a static analyzer of
+// adversarial JavaScript must hold unconditionally.
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/snippets.h"
+#include "features/feature_extractor.h"
+#include "parser/parser.h"
+#include "support/rng.h"
+
+namespace jst {
+namespace {
+
+// Parses and, when parseable, pushes the result through the full feature
+// pipeline. Returns true if it parsed. Any exception other than
+// ParseError fails the test.
+bool survives(const std::string& source) {
+  try {
+    features::FeatureConfig config;
+    config.ngram.hash_dim = 32;
+    features::extract_from_source(source, config);
+    return true;
+  } catch (const ParseError&) {
+    return false;  // clean rejection
+  }
+}
+
+class MutationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationFuzz, ByteMutationsNeverCrash) {
+  Rng rng(GetParam());
+  corpus::ProgramGenerator generator(GetParam() * 31 + 1);
+  corpus::GeneratorOptions options;
+  options.min_bytes = 600;
+  std::string source = generator.generate(options);
+
+  for (int round = 0; round < 60; ++round) {
+    std::string mutated = source;
+    const std::size_t edits = 1 + rng.index(8);
+    for (std::size_t e = 0; e < edits && !mutated.empty(); ++e) {
+      const std::size_t position = rng.index(mutated.size());
+      switch (rng.index(4)) {
+        case 0:  // flip to random printable
+          mutated[position] =
+              static_cast<char>(32 + rng.index(95));
+          break;
+        case 1:  // delete
+          mutated.erase(position, 1 + rng.index(4));
+          break;
+        case 2:  // duplicate a slice
+          mutated.insert(position,
+                         mutated.substr(position, 1 + rng.index(12)));
+          break;
+        default:  // insert structural character
+          mutated.insert(position, 1, "{}()[];'\"`\\$"[rng.index(12)]);
+      }
+    }
+    survives(mutated);  // must not crash either way
+  }
+  SUCCEED();
+}
+
+TEST_P(MutationFuzz, TruncationsNeverCrash) {
+  corpus::ProgramGenerator generator(GetParam() * 17 + 3);
+  corpus::GeneratorOptions options;
+  options.min_bytes = 800;
+  const std::string source = generator.generate(options);
+  for (std::size_t cut = 1; cut < source.size(); cut += 37) {
+    survives(source.substr(0, cut));
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Fuzz, PureGarbage) {
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const std::size_t size = 1 + rng.index(300);
+    for (std::size_t i = 0; i < size; ++i) {
+      garbage.push_back(static_cast<char>(rng.index(256)));
+    }
+    survives(garbage);
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, PathologicalRepetition) {
+  // Deep/long constructs that stress recursion and buffers.
+  survives(std::string(5000, '('));
+  survives(std::string(5000, '['));
+  survives(std::string(5000, '{'));
+  survives("var x = " + std::string(2000, '!') + "1;");
+  survives("a" + std::string(3000, '.') + "b;");
+  std::string chain = "x = 1";
+  for (int i = 0; i < 4000; ++i) chain += " + 1";
+  EXPECT_TRUE(survives(chain + ";"));
+  SUCCEED();
+}
+
+TEST(Fuzz, UnterminatedConstructsRejectCleanly) {
+  EXPECT_FALSE(survives("var s = \"unterminated"));
+  EXPECT_FALSE(survives("var t = `unterminated ${x"));
+  EXPECT_FALSE(survives("/* comment never ends"));
+  EXPECT_FALSE(survives("var r = /regex"));
+  EXPECT_FALSE(survives("function f( {"));
+}
+
+TEST(Fuzz, SnippetCrossSplicing) {
+  // Concatenate random halves of different snippets: usually invalid,
+  // must always be handled cleanly.
+  Rng rng(7);
+  const auto snippets = corpus::seed_snippets();
+  for (int round = 0; round < 60; ++round) {
+    const std::string_view a = snippets[rng.index(snippets.size())];
+    const std::string_view b = snippets[rng.index(snippets.size())];
+    const std::string spliced =
+        std::string(a.substr(0, rng.index(a.size()))) +
+        std::string(b.substr(rng.index(b.size())));
+    survives(spliced);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace jst

@@ -1,0 +1,199 @@
+// End-to-end tests: train the two detectors on a small synthesized corpus
+// and verify the paper's qualitative results hold — level 1 separates
+// regular from transformed scripts with high accuracy, level 2 recovers
+// the techniques, and the detectors generalize to the unseen packer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/pipeline.h"
+#include "analysis/wild.h"
+#include "ml/metrics.h"
+#include "transform/transform.h"
+
+namespace jst::analysis {
+namespace {
+
+using transform::Technique;
+
+// Small-but-meaningful training configuration shared by the tests
+// (train once; the fixture object is reused across tests in this file).
+const TransformationAnalyzer& shared_analyzer() {
+  static const TransformationAnalyzer* kAnalyzer = [] {
+    PipelineOptions options;
+    options.training_regular_count = 70;
+    options.per_technique_count = 14;
+    options.seed = 20240701;
+    options.detector.forest.tree_count = 24;
+    options.detector.features.ngram.hash_dim = 256;
+    auto* analyzer = new TransformationAnalyzer(options);
+    analyzer->train();
+    return analyzer;
+  }();
+  return *kAnalyzer;
+}
+
+std::vector<std::string> held_out_regular(std::size_t count,
+                                          std::uint64_t seed) {
+  CorpusSpec spec;
+  spec.regular_count = count;
+  spec.seed = seed;  // different seed -> disjoint from training corpus
+  return generate_regular_corpus(spec);
+}
+
+TEST(Integration, TrainsSuccessfully) {
+  EXPECT_TRUE(shared_analyzer().trained());
+}
+
+TEST(Integration, AnalyzeRejectsGarbage) {
+  const ScriptReport report = shared_analyzer().analyze("var = ;;; {{{");
+  EXPECT_FALSE(report.parsed);
+}
+
+TEST(Integration, Level1SeparatesRegularFromTransformed) {
+  const auto& analyzer = shared_analyzer();
+  const auto regular = held_out_regular(24, 777);
+
+  std::size_t regular_correct = 0;
+  for (const std::string& source : regular) {
+    const ScriptReport report = analyzer.analyze(source);
+    ASSERT_TRUE(report.parsed);
+    if (report.level1.regular()) ++regular_correct;
+  }
+
+  Rng rng(88);
+  std::size_t transformed_correct = 0;
+  std::size_t transformed_total = 0;
+  for (const std::string& source : regular) {
+    for (Technique technique :
+         {Technique::kMinificationSimple, Technique::kIdentifierObfuscation,
+          Technique::kControlFlowFlattening}) {
+      const Sample sample = make_transformed_sample(source, technique, rng);
+      const ScriptReport report = analyzer.analyze(sample.source);
+      ++transformed_total;
+      if (report.level1.transformed()) ++transformed_correct;
+    }
+  }
+
+  // Paper: 98.65% regular / 99.7% transformed at full scale; at this toy
+  // scale we require strong but looser separation.
+  EXPECT_GE(regular_correct * 10, regular.size() * 8)
+      << regular_correct << "/" << regular.size();
+  EXPECT_GE(transformed_correct * 10, transformed_total * 9)
+      << transformed_correct << "/" << transformed_total;
+}
+
+TEST(Integration, Level2RecoversDominantTechniques) {
+  const auto& analyzer = shared_analyzer();
+  const auto bases = held_out_regular(10, 991);
+  Rng rng(99);
+
+  // For clearly distinguishable techniques, the top prediction should be a
+  // true label most of the time.
+  const std::vector<Technique> probes = {
+      Technique::kMinificationSimple, Technique::kNoAlphanumeric,
+      Technique::kControlFlowFlattening, Technique::kDebugProtection};
+  std::size_t top1_hits = 0;
+  std::size_t total = 0;
+  for (const std::string& base : bases) {
+    for (Technique technique : probes) {
+      const Sample sample = make_transformed_sample(base, technique, rng);
+      const ScriptReport report = analyzer.analyze(sample.source);
+      ASSERT_TRUE(report.parsed);
+      const auto top1 = analyzer.level2().predict_topk(
+          features::extract_from_source(
+              sample.source, analyzer.options().detector.features),
+          1);
+      ASSERT_EQ(top1.size(), 1u);
+      ++total;
+      if (std::find(sample.techniques.begin(), sample.techniques.end(),
+                    top1[0]) != sample.techniques.end()) {
+        ++top1_hits;
+      }
+    }
+  }
+  EXPECT_GE(top1_hits * 10, total * 7) << top1_hits << "/" << total;
+}
+
+TEST(Integration, ThresholdLimitsWrongLabels) {
+  const auto& analyzer = shared_analyzer();
+  const auto bases = held_out_regular(8, 1313);
+  Rng rng(131);
+  double wrong_total = 0.0;
+  std::size_t count = 0;
+  for (const std::string& base : bases) {
+    const Sample sample = make_mixed_sample(base, 2, rng);
+    const ScriptReport report = analyzer.analyze(sample.source);
+    ASSERT_TRUE(report.parsed);
+    const auto truth = indices_from_techniques(sample.techniques);
+    const auto predicted = indices_from_techniques(report.techniques);
+    wrong_total += static_cast<double>(ml::wrong_labels(predicted, truth));
+    ++count;
+  }
+  // Paper (Figure 1b): < 0.32 wrong labels on average at threshold 10%
+  // (at full training scale); the toy-scale bound is looser.
+  EXPECT_LT(wrong_total / static_cast<double>(count), 2.5);
+}
+
+TEST(Integration, PackerDetectedAsTransformed) {
+  const auto& analyzer = shared_analyzer();
+  const auto bases = held_out_regular(10, 555);
+  Rng rng(555);
+  std::size_t detected = 0;
+  for (const std::string& base : bases) {
+    const std::string packed = transform::pack(base, rng);
+    const ScriptReport report = analyzer.analyze(packed);
+    ASSERT_TRUE(report.parsed);
+    if (report.level1.transformed()) ++detected;
+  }
+  // Paper §III-E3: 99.52% at full scale.
+  EXPECT_GE(detected, 8u) << detected << "/10";
+}
+
+TEST(Integration, WildPopulationRatesOrdered) {
+  const auto& analyzer = shared_analyzer();
+  const auto measure = [&analyzer](const PopulationSpec& spec,
+                                   std::size_t count, std::uint64_t seed) {
+    const auto samples = simulate_population(spec, count, seed);
+    std::size_t transformed = 0;
+    std::size_t parsed = 0;
+    for (const Sample& sample : samples) {
+      const ScriptReport report = analyzer.analyze(sample.source);
+      if (!report.parsed) continue;
+      ++parsed;
+      if (report.level1.transformed()) ++transformed;
+    }
+    return parsed == 0 ? 0.0
+                       : static_cast<double>(transformed) /
+                             static_cast<double>(parsed);
+  };
+  const double alexa_rate = measure(alexa_spec(), 40, 1);
+  const double npm_rate = measure(npm_spec(), 40, 2);
+  // Paper: Alexa 68.6% vs npm 8.7% — the ordering must be clear.
+  EXPECT_GT(alexa_rate, npm_rate + 0.2);
+}
+
+TEST(Integration, ChainAndIndependentBothTrain) {
+  PipelineOptions options;
+  options.training_regular_count = 30;
+  options.per_technique_count = 6;
+  options.detector.forest.tree_count = 8;
+  options.detector.features.ngram.hash_dim = 128;
+
+  options.detector.classifier_chain = true;
+  TransformationAnalyzer chain(options);
+  chain.train();
+  EXPECT_TRUE(chain.trained());
+
+  options.detector.classifier_chain = false;
+  TransformationAnalyzer independent(options);
+  independent.train();
+  EXPECT_TRUE(independent.trained());
+
+  const std::string probe = held_out_regular(1, 31337)[0];
+  EXPECT_TRUE(chain.analyze(probe).parsed);
+  EXPECT_TRUE(independent.analyze(probe).parsed);
+}
+
+}  // namespace
+}  // namespace jst::analysis

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+
+namespace jst::interp {
+namespace {
+
+std::vector<std::string> run_log(std::string_view source) {
+  const RunResult result = run_program_source(source);
+  EXPECT_TRUE(result.ok) << result.error << "\nsource: " << source;
+  return result.log;
+}
+
+std::string run_one(std::string_view source) {
+  const auto log = run_log(source);
+  EXPECT_EQ(log.size(), 1u);
+  return log.empty() ? std::string() : log[0];
+}
+
+TEST(Interp, Arithmetic) {
+  EXPECT_EQ(run_one("console.log(1 + 2 * 3);"), "7");
+  EXPECT_EQ(run_one("console.log((1 + 2) * 3);"), "9");
+  EXPECT_EQ(run_one("console.log(7 % 3);"), "1");
+  EXPECT_EQ(run_one("console.log(2 ** 10);"), "1024");
+  EXPECT_EQ(run_one("console.log(10 / 4);"), "2.5");
+  EXPECT_EQ(run_one("console.log(-5 + +3);"), "-2");
+}
+
+TEST(Interp, StringConcatAndCoercion) {
+  EXPECT_EQ(run_one("console.log('a' + 'b');"), "ab");
+  EXPECT_EQ(run_one("console.log('n=' + 42);"), "n=42");
+  EXPECT_EQ(run_one("console.log(1 + '2');"), "12");
+  EXPECT_EQ(run_one("console.log('3' * '4');"), "12");
+  EXPECT_EQ(run_one("console.log(true + 1);"), "2");
+}
+
+TEST(Interp, Comparisons) {
+  EXPECT_EQ(run_one("console.log(1 < 2);"), "true");
+  EXPECT_EQ(run_one("console.log('1' == 1);"), "true");
+  EXPECT_EQ(run_one("console.log('1' === 1);"), "false");
+  EXPECT_EQ(run_one("console.log(null == undefined);"), "true");
+  EXPECT_EQ(run_one("console.log(null === undefined);"), "false");
+  EXPECT_EQ(run_one("console.log('abc' < 'abd');"), "true");
+}
+
+TEST(Interp, BitwiseOperators) {
+  EXPECT_EQ(run_one("console.log(5 & 3);"), "1");
+  EXPECT_EQ(run_one("console.log(5 | 3);"), "7");
+  EXPECT_EQ(run_one("console.log(5 ^ 3);"), "6");
+  EXPECT_EQ(run_one("console.log(~0);"), "-1");
+  EXPECT_EQ(run_one("console.log(1 << 4);"), "16");
+  EXPECT_EQ(run_one("console.log(-8 >> 1);"), "-4");
+  EXPECT_EQ(run_one("console.log(5 >>> 1);"), "2");
+}
+
+TEST(Interp, VariablesAndScope) {
+  EXPECT_EQ(run_one("var a = 1; a = a + 2; console.log(a);"), "3");
+  EXPECT_EQ(run_one("let x = 1; { let x = 2; } console.log(x);"), "1");
+  EXPECT_EQ(run_one("var y = 1; { var y = 2; } console.log(y);"), "2");
+}
+
+TEST(Interp, VarHoisting) {
+  EXPECT_EQ(run_one("console.log(typeof h); var h = 1;"), "undefined");
+  EXPECT_EQ(run_one("console.log(hoisted()); function hoisted() { return 9; }"),
+            "9");
+}
+
+TEST(Interp, FunctionsAndClosures) {
+  EXPECT_EQ(run_one("function add(a, b) { return a + b; } console.log(add(2, 3));"),
+            "5");
+  EXPECT_EQ(run_one(R"(
+    function counter() {
+      var n = 0;
+      return function () { n += 1; return n; };
+    }
+    var c = counter();
+    c(); c();
+    console.log(c());
+  )"),
+            "3");
+}
+
+TEST(Interp, ArrowFunctions) {
+  EXPECT_EQ(run_one("var f = x => x * 2; console.log(f(21));"), "42");
+  EXPECT_EQ(run_one("var g = (a, b) => { return a - b; }; console.log(g(5, 3));"),
+            "2");
+}
+
+TEST(Interp, DefaultAndRestParams) {
+  EXPECT_EQ(run_one("function f(a, b = 10) { return a + b; } console.log(f(1));"),
+            "11");
+  EXPECT_EQ(
+      run_one("function f(...xs) { return xs.length; } console.log(f(1,2,3));"),
+      "3");
+}
+
+TEST(Interp, Recursion) {
+  EXPECT_EQ(run_one(R"(
+    function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+    console.log(fib(12));
+  )"),
+            "144");
+}
+
+TEST(Interp, ControlFlow) {
+  EXPECT_EQ(run_one("var r = ''; for (var i = 0; i < 4; i++) r += i; console.log(r);"),
+            "0123");
+  EXPECT_EQ(run_one("var n = 0; while (n < 5) n++; console.log(n);"), "5");
+  EXPECT_EQ(run_one("var n = 9; do { n++; } while (false); console.log(n);"),
+            "10");
+  EXPECT_EQ(run_one("if (1 > 2) console.log('a'); else console.log('b');"), "b");
+}
+
+TEST(Interp, BreakContinue) {
+  EXPECT_EQ(run_one(R"(
+    var s = '';
+    for (var i = 0; i < 6; i++) {
+      if (i === 2) continue;
+      if (i === 5) break;
+      s += i;
+    }
+    console.log(s);
+  )"),
+            "0134");
+}
+
+TEST(Interp, SwitchWithFallthrough) {
+  EXPECT_EQ(run_one(R"(
+    var out = '';
+    switch (2) {
+      case 1: out += 'a';
+      case 2: out += 'b';
+      case 3: out += 'c'; break;
+      case 4: out += 'd';
+    }
+    console.log(out);
+  )"),
+            "bc");
+  EXPECT_EQ(run_one(R"(
+    switch ('zz') { case 'a': console.log('a'); break;
+                    default: console.log('dflt'); }
+  )"),
+            "dflt");
+}
+
+TEST(Interp, SwitchInLoopDispatcher) {
+  // The exact control-flow-flattening shape.
+  EXPECT_EQ(run_one(R"(
+    var order = "2|0|1".split("|"), step = 0, out = "";
+    while (true) {
+      switch (order[step++]) {
+        case "0": out += "B"; continue;
+        case "1": out += "C"; continue;
+        case "2": out += "A"; continue;
+      }
+      break;
+    }
+    console.log(out);
+  )"),
+            "ABC");
+}
+
+TEST(Interp, ObjectsAndMembers) {
+  EXPECT_EQ(run_one("var o = { a: 1, b: { c: 2 } }; console.log(o.a + o.b.c);"),
+            "3");
+  EXPECT_EQ(run_one("var o = {}; o.x = 5; o['y'] = 6; console.log(o.x * o['y']);"),
+            "30");
+  EXPECT_EQ(run_one("var k = 'dyn'; var o = { [k]: 7 }; console.log(o.dyn);"),
+            "7");
+  EXPECT_EQ(run_one("var a = 1; var o = { a }; console.log(o.a);"), "1");
+}
+
+TEST(Interp, Arrays) {
+  EXPECT_EQ(run_one("var a = [1, 2, 3]; console.log(a.length);"), "3");
+  EXPECT_EQ(run_one("var a = [1, 2]; a.push(3); console.log(a.join('-'));"),
+            "1-2-3");
+  EXPECT_EQ(run_one("var a = [5, 6]; console.log(a[0] + a[1]);"), "11");
+  EXPECT_EQ(run_one("console.log([3, 1, 2].sort().join(''));"), "123");
+  EXPECT_EQ(run_one("console.log([1, 2, 3].map(x => x * x).join(','));"),
+            "1,4,9");
+  EXPECT_EQ(run_one("console.log([1,2,3,4].filter(x => x % 2 === 0).length);"),
+            "2");
+  EXPECT_EQ(run_one("console.log([1,2,3].reduce((a, b) => a + b, 10));"), "16");
+  EXPECT_EQ(run_one("console.log([...[1,2], 3].length);"), "3");
+}
+
+TEST(Interp, StringMethods) {
+  EXPECT_EQ(run_one("console.log('a,b,c'.split(',').length);"), "3");
+  EXPECT_EQ(run_one("console.log('hello'.charAt(1));"), "e");
+  EXPECT_EQ(run_one("console.log('A'.charCodeAt(0));"), "65");
+  EXPECT_EQ(run_one("console.log(String.fromCharCode(72, 105));"), "Hi");
+  EXPECT_EQ(run_one("console.log('hello'.indexOf('ll'));"), "2");
+  EXPECT_EQ(run_one("console.log('abcdef'.slice(1, 4));"), "bcd");
+  EXPECT_EQ(run_one("console.log('abcdef'.substr(2, 2));"), "cd");
+  EXPECT_EQ(run_one("console.log('aXa'.replace('X', 'b'));"), "aba");
+  EXPECT_EQ(run_one("console.log('abc'.split('').reverse().join(''));"), "cba");
+  EXPECT_EQ(run_one("console.log('ab'.toUpperCase());"), "AB");
+  EXPECT_EQ(run_one("console.log('5'.padStart(3, '0'));"), "005");
+}
+
+TEST(Interp, TemplateLiterals) {
+  EXPECT_EQ(run_one("var n = 6; console.log(`got ${n * 7} items`);"),
+            "got 42 items");
+}
+
+TEST(Interp, Ternary) {
+  EXPECT_EQ(run_one("console.log(3 > 2 ? 'yes' : 'no');"), "yes");
+}
+
+TEST(Interp, LogicalShortCircuit) {
+  EXPECT_EQ(run_one("var n = 0; false && n++; console.log(n);"), "0");
+  EXPECT_EQ(run_one("var n = 0; true || n++; console.log(n);"), "0");
+  EXPECT_EQ(run_one("console.log(null ?? 'fallback');"), "fallback");
+  EXPECT_EQ(run_one("console.log(0 ?? 'fallback');"), "0");
+}
+
+TEST(Interp, TryCatchThrow) {
+  EXPECT_EQ(run_one(R"(
+    try { throw 'boom'; } catch (e) { console.log('caught ' + e); }
+  )"),
+            "caught boom");
+  EXPECT_EQ(run_one(R"(
+    var out = '';
+    try { out += 'a'; } finally { out += 'b'; }
+    console.log(out);
+  )"),
+            "ab");
+}
+
+TEST(Interp, UncaughtThrowReported) {
+  const RunResult result = run_program_source("throw 'oops';");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("oops"), std::string::npos);
+}
+
+TEST(Interp, ReferenceErrorReported) {
+  const RunResult result = run_program_source("console.log(missing);");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("missing"), std::string::npos);
+}
+
+TEST(Interp, TypeofUndeclared) {
+  EXPECT_EQ(run_one("console.log(typeof neverDeclared);"), "undefined");
+}
+
+TEST(Interp, ForInForOf) {
+  EXPECT_EQ(run_one(R"(
+    var o = { a: 1, b: 2 };
+    var keys = '';
+    for (var k in o) keys += k;
+    console.log(keys);
+  )"),
+            "ab");
+  EXPECT_EQ(run_one(R"(
+    var total = 0;
+    for (const v of [1, 2, 3]) total += v;
+    console.log(total);
+  )"),
+            "6");
+}
+
+TEST(Interp, Destructuring) {
+  EXPECT_EQ(run_one("var [a, b] = [1, 2]; console.log(a + b);"), "3");
+  EXPECT_EQ(run_one("var { x, y: z } = { x: 4, y: 5 }; console.log(x + z);"),
+            "9");
+  EXPECT_EQ(run_one("var [p, ...rest] = [1, 2, 3]; console.log(rest.length);"),
+            "2");
+}
+
+TEST(Interp, ThisAndNew) {
+  EXPECT_EQ(run_one(R"(
+    function Point(x, y) { this.x = x; this.y = y; }
+    var p = new Point(3, 4);
+    console.log(p.x + p.y);
+  )"),
+            "7");
+  EXPECT_EQ(run_one(R"(
+    var obj = { n: 5, get: function () { return this.n; } };
+    console.log(obj.get());
+  )"),
+            "5");
+}
+
+TEST(Interp, CallApplyBind) {
+  EXPECT_EQ(run_one(R"(
+    function who() { return this.name; }
+    console.log(who.call({ name: 'x' }));
+  )"),
+            "x");
+  EXPECT_EQ(run_one(R"(
+    function sum(a, b) { return a + b; }
+    console.log(sum.apply(null, [2, 5]));
+  )"),
+            "7");
+  EXPECT_EQ(run_one(R"(
+    function mul(a, b) { return a * b; }
+    var double = mul.bind(null, 2);
+    console.log(double(8));
+  )"),
+            "16");
+}
+
+TEST(Interp, ArgumentsObject) {
+  EXPECT_EQ(run_one(R"(
+    function count() { return arguments.length; }
+    console.log(count(1, 'a', true));
+  )"),
+            "3");
+}
+
+TEST(Interp, NumberMethods) {
+  EXPECT_EQ(run_one("console.log((255).toString(16));"), "ff");
+  EXPECT_EQ(run_one("console.log((3.14159).toFixed(2));"), "3.14");
+  EXPECT_EQ(run_one("console.log(parseInt('2a', 16));"), "42");
+  EXPECT_EQ(run_one("console.log(parseInt('12px'));"), "12");
+}
+
+TEST(Interp, MathBuiltins) {
+  EXPECT_EQ(run_one("console.log(Math.floor(2.7));"), "2");
+  EXPECT_EQ(run_one("console.log(Math.max(1, 9, 4));"), "9");
+  EXPECT_EQ(run_one("console.log(Math.abs(-6));"), "6");
+}
+
+TEST(Interp, JsonStringify) {
+  EXPECT_EQ(run_one("console.log(JSON.stringify([1, 'a', true]));"),
+            "[1,\"a\",true]");
+  EXPECT_EQ(run_one("console.log(JSON.stringify({ b: 1, a: 2 }));"),
+            "{\"a\":2,\"b\":1}");
+}
+
+TEST(Interp, StepBudgetStopsInfiniteLoops) {
+  InterpreterOptions options;
+  options.step_budget = 10'000;
+  const RunResult result = run_program_source("while (true) {}", options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, IifePattern) {
+  EXPECT_EQ(run_one("(function () { console.log('run'); })();"), "run");
+}
+
+TEST(Interp, SequenceAndComma) {
+  EXPECT_EQ(run_one("var x = (1, 2, 3); console.log(x);"), "3");
+}
+
+TEST(Interp, UpdateExpressions) {
+  EXPECT_EQ(run_one("var i = 5; console.log(i++ + i);"), "11");
+  EXPECT_EQ(run_one("var i = 5; console.log(++i + i);"), "12");
+}
+
+TEST(Interp, CompoundAssignments) {
+  EXPECT_EQ(run_one("var a = 4; a *= 3; a -= 2; console.log(a);"), "10");
+  EXPECT_EQ(run_one("var s = 'a'; s += 'b'; console.log(s);"), "ab");
+}
+
+TEST(Interp, DeleteProperty) {
+  EXPECT_EQ(run_one("var o = { a: 1 }; delete o.a; console.log(typeof o.a);"),
+            "undefined");
+}
+
+}  // namespace
+}  // namespace jst::interp

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "lexer/lexer.h"
+
+namespace jst {
+namespace {
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer::tokenize(source);
+}
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_TRUE(lex("").empty());
+  EXPECT_TRUE(lex("   \n\t ").empty());
+}
+
+TEST(Lexer, Identifiers) {
+  const auto tokens = lex("foo _bar $baz x1");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (const Token& token : tokens) {
+    EXPECT_EQ(token.type, TokenType::kIdentifier);
+  }
+  EXPECT_EQ(tokens[0].value, "foo");
+  EXPECT_EQ(tokens[1].value, "_bar");
+  EXPECT_EQ(tokens[2].value, "$baz");
+}
+
+TEST(Lexer, KeywordsAndLiteralWords) {
+  const auto tokens = lex("if function true false null let async");
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[1].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[2].type, TokenType::kBooleanLiteral);
+  EXPECT_EQ(tokens[3].type, TokenType::kBooleanLiteral);
+  EXPECT_EQ(tokens[4].type, TokenType::kNullLiteral);
+  // Contextual keywords stay identifiers.
+  EXPECT_EQ(tokens[5].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[6].type, TokenType::kIdentifier);
+}
+
+TEST(Lexer, DecimalNumbers) {
+  const auto tokens = lex("0 42 3.14 .5 1e3 2.5e-2");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 42.0);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 3.14);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[5].number, 0.025);
+}
+
+TEST(Lexer, RadixNumbers) {
+  const auto tokens = lex("0x2a 0b101 0o17 017");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 5.0);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 15.0);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 15.0);  // legacy octal
+}
+
+TEST(Lexer, NumberFollowedByIdentifierFails) {
+  EXPECT_THROW(lex("3foo"), ParseError);
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto tokens = lex(R"JS("a\nb" 'c\x41d' "B" "q\\")JS");
+  EXPECT_EQ(tokens[0].value, "a\nb");
+  EXPECT_EQ(tokens[1].value, "cAd");
+  EXPECT_EQ(tokens[2].value, "B");
+  EXPECT_EQ(tokens[3].value, "q\\");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_THROW(lex("\"abc"), ParseError);
+  EXPECT_THROW(lex("\"abc\n\""), ParseError);
+}
+
+TEST(Lexer, TemplateLiteralSimple) {
+  const auto tokens = lex("`hello`");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kTemplate);
+  ASSERT_EQ(tokens[0].template_quasis.size(), 1u);
+  EXPECT_EQ(tokens[0].template_quasis[0], "hello");
+  EXPECT_TRUE(tokens[0].template_expressions.empty());
+}
+
+TEST(Lexer, TemplateLiteralWithSubstitutions) {
+  const auto tokens = lex("`a ${x + 1} b ${y} c`");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].template_quasis.size(), 3u);
+  ASSERT_EQ(tokens[0].template_expressions.size(), 2u);
+  EXPECT_EQ(tokens[0].template_quasis[0], "a ");
+  EXPECT_EQ(tokens[0].template_expressions[0], "x + 1");
+  EXPECT_EQ(tokens[0].template_expressions[1], "y");
+}
+
+TEST(Lexer, TemplateWithNestedBraces) {
+  const auto tokens = lex("`v: ${ {a: {b: 1}}.a.b }`");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].template_expressions.size(), 1u);
+  EXPECT_EQ(tokens[0].template_expressions[0], " {a: {b: 1}}.a.b ");
+}
+
+TEST(Lexer, TemplateWithStringContainingBrace) {
+  const auto tokens = lex("`x ${ f(\"}\") } y`");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].template_expressions.size(), 1u);
+  EXPECT_EQ(tokens[0].template_expressions[0], " f(\"}\") ");
+}
+
+TEST(Lexer, RegexAfterOperator) {
+  const auto tokens = lex("x = /ab+c/gi;");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].type, TokenType::kRegularExpression);
+  EXPECT_EQ(tokens[2].value, "ab+c");
+  EXPECT_EQ(tokens[2].regex_flags, "gi");
+}
+
+TEST(Lexer, DivisionAfterIdentifier) {
+  const auto tokens = lex("a / b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::kPunctuator);
+  EXPECT_EQ(tokens[1].value, "/");
+}
+
+TEST(Lexer, RegexWithCharacterClassSlash) {
+  const auto tokens = lex("var re = /[/]/;");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].type, TokenType::kRegularExpression);
+  EXPECT_EQ(tokens[3].value, "[/]");
+}
+
+TEST(Lexer, CommentsAreCounted) {
+  Lexer lexer("// line\nx /* block\ncomment */ y");
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = lexer.next();
+    if (token.type == TokenType::kEndOfFile) break;
+    tokens.push_back(token);
+  }
+  EXPECT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(lexer.comment_count(), 2u);
+  EXPECT_GT(lexer.comment_bytes(), 10u);
+}
+
+TEST(Lexer, HtmlOpenCommentSkipped) {
+  const auto tokens = lex("<!-- legacy\nx");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].value, "x");
+}
+
+TEST(Lexer, MultiCharPunctuators) {
+  const auto tokens = lex("a === b !== c >>> d ** e => f ?. g ?? h");
+  std::vector<std::string> punctuators;
+  for (const Token& token : tokens) {
+    if (token.type == TokenType::kPunctuator) punctuators.push_back(token.value);
+  }
+  const std::vector<std::string> expected = {"===", "!==", ">>>", "**",
+                                             "=>",  "?.",  "??"};
+  EXPECT_EQ(punctuators, expected);
+}
+
+TEST(Lexer, CompoundAssignments) {
+  const auto tokens = lex("a += 1; b <<= 2; c >>>= 3; d **= 4;");
+  std::vector<std::string> ops;
+  for (const Token& token : tokens) {
+    if (token.type == TokenType::kPunctuator && token.value != ";") {
+      ops.push_back(token.value);
+    }
+  }
+  const std::vector<std::string> expected = {"+=", "<<=", ">>>=", "**="};
+  EXPECT_EQ(ops, expected);
+}
+
+TEST(Lexer, NewlineBeforeTracked) {
+  const auto tokens = lex("a\nb c");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_FALSE(tokens[0].newline_before);
+  EXPECT_TRUE(tokens[1].newline_before);
+  EXPECT_FALSE(tokens[2].newline_before);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto tokens = lex("a\n  bb");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 2u);
+}
+
+TEST(Lexer, UnicodeEscapeInIdentifier) {
+  const auto tokens = lex("\\u0061bc");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].value, "abc");
+}
+
+TEST(Lexer, RawSlicePreserved) {
+  const auto tokens = lex("  0x2A  ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].raw, "0x2A");
+  EXPECT_EQ(tokens[0].offset, 2u);
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  EXPECT_THROW(lex("a # b"), ParseError);
+}
+
+TEST(Lexer, RegexAfterKeywordReturn) {
+  const auto tokens = lex("return /x/;");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::kRegularExpression);
+}
+
+TEST(Lexer, DivisionAfterCloseParen) {
+  const auto tokens = lex("(a) / 2");
+  bool has_division = false;
+  for (const Token& token : tokens) {
+    if (token.type == TokenType::kPunctuator && token.value == "/") {
+      has_division = true;
+    }
+  }
+  EXPECT_TRUE(has_division);
+}
+
+}  // namespace
+}  // namespace jst

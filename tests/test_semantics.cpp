@@ -1,0 +1,225 @@
+// Differential semantic tests: every transformation technique must
+// preserve program behaviour. Each fixture prints a value sequence via
+// console.log; we run the original and the transformed program through
+// the reference interpreter and require identical logs.
+//
+// Excluded by design: no-alphanumeric, self-defending, debug protection,
+// and the packer — their outputs depend on eval/Function/native function
+// stringification, which the reference interpreter deliberately omits.
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "support/strings.h"
+#include "transform/transform.h"
+
+namespace jst {
+namespace {
+
+using interp::RunResult;
+using interp::run_program_source;
+using transform::Technique;
+
+const char* kFixtures[] = {
+    // arithmetic + loops
+    R"JS(
+      var total = 0;
+      for (var i = 1; i <= 10; i++) { total += i * i; }
+      console.log(total);
+    )JS",
+    // strings + conditionals
+    R"JS(
+      function classify(word) {
+        if (word.length > 5) { return "long"; }
+        else if (word.length > 2) { return "mid"; }
+        return "short";
+      }
+      var words = ["a", "tree", "elephant", "ox", "house"];
+      var out = [];
+      for (var i = 0; i < words.length; i++) { out.push(classify(words[i])); }
+      console.log(out.join("|"));
+    )JS",
+    // closures + higher-order functions
+    R"JS(
+      function makeAdder(n) { return function (x) { return x + n; }; }
+      var add5 = makeAdder(5);
+      var add10 = makeAdder(10);
+      console.log(add5(1) + add10(2) + add5(add10(3)));
+    )JS",
+    // objects + member access + string building
+    R"JS(
+      var registry = { items: [], add: function (name, price) {
+        this.items.push({ name: name, price: price });
+      } };
+      registry.add("pen", 2);
+      registry.add("book", 12);
+      var total = 0;
+      for (var i = 0; i < registry.items.length; i++) {
+        total += registry.items[i].price;
+      }
+      console.log("total=" + total + " first=" + registry.items[0].name);
+    )JS",
+    // switch + fallthrough + break
+    R"JS(
+      function grade(score) {
+        switch (true) {
+          case score >= 90: return "A";
+          case score >= 80: return "B";
+          case score >= 70: return "C";
+          default: return "F";
+        }
+      }
+      console.log(grade(95) + grade(85) + grade(42));
+    )JS",
+    // try/catch + throw
+    R"JS(
+      function safeDiv(a, b) {
+        if (b === 0) { throw "division by zero"; }
+        return a / b;
+      }
+      var log = [];
+      try { log.push(safeDiv(10, 2)); log.push(safeDiv(1, 0)); }
+      catch (e) { log.push("err:" + e); }
+      console.log(log.join(","));
+    )JS",
+    // recursion
+    R"JS(
+      function gcd(a, b) { return b === 0 ? a : gcd(b, a % b); }
+      console.log(gcd(462, 1071));
+    )JS",
+    // string manipulation the string-obfuscator likes to touch
+    R"JS(
+      var message = "the quick brown fox jumps over the lazy dog";
+      var parts = message.split(" ");
+      var initials = "";
+      for (var i = 0; i < parts.length; i++) { initials += parts[i].charAt(0); }
+      console.log(initials.toUpperCase());
+    )JS",
+    // nested loops with continue/break
+    R"JS(
+      var hits = [];
+      outer0 = 0;
+      for (var i = 0; i < 5; i++) {
+        for (var j = 0; j < 5; j++) {
+          if ((i + j) % 2 === 0) { continue; }
+          if (j > 3) { break; }
+          hits.push(i + "" + j);
+        }
+      }
+      console.log(hits.join(" "));
+    )JS",
+    // array methods
+    R"JS(
+      var values = [4, 1, 9, 2, 8, 3];
+      var evens = values.filter(function (v) { return v % 2 === 0; });
+      var doubled = evens.map(function (v) { return v * 2; });
+      var total = doubled.reduce(function (a, b) { return a + b; }, 0);
+      console.log(total + ":" + doubled.join("+"));
+    )JS",
+    // while loop state machine (mirrors flattening input)
+    R"JS(
+      var state = "start";
+      var trace = [];
+      var guard = 0;
+      while (state !== "done" && guard++ < 20) {
+        if (state === "start") { trace.push(1); state = "middle"; }
+        else if (state === "middle") { trace.push(2); state = "end"; }
+        else { trace.push(3); state = "done"; }
+      }
+      console.log(trace.join(""));
+    )JS",
+    // var hoisting subtleties
+    R"JS(
+      function f() {
+        var out = typeof x;
+        var x = 1;
+        { var x = 2; }
+        return out + x;
+      }
+      console.log(f());
+    )JS",
+    // template literals + ternaries
+    R"JS(
+      var count = 3;
+      var label = count === 1 ? "item" : "items";
+      console.log(`cart has ${count} ${label}`);
+    )JS",
+    // number formatting paths
+    R"JS(
+      console.log((255).toString(16) + "," + (3.5).toFixed(1) + "," +
+                  parseInt("0x2a", 16));
+    )JS",
+};
+
+// Techniques whose output stays within the interpreter's subset.
+const Technique kSemanticTechniques[] = {
+    Technique::kIdentifierObfuscation, Technique::kStringObfuscation,
+    Technique::kGlobalArray,           Technique::kDeadCodeInjection,
+    Technique::kControlFlowFlattening, Technique::kMinificationSimple,
+    Technique::kMinificationAdvanced,
+};
+
+struct SemanticsCase {
+  std::size_t fixture_index;
+  Technique technique;
+};
+
+class TransformSemantics
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(TransformSemantics, BehaviourPreserved) {
+  const std::size_t fixture_index = std::get<0>(GetParam());
+  const Technique technique =
+      kSemanticTechniques[static_cast<std::size_t>(std::get<1>(GetParam()))];
+  const char* fixture = kFixtures[fixture_index];
+
+  const RunResult original = run_program_source(fixture);
+  ASSERT_TRUE(original.ok) << original.error;
+  ASSERT_FALSE(original.log.empty());
+
+  Rng rng(strings::fnv1a(fixture) ^ static_cast<std::uint64_t>(technique));
+  const std::string transformed =
+      transform::apply_technique(technique, fixture, rng);
+  const RunResult after = run_program_source(transformed);
+  ASSERT_TRUE(after.ok) << transform::technique_name(technique) << ": "
+                        << after.error << "\n--- transformed ---\n"
+                        << transformed;
+  EXPECT_EQ(original.log, after.log)
+      << transform::technique_name(technique) << "\n--- transformed ---\n"
+      << transformed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFixturesAllTechniques, TransformSemantics,
+    ::testing::Combine(::testing::Range<std::size_t>(0, std::size(kFixtures)),
+                       ::testing::Range(0, static_cast<int>(
+                                               std::size(kSemanticTechniques)))));
+
+// Mixed configurations must preserve semantics too.
+class MixedSemantics : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MixedSemantics, TwoTechniqueCombosPreserved) {
+  const char* fixture = kFixtures[GetParam() % std::size(kFixtures)];
+  const RunResult original = run_program_source(fixture);
+  ASSERT_TRUE(original.ok) << original.error;
+
+  Rng rng(GetParam() * 7919 + 13);
+  // Pick two distinct semantic techniques.
+  const std::size_t first = rng.index(std::size(kSemanticTechniques));
+  std::size_t second = rng.index(std::size(kSemanticTechniques));
+  while (second == first) second = rng.index(std::size(kSemanticTechniques));
+  const std::vector<Technique> sequence = {kSemanticTechniques[first],
+                                           kSemanticTechniques[second]};
+  const std::string transformed =
+      transform::apply_techniques(sequence, fixture, rng);
+  const RunResult after = run_program_source(transformed);
+  ASSERT_TRUE(after.ok) << after.error << "\n--- transformed ---\n"
+                        << transformed;
+  EXPECT_EQ(original.log, after.log) << "\n--- transformed ---\n"
+                                     << transformed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, MixedSemantics,
+                         ::testing::Range<std::size_t>(0, 20));
+
+}  // namespace
+}  // namespace jst

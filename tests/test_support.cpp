@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/json_writer.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace jst {
+namespace {
+
+// --- Rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next() != b.next()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t value = rng.uniform_int(-5, 9);
+    EXPECT_GE(value, -5);
+    EXPECT_LE(value, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), InvalidArgument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.uniform();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(9);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  stats::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 12000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedIndexRejectsZeroTotal) {
+  Rng rng(12);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), InvalidArgument);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(13);
+  const auto sample = rng.sample_indices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t index : sample) EXPECT_LT(index, 100u);
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng rng(14);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, IdentifierShape) {
+  Rng rng(16);
+  for (int i = 0; i < 50; ++i) {
+    const std::string name = rng.identifier(8);
+    EXPECT_EQ(name.size(), 8u);
+    EXPECT_TRUE(strings::is_identifier(name)) << name;
+  }
+}
+
+TEST(Rng, HexStringShape) {
+  Rng rng(17);
+  const std::string hex = rng.hex_string(12);
+  EXPECT_EQ(hex.size(), 12u);
+  for (char c : hex) EXPECT_TRUE(strings::is_hex_digit(c));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(18);
+  Rng b = a.split();
+  EXPECT_NE(a.next(), b.next());
+}
+
+// --- strings -----------------------------------------------------------
+
+TEST(Strings, SplitBasic) {
+  const auto parts = strings::split("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitEmpty) {
+  const auto parts = strings::split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(strings::join(parts, "--"), "x--y--z");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(strings::trim("  hi\t\n"), "hi");
+  EXPECT_EQ(strings::trim("\r\n"), "");
+  EXPECT_EQ(strings::trim("x"), "x");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(strings::is_identifier("foo"));
+  EXPECT_TRUE(strings::is_identifier("_0x1a"));
+  EXPECT_TRUE(strings::is_identifier("$"));
+  EXPECT_FALSE(strings::is_identifier("1abc"));
+  EXPECT_FALSE(strings::is_identifier(""));
+  EXPECT_FALSE(strings::is_identifier("a-b"));
+}
+
+TEST(Strings, CountLines) {
+  EXPECT_EQ(strings::count_lines(""), 1u);
+  EXPECT_EQ(strings::count_lines("a\nb"), 2u);
+  EXPECT_EQ(strings::count_lines("a\nb\n"), 3u);
+}
+
+TEST(Strings, EscapeJsString) {
+  EXPECT_EQ(strings::escape_js_string("a\"b"), "a\\\"b");
+  EXPECT_EQ(strings::escape_js_string("a\nb"), "a\\nb");
+  EXPECT_EQ(strings::escape_js_string("back\\slash"), "back\\\\slash");
+}
+
+TEST(Strings, HexEscapeAll) {
+  EXPECT_EQ(strings::hex_escape_all("AB"), "\\x41\\x42");
+}
+
+TEST(Strings, UnicodeEscapeAll) {
+  EXPECT_EQ(strings::unicode_escape_all("A"), "\\u0041");
+}
+
+TEST(Strings, FormatDoubleTrims) {
+  EXPECT_EQ(strings::format_double(1.5), "1.5");
+  EXPECT_EQ(strings::format_double(2.0), "2");
+  EXPECT_EQ(strings::format_double(0.25, 4), "0.25");
+}
+
+TEST(Strings, ToBaseN) {
+  EXPECT_EQ(strings::to_base_n(0, 16), "0");
+  EXPECT_EQ(strings::to_base_n(255, 16), "ff");
+  EXPECT_EQ(strings::to_base_n(61, 62), "Z");
+  EXPECT_EQ(strings::to_base_n(62, 62), "10");
+  EXPECT_THROW(strings::to_base_n(1, 1), InvalidArgument);
+}
+
+TEST(Strings, Fnv1aStable) {
+  EXPECT_EQ(strings::fnv1a("abc"), strings::fnv1a("abc"));
+  EXPECT_NE(strings::fnv1a("abc"), strings::fnv1a("abd"));
+}
+
+TEST(Strings, AlnumRatio) {
+  EXPECT_DOUBLE_EQ(strings::alnum_ratio("abc123"), 1.0);
+  EXPECT_DOUBLE_EQ(strings::alnum_ratio("!!!"), 0.0);
+  EXPECT_NEAR(strings::alnum_ratio("a!"), 0.5, 1e-9);
+}
+
+// --- stats -------------------------------------------------------------
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stats::mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(stats::variance(values), 1.25);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(stats::mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stats::stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stats::median(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stats::max(empty), 0.0);
+}
+
+TEST(Stats, MedianAndPercentile) {
+  const std::vector<double> values = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(stats::median(values), 3.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(values, 100), 5.0);
+}
+
+TEST(Stats, RelativeStddev) {
+  const std::vector<double> values = {10, 10, 10};
+  EXPECT_DOUBLE_EQ(stats::relative_stddev_percent(values), 0.0);
+}
+
+TEST(Stats, ByteEntropyBounds) {
+  const std::vector<unsigned char> uniform_byte(100, 'a');
+  EXPECT_DOUBLE_EQ(stats::byte_entropy(uniform_byte), 0.0);
+  std::vector<unsigned char> all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<unsigned char>(i));
+  EXPECT_NEAR(stats::byte_entropy(all), 8.0, 1e-9);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  stats::Accumulator acc;
+  const std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double v : values) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), stats::mean(values));
+  EXPECT_NEAR(acc.variance(), stats::variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+// --- JsonWriter --------------------------------------------------------
+
+TEST(JsonWriter, ObjectWithValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("jstraced");
+  w.key("accuracy");
+  w.value(0.9941);
+  w.key("count");
+  w.value(42);
+  w.key("ok");
+  w.value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"jstraced\",\"accuracy\":0.9941,\"count\":42,"
+            "\"ok\":true}");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.begin_array();
+  w.end_array();
+  w.end_array();
+  EXPECT_EQ(w.str(), "[[1,2],[]]");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("text");
+  w.value("a\"b\nc");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"text\":\"a\\\"b\\nc\"}");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+}  // namespace
+}  // namespace jst

@@ -1,0 +1,535 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ast/walk.h"
+#include "corpus/generator.h"
+#include "corpus/snippets.h"
+#include "codegen/codegen.h"
+#include "features/analysis_pipeline.h"
+#include "parser/parser.h"
+#include "support/strings.h"
+#include "transform/rename.h"
+#include "transform/transform.h"
+
+namespace jst {
+namespace {
+
+using transform::Technique;
+
+const std::string& sample_source() {
+  static const std::string kSource = [] {
+    corpus::ProgramGenerator generator(2024);
+    corpus::GeneratorOptions options;
+    options.min_bytes = 1800;
+    return generator.generate(options);
+  }();
+  return kSource;
+}
+
+std::size_t count_kind(std::string_view source, NodeKind kind) {
+  const ParseResult result = parse_program(source);
+  return collect_kind(static_cast<const Node*>(result.ast.root()), kind).size();
+}
+
+// --- technique registry ------------------------------------------------
+
+TEST(Technique, NamesRoundTrip) {
+  for (Technique technique : transform::all_techniques()) {
+    const auto name = transform::technique_name(technique);
+    const auto parsed = transform::technique_from_name(name);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, technique);
+  }
+  EXPECT_FALSE(transform::technique_from_name("nope").has_value());
+}
+
+TEST(Technique, FamilySplit) {
+  EXPECT_TRUE(transform::is_minification(Technique::kMinificationSimple));
+  EXPECT_TRUE(transform::is_minification(Technique::kMinificationAdvanced));
+  EXPECT_TRUE(transform::is_obfuscation(Technique::kIdentifierObfuscation));
+  EXPECT_TRUE(transform::is_obfuscation(Technique::kDebugProtection));
+}
+
+// --- rename utility ----------------------------------------------------
+
+TEST(Rename, ShortNamesAreUniqueAndValid) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const std::string name = transform::short_name(i);
+    EXPECT_TRUE(strings::is_identifier(name)) << name;
+    EXPECT_FALSE(is_js_keyword(name)) << name;
+    EXPECT_TRUE(seen.insert(name).second) << name;
+  }
+}
+
+TEST(Rename, HexNameShape) {
+  Rng rng(5);
+  const std::string name = transform::hex_name(rng);
+  EXPECT_EQ(name.substr(0, 3), "_0x");
+  EXPECT_EQ(name.size(), 9u);
+}
+
+TEST(Rename, RenamesLocalsNotGlobals) {
+  ParseResult parsed =
+      parse_program("var alpha = 1; console.log(alpha + beta);");
+  transform::rename_bindings(parsed.ast,
+                             [](std::size_t, const std::string&) {
+                               return std::string("renamed");
+                             });
+  const std::string out = to_minified_source(parsed.ast.root());
+  EXPECT_NE(out.find("renamed"), std::string::npos);
+  EXPECT_NE(out.find("console"), std::string::npos);  // global untouched
+  EXPECT_NE(out.find("beta"), std::string::npos);     // unresolved untouched
+  EXPECT_EQ(out.find("alpha"), std::string::npos);
+}
+
+// --- identifier obfuscation ---------------------------------------------
+
+TEST(IdentifierObfuscation, OutputParses) {
+  Rng rng(1);
+  const std::string out = transform::obfuscate_identifiers(sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(IdentifierObfuscation, IntroducesHexNames) {
+  Rng rng(2);
+  transform::IdentifierObfuscationOptions options;
+  options.style = transform::IdentifierObfuscationOptions::Style::kHex;
+  const std::string out =
+      transform::obfuscate_identifiers(sample_source(), rng, options);
+  EXPECT_NE(out.find("_0x"), std::string::npos);
+}
+
+TEST(IdentifierObfuscation, PreservesStructure) {
+  Rng rng(3);
+  const std::string out = transform::obfuscate_identifiers(sample_source(), rng);
+  // Statement-level structure unchanged.
+  EXPECT_EQ(count_kind(out, NodeKind::kIfStatement),
+            count_kind(sample_source(), NodeKind::kIfStatement));
+  EXPECT_EQ(count_kind(out, NodeKind::kCallExpression),
+            count_kind(sample_source(), NodeKind::kCallExpression));
+}
+
+TEST(IdentifierObfuscation, ConsistentRenaming) {
+  Rng rng(4);
+  const std::string source = "var count = 1; count = count + 1; use(count);";
+  const std::string out = transform::obfuscate_identifiers(source, rng);
+  EXPECT_TRUE(parses(out));
+  EXPECT_EQ(out.find("count"), std::string::npos);
+}
+
+// --- string obfuscation -------------------------------------------------
+
+TEST(StringObfuscation, OutputParses) {
+  Rng rng(5);
+  const std::string out = transform::obfuscate_strings(sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(StringObfuscation, HexEscapesAppear) {
+  Rng rng(6);
+  transform::StringObfuscationOptions options;
+  options.split_probability = 0.0;
+  options.char_code_probability = 0.0;
+  options.hex_escape_probability = 1.0;
+  const std::string source = R"(var msg = "hello world message";)";
+  const std::string out = transform::obfuscate_strings(source, rng, options);
+  EXPECT_NE(out.find("\\x"), std::string::npos) << out;
+}
+
+TEST(StringObfuscation, SplitsIntoConcatenations) {
+  Rng rng(7);
+  transform::StringObfuscationOptions options;
+  options.split_probability = 1.0;
+  options.char_code_probability = 0.0;
+  options.hex_escape_probability = 0.0;
+  const std::string source = R"(var msg = "a fairly long string literal";)";
+  const std::string out = transform::obfuscate_strings(source, rng, options);
+  EXPECT_GT(count_kind(out, NodeKind::kBinaryExpression),
+            count_kind(source, NodeKind::kBinaryExpression));
+}
+
+TEST(StringObfuscation, FromCharCodeAppears) {
+  Rng rng(8);
+  transform::StringObfuscationOptions options;
+  options.split_probability = 0.0;
+  options.char_code_probability = 1.0;
+  options.hex_escape_probability = 0.0;
+  const std::string source = R"(send("abc");)";
+  const std::string out = transform::obfuscate_strings(source, rng, options);
+  EXPECT_NE(out.find("fromCharCode"), std::string::npos) << out;
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(StringObfuscation, PropertyKeysPreserved) {
+  Rng rng(9);
+  transform::StringObfuscationOptions options;
+  options.split_probability = 1.0;
+  options.char_code_probability = 0.0;
+  options.hex_escape_probability = 0.0;
+  const std::string source = R"(var o = { "key name": "some long value" };)";
+  const std::string out = transform::obfuscate_strings(source, rng, options);
+  EXPECT_TRUE(parses(out));
+  // The key must survive as a literal.
+  EXPECT_NE(out.find("key name"), std::string::npos);
+}
+
+// --- global array ---------------------------------------------------------
+
+TEST(GlobalArray, OutputParses) {
+  Rng rng(10);
+  const std::string out =
+      transform::global_array_transform(sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(GlobalArray, IntroducesArrayAndAccessor) {
+  Rng rng(11);
+  const std::string source =
+      R"(log("one"); log("two"); log("three"); log("one");)";
+  const std::string out = transform::global_array_transform(source, rng);
+  EXPECT_TRUE(parses(out));
+  EXPECT_EQ(count_kind(out, NodeKind::kArrayExpression), 1u);
+  EXPECT_GE(count_kind(out, NodeKind::kFunctionDeclaration), 1u);
+  // Plain string literals are replaced by accessor calls.
+  EXPECT_GE(count_kind(out, NodeKind::kCallExpression),
+            count_kind(source, NodeKind::kCallExpression) + 4u);
+}
+
+TEST(GlobalArray, FewStringsLeftAlone) {
+  Rng rng(12);
+  transform::GlobalArrayOptions options;
+  options.min_strings = 5;
+  const std::string source = R"(log("only");)";
+  const std::string out =
+      transform::global_array_transform(source, rng, options);
+  EXPECT_EQ(count_kind(out, NodeKind::kArrayExpression), 0u);
+}
+
+// --- no alphanumeric -----------------------------------------------------
+
+TEST(NoAlnum, OutputHasOnlySixCharacters) {
+  const std::string out = transform::no_alnum_transform("var a = 1;");
+  for (char c : out) {
+    EXPECT_TRUE(c == '[' || c == ']' || c == '(' || c == ')' || c == '!' ||
+                c == '+')
+        << "unexpected character '" << c << "'";
+  }
+}
+
+TEST(NoAlnum, OutputParses) {
+  const std::string out = transform::no_alnum_transform("var a = 1; f(a);");
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(NoAlnum, OutputIsMuchLarger) {
+  const std::string source = "x(1);";
+  const std::string out = transform::no_alnum_transform(source);
+  EXPECT_GT(out.size(), source.size() * 20);
+}
+
+TEST(NoAlnum, TruncatesOversizedInput) {
+  transform::NoAlnumOptions options;
+  options.max_source_bytes = 16;
+  const std::string out =
+      transform::no_alnum_transform("var abc = 1; var def = 2;", options);
+  EXPECT_TRUE(parses(out));
+}
+
+// --- dead code ------------------------------------------------------------
+
+TEST(DeadCode, OutputParses) {
+  Rng rng(13);
+  const std::string out = transform::inject_dead_code(sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(DeadCode, GrowsStatementCount) {
+  Rng rng(14);
+  transform::DeadCodeOptions options;
+  options.injection_rate = 0.8;
+  const std::string out =
+      transform::inject_dead_code(sample_source(), rng, options);
+  EXPECT_GT(count_kind(out, NodeKind::kVariableDeclaration) +
+                count_kind(out, NodeKind::kIfStatement) +
+                count_kind(out, NodeKind::kFunctionDeclaration),
+            count_kind(sample_source(), NodeKind::kVariableDeclaration) +
+                count_kind(sample_source(), NodeKind::kIfStatement) +
+                count_kind(sample_source(), NodeKind::kFunctionDeclaration));
+}
+
+TEST(DeadCode, InjectsFalseBranches) {
+  Rng rng(15);
+  transform::DeadCodeOptions options;
+  options.injection_rate = 0.9;
+  const std::string out =
+      transform::inject_dead_code(sample_source(), rng, options);
+  EXPECT_NE(out.find("if(false)"), std::string::npos);
+}
+
+TEST(DeadCode, RespectsMaxInjections) {
+  Rng rng(16);
+  transform::DeadCodeOptions options;
+  options.injection_rate = 1.0;
+  options.max_injections = 2;
+  const std::string source = "a(); b(); c(); d(); e();";
+  const std::string out = transform::inject_dead_code(source, rng, options);
+  // 5 original expression statements + at most 2 injected items.
+  const ParseResult parsed = parse_program(out);
+  EXPECT_LE(parsed.ast.root()->kids.size(), 7u);
+}
+
+// --- control-flow flattening ----------------------------------------------
+
+TEST(Flatten, OutputParses) {
+  Rng rng(17);
+  const std::string out =
+      transform::flatten_control_flow(sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(Flatten, ProducesDispatcherShape) {
+  Rng rng(18);
+  const std::string source = "a(); b(); c(); d();";
+  const std::string out = transform::flatten_control_flow(source, rng);
+  EXPECT_TRUE(parses(out));
+  EXPECT_EQ(count_kind(out, NodeKind::kWhileStatement), 1u);
+  EXPECT_EQ(count_kind(out, NodeKind::kSwitchStatement), 1u);
+  EXPECT_EQ(count_kind(out, NodeKind::kSwitchCase), 4u);
+  EXPECT_NE(out.find("split"), std::string::npos);
+}
+
+TEST(Flatten, ShortListsUntouched) {
+  Rng rng(19);
+  transform::FlattenOptions options;
+  options.min_statements = 5;
+  const std::string source = "a(); b();";
+  const std::string out =
+      transform::flatten_control_flow(source, rng, options);
+  EXPECT_EQ(count_kind(out, NodeKind::kSwitchStatement), 0u);
+}
+
+TEST(Flatten, PreservesStatementPayloads) {
+  Rng rng(20);
+  const std::string source = "first(); second(); third();";
+  const std::string out = transform::flatten_control_flow(source, rng);
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("second"), std::string::npos);
+  EXPECT_NE(out.find("third"), std::string::npos);
+}
+
+TEST(Flatten, FunctionBodiesFlattened) {
+  Rng rng(21);
+  const std::string source =
+      "function work() { one(); two(); three(); four(); }";
+  const std::string out = transform::flatten_control_flow(source, rng);
+  EXPECT_EQ(count_kind(out, NodeKind::kSwitchStatement), 1u);
+}
+
+// --- protection -----------------------------------------------------------
+
+TEST(SelfDefending, OutputParsesAndIsMinified) {
+  Rng rng(22);
+  const std::string out = transform::add_self_defending(sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+  // Minified: far fewer newlines than the pretty original.
+  EXPECT_LT(strings::count_lines(out),
+            strings::count_lines(sample_source()) / 2);
+}
+
+TEST(SelfDefending, ContainsSignatureMarkers) {
+  Rng rng(23);
+  const std::string out = transform::add_self_defending(sample_source(), rng);
+  EXPECT_NE(out.find("RegExp"), std::string::npos);
+  EXPECT_NE(out.find("constructor"), std::string::npos);
+  EXPECT_NE(out.find("apply"), std::string::npos);
+}
+
+TEST(DebugProtection, OutputParses) {
+  Rng rng(24);
+  const std::string out =
+      transform::add_debug_protection(sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(DebugProtection, ContainsDebuggerPump) {
+  Rng rng(25);
+  const std::string out =
+      transform::add_debug_protection(sample_source(), rng);
+  EXPECT_NE(out.find("debugger"), std::string::npos);
+  EXPECT_NE(out.find("setInterval"), std::string::npos);
+}
+
+// --- minification -----------------------------------------------------------
+
+TEST(Minify, SimpleOutputParses) {
+  const std::string out = transform::minify(sample_source());
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(Minify, ShrinksSource) {
+  const std::string out = transform::minify(sample_source());
+  EXPECT_LT(out.size(), sample_source().size() * 3 / 4);
+}
+
+TEST(Minify, RemovesComments) {
+  const std::string out = transform::minify("// comment\nvar a = 1; /* b */");
+  EXPECT_EQ(out.find("comment"), std::string::npos);
+}
+
+TEST(Minify, ShortensIdentifiers) {
+  const std::string out =
+      transform::minify("var veryLongVariableName = 1; use(veryLongVariableName);");
+  EXPECT_EQ(out.find("veryLongVariableName"), std::string::npos);
+}
+
+TEST(Minify, AdvancedFoldsConstants) {
+  transform::MinifyOptions options;
+  options.advanced = true;
+  const std::string out = transform::minify("var a = 2 + 3 * 4;", options);
+  EXPECT_NE(out.find("14"), std::string::npos) << out;
+}
+
+TEST(Minify, AdvancedFoldsStringConcat) {
+  transform::MinifyOptions options;
+  options.advanced = true;
+  const std::string out = transform::minify(R"(var s = "a" + "b";)", options);
+  EXPECT_NE(out.find("\"ab\""), std::string::npos) << out;
+}
+
+TEST(Minify, AdvancedShortensBooleans) {
+  transform::MinifyOptions options;
+  options.advanced = true;
+  const std::string out = transform::minify("var t = true, f = false;", options);
+  EXPECT_NE(out.find("!0"), std::string::npos);
+  EXPECT_NE(out.find("!1"), std::string::npos);
+}
+
+TEST(Minify, AdvancedIfToTernary) {
+  transform::MinifyOptions options;
+  options.advanced = true;
+  options.rename_locals = false;
+  const std::string out =
+      transform::minify("if (cond) doA(); else doB();", options);
+  EXPECT_NE(out.find('?'), std::string::npos) << out;
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(Minify, AdvancedIfToLogicalAnd) {
+  transform::MinifyOptions options;
+  options.advanced = true;
+  options.rename_locals = false;
+  const std::string out = transform::minify("if (cond) doA();", options);
+  EXPECT_NE(out.find("&&"), std::string::npos) << out;
+}
+
+TEST(Minify, AdvancedDropsUnreachable) {
+  transform::MinifyOptions options;
+  options.advanced = true;
+  options.rename_locals = false;
+  const std::string out = transform::minify(
+      "function f() { return 1; afterwards(); }", options);
+  EXPECT_EQ(out.find("afterwards"), std::string::npos) << out;
+}
+
+TEST(Minify, AdvancedEliminatesConstantBranches) {
+  transform::MinifyOptions options;
+  options.advanced = true;
+  options.rename_locals = false;
+  const std::string out = transform::minify(
+      "if (false) { neverRuns(); } alwaysRuns();", options);
+  EXPECT_EQ(out.find("neverRuns"), std::string::npos) << out;
+  EXPECT_NE(out.find("alwaysRuns"), std::string::npos);
+}
+
+TEST(Minify, AdvancedMergesVarDeclarations) {
+  transform::MinifyOptions options;
+  options.advanced = true;
+  options.rename_locals = false;
+  const std::string out = transform::minify("var a = 1; var b = 2;", options);
+  EXPECT_EQ(count_kind(out, NodeKind::kVariableDeclaration), 1u);
+}
+
+// --- packer -----------------------------------------------------------------
+
+TEST(Packer, OutputParses) {
+  Rng rng(26);
+  const std::string out = transform::pack(sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(Packer, HasEvalBootstrap) {
+  Rng rng(27);
+  const std::string out = transform::pack(sample_source(), rng);
+  EXPECT_EQ(out.rfind("eval(function(p,a,c,k,e,d)", 0), 0u) << out.substr(0, 60);
+  EXPECT_NE(out.find(".split('|')"), std::string::npos);
+}
+
+TEST(Packer, LabelsMatchPaperFinding) {
+  const auto labels = transform::packer_labels();
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_NE(std::find(labels.begin(), labels.end(),
+                      Technique::kMinificationAdvanced),
+            labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(),
+                      Technique::kIdentifierObfuscation),
+            labels.end());
+}
+
+// --- dispatcher ---------------------------------------------------------------
+
+TEST(ApplyTechnique, AllTechniquesProduceParseableOutput) {
+  for (Technique technique : transform::all_techniques()) {
+    Rng rng(static_cast<std::uint64_t>(technique) + 100);
+    const std::string out =
+        transform::apply_technique(technique, sample_source(), rng);
+    EXPECT_TRUE(parses(out)) << transform::technique_name(technique);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(ApplyTechniques, SequentialComposition) {
+  Rng rng(30);
+  const std::vector<Technique> sequence = {Technique::kStringObfuscation,
+                                           Technique::kMinificationSimple};
+  const std::string out =
+      transform::apply_techniques(sequence, sample_source(), rng);
+  EXPECT_TRUE(parses(out));
+}
+
+TEST(LabelsProduced, CombinedTechniques) {
+  const auto flattening =
+      transform::labels_produced(Technique::kControlFlowFlattening);
+  EXPECT_EQ(flattening.size(), 3u);
+  const auto advanced =
+      transform::labels_produced(Technique::kMinificationAdvanced);
+  EXPECT_EQ(advanced.size(), 2u);
+  const auto identifier =
+      transform::labels_produced(Technique::kIdentifierObfuscation);
+  EXPECT_EQ(identifier.size(), 1u);
+  // No configuration yields more than three labels (paper §III-E1).
+  for (Technique technique : transform::all_techniques()) {
+    EXPECT_LE(transform::labels_produced(technique).size(), 3u);
+  }
+}
+
+TEST(Transforms, SeedSnippetsSurviveEveryTechnique) {
+  for (std::string_view snippet : corpus::seed_snippets()) {
+    for (Technique technique : transform::all_techniques()) {
+      if (technique == Technique::kNoAlphanumeric && snippet.size() > 4096) {
+        continue;  // keep the test fast
+      }
+      Rng rng(strings::fnv1a(snippet) ^ static_cast<std::uint64_t>(technique));
+      const std::string out =
+          transform::apply_technique(technique, snippet, rng);
+      EXPECT_TRUE(parses(out))
+          << transform::technique_name(technique) << " on snippet "
+          << snippet.substr(0, 40);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jst
