@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_vs_independent.dir/bench_chain_vs_independent.cpp.o"
+  "CMakeFiles/bench_chain_vs_independent.dir/bench_chain_vs_independent.cpp.o.d"
+  "bench_chain_vs_independent"
+  "bench_chain_vs_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_vs_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_daftlogic.dir/bench_daftlogic.cpp.o"
+  "CMakeFiles/bench_daftlogic.dir/bench_daftlogic.cpp.o.d"
+  "bench_daftlogic"
+  "bench_daftlogic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_daftlogic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

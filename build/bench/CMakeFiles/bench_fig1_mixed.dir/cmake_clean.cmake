@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mixed.dir/bench_fig1_mixed.cpp.o"
+  "CMakeFiles/bench_fig1_mixed.dir/bench_fig1_mixed.cpp.o.d"
+  "bench_fig1_mixed"
+  "bench_fig1_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

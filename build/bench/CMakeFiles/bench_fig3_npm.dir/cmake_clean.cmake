@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_npm.dir/bench_fig3_npm.cpp.o"
+  "CMakeFiles/bench_fig3_npm.dir/bench_fig3_npm.cpp.o.d"
+  "bench_fig3_npm"
+  "bench_fig3_npm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_npm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

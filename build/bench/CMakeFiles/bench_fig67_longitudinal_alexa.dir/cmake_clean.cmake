@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig67_longitudinal_alexa.dir/bench_fig67_longitudinal_alexa.cpp.o"
+  "CMakeFiles/bench_fig67_longitudinal_alexa.dir/bench_fig67_longitudinal_alexa.cpp.o.d"
+  "bench_fig67_longitudinal_alexa"
+  "bench_fig67_longitudinal_alexa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig67_longitudinal_alexa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

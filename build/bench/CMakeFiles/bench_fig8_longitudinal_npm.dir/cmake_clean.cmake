@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_longitudinal_npm.dir/bench_fig8_longitudinal_npm.cpp.o"
+  "CMakeFiles/bench_fig8_longitudinal_npm.dir/bench_fig8_longitudinal_npm.cpp.o.d"
+  "bench_fig8_longitudinal_npm"
+  "bench_fig8_longitudinal_npm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_longitudinal_npm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

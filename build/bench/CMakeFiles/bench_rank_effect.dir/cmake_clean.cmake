@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rank_effect.dir/bench_rank_effect.cpp.o"
+  "CMakeFiles/bench_rank_effect.dir/bench_rank_effect.cpp.o.d"
+  "bench_rank_effect"
+  "bench_rank_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rank_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unmonitored.dir/bench_unmonitored.cpp.o"
+  "CMakeFiles/bench_unmonitored.dir/bench_unmonitored.cpp.o.d"
+  "bench_unmonitored"
+  "bench_unmonitored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unmonitored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

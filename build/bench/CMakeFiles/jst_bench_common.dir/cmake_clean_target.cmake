@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libjst_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_techniques.dir/detect_techniques.cpp.o"
+  "CMakeFiles/detect_techniques.dir/detect_techniques.cpp.o.d"
+  "detect_techniques"
+  "detect_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

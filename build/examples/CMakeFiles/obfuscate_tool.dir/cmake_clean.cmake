@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfuscate_tool.dir/obfuscate_tool.cpp.o"
+  "CMakeFiles/obfuscate_tool.dir/obfuscate_tool.cpp.o.d"
+  "obfuscate_tool"
+  "obfuscate_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfuscate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild_study.dir/wild_study.cpp.o"
+  "CMakeFiles/wild_study.dir/wild_study.cpp.o.d"
+  "wild_study"
+  "wild_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

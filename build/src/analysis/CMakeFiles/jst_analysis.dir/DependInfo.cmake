@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dataset.cpp" "src/analysis/CMakeFiles/jst_analysis.dir/dataset.cpp.o" "gcc" "src/analysis/CMakeFiles/jst_analysis.dir/dataset.cpp.o.d"
+  "/root/repo/src/analysis/detector.cpp" "src/analysis/CMakeFiles/jst_analysis.dir/detector.cpp.o" "gcc" "src/analysis/CMakeFiles/jst_analysis.dir/detector.cpp.o.d"
+  "/root/repo/src/analysis/labels.cpp" "src/analysis/CMakeFiles/jst_analysis.dir/labels.cpp.o" "gcc" "src/analysis/CMakeFiles/jst_analysis.dir/labels.cpp.o.d"
+  "/root/repo/src/analysis/longitudinal.cpp" "src/analysis/CMakeFiles/jst_analysis.dir/longitudinal.cpp.o" "gcc" "src/analysis/CMakeFiles/jst_analysis.dir/longitudinal.cpp.o.d"
+  "/root/repo/src/analysis/pipeline.cpp" "src/analysis/CMakeFiles/jst_analysis.dir/pipeline.cpp.o" "gcc" "src/analysis/CMakeFiles/jst_analysis.dir/pipeline.cpp.o.d"
+  "/root/repo/src/analysis/wild.cpp" "src/analysis/CMakeFiles/jst_analysis.dir/wild.cpp.o" "gcc" "src/analysis/CMakeFiles/jst_analysis.dir/wild.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/jst_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/jst_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/jst_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/jst_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/jst_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/jst_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/jst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/jst_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/jst_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/jst_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

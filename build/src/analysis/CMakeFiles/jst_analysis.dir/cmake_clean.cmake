@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_analysis.dir/dataset.cpp.o"
+  "CMakeFiles/jst_analysis.dir/dataset.cpp.o.d"
+  "CMakeFiles/jst_analysis.dir/detector.cpp.o"
+  "CMakeFiles/jst_analysis.dir/detector.cpp.o.d"
+  "CMakeFiles/jst_analysis.dir/labels.cpp.o"
+  "CMakeFiles/jst_analysis.dir/labels.cpp.o.d"
+  "CMakeFiles/jst_analysis.dir/longitudinal.cpp.o"
+  "CMakeFiles/jst_analysis.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/jst_analysis.dir/pipeline.cpp.o"
+  "CMakeFiles/jst_analysis.dir/pipeline.cpp.o.d"
+  "CMakeFiles/jst_analysis.dir/wild.cpp.o"
+  "CMakeFiles/jst_analysis.dir/wild.cpp.o.d"
+  "libjst_analysis.a"
+  "libjst_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_ast.dir/ast.cpp.o"
+  "CMakeFiles/jst_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/jst_ast.dir/ast_json.cpp.o"
+  "CMakeFiles/jst_ast.dir/ast_json.cpp.o.d"
+  "CMakeFiles/jst_ast.dir/walk.cpp.o"
+  "CMakeFiles/jst_ast.dir/walk.cpp.o.d"
+  "libjst_ast.a"
+  "libjst_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/jst_cfg.dir/cfg.cpp.o.d"
+  "libjst_cfg.a"
+  "libjst_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

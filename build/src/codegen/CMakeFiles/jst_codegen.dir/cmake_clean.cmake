@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_codegen.dir/codegen.cpp.o"
+  "CMakeFiles/jst_codegen.dir/codegen.cpp.o.d"
+  "libjst_codegen.a"
+  "libjst_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cpp" "src/corpus/CMakeFiles/jst_corpus.dir/generator.cpp.o" "gcc" "src/corpus/CMakeFiles/jst_corpus.dir/generator.cpp.o.d"
+  "/root/repo/src/corpus/snippets.cpp" "src/corpus/CMakeFiles/jst_corpus.dir/snippets.cpp.o" "gcc" "src/corpus/CMakeFiles/jst_corpus.dir/snippets.cpp.o.d"
+  "/root/repo/src/corpus/vocab.cpp" "src/corpus/CMakeFiles/jst_corpus.dir/vocab.cpp.o" "gcc" "src/corpus/CMakeFiles/jst_corpus.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/jst_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/jst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/jst_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/jst_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

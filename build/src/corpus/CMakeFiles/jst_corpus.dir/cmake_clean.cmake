@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_corpus.dir/generator.cpp.o"
+  "CMakeFiles/jst_corpus.dir/generator.cpp.o.d"
+  "CMakeFiles/jst_corpus.dir/snippets.cpp.o"
+  "CMakeFiles/jst_corpus.dir/snippets.cpp.o.d"
+  "CMakeFiles/jst_corpus.dir/vocab.cpp.o"
+  "CMakeFiles/jst_corpus.dir/vocab.cpp.o.d"
+  "libjst_corpus.a"
+  "libjst_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_dataflow.dir/dataflow.cpp.o"
+  "CMakeFiles/jst_dataflow.dir/dataflow.cpp.o.d"
+  "libjst_dataflow.a"
+  "libjst_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

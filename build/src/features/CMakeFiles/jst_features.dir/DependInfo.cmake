@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/analysis_pipeline.cpp" "src/features/CMakeFiles/jst_features.dir/analysis_pipeline.cpp.o" "gcc" "src/features/CMakeFiles/jst_features.dir/analysis_pipeline.cpp.o.d"
+  "/root/repo/src/features/feature_extractor.cpp" "src/features/CMakeFiles/jst_features.dir/feature_extractor.cpp.o" "gcc" "src/features/CMakeFiles/jst_features.dir/feature_extractor.cpp.o.d"
+  "/root/repo/src/features/handpicked.cpp" "src/features/CMakeFiles/jst_features.dir/handpicked.cpp.o" "gcc" "src/features/CMakeFiles/jst_features.dir/handpicked.cpp.o.d"
+  "/root/repo/src/features/ngram.cpp" "src/features/CMakeFiles/jst_features.dir/ngram.cpp.o" "gcc" "src/features/CMakeFiles/jst_features.dir/ngram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/jst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/jst_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/jst_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/jst_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/jst_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/jst_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_features.dir/analysis_pipeline.cpp.o"
+  "CMakeFiles/jst_features.dir/analysis_pipeline.cpp.o.d"
+  "CMakeFiles/jst_features.dir/feature_extractor.cpp.o"
+  "CMakeFiles/jst_features.dir/feature_extractor.cpp.o.d"
+  "CMakeFiles/jst_features.dir/handpicked.cpp.o"
+  "CMakeFiles/jst_features.dir/handpicked.cpp.o.d"
+  "CMakeFiles/jst_features.dir/ngram.cpp.o"
+  "CMakeFiles/jst_features.dir/ngram.cpp.o.d"
+  "libjst_features.a"
+  "libjst_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

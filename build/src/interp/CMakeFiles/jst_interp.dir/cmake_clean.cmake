@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_interp.dir/builtins.cpp.o"
+  "CMakeFiles/jst_interp.dir/builtins.cpp.o.d"
+  "CMakeFiles/jst_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/jst_interp.dir/interpreter.cpp.o.d"
+  "CMakeFiles/jst_interp.dir/value.cpp.o"
+  "CMakeFiles/jst_interp.dir/value.cpp.o.d"
+  "libjst_interp.a"
+  "libjst_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

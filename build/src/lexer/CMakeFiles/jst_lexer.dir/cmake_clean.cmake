@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_lexer.dir/lexer.cpp.o"
+  "CMakeFiles/jst_lexer.dir/lexer.cpp.o.d"
+  "CMakeFiles/jst_lexer.dir/token.cpp.o"
+  "CMakeFiles/jst_lexer.dir/token.cpp.o.d"
+  "libjst_lexer.a"
+  "libjst_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/jst_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/jst_ml.dir/metrics.cpp.o"
+  "CMakeFiles/jst_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/jst_ml.dir/multilabel.cpp.o"
+  "CMakeFiles/jst_ml.dir/multilabel.cpp.o.d"
+  "CMakeFiles/jst_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/jst_ml.dir/random_forest.cpp.o.d"
+  "libjst_ml.a"
+  "libjst_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

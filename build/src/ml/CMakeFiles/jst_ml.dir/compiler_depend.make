@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jst_ml.
+# This may be replaced when dependencies are built.

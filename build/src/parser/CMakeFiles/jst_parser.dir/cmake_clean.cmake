@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_parser.dir/parser.cpp.o"
+  "CMakeFiles/jst_parser.dir/parser.cpp.o.d"
+  "libjst_parser.a"
+  "libjst_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_support.dir/json_writer.cpp.o"
+  "CMakeFiles/jst_support.dir/json_writer.cpp.o.d"
+  "CMakeFiles/jst_support.dir/rng.cpp.o"
+  "CMakeFiles/jst_support.dir/rng.cpp.o.d"
+  "CMakeFiles/jst_support.dir/stats.cpp.o"
+  "CMakeFiles/jst_support.dir/stats.cpp.o.d"
+  "CMakeFiles/jst_support.dir/strings.cpp.o"
+  "CMakeFiles/jst_support.dir/strings.cpp.o.d"
+  "libjst_support.a"
+  "libjst_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

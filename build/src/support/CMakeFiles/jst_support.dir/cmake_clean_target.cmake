@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjst_support.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/dead_code.cpp" "src/transform/CMakeFiles/jst_transform.dir/dead_code.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/dead_code.cpp.o.d"
+  "/root/repo/src/transform/flatten.cpp" "src/transform/CMakeFiles/jst_transform.dir/flatten.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/flatten.cpp.o.d"
+  "/root/repo/src/transform/global_array.cpp" "src/transform/CMakeFiles/jst_transform.dir/global_array.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/global_array.cpp.o.d"
+  "/root/repo/src/transform/identifier_obfuscation.cpp" "src/transform/CMakeFiles/jst_transform.dir/identifier_obfuscation.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/identifier_obfuscation.cpp.o.d"
+  "/root/repo/src/transform/minify.cpp" "src/transform/CMakeFiles/jst_transform.dir/minify.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/minify.cpp.o.d"
+  "/root/repo/src/transform/no_alnum.cpp" "src/transform/CMakeFiles/jst_transform.dir/no_alnum.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/no_alnum.cpp.o.d"
+  "/root/repo/src/transform/packer.cpp" "src/transform/CMakeFiles/jst_transform.dir/packer.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/packer.cpp.o.d"
+  "/root/repo/src/transform/protection.cpp" "src/transform/CMakeFiles/jst_transform.dir/protection.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/protection.cpp.o.d"
+  "/root/repo/src/transform/rename.cpp" "src/transform/CMakeFiles/jst_transform.dir/rename.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/rename.cpp.o.d"
+  "/root/repo/src/transform/string_obfuscation.cpp" "src/transform/CMakeFiles/jst_transform.dir/string_obfuscation.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/string_obfuscation.cpp.o.d"
+  "/root/repo/src/transform/technique.cpp" "src/transform/CMakeFiles/jst_transform.dir/technique.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/technique.cpp.o.d"
+  "/root/repo/src/transform/transform.cpp" "src/transform/CMakeFiles/jst_transform.dir/transform.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/transform.cpp.o.d"
+  "/root/repo/src/transform/unmonitored.cpp" "src/transform/CMakeFiles/jst_transform.dir/unmonitored.cpp.o" "gcc" "src/transform/CMakeFiles/jst_transform.dir/unmonitored.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/jst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/jst_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/jst_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/jst_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/jst_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jst_transform.dir/dead_code.cpp.o"
+  "CMakeFiles/jst_transform.dir/dead_code.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/flatten.cpp.o"
+  "CMakeFiles/jst_transform.dir/flatten.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/global_array.cpp.o"
+  "CMakeFiles/jst_transform.dir/global_array.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/identifier_obfuscation.cpp.o"
+  "CMakeFiles/jst_transform.dir/identifier_obfuscation.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/minify.cpp.o"
+  "CMakeFiles/jst_transform.dir/minify.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/no_alnum.cpp.o"
+  "CMakeFiles/jst_transform.dir/no_alnum.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/packer.cpp.o"
+  "CMakeFiles/jst_transform.dir/packer.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/protection.cpp.o"
+  "CMakeFiles/jst_transform.dir/protection.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/rename.cpp.o"
+  "CMakeFiles/jst_transform.dir/rename.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/string_obfuscation.cpp.o"
+  "CMakeFiles/jst_transform.dir/string_obfuscation.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/technique.cpp.o"
+  "CMakeFiles/jst_transform.dir/technique.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/transform.cpp.o"
+  "CMakeFiles/jst_transform.dir/transform.cpp.o.d"
+  "CMakeFiles/jst_transform.dir/unmonitored.cpp.o"
+  "CMakeFiles/jst_transform.dir/unmonitored.cpp.o.d"
+  "libjst_transform.a"
+  "libjst_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jst_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/test_parser.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/test_parser.dir/test_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/jst_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/jst_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/jst_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/jst_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/jst_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/jst_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/jst_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/jst_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/jst_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/jst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/jst_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/jst_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
