@@ -46,13 +46,13 @@ Scores evaluate(bool use_chain, std::size_t scale_count) {
     {
       const auto report = model.analyze(base);
       ++level1_total;
-      if (report.parsed && report.level1.regular()) ++level1_correct;
+      if (!report.parse_failed() && report.level1.regular()) ++level1_correct;
     }
     const auto technique = transform::all_techniques()[rng.index(10)];
     const auto sample = analysis::make_transformed_sample(base, technique, rng);
     const auto report = model.analyze(sample.source);
     ++level1_total;
-    if (report.parsed && report.level1.transformed()) ++level1_correct;
+    if (!report.parse_failed() && report.level1.transformed()) ++level1_correct;
 
     const auto row = features::extract_from_source(
         sample.source, model.options().detector.features);

@@ -84,14 +84,21 @@ void print_footer() {
 PopulationMeasurement measure_population(const analysis::PopulationSpec& spec,
                                          std::size_t count,
                                          std::uint64_t seed) {
-  const auto& model = analyzer();
+  const analysis::AnalyzerService service(analyzer());
   const auto samples = analysis::simulate_population(spec, count, seed);
+  std::vector<std::string> sources;
+  sources.reserve(samples.size());
+  for (const analysis::Sample& sample : samples) {
+    sources.push_back(sample.source);
+  }
+  const analysis::BatchResult batch = service.analyze_batch(sources);
+
   PopulationMeasurement out;
   out.technique_confidence.assign(transform::kTechniqueCount, 0.0);
   std::size_t transformed = 0;
-  for (const analysis::Sample& sample : samples) {
-    const analysis::ScriptReport report = model.analyze(sample.source);
-    if (!report.parsed) continue;
+  for (const analysis::ScriptOutcome& outcome : batch.outcomes) {
+    if (outcome.parse_failed()) continue;
+    const analysis::ScriptReport& report = outcome.report;
     ++out.script_count;
     if (report.level1.transformed()) {
       ++transformed;

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "analysis/pipeline.h"
+#include "analysis/service.h"
 #include "analysis/wild.h"
 
 namespace jst::bench {

@@ -22,7 +22,7 @@ int main() {
   for (const std::string& base : bases) {
     const std::string packed = transform::pack(base, rng);
     const auto report = model.analyze(packed);
-    if (!report.parsed) continue;
+    if (report.parse_failed()) continue;
     if (report.level1.transformed()) ++transformed;
     for (std::size_t i = 0; i < report.technique_confidence.size(); ++i) {
       average_confidence[i] += report.technique_confidence[i];

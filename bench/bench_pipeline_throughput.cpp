@@ -1,9 +1,17 @@
 // Engineering microbenchmarks: throughput of every pipeline stage
 // (tokenize, parse, CFG, data flow, n-grams, hand-picked features,
-// level-1/level-2 inference, and each transformer).
+// level-1/level-2 inference, and each transformer), plus the batch
+// engine's scaling axis:
+//
+//   $ ./bench_pipeline_throughput                 # sweeps 1/2/4 threads
+//   $ ./bench_pipeline_throughput --threads 8     # pins the batch width
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "analysis/pipeline.h"
+#include "analysis/service.h"
 #include "bench_common.h"
 #include "cfg/cfg.h"
 #include "corpus/generator.h"
@@ -141,6 +149,61 @@ void BM_JsFuckEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_JsFuckEncode);
 
+// Batch analysis over a held-out corpus; state.range(0) = thread lanes.
+// Registered from main() so a --threads override can pin the axis.
+void BM_AnalyzeBatch(benchmark::State& state) {
+  static const std::vector<std::string> kCorpus =
+      jst::bench::held_out_regular(48, 0xba7c4);
+  const analysis::AnalyzerService service(jst::bench::analyzer());
+  analysis::BatchOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+
+  std::size_t total_bytes = 0;
+  for (const std::string& source : kCorpus) total_bytes += source.size();
+
+  double scripts_per_second = 0.0;
+  for (auto _ : state) {
+    const analysis::BatchResult result =
+        service.analyze_batch(kCorpus, options);
+    benchmark::DoNotOptimize(result.stats.ok);
+    scripts_per_second = result.stats.scripts_per_second;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kCorpus.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(total_bytes));
+  state.counters["scripts_per_sec"] = scripts_per_second;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract our own --threads flag before google-benchmark parses argv.
+  long pinned_threads = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      pinned_threads = std::atol(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      pinned_threads = std::atol(argv[i] + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  auto* batch = benchmark::RegisterBenchmark("BM_AnalyzeBatch",
+                                             BM_AnalyzeBatch);
+  batch->Unit(benchmark::kMillisecond)->UseRealTime();
+  if (pinned_threads > 0) {
+    batch->Arg(pinned_threads);
+  } else {
+    batch->Arg(1)->Arg(2)->Arg(4);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,13 +4,17 @@
 //   $ cat script.js | ./detect_techniques -
 //
 // Prints one JSON report per input, mirroring the paper's per-script
-// output: eligibility, level-1 probabilities, technique confidences.
+// output: status, level-1 probabilities, technique confidences, timing.
+// All inputs are analyzed as one batch through AnalyzerService, so the
+// run parallelizes across files (JST_THREADS controls the width).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
-#include "analysis/pipeline.h"
+#include "analysis/service.h"
 #include "support/json_writer.h"
 
 namespace {
@@ -21,17 +25,23 @@ std::string read_all(std::istream& in) {
   return out.str();
 }
 
-void report_json(const char* name, const jst::analysis::ScriptReport& report) {
+void report_json(const std::string& name,
+                 const jst::analysis::ScriptOutcome& outcome) {
   using namespace jst;
+  const analysis::ScriptReport& report = outcome.report;
   JsonWriter json;
   json.begin_object();
   json.key("file");
   json.value(name);
-  json.key("parsed");
-  json.value(report.parsed);
-  if (report.parsed) {
-    json.key("eligible");
-    json.value(report.eligible);
+  json.key("status");
+  json.value(analysis::to_string(outcome.status));
+  if (!outcome.error_message.empty()) {
+    json.key("error");
+    json.value(outcome.error_message);
+  }
+  json.key("analyze_ms");
+  json.value(outcome.timing.total_ms);
+  if (!outcome.parse_failed()) {
     json.key("level1");
     json.begin_object();
     json.key("p_regular");
@@ -76,8 +86,11 @@ int main(int argc, char** argv) {
   analysis::TransformationAnalyzer analyzer(options);
   std::fprintf(stderr, "[detect] training detectors...\n");
   analyzer.train();
+  const analysis::AnalyzerService service(analyzer);
 
   int failures = 0;
+  std::vector<std::string> names;
+  std::vector<std::string> sources;
   for (int i = 1; i < argc; ++i) {
     std::string source;
     if (std::string(argv[i]) == "-") {
@@ -91,7 +104,19 @@ int main(int argc, char** argv) {
       }
       source = read_all(file);
     }
-    report_json(argv[i], analyzer.analyze(source));
+    names.push_back(argv[i]);
+    sources.push_back(std::move(source));
   }
+
+  const analysis::BatchResult batch = service.analyze_batch(sources);
+  for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+    report_json(names[i], batch.outcomes[i]);
+  }
+  std::fprintf(stderr,
+               "[detect] %zu scripts in %.1f ms (%.1f scripts/s, %zu threads, "
+               "%zu parse failures)\n",
+               batch.stats.total, batch.stats.wall_ms,
+               batch.stats.scripts_per_second, batch.stats.threads,
+               batch.stats.parse_errors);
   return failures == 0 ? 0 : 1;
 }

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     double minified = 0.0;
     for (const analysis::Sample& sample : samples) {
       const analysis::ScriptReport report = analyzer.analyze(sample.source);
-      if (!report.parsed) continue;
+      if (report.parse_failed()) continue;
       ++analyzed;
       if (!report.level1.transformed()) continue;
       ++transformed;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "corpus/snippets.h"
+#include "support/thread_pool.h"
 #include "transform/transform.h"
 
 namespace jst::analysis {
@@ -140,11 +141,14 @@ Sample make_mixed_sample(const std::string& source,
 FeatureTable extract_features(std::vector<Sample> samples,
                               const features::FeatureConfig& config) {
   FeatureTable table;
-  table.rows.reserve(samples.size());
   table.samples = std::move(samples);
-  for (const Sample& sample : table.samples) {
-    table.rows.push_back(features::extract_from_source(sample.source, config));
-  }
+  table.rows.resize(table.samples.size());
+  // Each sample parses + extracts independently; rows land at their own
+  // index, so the table is identical for any thread count.
+  support::run_parallel(0, table.samples.size(), [&](std::size_t i) {
+    table.rows[i] =
+        features::extract_from_source(table.samples[i].source, config);
+  });
   return table;
 }
 

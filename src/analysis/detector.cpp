@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 
+#include "analysis/model_io.h"
 #include "support/error.h"
 
 namespace jst::analysis {
@@ -38,10 +39,14 @@ Level1Detector::Prediction Level1Detector::predict(
 }
 
 void Level1Detector::save(std::ostream& out) const {
+  write_model_header(out, make_model_header("level1", config_));
   classifier_->save(out);
 }
 
-void Level1Detector::load(std::istream& in) { classifier_->load(in); }
+void Level1Detector::load(std::istream& in) {
+  check_model_header(in, make_model_header("level1", config_));
+  classifier_->load(in);
+}
 
 Level2Detector::Level2Detector(DetectorConfig config)
     : config_(std::move(config)),
@@ -76,8 +81,14 @@ std::vector<transform::Technique> Level2Detector::predict_topk(
 
 namespace jst::analysis {
 
-void Level2Detector::save(std::ostream& out) const { classifier_->save(out); }
+void Level2Detector::save(std::ostream& out) const {
+  write_model_header(out, make_model_header("level2", config_));
+  classifier_->save(out);
+}
 
-void Level2Detector::load(std::istream& in) { classifier_->load(in); }
+void Level2Detector::load(std::istream& in) {
+  check_model_header(in, make_model_header("level2", config_));
+  classifier_->load(in);
+}
 
 }  // namespace jst::analysis

@@ -45,8 +45,10 @@ class Level1Detector {
   Prediction predict(std::span<const float> row) const;
   const DetectorConfig& config() const { return config_; }
 
-  // Persist/restore the trained classifier (config is NOT serialized; the
-  // loader must be constructed with the same DetectorConfig).
+  // Persist/restore the trained classifier behind a versioned model header
+  // (magic + format version + feature dimension + forest parameters). The
+  // loader must be constructed with the same DetectorConfig; a mismatch
+  // throws ModelError naming the offending field.
   void save(std::ostream& out) const;
   void load(std::istream& in);
 

@@ -1,0 +1,107 @@
+#include "analysis/model_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "analysis/detector.h"
+#include "support/error.h"
+
+namespace jst::analysis {
+namespace {
+
+constexpr const char* kModelMagic = "jstraced-model";
+
+[[noreturn]] void fail_mismatch(const std::string& component,
+                                const char* field,
+                                const std::string& model_value,
+                                const std::string& expected_value) {
+  throw ModelError("model load (" + component + "): " + field +
+                   " mismatch: model has " + model_value +
+                   ", configuration expects " + expected_value);
+}
+
+void check_field(const std::string& component, const char* field,
+                 std::size_t model_value, std::size_t expected_value) {
+  if (model_value != expected_value) {
+    fail_mismatch(component, field, std::to_string(model_value),
+                  std::to_string(expected_value));
+  }
+}
+
+}  // namespace
+
+ModelHeader make_model_header(std::string component,
+                              const DetectorConfig& config) {
+  ModelHeader header;
+  header.component = std::move(component);
+  header.feature_dimension = features::feature_dimension(config.features);
+  header.tree_count = config.forest.tree_count;
+  header.max_depth = config.forest.tree.max_depth;
+  header.min_samples_split = config.forest.tree.min_samples_split;
+  header.min_samples_leaf = config.forest.tree.min_samples_leaf;
+  header.max_features = config.forest.tree.max_features;
+  header.classifier_chain = config.classifier_chain;
+  return header;
+}
+
+void write_model_header(std::ostream& out, const ModelHeader& header) {
+  out << kModelMagic << ' ' << header.version << ' ' << header.component << ' '
+      << header.feature_dimension << ' ' << header.tree_count << ' '
+      << header.max_depth << ' ' << header.min_samples_split << ' '
+      << header.min_samples_leaf << ' ' << header.max_features << ' '
+      << (header.classifier_chain ? 1 : 0) << '\n';
+}
+
+ModelHeader read_model_header(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic)) {
+    throw ModelError("model load: empty or truncated stream");
+  }
+  if (magic != kModelMagic) {
+    throw ModelError("model load: unrecognized format (magic \"" + magic +
+                     "\", expected \"" + kModelMagic + "\")");
+  }
+  ModelHeader header;
+  if (!(in >> header.version)) {
+    throw ModelError("model load: truncated header (missing version)");
+  }
+  if (header.version != ModelHeader::kFormatVersion) {
+    throw ModelError("model load: unsupported format version " +
+                     std::to_string(header.version) + " (this build reads " +
+                     std::to_string(ModelHeader::kFormatVersion) + ")");
+  }
+  int chain = 0;
+  if (!(in >> header.component >> header.feature_dimension >>
+        header.tree_count >> header.max_depth >> header.min_samples_split >>
+        header.min_samples_leaf >> header.max_features >> chain)) {
+    throw ModelError("model load: truncated header");
+  }
+  header.classifier_chain = chain != 0;
+  return header;
+}
+
+void check_model_header(std::istream& in, const ModelHeader& expected) {
+  const ModelHeader actual = read_model_header(in);
+  if (actual.component != expected.component) {
+    fail_mismatch(expected.component, "component", actual.component,
+                  expected.component);
+  }
+  const std::string& component = expected.component;
+  check_field(component, "feature_dimension", actual.feature_dimension,
+              expected.feature_dimension);
+  check_field(component, "tree_count", actual.tree_count, expected.tree_count);
+  check_field(component, "max_depth", actual.max_depth, expected.max_depth);
+  check_field(component, "min_samples_split", actual.min_samples_split,
+              expected.min_samples_split);
+  check_field(component, "min_samples_leaf", actual.min_samples_leaf,
+              expected.min_samples_leaf);
+  check_field(component, "max_features", actual.max_features,
+              expected.max_features);
+  if (actual.classifier_chain != expected.classifier_chain) {
+    fail_mismatch(component, "classifier_chain",
+                  actual.classifier_chain ? "chain" : "independent",
+                  expected.classifier_chain ? "chain" : "independent");
+  }
+}
+
+}  // namespace jst::analysis

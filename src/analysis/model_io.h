@@ -1,0 +1,48 @@
+// Versioned serialization header shared by every persisted detector.
+//
+// Level1Detector, Level2Detector, and TransformationAnalyzer all prefix
+// their serialized form with one ModelHeader line carrying the format
+// version, the component name, the feature dimension, and the forest
+// hyper-parameters. Loading checks every field against the loader's
+// configuration and fails with a ModelError naming the first mismatched
+// field and both values — instead of the former partial header check that
+// let a config-mismatched load corrupt predictions silently.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace jst::analysis {
+
+struct DetectorConfig;
+
+struct ModelHeader {
+  static constexpr std::uint32_t kFormatVersion = 2;
+
+  std::uint32_t version = kFormatVersion;
+  std::string component;  // "analyzer" | "level1" | "level2"
+  std::size_t feature_dimension = 0;
+  // Forest hyper-parameters baked into the trained model.
+  std::size_t tree_count = 0;
+  std::size_t max_depth = 0;
+  std::size_t min_samples_split = 0;
+  std::size_t min_samples_leaf = 0;
+  std::size_t max_features = 0;
+  bool classifier_chain = true;
+};
+
+// Header describing `config` for the given component name.
+ModelHeader make_model_header(std::string component,
+                              const DetectorConfig& config);
+
+void write_model_header(std::ostream& out, const ModelHeader& header);
+
+// Throws ModelError on bad magic, unsupported version, or truncation.
+ModelHeader read_model_header(std::istream& in);
+
+// read_model_header + field-by-field comparison against `expected`;
+// throws ModelError with a precise message on the first mismatch.
+void check_model_header(std::istream& in, const ModelHeader& expected);
+
+}  // namespace jst::analysis

@@ -1,12 +1,34 @@
 #include "analysis/pipeline.h"
 
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <string>
 
+#include "analysis/model_io.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace jst::analysis {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string_view to_string(ScriptStatus status) {
+  switch (status) {
+    case ScriptStatus::kOk: return "ok";
+    case ScriptStatus::kParseError: return "parse_error";
+    case ScriptStatus::kIneligibleSize: return "ineligible_size";
+    case ScriptStatus::kIneligibleAst: return "ineligible_ast";
+  }
+  return "unknown";
+}
 
 TransformationAnalyzer::TransformationAnalyzer(PipelineOptions options)
     : options_(std::move(options)),
@@ -27,19 +49,33 @@ void TransformationAnalyzer::train_on(
   }
   Rng rng(options_.seed ^ 0x5eedf00dULL);
 
-  // Build pools: regular + per-technique transformed.
-  std::vector<Sample> samples;
-  samples.reserve(regular_sources.size() +
-                  options_.per_technique_count * transform::kTechniqueCount);
-  for (const std::string& source : regular_sources) {
-    samples.push_back(make_regular_sample(source));
-  }
+  // Build pools: regular + per-technique transformed. Base indices and
+  // per-sample seeds are drawn serially so the corpus is identical for any
+  // thread count; the transforms themselves fan out over the pool.
+  struct TransformJob {
+    std::size_t base = 0;
+    transform::Technique technique;
+    std::uint64_t seed = 0;
+  };
+  std::vector<TransformJob> jobs;
+  jobs.reserve(options_.per_technique_count * transform::kTechniqueCount);
   for (transform::Technique technique : transform::all_techniques()) {
     for (std::size_t i = 0; i < options_.per_technique_count; ++i) {
-      const std::string& base = regular_sources[rng.index(regular_sources.size())];
-      samples.push_back(make_transformed_sample(base, technique, rng));
+      jobs.push_back({rng.index(regular_sources.size()), technique,
+                      rng.next()});
     }
   }
+
+  std::vector<Sample> samples(regular_sources.size() + jobs.size());
+  for (std::size_t i = 0; i < regular_sources.size(); ++i) {
+    samples[i] = make_regular_sample(regular_sources[i]);
+  }
+  support::run_parallel(0, jobs.size(), [&](std::size_t j) {
+    const TransformJob& job = jobs[j];
+    Rng job_rng(job.seed);
+    samples[regular_sources.size() + j] = make_transformed_sample(
+        regular_sources[job.base], job.technique, job_rng);
+  });
 
   FeatureTable table =
       extract_features(std::move(samples), options_.detector.features);
@@ -65,45 +101,64 @@ void TransformationAnalyzer::train_on(
 
 void TransformationAnalyzer::save(std::ostream& out) const {
   if (!trained_) throw ModelError("save: detector not trained");
-  out << "jstraced-analyzer-v1 "
-      << features::feature_dimension(options_.detector.features) << '\n';
+  write_model_header(out, make_model_header("analyzer", options_.detector));
   level1_.save(out);
   level2_.save(out);
 }
 
 void TransformationAnalyzer::load(std::istream& in) {
-  std::string magic;
-  std::size_t dimension = 0;
-  if (!(in >> magic >> dimension) || magic != "jstraced-analyzer-v1") {
-    throw ModelError("load: unrecognized analyzer format");
-  }
-  if (dimension != features::feature_dimension(options_.detector.features)) {
-    throw ModelError("load: feature dimension mismatch with configuration");
-  }
+  check_model_header(in, make_model_header("analyzer", options_.detector));
   level1_.load(in);
   level2_.load(in);
   trained_ = true;
 }
 
 ScriptReport TransformationAnalyzer::analyze(std::string_view source) const {
+  return analyze_outcome(source).report;
+}
+
+ScriptOutcome TransformationAnalyzer::analyze_outcome(
+    std::string_view source) const {
   if (!trained_) throw ModelError("analyze: detector not trained");
-  ScriptReport report;
+  ScriptOutcome outcome;
+  const auto start = std::chrono::steady_clock::now();
+
   ScriptAnalysis analysis;
   try {
     analysis = analyze_script(source, options_.detector.features.analysis);
-  } catch (const ParseError&) {
-    return report;
+  } catch (const ParseError& error) {
+    outcome.status = ScriptStatus::kParseError;
+    outcome.report.status = outcome.status;
+    outcome.error_message = error.what();
+    outcome.timing.static_analysis_ms = ms_since(start);
+    outcome.timing.total_ms = outcome.timing.static_analysis_ms;
+    return outcome;
   }
-  report.parsed = true;
-  report.eligible = script_eligible(analysis);
+  outcome.timing.static_analysis_ms = ms_since(start);
+
+  if (!size_eligible(source)) {
+    outcome.status = ScriptStatus::kIneligibleSize;
+  } else if (!ast_eligible(analysis)) {
+    outcome.status = ScriptStatus::kIneligibleAst;
+  } else {
+    outcome.status = ScriptStatus::kOk;
+  }
+  outcome.report.status = outcome.status;
+
+  const auto features_start = std::chrono::steady_clock::now();
   const std::vector<float> row =
       features::extract(analysis, options_.detector.features);
-  report.level1 = level1_.predict(row);
-  report.technique_confidence = level2_.predict_proba(row);
-  if (report.level1.transformed()) {
-    report.techniques = level2_.predict_techniques(row);
+  outcome.timing.features_ms = ms_since(features_start);
+
+  const auto inference_start = std::chrono::steady_clock::now();
+  outcome.report.level1 = level1_.predict(row);
+  outcome.report.technique_confidence = level2_.predict_proba(row);
+  if (outcome.report.level1.transformed()) {
+    outcome.report.techniques = level2_.predict_techniques(row);
   }
-  return report;
+  outcome.timing.inference_ms = ms_since(inference_start);
+  outcome.timing.total_ms = ms_since(start);
+  return outcome;
 }
 
 }  // namespace jst::analysis

@@ -4,11 +4,15 @@
 // corpus, one transformed pool per technique; level 1 trains on
 // regular/minified/obfuscated thirds (the two minification techniques
 // represented equally, likewise the eight obfuscation techniques), level 2
-// trains on per-technique pools.
+// trains on per-technique pools. Corpus synthesis, feature extraction, and
+// forest training all run on the shared thread pool; per-sample and
+// per-tree RNG streams are derived serially, so a given seed reproduces
+// the same trained model for any thread count.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "analysis/dataset.h"
@@ -25,13 +29,56 @@ struct PipelineOptions {
   std::uint64_t seed = 1234;
 };
 
+// Per-script analysis disposition. Predictions are computed for every
+// script that parses — including ineligible ones — so callers can decide
+// whether to honor the paper's §III-D1 filter; the status records which
+// criterion (if any) failed.
+enum class ScriptStatus {
+  kOk,              // parsed and passed the paper's eligibility filter
+  kParseError,      // could not be tokenized/parsed; no predictions
+  kIneligibleSize,  // outside [512 B, 2 MB]
+  kIneligibleAst,   // no conditional, function, or call node
+};
+
+std::string_view to_string(ScriptStatus status);
+
 // Result of analyzing one script in the wild.
 struct ScriptReport {
-  bool parsed = false;
-  bool eligible = false;  // paper's size/AST filter
+  ScriptStatus status = ScriptStatus::kParseError;
   Level1Detector::Prediction level1;
   std::vector<double> technique_confidence;  // 10 entries
   std::vector<transform::Technique> techniques;  // thresholded top-k
+
+  // Parsed and eligible under the paper's filter.
+  bool ok() const { return status == ScriptStatus::kOk; }
+  // Predictions are absent exactly when parsing failed.
+  bool parse_failed() const { return status == ScriptStatus::kParseError; }
+
+  // Deprecated shims for the pre-batch bool-pair API.
+  [[deprecated("use !parse_failed() / status")]] bool parsed() const {
+    return !parse_failed();
+  }
+  [[deprecated("use ok() / status")]] bool eligible() const { return ok(); }
+};
+
+// Per-stage wall time of one script's analysis, in milliseconds.
+struct StageTimings {
+  double total_ms = 0.0;
+  double static_analysis_ms = 0.0;  // lex + parse + CFG + data flow
+  double features_ms = 0.0;         // 4-grams + hand-picked features
+  double inference_ms = 0.0;        // level-1 + level-2 forests
+};
+
+// One script's structured outcome in the batch API: the report plus the
+// failure diagnostics and timing the bool-pair convention used to drop.
+struct ScriptOutcome {
+  ScriptStatus status = ScriptStatus::kParseError;
+  ScriptReport report;        // predictions populated whenever parsed
+  std::string error_message;  // parse diagnostics; empty otherwise
+  StageTimings timing;
+
+  bool ok() const { return status == ScriptStatus::kOk; }
+  bool parse_failed() const { return status == ScriptStatus::kParseError; }
 };
 
 class TransformationAnalyzer {
@@ -46,14 +93,19 @@ class TransformationAnalyzer {
 
   bool trained() const { return trained_; }
 
-  // Persist a trained analyzer / restore it without retraining. The
-  // PipelineOptions must match between save and load (a feature-dimension
-  // header is checked). Throws ModelError on mismatch.
+  // Persist a trained analyzer / restore it without retraining. Every
+  // component is prefixed with a versioned header (magic + format version
+  // + feature dimension + forest parameters); loading under a mismatched
+  // PipelineOptions throws ModelError naming the offending field.
   void save(std::ostream& out) const;
   void load(std::istream& in);
 
-  // Full per-script report; returns parsed=false on parse errors.
+  // Full per-script report; status == kParseError on parse errors.
   ScriptReport analyze(std::string_view source) const;
+
+  // analyze() plus parse diagnostics and per-stage timings — the unit of
+  // work AnalyzerService fans out over the thread pool.
+  ScriptOutcome analyze_outcome(std::string_view source) const;
 
   const Level1Detector& level1() const { return level1_; }
   const Level2Detector& level2() const { return level2_; }

@@ -1,0 +1,71 @@
+#include "analysis/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/error.h"
+#include "support/thread_pool.h"
+
+namespace jst::analysis {
+
+AnalyzerService::AnalyzerService(const TransformationAnalyzer& analyzer)
+    : analyzer_(&analyzer) {
+  if (!analyzer.trained()) {
+    throw ModelError("AnalyzerService: analyzer is not trained");
+  }
+}
+
+ScriptOutcome AnalyzerService::analyze_one(std::string_view source,
+                                           std::size_t max_bytes) const {
+  if (max_bytes > 0 && source.size() > max_bytes) {
+    ScriptOutcome outcome;
+    outcome.status = ScriptStatus::kIneligibleSize;
+    outcome.report.status = outcome.status;
+    outcome.error_message = "script exceeds batch max_bytes (" +
+                            std::to_string(source.size()) + " > " +
+                            std::to_string(max_bytes) + " bytes)";
+    return outcome;
+  }
+  return analyzer_->analyze_outcome(source);
+}
+
+BatchResult AnalyzerService::analyze_batch(
+    std::span<const std::string> sources, const BatchOptions& options) const {
+  BatchResult result;
+  result.outcomes.resize(sources.size());
+  const std::size_t threads = options.threads == 0
+                                  ? support::ThreadPool::default_parallelism()
+                                  : options.threads;
+  result.stats.threads = std::max<std::size_t>(threads, 1);
+
+  const auto start = std::chrono::steady_clock::now();
+  support::run_parallel(threads, sources.size(), [&](std::size_t i) {
+    result.outcomes[i] = analyze_one(sources[i], options.max_bytes);
+  });
+  result.stats.wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  BatchStats& stats = result.stats;
+  stats.total = result.outcomes.size();
+  for (const ScriptOutcome& outcome : result.outcomes) {
+    switch (outcome.status) {
+      case ScriptStatus::kOk: ++stats.ok; break;
+      case ScriptStatus::kParseError: ++stats.parse_errors; break;
+      case ScriptStatus::kIneligibleSize: ++stats.ineligible_size; break;
+      case ScriptStatus::kIneligibleAst: ++stats.ineligible_ast; break;
+    }
+    stats.static_analysis_ms += outcome.timing.static_analysis_ms;
+    stats.features_ms += outcome.timing.features_ms;
+    stats.inference_ms += outcome.timing.inference_ms;
+    stats.max_script_ms = std::max(stats.max_script_ms,
+                                   outcome.timing.total_ms);
+  }
+  if (stats.wall_ms > 0.0) {
+    stats.scripts_per_second =
+        1000.0 * static_cast<double>(stats.total) / stats.wall_ms;
+  }
+  return result;
+}
+
+}  // namespace jst::analysis

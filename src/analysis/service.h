@@ -1,0 +1,80 @@
+// Batch-analysis service facade over a trained TransformationAnalyzer.
+//
+// The paper's wild study (§IV) classifies hundreds of thousands of scripts;
+// this is the production-shaped entry point for that workload: a span of
+// sources fans out over the thread pool, every script yields a structured
+// ScriptOutcome (status + report + diagnostics + timings), and the batch
+// returns aggregate observability counters (scripts/sec, parse-failure
+// rate, per-stage wall time). Outcomes are positionally aligned with the
+// input and independent of the thread count.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.h"
+
+namespace jst::analysis {
+
+struct BatchOptions {
+  // Parallelism for the batch (0 = JST_THREADS / hardware default,
+  // 1 = serial). Results are identical for every value.
+  std::size_t threads = 0;
+  // Scripts larger than this many bytes are marked kIneligibleSize without
+  // being parsed — a guard against pathological inputs in service traffic.
+  // 0 disables the cap (every script is parsed and scored).
+  std::size_t max_bytes = 0;
+};
+
+// Aggregate counters over one analyze_batch call.
+struct BatchStats {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  std::size_t parse_errors = 0;
+  std::size_t ineligible_size = 0;
+  std::size_t ineligible_ast = 0;
+  std::size_t threads = 1;          // parallelism actually used
+  double wall_ms = 0.0;             // batch wall-clock time
+  double scripts_per_second = 0.0;  // total / wall time
+  // Per-stage time summed across scripts (≈ wall_ms × threads when the
+  // pool is saturated).
+  double static_analysis_ms = 0.0;
+  double features_ms = 0.0;
+  double inference_ms = 0.0;
+  double max_script_ms = 0.0;  // slowest single script
+
+  double parse_failure_rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(parse_errors) /
+                            static_cast<double>(total);
+  }
+};
+
+struct BatchResult {
+  std::vector<ScriptOutcome> outcomes;  // aligned with the input span
+  BatchStats stats;
+};
+
+class AnalyzerService {
+ public:
+  // The analyzer must already be trained (or loaded); throws ModelError
+  // otherwise. The service borrows the analyzer, which must outlive it.
+  explicit AnalyzerService(const TransformationAnalyzer& analyzer);
+
+  // Analyzes one script, honoring the max_bytes guard.
+  ScriptOutcome analyze_one(std::string_view source,
+                            std::size_t max_bytes = 0) const;
+
+  // Analyzes every source concurrently; never throws on per-script
+  // failures (they surface as ScriptOutcome statuses).
+  BatchResult analyze_batch(std::span<const std::string> sources,
+                            const BatchOptions& options = {}) const;
+
+  const TransformationAnalyzer& analyzer() const { return *analyzer_; }
+
+ private:
+  const TransformationAnalyzer* analyzer_;
+};
+
+}  // namespace jst::analysis

@@ -5,6 +5,7 @@
 #include "corpus/generator.h"
 #include "corpus/snippets.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 
 namespace jst::analysis {
 namespace {
@@ -230,26 +231,32 @@ std::string generate_malware_base(Rng& rng) {
 std::vector<Sample> simulate_population(const PopulationSpec& spec,
                                         std::size_t script_count,
                                         std::uint64_t seed) {
+  // One seed per script, drawn serially; each script then simulates from
+  // its own RNG + generator, so the population fans out over the thread
+  // pool and is identical for any thread count.
   Rng rng(seed);
-  corpus::ProgramGenerator generator(seed ^ 0x77aa55ULL);
-  const auto snippets = corpus::seed_snippets();
+  std::vector<std::uint64_t> seeds(script_count);
+  for (std::uint64_t& script_seed : seeds) script_seed = rng.next();
 
+  const auto snippets = corpus::seed_snippets();
   std::vector<double> weights;
   weights.reserve(spec.configs.size());
   for (const ConfigWeight& entry : spec.configs) weights.push_back(entry.weight);
 
-  std::vector<Sample> out;
-  out.reserve(script_count);
-  for (std::size_t i = 0; i < script_count; ++i) {
+  std::vector<Sample> out(script_count);
+  support::run_parallel(0, script_count, [&](std::size_t i) {
+    Rng script_rng(seeds[i]);
+    corpus::ProgramGenerator generator(seeds[i] ^ 0x77aa55ULL);
+
     std::string base;
     if (spec.malware) {
-      base = generate_malware_base(rng);
+      base = generate_malware_base(script_rng);
     } else {
       corpus::GeneratorOptions options;
       options.flavor = spec.flavor;
-      options.min_bytes = 700 + rng.index(5200);
-      if (rng.bernoulli(0.2)) {
-        base = std::string(snippets[rng.index(snippets.size())]);
+      options.min_bytes = 700 + script_rng.index(5200);
+      if (script_rng.bernoulli(0.2)) {
+        base = std::string(snippets[script_rng.index(snippets.size())]);
         base += "\n";
         options.min_bytes = 600;
         base += generator.generate(options);
@@ -258,13 +265,14 @@ std::vector<Sample> simulate_population(const PopulationSpec& spec,
       }
     }
 
-    if (!rng.bernoulli(spec.transformed_rate) || spec.configs.empty()) {
-      out.push_back(make_regular_sample(base));
-      continue;
+    if (!script_rng.bernoulli(spec.transformed_rate) || spec.configs.empty()) {
+      out[i] = make_regular_sample(base);
+      return;
     }
-    const ConfigWeight& chosen = spec.configs[rng.weighted_index(weights)];
-    Sample sample = apply_configuration(base, chosen.techniques, rng);
-    if (rng.bernoulli(spec.partial_transform_rate)) {
+    const ConfigWeight& chosen =
+        spec.configs[script_rng.weighted_index(weights)];
+    Sample sample = apply_configuration(base, chosen.techniques, script_rng);
+    if (script_rng.bernoulli(spec.partial_transform_rate)) {
       // Regular head + transformed tail (e.g., hand-written glue followed
       // by a minified library, as the paper's Alexa review observed).
       corpus::GeneratorOptions head_options;
@@ -272,8 +280,8 @@ std::vector<Sample> simulate_population(const PopulationSpec& spec,
       head_options.min_bytes = 500;
       sample.source = generator.generate(head_options) + "\n" + sample.source;
     }
-    out.push_back(std::move(sample));
-  }
+    out[i] = std::move(sample);
+  });
   return out;
 }
 

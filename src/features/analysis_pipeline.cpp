@@ -28,6 +28,10 @@ bool script_eligible(const ScriptAnalysis& analysis) {
       analysis.parse.source_bytes > 2 * 1024 * 1024) {
     return false;
   }
+  return ast_eligible(analysis);
+}
+
+bool ast_eligible(const ScriptAnalysis& analysis) {
   bool eligible = false;
   walk_preorder(static_cast<const Node*>(analysis.parse.ast.root()),
                 [&eligible](const Node& node) {

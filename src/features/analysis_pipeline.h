@@ -29,8 +29,10 @@ ScriptAnalysis analyze_script(std::string_view source,
 
 // The paper's script-eligibility filter (§III-D1): between 512 bytes and
 // 2 MB, and the AST contains at least one conditional control-flow node,
-// function node, or CallExpression.
+// function node, or CallExpression. `ast_eligible` checks only the AST
+// half so callers can report *which* criterion failed.
 bool script_eligible(const ScriptAnalysis& analysis);
 bool size_eligible(std::string_view source);
+bool ast_eligible(const ScriptAnalysis& analysis);
 
 }  // namespace jst

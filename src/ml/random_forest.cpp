@@ -1,11 +1,13 @@
 #include "ml/random_forest.h"
 
+#include <algorithm>
 #include <istream>
 #include <numeric>
 #include <ostream>
 #include <string>
 
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace jst::ml {
 
@@ -18,11 +20,19 @@ void RandomForest::fit(const Matrix& data, std::span<const std::uint8_t> labels,
   const std::size_t row_count = data.row_count();
   const auto sample_count = static_cast<std::size_t>(
       static_cast<double>(row_count) * params.bootstrap_fraction);
-  std::vector<std::size_t> bootstrap(std::max<std::size_t>(sample_count, 1));
-  for (DecisionTree& tree : trees_) {
-    for (std::size_t& index : bootstrap) index = rng.index(row_count);
-    tree.fit(data, labels, bootstrap, params.tree, rng);
-  }
+  // One seed per tree, drawn serially from the caller's stream: tree t sees
+  // the same RNG stream no matter how many threads train the forest, so the
+  // fitted model is bit-identical for every params.threads value.
+  std::vector<std::uint64_t> seeds(trees_.size());
+  for (std::uint64_t& seed : seeds) seed = rng.next();
+  support::run_parallel(
+      params.threads, trees_.size(), [&](std::size_t t) {
+        Rng tree_rng(seeds[t]);
+        std::vector<std::size_t> bootstrap(
+            std::max<std::size_t>(sample_count, 1));
+        for (std::size_t& index : bootstrap) index = tree_rng.index(row_count);
+        trees_[t].fit(data, labels, bootstrap, params.tree, tree_rng);
+      });
 }
 
 double RandomForest::predict_proba(std::span<const float> row) const {

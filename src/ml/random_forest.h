@@ -17,6 +17,11 @@ struct ForestParams {
   TreeParams tree;
   // Bootstrap sample fraction (with replacement).
   double bootstrap_fraction = 1.0;
+  // Training parallelism (0 = JST_THREADS / hardware default, 1 = serial).
+  // Runtime knob only — not part of the serialized model, and the trained
+  // forest is bit-identical for every value (each tree trains from its own
+  // deterministic RNG stream).
+  std::size_t threads = 0;
 };
 
 class RandomForest {

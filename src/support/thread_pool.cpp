@@ -1,0 +1,147 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace jst::support {
+namespace {
+
+// Shared state of one parallel_for invocation. Owned via shared_ptr so a
+// helper task scheduled after the caller already drained every index can
+// still run (and immediately exit) safely.
+struct ForState {
+  ForState(std::size_t count, std::function<void(std::size_t)> body)
+      : count(count), body(std::move(body)) {}
+
+  const std::size_t count;
+  const std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t active = 0;              // lanes currently inside drain()
+  std::exception_ptr error;            // first failure wins
+
+  // Claims indices until none remain. Every claimed index is executed by
+  // the claiming thread, so waiting for active == 0 && next >= count is a
+  // complete-work barrier.
+  void drain() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++active;
+    }
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      try {
+        body(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);  // abandon the rest
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--active == 0) done.notify_all();
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t parallelism) {
+  if (parallelism == 0) parallelism = default_parallelism();
+  workers_.reserve(parallelism - 1);
+  for (std::size_t i = 0; i + 1 < parallelism; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>(count, body);
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([state] { state->drain(); });
+  }
+  state->drain();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] {
+    return state->active == 0 &&
+           state->next.load(std::memory_order_relaxed) >= state->count;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+std::size_t ThreadPool::default_parallelism() {
+  if (const char* env = std::getenv("JST_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_parallelism());
+  return pool;
+}
+
+void run_parallel(std::size_t threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (threads == 0) threads = ThreadPool::default_parallelism();
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool& shared = ThreadPool::global();
+  if (threads == shared.parallelism()) {
+    shared.parallel_for(count, body);
+    return;
+  }
+  ThreadPool scoped(threads);
+  scoped.parallel_for(count, body);
+}
+
+}  // namespace jst::support

@@ -1,0 +1,72 @@
+// Fixed-size worker pool with a deterministic parallel_for helper.
+//
+// All parallelism in jstraced flows through this module: forest training,
+// dataset synthesis, population simulation, and batch analysis. The design
+// rules that keep results reproducible:
+//  - a pool's `parallelism()` counts the *caller* as one lane, so
+//    ThreadPool(1) spawns no workers and runs everything inline;
+//  - parallel_for distributes independent indices — callers that need
+//    randomness derive one seed per index serially *before* fanning out,
+//    so outputs are bit-identical for any thread count;
+//  - parallel_for is safe to call from inside a worker (nested use): the
+//    calling thread always participates, so progress never depends on a
+//    free worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jst::support {
+
+class ThreadPool {
+ public:
+  // `parallelism` = total concurrent lanes including the calling thread
+  // (so `parallelism - 1` workers are spawned). 0 = default_parallelism().
+  explicit ThreadPool(std::size_t parallelism = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t parallelism() const { return workers_.size() + 1; }
+
+  // Enqueues a task. Tasks start in FIFO order. With no workers
+  // (parallelism 1) the task runs inline, immediately.
+  void submit(std::function<void()> task);
+
+  // Runs body(0) .. body(count - 1), caller participating. Blocks until
+  // every started index finished. The first exception thrown by `body` is
+  // rethrown here; remaining unstarted indices are abandoned.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  // JST_THREADS environment variable if set to a positive integer,
+  // otherwise std::thread::hardware_concurrency() (minimum 1). Read
+  // fresh on every call so tests can override the environment.
+  static std::size_t default_parallelism();
+
+  // Process-wide shared pool, sized by default_parallelism() at first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+// Convenience wrapper used across the pipeline: runs `body` over [0, count)
+// with `threads` lanes. 0 = default_parallelism(); 1 = plain serial loop;
+// the global pool is reused when it already has the requested width.
+void run_parallel(std::size_t threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace jst::support

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 #include "analysis/dataset.h"
 #include "analysis/detector.h"
+#include "analysis/model_io.h"
 #include "analysis/longitudinal.h"
 #include "analysis/wild.h"
 #include "parser/parser.h"
@@ -235,6 +237,151 @@ TEST(Detector, Level2RejectsWrongLabelWidth) {
   ml::LabelMatrix bad = {{1, 0, 0}, {0, 1, 0}};
   Rng rng(2);
   EXPECT_THROW(detector.fit(ml::Matrix{&rows}, bad, rng), ModelError);
+}
+
+// --- versioned model header (shared by all persisted detectors) ---
+
+// Fails with ModelError and asserts the message mentions every expected
+// fragment (field name plus both values).
+template <typename Fn>
+void expect_model_error(Fn&& fn, std::initializer_list<const char*> fragments) {
+  try {
+    fn();
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& error) {
+    const std::string message = error.what();
+    for (const char* fragment : fragments) {
+      EXPECT_NE(message.find(fragment), std::string::npos)
+          << "missing \"" << fragment << "\" in: " << message;
+    }
+  }
+}
+
+TEST(ModelHeader, WriteReadRoundTrip) {
+  DetectorConfig config;
+  const ModelHeader written = make_model_header("level1", config);
+  std::stringstream stream;
+  write_model_header(stream, written);
+  const ModelHeader read = read_model_header(stream);
+  EXPECT_EQ(read.version, ModelHeader::kFormatVersion);
+  EXPECT_EQ(read.component, "level1");
+  EXPECT_EQ(read.feature_dimension, written.feature_dimension);
+  EXPECT_EQ(read.tree_count, written.tree_count);
+  EXPECT_EQ(read.max_depth, written.max_depth);
+  EXPECT_EQ(read.min_samples_split, written.min_samples_split);
+  EXPECT_EQ(read.min_samples_leaf, written.min_samples_leaf);
+  EXPECT_EQ(read.max_features, written.max_features);
+  EXPECT_EQ(read.classifier_chain, written.classifier_chain);
+}
+
+TEST(ModelHeader, RejectsEmptyStreamAndBadMagic) {
+  std::stringstream empty;
+  expect_model_error([&empty] { read_model_header(empty); },
+                     {"empty or truncated"});
+  std::stringstream bad("jstraced-analyzer-v1 whatever");
+  expect_model_error([&bad] { read_model_header(bad); },
+                     {"unrecognized format", "jstraced-analyzer-v1"});
+}
+
+TEST(ModelHeader, RejectsUnsupportedVersionAndTruncation) {
+  std::stringstream future("jstraced-model 99 level1 10 8 0 2 1 0 1");
+  expect_model_error([&future] { read_model_header(future); },
+                     {"unsupported format version 99"});
+  std::stringstream cut("jstraced-model 2 level1 10 8");
+  expect_model_error([&cut] { read_model_header(cut); },
+                     {"truncated header"});
+}
+
+TEST(ModelHeader, CheckNamesFirstMismatchedField) {
+  DetectorConfig config;
+  std::stringstream stream;
+  write_model_header(stream, make_model_header("level1", config));
+
+  DetectorConfig other = config;
+  other.forest.tree_count = config.forest.tree_count + 5;
+  expect_model_error(
+      [&] { check_model_header(stream, make_model_header("level1", other)); },
+      {"model load (level1)", "tree_count",
+       std::to_string(config.forest.tree_count).c_str()});
+}
+
+TEST(ModelHeader, CheckRejectsFeatureDimensionChange) {
+  DetectorConfig config;
+  std::stringstream stream;
+  write_model_header(stream, make_model_header("level2", config));
+
+  DetectorConfig other = config;
+  other.features.ngram.hash_dim = config.features.ngram.hash_dim * 2;
+  expect_model_error(
+      [&] { check_model_header(stream, make_model_header("level2", other)); },
+      {"model load (level2)", "feature_dimension"});
+}
+
+TEST(ModelHeader, CheckRejectsChainFlip) {
+  DetectorConfig config;
+  config.classifier_chain = true;
+  std::stringstream stream;
+  write_model_header(stream, make_model_header("analyzer", config));
+
+  DetectorConfig other = config;
+  other.classifier_chain = false;
+  expect_model_error(
+      [&] { check_model_header(stream, make_model_header("analyzer", other)); },
+      {"classifier_chain", "chain", "independent"});
+}
+
+TEST(ModelHeader, CheckRejectsComponentMismatch) {
+  DetectorConfig config;
+  std::stringstream stream;
+  write_model_header(stream, make_model_header("level2", config));
+  expect_model_error(
+      [&] { check_model_header(stream, make_model_header("level1", config)); },
+      {"component", "level2", "level1"});
+}
+
+TEST(Detector, SaveLoadRoundTripAndMismatchDiagnostics) {
+  // Fit a deliberately tiny level-1 forest, then exercise the load paths:
+  // identical config succeeds; changed forest size / flipped chain /
+  // swapped component all throw precise ModelErrors.
+  DetectorConfig config;
+  config.forest.tree_count = 3;
+  config.features.ngram.hash_dim = 64;
+
+  Rng data_rng(11);
+  std::vector<std::vector<float>> rows;
+  ml::LabelMatrix labels;
+  for (int i = 0; i < 24; ++i) {
+    const float a = static_cast<float>(data_rng.uniform());
+    rows.push_back({a, 1.0f - a, static_cast<float>(data_rng.uniform())});
+    const std::uint8_t transformed = a > 0.5f ? 1 : 0;
+    labels.push_back({static_cast<std::uint8_t>(1 - transformed), transformed,
+                      0});
+  }
+  Level1Detector detector(config);
+  Rng fit_rng(12);
+  detector.fit(ml::Matrix{&rows}, labels, fit_rng);
+
+  std::stringstream saved;
+  detector.save(saved);
+
+  Level1Detector same(config);
+  same.load(saved);
+  const auto a = detector.predict(rows[0]);
+  const auto b = same.predict(rows[0]);
+  EXPECT_DOUBLE_EQ(a.p_minified, b.p_minified);
+
+  DetectorConfig bigger = config;
+  bigger.forest.tree_count = 9;
+  Level1Detector mismatched(bigger);
+  std::stringstream saved2;
+  detector.save(saved2);
+  expect_model_error([&] { mismatched.load(saved2); }, {"tree_count", "3", "9"});
+
+  Level2Detector wrong_component(config);
+  std::stringstream saved3;
+  detector.save(saved3);
+  expect_model_error([&] { wrong_component.load(saved3); },
+                     {"component", "level1", "level2"});
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "analysis/pipeline.h"
+#include "analysis/service.h"
 #include "analysis/wild.h"
 #include "ml/metrics.h"
 #include "transform/transform.h"
@@ -47,7 +48,8 @@ TEST(Integration, TrainsSuccessfully) {
 
 TEST(Integration, AnalyzeRejectsGarbage) {
   const ScriptReport report = shared_analyzer().analyze("var = ;;; {{{");
-  EXPECT_FALSE(report.parsed);
+  EXPECT_EQ(report.status, ScriptStatus::kParseError);
+  EXPECT_TRUE(report.parse_failed());
 }
 
 TEST(Integration, Level1SeparatesRegularFromTransformed) {
@@ -57,7 +59,7 @@ TEST(Integration, Level1SeparatesRegularFromTransformed) {
   std::size_t regular_correct = 0;
   for (const std::string& source : regular) {
     const ScriptReport report = analyzer.analyze(source);
-    ASSERT_TRUE(report.parsed);
+    ASSERT_FALSE(report.parse_failed());
     if (report.level1.regular()) ++regular_correct;
   }
 
@@ -99,7 +101,7 @@ TEST(Integration, Level2RecoversDominantTechniques) {
     for (Technique technique : probes) {
       const Sample sample = make_transformed_sample(base, technique, rng);
       const ScriptReport report = analyzer.analyze(sample.source);
-      ASSERT_TRUE(report.parsed);
+      ASSERT_FALSE(report.parse_failed());
       const auto top1 = analyzer.level2().predict_topk(
           features::extract_from_source(
               sample.source, analyzer.options().detector.features),
@@ -124,7 +126,7 @@ TEST(Integration, ThresholdLimitsWrongLabels) {
   for (const std::string& base : bases) {
     const Sample sample = make_mixed_sample(base, 2, rng);
     const ScriptReport report = analyzer.analyze(sample.source);
-    ASSERT_TRUE(report.parsed);
+    ASSERT_FALSE(report.parse_failed());
     const auto truth = indices_from_techniques(sample.techniques);
     const auto predicted = indices_from_techniques(report.techniques);
     wrong_total += static_cast<double>(ml::wrong_labels(predicted, truth));
@@ -143,7 +145,7 @@ TEST(Integration, PackerDetectedAsTransformed) {
   for (const std::string& base : bases) {
     const std::string packed = transform::pack(base, rng);
     const ScriptReport report = analyzer.analyze(packed);
-    ASSERT_TRUE(report.parsed);
+    ASSERT_FALSE(report.parse_failed());
     if (report.level1.transformed()) ++detected;
   }
   // Paper §III-E3: 99.52% at full scale.
@@ -159,7 +161,7 @@ TEST(Integration, WildPopulationRatesOrdered) {
     std::size_t parsed = 0;
     for (const Sample& sample : samples) {
       const ScriptReport report = analyzer.analyze(sample.source);
-      if (!report.parsed) continue;
+      if (report.parse_failed()) continue;
       ++parsed;
       if (report.level1.transformed()) ++transformed;
     }
@@ -191,8 +193,91 @@ TEST(Integration, ChainAndIndependentBothTrain) {
   EXPECT_TRUE(independent.trained());
 
   const std::string probe = held_out_regular(1, 31337)[0];
-  EXPECT_TRUE(chain.analyze(probe).parsed);
-  EXPECT_TRUE(independent.analyze(probe).parsed);
+  EXPECT_FALSE(chain.analyze(probe).parse_failed());
+  EXPECT_FALSE(independent.analyze(probe).parse_failed());
+}
+
+TEST(Service, RequiresTrainedAnalyzer) {
+  const TransformationAnalyzer untrained;
+  EXPECT_THROW(AnalyzerService{untrained}, ModelError);
+}
+
+TEST(Service, BatchOutcomesAlignedWithStatuses) {
+  AnalyzerService service(shared_analyzer());
+  std::vector<std::string> sources = held_out_regular(4, 4242);
+  sources.push_back("var = ;;; {{{");            // parse error
+  sources.push_back("var tiny = 1;");            // parses, under 512 bytes
+  // 600 bytes but no conditional/function/call node.
+  sources.push_back("var filler = \"" + std::string(600, 'a') + "\";");
+
+  BatchOptions options;
+  options.threads = 3;
+  const BatchResult result = service.analyze_batch(sources, options);
+
+  ASSERT_EQ(result.outcomes.size(), sources.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.outcomes[i].status, ScriptStatus::kOk) << i;
+    EXPECT_TRUE(result.outcomes[i].error_message.empty());
+    EXPECT_GT(result.outcomes[i].timing.total_ms, 0.0);
+  }
+  EXPECT_EQ(result.outcomes[4].status, ScriptStatus::kParseError);
+  EXPECT_FALSE(result.outcomes[4].error_message.empty());
+  EXPECT_EQ(result.outcomes[5].status, ScriptStatus::kIneligibleSize);
+  EXPECT_EQ(result.outcomes[6].status, ScriptStatus::kIneligibleAst);
+  // Ineligible-but-parseable scripts still carry predictions.
+  EXPECT_FALSE(result.outcomes[5].report.technique_confidence.empty());
+
+  const BatchStats& stats = result.stats;
+  EXPECT_EQ(stats.total, sources.size());
+  EXPECT_EQ(stats.ok, 4u);
+  EXPECT_EQ(stats.parse_errors, 1u);
+  EXPECT_EQ(stats.ineligible_size, 1u);
+  EXPECT_EQ(stats.ineligible_ast, 1u);
+  EXPECT_EQ(stats.threads, 3u);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_GT(stats.scripts_per_second, 0.0);
+  EXPECT_GT(stats.static_analysis_ms, 0.0);
+  EXPECT_NEAR(stats.parse_failure_rate(), 1.0 / 7.0, 1e-12);
+}
+
+TEST(Service, BatchDeterministicAcrossThreadCounts) {
+  AnalyzerService service(shared_analyzer());
+  const std::vector<std::string> sources = held_out_regular(6, 7788);
+
+  BatchOptions serial;
+  serial.threads = 1;
+  BatchOptions wide;
+  wide.threads = 4;
+  const BatchResult a = service.analyze_batch(sources, serial);
+  const BatchResult b = service.analyze_batch(sources, wide);
+
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].status, b.outcomes[i].status);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_regular,
+                     b.outcomes[i].report.level1.p_regular);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_minified,
+                     b.outcomes[i].report.level1.p_minified);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_obfuscated,
+                     b.outcomes[i].report.level1.p_obfuscated);
+    EXPECT_EQ(a.outcomes[i].report.technique_confidence,
+              b.outcomes[i].report.technique_confidence);
+  }
+}
+
+TEST(Service, MaxBytesGuardSkipsParsing) {
+  AnalyzerService service(shared_analyzer());
+  const std::vector<std::string> sources = held_out_regular(2, 9911);
+  BatchOptions options;
+  options.max_bytes = 16;  // everything is larger than this
+  const BatchResult result = service.analyze_batch(sources, options);
+  for (const ScriptOutcome& outcome : result.outcomes) {
+    EXPECT_EQ(outcome.status, ScriptStatus::kIneligibleSize);
+    EXPECT_NE(outcome.error_message.find("max_bytes"), std::string::npos);
+    // Guarded scripts are never parsed or scored.
+    EXPECT_TRUE(outcome.report.technique_confidence.empty());
+  }
+  EXPECT_EQ(result.stats.ineligible_size, 2u);
 }
 
 }  // namespace

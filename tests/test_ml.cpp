@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
@@ -151,6 +152,42 @@ TEST(RandomForest, ImportancesNormalized) {
   double total = 0.0;
   for (double v : importance) total += v;
   EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForest, ParallelFitIsBitIdentical) {
+  // Per-tree seeds are drawn serially before the fan-out, so the trained
+  // forest must not depend on the thread count. Compare the serialized
+  // models byte for byte and the probabilities exactly.
+  Rng data_rng(42);
+  const BinaryTask task = make_binary_task(500, data_rng, 0.05);
+  const BinaryTask probes = make_binary_task(60, data_rng);
+
+  const auto fit_with_threads = [&task](std::size_t threads) {
+    RandomForest forest;
+    ForestParams params;
+    params.tree_count = 12;
+    params.threads = threads;
+    Rng fit_rng(777);
+    forest.fit(Matrix{&task.rows}, task.labels, params, fit_rng);
+    return forest;
+  };
+
+  const RandomForest serial = fit_with_threads(1);
+  std::ostringstream serial_bytes;
+  serial.save(serial_bytes);
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    const RandomForest parallel = fit_with_threads(threads);
+    std::ostringstream parallel_bytes;
+    parallel.save(parallel_bytes);
+    EXPECT_EQ(parallel_bytes.str(), serial_bytes.str())
+        << "threads=" << threads;
+    for (std::size_t i = 0; i < probes.rows.size(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel.predict_proba(probes.rows[i]),
+                       serial.predict_proba(probes.rows[i]))
+          << "threads=" << threads << " probe=" << i;
+    }
+  }
 }
 
 TEST(RandomForest, TrainedFlag) {

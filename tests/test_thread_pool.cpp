@@ -1,0 +1,147 @@
+// ThreadPool contract tests: lane accounting, FIFO submission, exactly-once
+// index coverage, exception propagation, nested parallel_for on one pool,
+// and the serial (parallelism 1) inline path. The batch engine, forest
+// trainer, and corpus synthesizer all rely on these guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace jst::support {
+namespace {
+
+TEST(ThreadPool, DefaultParallelismAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_parallelism(), 1u);
+}
+
+TEST(ThreadPool, JstThreadsEnvOverridesDefault) {
+  const char* previous = std::getenv("JST_THREADS");
+  const std::string saved = previous == nullptr ? "" : previous;
+  ::setenv("JST_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_parallelism(), 3u);
+  ::setenv("JST_THREADS", "0", 1);  // non-positive values are ignored
+  EXPECT_GE(ThreadPool::default_parallelism(), 1u);
+  if (previous == nullptr) {
+    ::unsetenv("JST_THREADS");
+  } else {
+    ::setenv("JST_THREADS", saved.c_str(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelismCountsCaller) {
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.parallelism(), 1u);
+  ThreadPool wide(4);
+  EXPECT_EQ(wide.parallelism(), 4u);
+}
+
+TEST(ThreadPool, SubmittedTasksRunFifoOnSingleWorker) {
+  // Parallelism 2 = exactly one worker thread, so queue order is execution
+  // order. The destructor drains the queue before joining.
+  std::vector<int> order;
+  std::mutex mutex;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&order, &mutex, i] {
+        std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(i);
+      });
+    }
+  }
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SerialPoolRunsSubmitInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10'000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroAndOneIndices) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(1000, [&ran](std::size_t i) {
+      ++ran;
+      if (i == 7) throw std::runtime_error("index 7 failed");
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "index 7 failed");
+  }
+  // Unstarted indices are abandoned after the failure.
+  EXPECT_LE(ran.load(), 1000);
+}
+
+TEST(ThreadPool, NestedParallelForOnSamePoolCompletes) {
+  // Inner parallel_for calls run from worker threads of the same pool; the
+  // caller-participates rule means they cannot deadlock even with every
+  // worker busy.
+  ThreadPool pool(3);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&pool, &hits](std::size_t outer) {
+    pool.parallel_for(kInner, [&hits, outer](std::size_t inner) {
+      ++hits[outer * kInner + inner];
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, RunParallelMatchesSerialResult) {
+  // The canonical usage pattern: per-index work derived from per-index
+  // state gives identical output for any lane count.
+  constexpr std::size_t kCount = 513;
+  std::vector<std::uint64_t> serial(kCount);
+  run_parallel(1, kCount, [&serial](std::size_t i) {
+    serial[i] = i * 2654435761u + 17;
+  });
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    std::vector<std::uint64_t> parallel(kCount);
+    run_parallel(threads, kCount, [&parallel](std::size_t i) {
+      parallel[i] = i * 2654435761u + 17;
+    });
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, RunParallelZeroThreadsUsesDefault) {
+  std::atomic<std::uint64_t> sum{0};
+  run_parallel(0, 100, [&sum](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+}  // namespace
+}  // namespace jst::support
