@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+
+#include "support/json_writer.h"
 
 namespace jst::bench {
 
@@ -48,6 +51,46 @@ std::vector<std::string> held_out_regular(std::size_t count,
   spec.regular_count = count;
   spec.seed = seed ^ 0x5eedc0de12345ULL;
   return analysis::generate_regular_corpus(spec);
+}
+
+std::string write_bench_json(std::string_view bench,
+                             std::span<const BenchRecord> records) {
+  std::string path;
+  if (const char* dir = std::getenv("JSTRACED_BENCH_OUT")) {
+    path = dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + std::string(bench) + ".json";
+
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("bench"); writer.value(bench);
+  writer.key("scale"); writer.value(scale());
+  writer.key("results");
+  writer.begin_array();
+  for (const BenchRecord& record : records) {
+    writer.begin_object();
+    writer.key("config"); writer.value(record.config);
+    writer.key("threads"); writer.value(record.threads);
+    writer.key("scripts"); writer.value(record.scripts);
+    writer.key("wall_ms"); writer.value(record.wall_ms);
+    writer.key("scripts_per_second"); writer.value(record.scripts_per_second);
+    if (!record.stats_json.empty()) {
+      writer.key("stats"); writer.raw(record.stats_json);
+    }
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return std::string();
+  }
+  out << writer.str() << '\n';
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  return path;
 }
 
 void print_header(std::string_view title, std::string_view paper_ref) {

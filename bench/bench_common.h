@@ -3,6 +3,7 @@
 // print each reproduced number next to the paper's reported value.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -35,6 +36,26 @@ void print_note(std::string_view text);
 void print_series_header(std::string_view x_label,
                          std::string_view series_names);
 void print_footer();
+
+// --- machine-readable results (BENCH_*.json) ---
+
+// One measured configuration of a bench (e.g. one thread count of the
+// batch throughput sweep).
+struct BenchRecord {
+  std::string config;  // human label, e.g. "threads=4"
+  std::size_t threads = 1;
+  std::size_t scripts = 0;  // scripts per batch for this config
+  double wall_ms = 0.0;     // batch wall time for this config
+  double scripts_per_second = 0.0;
+  std::string stats_json;  // optional BatchStats::to_json() payload
+};
+
+// Writes `BENCH_<bench>.json` — {"bench":…,"scale":…,"results":[…]} —
+// into $JSTRACED_BENCH_OUT (default: the working directory) so the perf
+// trajectory is recorded machine-readably across PRs. Returns the path
+// written, or an empty string on I/O failure (reported to stderr).
+std::string write_bench_json(std::string_view bench,
+                             std::span<const BenchRecord> records);
 
 // Measured transformed-rate of a simulated population under the trained
 // level-1 detector.

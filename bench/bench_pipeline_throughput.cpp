@@ -9,6 +9,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <vector>
 
 #include "analysis/pipeline.h"
 #include "analysis/service.h"
@@ -149,6 +151,14 @@ void BM_JsFuckEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_JsFuckEncode);
 
+// Per-thread-config BatchStats of the last BM_AnalyzeBatch iteration,
+// exported to BENCH_pipeline.json after the run (keyed and emitted in
+// thread-count order).
+std::map<std::size_t, jst::bench::BenchRecord>& batch_records() {
+  static std::map<std::size_t, jst::bench::BenchRecord> records;
+  return records;
+}
+
 // Batch analysis over a held-out corpus; state.range(0) = thread lanes.
 // Registered from main() so a --threads override can pin the axis.
 void BM_AnalyzeBatch(benchmark::State& state) {
@@ -161,18 +171,28 @@ void BM_AnalyzeBatch(benchmark::State& state) {
   std::size_t total_bytes = 0;
   for (const std::string& source : kCorpus) total_bytes += source.size();
 
-  double scripts_per_second = 0.0;
+  analysis::BatchStats last_stats;
   for (auto _ : state) {
     const analysis::BatchResult result =
         service.analyze_batch(kCorpus, options);
     benchmark::DoNotOptimize(result.stats.ok);
-    scripts_per_second = result.stats.scripts_per_second;
+    last_stats = result.stats;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(kCorpus.size()));
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(total_bytes));
-  state.counters["scripts_per_sec"] = scripts_per_second;
+  state.counters["scripts_per_sec"] = last_stats.scripts_per_second;
+  state.counters["p99_script_ms"] = last_stats.p99_script_ms;
+
+  jst::bench::BenchRecord record;
+  record.config = "threads=" + std::to_string(last_stats.threads);
+  record.threads = last_stats.threads;
+  record.scripts = kCorpus.size();
+  record.wall_ms = last_stats.wall_ms;
+  record.scripts_per_second = last_stats.scripts_per_second;
+  record.stats_json = last_stats.to_json();
+  batch_records()[last_stats.threads] = std::move(record);
 }
 
 }  // namespace
@@ -205,5 +225,14 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  // Record the perf trajectory machine-readably (one row per thread
+  // config that actually ran; empty when --benchmark_filter skipped the
+  // batch axis).
+  std::vector<jst::bench::BenchRecord> records;
+  for (auto& [threads, record] : batch_records()) {
+    records.push_back(std::move(record));
+  }
+  if (!records.empty()) jst::bench::write_bench_json("pipeline", records);
   return 0;
 }

@@ -1,22 +1,74 @@
 // A miniature of the paper's §IV measurement: simulate the five script
 // populations (Alexa, npm, DNC, Hynek, BSI), run the trained detectors
-// over each, and print the comparative table — benign populations are
-// minification-led while malware favors identifier/string obfuscation.
+// over each through the batch engine, and print the comparative table —
+// benign populations are minification-led while malware favors
+// identifier/string obfuscation.
 //
 //   $ ./wild_study [scripts_per_population]
+//   $ ./wild_study 120 --trace-out trace.json --metrics-out metrics.json
+//
+// --trace-out writes Chrome trace_event JSONL (load in Perfetto or
+// chrome://tracing to see per-stage spans across worker threads);
+// --metrics-out writes the process metrics registry as JSON (use a
+// .prom suffix for Prometheus text exposition format instead).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
 
 #include "analysis/pipeline.h"
+#include "analysis/service.h"
 #include "analysis/wild.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/strings.h"
+
+namespace {
+
+bool ends_with(const std::string& text, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace jst;
   using transform::Technique;
 
-  const std::size_t per_population =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  std::size_t per_population = 60;
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (argv[i][0] != '-') {
+      per_population = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: wild_study [scripts_per_population] "
+                   "[--metrics-out FILE] [--trace-out FILE]\n");
+      return 2;
+    }
+  }
+
+  // Attach the trace sink before training so the corpus/feature/forest
+  // spans land in the file too, not just the batch runs.
+  std::ofstream trace_stream;
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    trace_stream.open(trace_out);
+    if (!trace_stream) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    trace_sink = std::make_unique<obs::TraceSink>(trace_stream);
+    obs::set_trace_sink(trace_sink.get());
+  }
 
   analysis::PipelineOptions options;
   options.training_regular_count = 100;
@@ -24,6 +76,7 @@ int main(int argc, char** argv) {
   analysis::TransformationAnalyzer analyzer(options);
   std::fprintf(stderr, "[wild] training detectors...\n");
   analyzer.train();
+  const analysis::AnalyzerService service(analyzer);
 
   struct Population {
     const char* name;
@@ -37,19 +90,27 @@ int main(int argc, char** argv) {
       {"BSI", analysis::bsi_spec()},
   };
 
-  std::printf("%-16s %12s %12s %12s %12s\n", "population", "transformed",
-              "id-obf", "str-obf", "minified*");
+  std::printf("%-16s %12s %12s %12s %12s %10s %10s\n", "population",
+              "transformed", "id-obf", "str-obf", "minified*", "p50 ms",
+              "p99 ms");
   for (const Population& population : populations) {
     const auto samples = analysis::simulate_population(
         population.spec, per_population, strings::fnv1a(population.name));
+    std::vector<std::string> sources;
+    sources.reserve(samples.size());
+    for (const analysis::Sample& sample : samples) {
+      sources.push_back(sample.source);
+    }
+    const analysis::BatchResult batch = service.analyze_batch(sources);
+
     std::size_t transformed = 0;
     std::size_t analyzed = 0;
     double id_obf = 0.0;
     double str_obf = 0.0;
     double minified = 0.0;
-    for (const analysis::Sample& sample : samples) {
-      const analysis::ScriptReport report = analyzer.analyze(sample.source);
-      if (report.parse_failed()) continue;
+    for (const analysis::ScriptOutcome& outcome : batch.outcomes) {
+      if (outcome.parse_failed()) continue;
+      const analysis::ScriptReport& report = outcome.report;
       ++analyzed;
       if (!report.level1.transformed()) continue;
       ++transformed;
@@ -62,15 +123,36 @@ int main(int argc, char** argv) {
                   report.technique_confidence[static_cast<std::size_t>(
                       Technique::kMinificationAdvanced)];
     }
-    const double divisor = transformed > 0 ? static_cast<double>(transformed) : 1.0;
-    std::printf("%-16s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n", population.name,
+    const double divisor =
+        transformed > 0 ? static_cast<double>(transformed) : 1.0;
+    std::printf("%-16s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %10.2f %10.2f\n",
+                population.name,
                 100.0 * static_cast<double>(transformed) /
                     static_cast<double>(analyzed > 0 ? analyzed : 1),
                 100.0 * id_obf / divisor, 100.0 * str_obf / divisor,
-                100.0 * minified / divisor);
+                100.0 * minified / divisor, batch.stats.p50_script_ms,
+                batch.stats.p99_script_ms);
   }
   std::printf("\n* summed confidence of the two minification techniques\n");
   std::printf("expected shape: benign rows minification-led; malware rows "
               "identifier/string-obfuscation-led\n");
+
+  if (trace_sink) {
+    obs::set_trace_sink(nullptr);
+    std::fprintf(stderr, "[wild] wrote %llu trace events to %s\n",
+                 static_cast<unsigned long long>(trace_sink->event_count()),
+                 trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream metrics_stream(metrics_out);
+    if (!metrics_stream) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    metrics_stream << (ends_with(metrics_out, ".prom")
+                           ? obs::MetricsRegistry::global().to_prometheus()
+                           : obs::MetricsRegistry::global().to_json());
+    std::fprintf(stderr, "[wild] wrote metrics to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

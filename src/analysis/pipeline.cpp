@@ -6,6 +6,8 @@
 #include <string>
 
 #include "analysis/model_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 
@@ -16,6 +18,42 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// Per-script pipeline telemetry (DESIGN.md §9). The histograms mirror
+// StageTimings, so no extra clock reads happen — recording is a handful
+// of relaxed atomic adds per script.
+struct ScriptMetrics {
+  obs::Counter& scripts =
+      obs::MetricsRegistry::global().counter("jst_scripts_total");
+  obs::Counter& parse_errors =
+      obs::MetricsRegistry::global().counter("jst_scripts_parse_errors_total");
+  obs::Histogram& total_ms =
+      obs::MetricsRegistry::global().histogram("jst_script_total_ms");
+  obs::Histogram& static_analysis_ms =
+      obs::MetricsRegistry::global().histogram("jst_stage_static_analysis_ms");
+  obs::Histogram& features_ms =
+      obs::MetricsRegistry::global().histogram("jst_stage_features_ms");
+  obs::Histogram& inference_ms =
+      obs::MetricsRegistry::global().histogram("jst_stage_inference_ms");
+};
+
+ScriptMetrics& script_metrics() {
+  static ScriptMetrics* metrics = new ScriptMetrics();  // outlives statics
+  return *metrics;
+}
+
+void record_outcome_metrics(const ScriptOutcome& outcome) {
+  ScriptMetrics& metrics = script_metrics();
+  metrics.scripts.add(1);
+  metrics.total_ms.record(outcome.timing.total_ms);
+  metrics.static_analysis_ms.record(outcome.timing.static_analysis_ms);
+  if (outcome.parse_failed()) {
+    metrics.parse_errors.add(1);
+    return;
+  }
+  metrics.features_ms.record(outcome.timing.features_ms);
+  metrics.inference_ms.record(outcome.timing.inference_ms);
 }
 
 }  // namespace
@@ -39,7 +77,12 @@ void TransformationAnalyzer::train() {
   CorpusSpec spec;
   spec.regular_count = options_.training_regular_count;
   spec.seed = options_.seed;
-  train_on(generate_regular_corpus(spec));
+  std::vector<std::string> corpus;
+  {
+    JST_SPAN("train.corpus");
+    corpus = generate_regular_corpus(spec);
+  }
+  train_on(corpus);
 }
 
 void TransformationAnalyzer::train_on(
@@ -67,25 +110,35 @@ void TransformationAnalyzer::train_on(
   }
 
   std::vector<Sample> samples(regular_sources.size() + jobs.size());
-  for (std::size_t i = 0; i < regular_sources.size(); ++i) {
-    samples[i] = make_regular_sample(regular_sources[i]);
+  {
+    JST_SPAN("train.synthesize");
+    for (std::size_t i = 0; i < regular_sources.size(); ++i) {
+      samples[i] = make_regular_sample(regular_sources[i]);
+    }
+    support::run_parallel(0, jobs.size(), [&](std::size_t j) {
+      const TransformJob& job = jobs[j];
+      Rng job_rng(job.seed);
+      samples[regular_sources.size() + j] = make_transformed_sample(
+          regular_sources[job.base], job.technique, job_rng);
+    });
   }
-  support::run_parallel(0, jobs.size(), [&](std::size_t j) {
-    const TransformJob& job = jobs[j];
-    Rng job_rng(job.seed);
-    samples[regular_sources.size() + j] = make_transformed_sample(
-        regular_sources[job.base], job.technique, job_rng);
-  });
 
-  FeatureTable table =
-      extract_features(std::move(samples), options_.detector.features);
+  FeatureTable table;
+  {
+    JST_SPAN("train.features");
+    table = extract_features(std::move(samples), options_.detector.features);
+  }
   const ml::LabelMatrix level1_matrix = level1_labels(table.samples);
   const ml::LabelMatrix level2_matrix = level2_labels(table.samples);
 
-  Rng level1_rng = rng.split();
-  level1_.fit(table.matrix(), level1_matrix, level1_rng);
+  {
+    JST_SPAN("train.level1");
+    Rng level1_rng = rng.split();
+    level1_.fit(table.matrix(), level1_matrix, level1_rng);
+  }
 
   // Level 2 trains on transformed samples only.
+  JST_SPAN("train.level2");
   std::vector<std::vector<float>> transformed_rows;
   ml::LabelMatrix transformed_labels;
   for (std::size_t i = 0; i < table.samples.size(); ++i) {
@@ -121,43 +174,57 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     std::string_view source) const {
   if (!trained_) throw ModelError("analyze: detector not trained");
   ScriptOutcome outcome;
+  JST_SPAN("script");
   const auto start = std::chrono::steady_clock::now();
 
   ScriptAnalysis analysis;
-  try {
-    analysis = analyze_script(source, options_.detector.features.analysis);
-  } catch (const ParseError& error) {
-    outcome.status = ScriptStatus::kParseError;
-    outcome.report.status = outcome.status;
-    outcome.error_message = error.what();
-    outcome.timing.static_analysis_ms = ms_since(start);
-    outcome.timing.total_ms = outcome.timing.static_analysis_ms;
-    return outcome;
+  {
+    JST_SPAN("static_analysis");
+    try {
+      analysis = analyze_script(source, options_.detector.features.analysis);
+    } catch (const ParseError& error) {
+      outcome.status = ScriptStatus::kParseError;
+      outcome.report.status = outcome.status;
+      outcome.error_message = error.what();
+      outcome.timing.static_analysis_ms = ms_since(start);
+      outcome.timing.total_ms = outcome.timing.static_analysis_ms;
+      record_outcome_metrics(outcome);
+      return outcome;
+    }
+    // The §III-D1 eligibility filter is an AST walk, so it belongs to the
+    // static-analysis stage; attributing it here keeps the per-stage times
+    // a partition of total_ms (the BatchStats invariant in service.h).
+    if (!size_eligible(source)) {
+      outcome.status = ScriptStatus::kIneligibleSize;
+    } else if (!ast_eligible(analysis)) {
+      outcome.status = ScriptStatus::kIneligibleAst;
+    } else {
+      outcome.status = ScriptStatus::kOk;
+    }
   }
   outcome.timing.static_analysis_ms = ms_since(start);
-
-  if (!size_eligible(source)) {
-    outcome.status = ScriptStatus::kIneligibleSize;
-  } else if (!ast_eligible(analysis)) {
-    outcome.status = ScriptStatus::kIneligibleAst;
-  } else {
-    outcome.status = ScriptStatus::kOk;
-  }
   outcome.report.status = outcome.status;
 
   const auto features_start = std::chrono::steady_clock::now();
-  const std::vector<float> row =
-      features::extract(analysis, options_.detector.features);
+  std::vector<float> row;
+  {
+    JST_SPAN("features");
+    row = features::extract(analysis, options_.detector.features);
+  }
   outcome.timing.features_ms = ms_since(features_start);
 
   const auto inference_start = std::chrono::steady_clock::now();
-  outcome.report.level1 = level1_.predict(row);
-  outcome.report.technique_confidence = level2_.predict_proba(row);
-  if (outcome.report.level1.transformed()) {
-    outcome.report.techniques = level2_.predict_techniques(row);
+  {
+    JST_SPAN("inference");
+    outcome.report.level1 = level1_.predict(row);
+    outcome.report.technique_confidence = level2_.predict_proba(row);
+    if (outcome.report.level1.transformed()) {
+      outcome.report.techniques = level2_.predict_techniques(row);
+    }
   }
   outcome.timing.inference_ms = ms_since(inference_start);
   outcome.timing.total_ms = ms_since(start);
+  record_outcome_metrics(outcome);
   return outcome;
 }
 

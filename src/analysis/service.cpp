@@ -1,12 +1,62 @@
 #include "analysis/service.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
+#include <cmath>
+#include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
+#include "support/json_writer.h"
+#include "support/stats.h"
 #include "support/thread_pool.h"
 
 namespace jst::analysis {
+namespace {
+
+// Batch-level telemetry (DESIGN.md §9); per-script stage histograms are
+// recorded inside analyze_outcome.
+struct BatchMetrics {
+  obs::Counter& batches =
+      obs::MetricsRegistry::global().counter("jst_batches_total");
+  obs::Counter& scripts =
+      obs::MetricsRegistry::global().counter("jst_batch_scripts_total");
+  obs::Histogram& wall_ms =
+      obs::MetricsRegistry::global().histogram("jst_batch_wall_ms");
+};
+
+BatchMetrics& batch_metrics() {
+  static BatchMetrics* metrics = new BatchMetrics();  // outlives statics
+  return *metrics;
+}
+
+}  // namespace
+
+std::string BatchStats::to_json() const {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("total"); writer.value(total);
+  writer.key("ok"); writer.value(ok);
+  writer.key("parse_errors"); writer.value(parse_errors);
+  writer.key("ineligible_size"); writer.value(ineligible_size);
+  writer.key("ineligible_ast"); writer.value(ineligible_ast);
+  writer.key("threads"); writer.value(threads);
+  writer.key("wall_ms"); writer.value(wall_ms);
+  writer.key("scripts_per_second"); writer.value(scripts_per_second);
+  writer.key("parse_failure_rate"); writer.value(parse_failure_rate());
+  writer.key("static_analysis_ms"); writer.value(static_analysis_ms);
+  writer.key("features_ms"); writer.value(features_ms);
+  writer.key("inference_ms"); writer.value(inference_ms);
+  writer.key("total_script_ms"); writer.value(total_script_ms);
+  writer.key("p50_script_ms"); writer.value(p50_script_ms);
+  writer.key("p95_script_ms"); writer.value(p95_script_ms);
+  writer.key("p99_script_ms"); writer.value(p99_script_ms);
+  writer.key("max_script_ms"); writer.value(max_script_ms);
+  writer.end_object();
+  return writer.str();
+}
 
 AnalyzerService::AnalyzerService(const TransformationAnalyzer& analyzer)
     : analyzer_(&analyzer) {
@@ -38,6 +88,7 @@ BatchResult AnalyzerService::analyze_batch(
                                   : options.threads;
   result.stats.threads = std::max<std::size_t>(threads, 1);
 
+  JST_SPAN("batch");
   const auto start = std::chrono::steady_clock::now();
   support::run_parallel(threads, sources.size(), [&](std::size_t i) {
     result.outcomes[i] = analyze_one(sources[i], options.max_bytes);
@@ -48,6 +99,8 @@ BatchResult AnalyzerService::analyze_batch(
 
   BatchStats& stats = result.stats;
   stats.total = result.outcomes.size();
+  std::vector<double> script_ms;
+  script_ms.reserve(result.outcomes.size());
   for (const ScriptOutcome& outcome : result.outcomes) {
     switch (outcome.status) {
       case ScriptStatus::kOk: ++stats.ok; break;
@@ -58,13 +111,30 @@ BatchResult AnalyzerService::analyze_batch(
     stats.static_analysis_ms += outcome.timing.static_analysis_ms;
     stats.features_ms += outcome.timing.features_ms;
     stats.inference_ms += outcome.timing.inference_ms;
-    stats.max_script_ms = std::max(stats.max_script_ms,
-                                   outcome.timing.total_ms);
+    stats.total_script_ms += outcome.timing.total_ms;
+    script_ms.push_back(outcome.timing.total_ms);
   }
+  stats.p50_script_ms = stats::percentile(script_ms, 50.0);
+  stats.p95_script_ms = stats::percentile(script_ms, 95.0);
+  stats.p99_script_ms = stats::percentile(script_ms, 99.0);
+  stats.max_script_ms = stats::max(script_ms);
   if (stats.wall_ms > 0.0) {
     stats.scripts_per_second =
         1000.0 * static_cast<double>(stats.total) / stats.wall_ms;
   }
+  // Stage accounting invariant (see BatchStats): the stages partition each
+  // script's total up to the clock reads between stage boundaries. Allow
+  // 50 µs of residue per script plus 5% slack before declaring drift.
+  assert(stats.stage_ms_sum() <=
+             stats.total_script_ms + 1e-6 * static_cast<double>(stats.total) &&
+         stats.total_script_ms - stats.stage_ms_sum() <=
+             0.05 * stats.total_script_ms +
+                 0.05 * static_cast<double>(stats.total));
+
+  BatchMetrics& metrics = batch_metrics();
+  metrics.batches.add(1);
+  metrics.scripts.add(stats.total);
+  metrics.wall_ms.record(stats.wall_ms);
   return result;
 }
 

@@ -28,6 +28,13 @@ struct BatchOptions {
 };
 
 // Aggregate counters over one analyze_batch call.
+//
+// Stage accounting invariant: the per-stage sums partition the per-script
+// totals — static_analysis_ms + features_ms + inference_ms ≈
+// total_script_ms, where static analysis covers lex + parse + CFG + data
+// flow + the §III-D1 eligibility walk. The residue is only the clock
+// reads between stage boundaries (microseconds per script); analyze_batch
+// asserts the invariant in debug builds.
 struct BatchStats {
   std::size_t total = 0;
   std::size_t ok = 0;
@@ -38,10 +45,17 @@ struct BatchStats {
   double wall_ms = 0.0;             // batch wall-clock time
   double scripts_per_second = 0.0;  // total / wall time
   // Per-stage time summed across scripts (≈ wall_ms × threads when the
-  // pool is saturated).
+  // pool is saturated); see the invariant above.
   double static_analysis_ms = 0.0;
   double features_ms = 0.0;
   double inference_ms = 0.0;
+  // Per-script latency distribution (total_ms over all scripts in the
+  // batch). Percentiles are exact — computed from the full sample, not
+  // histogram buckets — so they are deterministic for any thread count.
+  double total_script_ms = 0.0;  // Σ per-script total_ms
+  double p50_script_ms = 0.0;
+  double p95_script_ms = 0.0;
+  double p99_script_ms = 0.0;
   double max_script_ms = 0.0;  // slowest single script
 
   double parse_failure_rate() const {
@@ -49,6 +63,14 @@ struct BatchStats {
                       : static_cast<double>(parse_errors) /
                             static_cast<double>(total);
   }
+  // Sum of the three per-stage aggregates (lhs of the invariant above).
+  double stage_ms_sum() const {
+    return static_analysis_ms + features_ms + inference_ms;
+  }
+
+  // One self-contained JSON object with every field above, for perf
+  // dashboards and the BENCH_*.json exports.
+  std::string to_json() const;
 };
 
 struct BatchResult {

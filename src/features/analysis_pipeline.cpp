@@ -1,6 +1,7 @@
 #include "features/analysis_pipeline.h"
 
 #include "ast/walk.h"
+#include "obs/trace.h"
 
 namespace jst {
 
@@ -9,9 +10,11 @@ ScriptAnalysis analyze_script(std::string_view source,
   ScriptAnalysis analysis;
   analysis.parse = parse_program(source);
   if (options.build_cfg) {
+    JST_SPAN("cfg");
     analysis.control_flow = build_control_flow(analysis.parse.ast);
   }
   if (options.build_dataflow) {
+    JST_SPAN("dataflow");
     DataFlowOptions dataflow_options;
     dataflow_options.node_budget = options.dataflow_node_budget;
     analysis.data_flow = build_data_flow(analysis.parse.ast, dataflow_options);

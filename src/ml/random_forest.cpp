@@ -1,11 +1,14 @@
 #include "ml/random_forest.h"
 
 #include <algorithm>
+#include <chrono>
 #include <istream>
 #include <numeric>
 #include <ostream>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 
@@ -25,13 +28,21 @@ void RandomForest::fit(const Matrix& data, std::span<const std::uint8_t> labels,
   // fitted model is bit-identical for every params.threads value.
   std::vector<std::uint64_t> seeds(trees_.size());
   for (std::uint64_t& seed : seeds) seed = rng.next();
+  JST_SPAN("forest.fit");
+  obs::Histogram& tree_fit_ms =
+      obs::MetricsRegistry::global().histogram("jst_forest_tree_fit_ms");
   support::run_parallel(
       params.threads, trees_.size(), [&](std::size_t t) {
+        JST_SPAN("forest.fit_tree");
+        const auto start = std::chrono::steady_clock::now();
         Rng tree_rng(seeds[t]);
         std::vector<std::size_t> bootstrap(
             std::max<std::size_t>(sample_count, 1));
         for (std::size_t& index : bootstrap) index = tree_rng.index(row_count);
         trees_[t].fit(data, labels, bootstrap, params.tree, tree_rng);
+        tree_fit_ms.record(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
       });
 }
 

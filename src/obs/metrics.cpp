@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace jst::obs {
+namespace {
+
+// Escapes a metric name for embedding in a JSON string. Names are plain
+// [a-z0-9_] by convention; the escape keeps the export well-formed even
+// for unconventional names.
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  if (std::isinf(value)) return value > 0 ? "1e999" : "-1e999";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+void atomic_fetch_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const std::array<double, Histogram::kBucketCount>& Histogram::bucket_bounds() {
+  static const std::array<double, kBucketCount> kBounds = {
+      0.01, 0.025, 0.05,  0.1,   0.25,   0.5,    1.0,
+      2.5,  5.0,   10.0,  25.0,  50.0,   100.0,  250.0,
+      500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+      std::numeric_limits<double>::infinity()};
+  return kBounds;
+}
+
+void Histogram::record(double value) {
+  const auto& bounds = bucket_bounds();
+  std::size_t bucket = 0;
+  while (bucket + 1 < kBucketCount && value > bounds[bucket]) ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_fetch_max(max_, value);
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  const auto& bounds = bucket_bounds();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      double upper = bounds[i];
+      // The overflow bucket has no finite upper bound; the observed max
+      // is the tightest honest estimate.
+      if (std::isinf(upper)) upper = std::max(max(), lower);
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return std::min(lower + fraction * (upper - lower), max());
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + format_double(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(histogram->count());
+    out += ",\"sum\":" + format_double(histogram->sum());
+    out += ",\"max\":" + format_double(histogram->max());
+    out += ",\"p50\":" + format_double(histogram->p50());
+    out += ",\"p95\":" + format_double(histogram->p95());
+    out += ",\"p99\":" + format_double(histogram->p99());
+    out += ",\"buckets\":[";
+    const auto& bounds = Histogram::bucket_bounds();
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (i > 0) out += ',';
+      out += '[' + format_double(bounds[i]) + ',' +
+             std::to_string(histogram->bucket_count(i)) + ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + ' ' + std::to_string(counter->value()) + '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ' + format_double(gauge->value()) + '\n';
+  }
+  const auto& bounds = Histogram::bucket_bounds();
+  for (const auto& [name, histogram] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      cumulative += histogram->bucket_count(i);
+      const std::string le =
+          std::isinf(bounds[i]) ? "+Inf" : format_double(bounds[i]);
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += name + "_sum " + format_double(histogram->sum()) + '\n';
+    out += name + "_count " + std::to_string(histogram->count()) + '\n';
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+}  // namespace jst::obs

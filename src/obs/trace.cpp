@@ -1,0 +1,58 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace jst::obs {
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto kEpoch = std::chrono::steady_clock::now();
+  return kEpoch;
+}
+
+}  // namespace
+
+void TraceSink::write_complete_event(const char* name, double ts_us,
+                                     double dur_us, std::uint32_t tid) {
+  char line[256];
+  const int written = std::snprintf(
+      line, sizeof(line),
+      "{\"name\":\"%s\",\"cat\":\"jst\",\"ph\":\"X\",\"ts\":%.3f,"
+      "\"dur\":%.3f,\"pid\":1,\"tid\":%u}\n",
+      name, ts_us, dur_us, tid);
+  if (written <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->write(line, std::min<std::size_t>(static_cast<std::size_t>(written),
+                                          sizeof(line) - 1));
+  ++events_;
+}
+
+TraceSink* set_trace_sink(TraceSink* sink) {
+  // Force the epoch before any span can read the clock, so ts values are
+  // stable relative to the first attach.
+  trace_epoch();
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+TraceSink* trace_sink() { return g_sink.load(std::memory_order_acquire); }
+
+std::uint32_t trace_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+}  // namespace jst::obs

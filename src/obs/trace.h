@@ -1,0 +1,108 @@
+// Scoped trace spans in Chrome trace_event format.
+//
+// A TraceSink writes one complete event object per line (JSONL) — each
+// line is `{"name":...,"cat":"jst","ph":"X","ts":…,"dur":…,"pid":1,
+// "tid":…}` with timestamps in microseconds since process start. The
+// file loads directly into Perfetto / chrome://tracing (both accept
+// newline-separated complete events) and is trivially greppable.
+//
+// Tracing is gated by a *runtime* sink: `JST_SPAN("parse")` opens an
+// RAII span that checks one relaxed atomic pointer at construction and,
+// when no sink is attached, does nothing else — no clock reads, no
+// allocation. Attach a sink around the region of interest:
+//
+//   std::ofstream out("trace.json");
+//   jst::obs::TraceSink sink(out);
+//   jst::obs::set_trace_sink(&sink);
+//   ... run the batch ...
+//   jst::obs::set_trace_sink(nullptr);
+//
+// The sink must outlive every span opened while it was attached (attach/
+// detach at a point where no instrumented work is in flight). Spans nest
+// naturally: Perfetto stacks same-thread events by interval containment.
+//
+// Compile-time switch: building with -DJST_TRACING=0 (CMake option
+// JSTRACED_TRACING=OFF) turns JST_SPAN into a no-op statement; the
+// default keeps spans compiled in, runtime-gated.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+
+#ifndef JST_TRACING
+#define JST_TRACING 1
+#endif
+
+namespace jst::obs {
+
+class TraceSink {
+ public:
+  // Writes events to `out`; the stream must outlive the sink. Writes are
+  // serialized by an internal mutex (events are formatted off-lock).
+  explicit TraceSink(std::ostream& out) : out_(&out) {}
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Emits one `ph:"X"` (complete) event line.
+  void write_complete_event(const char* name, double ts_us, double dur_us,
+                            std::uint32_t tid);
+
+  std::uint64_t event_count() const { return events_; }
+
+ private:
+  std::mutex mutex_;
+  std::ostream* out_;
+  std::uint64_t events_ = 0;
+};
+
+// Attaches/detaches the process-wide sink; returns the previous one.
+// Passing nullptr disables tracing (spans cost one branch again).
+TraceSink* set_trace_sink(TraceSink* sink);
+TraceSink* trace_sink();
+inline bool trace_enabled() { return trace_sink() != nullptr; }
+
+// Small dense id per OS thread (0 = first thread to trace), stable for
+// the thread's lifetime; used as the trace `tid`.
+std::uint32_t trace_thread_id();
+
+// Microseconds since the process-wide trace epoch (first use).
+double trace_now_us();
+
+// RAII span: records start at construction, emits a complete event at
+// destruction. When no sink is attached at construction it is inert.
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(name), sink_(trace_sink()) {
+    if (sink_ != nullptr) start_us_ = trace_now_us();
+  }
+  ~Span() {
+    if (sink_ != nullptr) {
+      sink_->write_complete_event(name_, start_us_,
+                                  trace_now_us() - start_us_,
+                                  trace_thread_id());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  TraceSink* sink_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace jst::obs
+
+#define JST_OBS_CONCAT_INNER(a, b) a##b
+#define JST_OBS_CONCAT(a, b) JST_OBS_CONCAT_INNER(a, b)
+#if JST_TRACING
+#define JST_SPAN(name) \
+  ::jst::obs::Span JST_OBS_CONCAT(jst_obs_span_, __LINE__)(name)
+#else
+#define JST_SPAN(name) static_cast<void>(0)
+#endif

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace jst {
 namespace {
 
@@ -65,10 +67,13 @@ ParseResult parse_program(std::string_view source) {
   ParseResult result;
   Lexer lexer(source);
   std::vector<Token> tokens;
-  while (true) {
-    Token token = lexer.next();
-    if (token.type == TokenType::kEndOfFile) break;
-    tokens.push_back(std::move(token));
+  {
+    JST_SPAN("lex");
+    while (true) {
+      Token token = lexer.next();
+      if (token.type == TokenType::kEndOfFile) break;
+      tokens.push_back(std::move(token));
+    }
   }
   result.comment_count = lexer.comment_count();
   result.comment_bytes = lexer.comment_bytes();
@@ -76,6 +81,7 @@ ParseResult parse_program(std::string_view source) {
   result.source_lines = lexer.line();
   result.tokens = tokens;
 
+  JST_SPAN("parse");
   Parser parser(std::move(tokens), result.ast);
   Node* root = parser.parse_program_body();
   result.ast.set_root(root);

@@ -99,4 +99,9 @@ void JsonWriter::null() {
   out_ += "null";
 }
 
+void JsonWriter::raw(std::string_view json) {
+  maybe_comma();
+  out_ += json;
+}
+
 }  // namespace jst

@@ -30,6 +30,9 @@ class JsonWriter {
   void value(std::size_t number) { value(static_cast<long long>(number)); }
   void value(bool flag);
   void null();
+  // Splices pre-serialized JSON in value position verbatim (no escaping);
+  // the caller vouches that `json` is a complete, well-formed value.
+  void raw(std::string_view json);
 
   const std::string& str() const { return out_; }
 

@@ -1,13 +1,46 @@
 #include "support/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace jst::support {
 namespace {
+
+// Pool telemetry (DESIGN.md §9): queue depth is the number of submitted
+// tasks not yet picked up, task latency is execution time only (tasks
+// here are coarse parallel_for drain() calls, so two clock reads per
+// task are noise). Instrument references are resolved once.
+struct PoolMetrics {
+  obs::Gauge& queue_depth =
+      obs::MetricsRegistry::global().gauge("jst_pool_queue_depth");
+  obs::Counter& tasks =
+      obs::MetricsRegistry::global().counter("jst_pool_tasks_total");
+  obs::Histogram& task_ms =
+      obs::MetricsRegistry::global().histogram("jst_pool_task_ms");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();  // outlives static dtors
+  return *metrics;
+}
+
+void run_task_timed(const std::function<void()>& task) {
+  PoolMetrics& metrics = pool_metrics();
+  JST_SPAN("pool.task");
+  const auto start = std::chrono::steady_clock::now();
+  task();
+  metrics.task_ms.record(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+  metrics.tasks.add(1);
+}
 
 // Shared state of one parallel_for invocation. Owned via shared_ptr so a
 // helper task scheduled after the caller already drained every index can
@@ -77,19 +110,21 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    pool_metrics().queue_depth.sub(1.0);
+    run_task_timed(task);
   }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    run_task_timed(task);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  pool_metrics().queue_depth.add(1.0);
   wake_.notify_one();
 }
 

@@ -1,0 +1,498 @@
+// Observability subsystem tests: metrics-registry concurrency (exact
+// counter totals, monotone percentiles), export formats (JSON document,
+// Prometheus text), trace-span JSONL validity and nesting, and the
+// end-to-end smoke used by the `obs` ctest label — a traced batch run
+// whose outcomes must be bit-identical with and without sinks attached.
+//
+// The concurrency hammers run through support::run_parallel with explicit
+// widths *and* under the JST_THREADS=1/4 ctest matrix, so both the pinned
+// and the environment-driven pool shapes are exercised.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "analysis/service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/thread_pool.h"
+
+namespace jst {
+namespace {
+
+// --- minimal JSON syntax checker (validation only, no DOM) ---
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-' || peek() == '+') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(std::string_view text) {
+  return JsonChecker(text).valid();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Extracts the numeric value of `"key":` from a single-line JSON event.
+double json_field(const std::string& line, const std::string& key) {
+  const std::string needle = '"' + key + "\":";
+  const std::size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in " << line;
+  if (at == std::string::npos) return 0.0;
+  return std::atof(line.c_str() + at + needle.size());
+}
+
+std::string json_string_field(const std::string& line,
+                              const std::string& key) {
+  const std::string needle = '"' + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string();
+  const std::size_t start = at + needle.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+// --- MetricsRegistry ---
+
+TEST(Metrics, CounterConcurrentExactTotals) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("jst_test_hits_total");
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kPerTask = 1000;
+  support::run_parallel(4, kTasks, [&](std::size_t) {
+    for (std::size_t i = 0; i < kPerTask; ++i) counter.add(1);
+  });
+  EXPECT_EQ(counter.value(), kTasks * kPerTask);
+  // Same name resolves to the same instrument.
+  registry.counter("jst_test_hits_total").add(1);
+  EXPECT_EQ(counter.value(), kTasks * kPerTask + 1);
+}
+
+TEST(Metrics, GaugeSetAddSub) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& gauge = registry.gauge("jst_test_depth");
+  gauge.set(5.0);
+  gauge.add(2.5);
+  gauge.sub(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 6.0);
+}
+
+TEST(Metrics, HistogramConcurrentTotalsAndMonotonePercentiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("jst_test_latency_ms");
+  constexpr std::size_t kTasks = 32;
+  constexpr std::size_t kPerTask = 500;
+  // Deterministic values 0.5 .. 50.0 — exactly representable halves, so
+  // the atomic sum is order-independent and comparable exactly.
+  support::run_parallel(4, kTasks, [&](std::size_t task) {
+    for (std::size_t i = 0; i < kPerTask; ++i) {
+      histogram.record(0.5 * static_cast<double>((task * kPerTask + i) % 100) +
+                       0.5);
+    }
+  });
+  EXPECT_EQ(histogram.count(), kTasks * kPerTask);
+  const double p50 = histogram.p50();
+  const double p95 = histogram.p95();
+  const double p99 = histogram.p99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, histogram.max());
+  EXPECT_DOUBLE_EQ(histogram.max(), 50.0);
+  // Sum of 16000 values uniformly cycling 0.5..50.0.
+  double expected_sum = 0.0;
+  for (std::size_t i = 0; i < kTasks * kPerTask; ++i) {
+    expected_sum += 0.5 * static_cast<double>(i % 100) + 0.5;
+  }
+  EXPECT_DOUBLE_EQ(histogram.sum(), expected_sum);
+}
+
+TEST(Metrics, HistogramPercentileInterpolationBrackets) {
+  obs::Histogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.record(static_cast<double>(i));
+  // The median of 1..100 ms sits in the (50, 100] region of the bucket
+  // layout; interpolation must keep it inside the data range and ordered.
+  EXPECT_GT(histogram.p50(), 1.0);
+  EXPECT_LT(histogram.p50(), 100.0);
+  EXPECT_LE(histogram.p50(), histogram.p95());
+  EXPECT_LE(histogram.p95(), histogram.p99());
+  EXPECT_LE(histogram.p99(), 100.0);
+  // Overflow bucket: a huge value is clamped to the observed max.
+  histogram.record(123456.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 123456.0);
+  EXPECT_LE(histogram.percentile(100.0), 123456.0);
+}
+
+TEST(Metrics, JsonExportIsValidJson) {
+  obs::MetricsRegistry registry;
+  registry.counter("jst_a_total").add(3);
+  registry.gauge("jst_b").set(1.5);
+  registry.histogram("jst_c_ms").record(2.0);
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"jst_a_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+TEST(Metrics, PrometheusExportShape) {
+  obs::MetricsRegistry registry;
+  registry.counter("jst_a_total").add(7);
+  registry.gauge("jst_b").set(2.0);
+  obs::Histogram& histogram = registry.histogram("jst_c_ms");
+  histogram.record(0.3);
+  histogram.record(40.0);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE jst_a_total counter\njst_a_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE jst_b gauge\njst_b 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jst_c_ms histogram\n"), std::string::npos);
+  // Cumulative buckets end at the total count, and sum/count lines exist.
+  EXPECT_NE(text.find("jst_c_ms_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("jst_c_ms_sum 40.3\n"), std::string::npos);
+  EXPECT_NE(text.find("jst_c_ms_count 2\n"), std::string::npos);
+  // Every non-comment line is `name[{labels}] value`.
+  for (const std::string& line : split_lines(text)) {
+    if (line.rfind("# ", 0) == 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+  }
+}
+
+TEST(Metrics, ResetZeroesInstrumentsInPlace) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("jst_r_total");
+  obs::Histogram& histogram = registry.histogram("jst_r_ms");
+  counter.add(5);
+  histogram.record(1.0);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  counter.add(2);  // references stay live after reset
+  EXPECT_EQ(counter.value(), 2u);
+}
+
+// --- trace spans ---
+
+TEST(Trace, DisabledTracingWritesNothing) {
+  ASSERT_EQ(obs::trace_sink(), nullptr);
+  { JST_SPAN("inert"); }
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  EXPECT_EQ(sink.event_count(), 0u);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Trace, SpansEmitValidJsonlCompleteEvents) {
+  if (!JST_TRACING) GTEST_SKIP() << "trace spans compiled out";
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  obs::set_trace_sink(&sink);
+  {
+    JST_SPAN("outer");
+    { JST_SPAN("inner"); }
+  }
+  support::run_parallel(4, 8, [](std::size_t) { JST_SPAN("worker"); });
+  obs::set_trace_sink(nullptr);
+
+  const std::vector<std::string> lines = split_lines(out.str());
+  ASSERT_GE(lines.size(), 10u);  // inner+outer plus 8 worker spans
+  EXPECT_EQ(sink.event_count(), lines.size());
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(is_valid_json(line)) << line;
+    EXPECT_EQ(json_string_field(line, "ph"), "X") << line;
+    EXPECT_FALSE(json_string_field(line, "name").empty()) << line;
+    EXPECT_GE(json_field(line, "ts"), 0.0) << line;
+    EXPECT_GE(json_field(line, "dur"), 0.0) << line;
+  }
+}
+
+TEST(Trace, NestedSpansAreIntervalContained) {
+  if (!JST_TRACING) GTEST_SKIP() << "trace spans compiled out";
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  obs::set_trace_sink(&sink);
+  {
+    JST_SPAN("parent");
+    { JST_SPAN("child"); }
+  }
+  obs::set_trace_sink(nullptr);
+
+  std::string parent, child;
+  for (const std::string& line : split_lines(out.str())) {
+    if (json_string_field(line, "name") == "parent") parent = line;
+    if (json_string_field(line, "name") == "child") child = line;
+  }
+  ASSERT_FALSE(parent.empty());
+  ASSERT_FALSE(child.empty());
+  EXPECT_EQ(json_field(parent, "tid"), json_field(child, "tid"));
+  // Child closes first (JSONL order) and nests inside the parent window.
+  EXPECT_GE(json_field(child, "ts"), json_field(parent, "ts"));
+  EXPECT_LE(json_field(child, "ts") + json_field(child, "dur"),
+            json_field(parent, "ts") + json_field(parent, "dur") + 1e-3);
+}
+
+// --- end-to-end smoke (ctest label: obs) ---
+
+// Tiny but real analyzer: trains in seconds, exercises every instrumented
+// layer (parser, CFG/dataflow, features, forests, thread pool, service).
+const analysis::TransformationAnalyzer& smoke_analyzer() {
+  static const analysis::TransformationAnalyzer* kAnalyzer = [] {
+    analysis::PipelineOptions options;
+    options.training_regular_count = 16;
+    options.per_technique_count = 4;
+    options.seed = 20260806;
+    options.detector.forest.tree_count = 4;
+    options.detector.features.ngram.hash_dim = 64;
+    auto* analyzer = new analysis::TransformationAnalyzer(options);
+    analyzer->train();
+    return analyzer;
+  }();
+  return *kAnalyzer;
+}
+
+std::vector<std::string> smoke_sources() {
+  analysis::CorpusSpec spec;
+  spec.regular_count = 6;
+  spec.seed = 77;
+  std::vector<std::string> sources = analysis::generate_regular_corpus(spec);
+  sources.push_back("var broken = ;;; {{{");  // parse error path
+  return sources;
+}
+
+void expect_outcomes_bit_identical(const analysis::BatchResult& a,
+                                   const analysis::BatchResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].status, b.outcomes[i].status) << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_regular,
+                     b.outcomes[i].report.level1.p_regular) << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_minified,
+                     b.outcomes[i].report.level1.p_minified) << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_obfuscated,
+                     b.outcomes[i].report.level1.p_obfuscated) << i;
+    EXPECT_EQ(a.outcomes[i].report.technique_confidence,
+              b.outcomes[i].report.technique_confidence) << i;
+    EXPECT_EQ(a.outcomes[i].error_message, b.outcomes[i].error_message) << i;
+  }
+}
+
+TEST(ObsSmoke, BatchIsBitIdenticalWithAndWithoutSinks) {
+  const analysis::AnalyzerService service(smoke_analyzer());
+  const std::vector<std::string> sources = smoke_sources();
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    analysis::BatchOptions options;
+    options.threads = threads;
+    const analysis::BatchResult detached =
+        service.analyze_batch(sources, options);
+
+    std::ostringstream trace_out;
+    obs::TraceSink sink(trace_out);
+    obs::set_trace_sink(&sink);
+    const analysis::BatchResult attached =
+        service.analyze_batch(sources, options);
+    obs::set_trace_sink(nullptr);
+
+    expect_outcomes_bit_identical(detached, attached);
+    if (JST_TRACING) {
+      EXPECT_GT(sink.event_count(), 0u) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ObsSmoke, TraceJsonlAndPrometheusParseCleanly) {
+  if (!JST_TRACING) GTEST_SKIP() << "trace spans compiled out";
+  const analysis::AnalyzerService service(smoke_analyzer());
+  const std::vector<std::string> sources = smoke_sources();
+
+  std::ostringstream trace_out;
+  obs::TraceSink sink(trace_out);
+  obs::set_trace_sink(&sink);
+  analysis::BatchOptions options;
+  options.threads = 2;
+  const analysis::BatchResult result = service.analyze_batch(sources, options);
+  obs::set_trace_sink(nullptr);
+
+  // Every trace line is a complete JSON event; the span taxonomy covers
+  // the batch plus each pipeline stage.
+  const std::vector<std::string> lines = split_lines(trace_out.str());
+  ASSERT_FALSE(lines.empty());
+  std::size_t batch_spans = 0;
+  std::size_t script_spans = 0;
+  std::size_t stage_spans = 0;
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(is_valid_json(line)) << line;
+    const std::string name = json_string_field(line, "name");
+    if (name == "batch") ++batch_spans;
+    if (name == "script") ++script_spans;
+    if (name == "static_analysis" || name == "features" ||
+        name == "inference" || name == "lex" || name == "parse") {
+      ++stage_spans;
+    }
+  }
+  EXPECT_EQ(batch_spans, 1u);
+  EXPECT_EQ(script_spans, sources.size());
+  EXPECT_GE(stage_spans, 3 * sources.size());
+
+  // Batch stats: percentiles ordered, stage sums partition the totals.
+  const analysis::BatchStats& stats = result.stats;
+  EXPECT_LE(stats.p50_script_ms, stats.p95_script_ms);
+  EXPECT_LE(stats.p95_script_ms, stats.p99_script_ms);
+  EXPECT_LE(stats.p99_script_ms, stats.max_script_ms);
+  EXPECT_LE(stats.stage_ms_sum(), stats.total_script_ms + 1e-6);
+  EXPECT_NEAR(stats.stage_ms_sum(), stats.total_script_ms,
+              0.05 * stats.total_script_ms + 0.05 * stats.total);
+  EXPECT_TRUE(is_valid_json(stats.to_json())) << stats.to_json();
+
+  // The global registry saw the batch and exports cleanly in both formats.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  EXPECT_GE(registry.counter("jst_scripts_total").value(), sources.size());
+  EXPECT_GE(registry.counter("jst_batches_total").value(), 1u);
+  EXPECT_TRUE(is_valid_json(registry.to_json()));
+  const std::string prometheus = registry.to_prometheus();
+  EXPECT_NE(prometheus.find("# TYPE jst_script_total_ms histogram"),
+            std::string::npos);
+  for (const std::string& line : split_lines(prometheus)) {
+    if (line.rfind("# ", 0) == 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+  }
+}
+
+// Trace spans must account for (nearly) all of the batch wall time: the
+// top-level "batch" span is openest-to-close of the whole run, so its
+// duration must be ≥ 95% of the measured wall_ms.
+TEST(ObsSmoke, BatchSpanCoversWallTime) {
+  if (!JST_TRACING) GTEST_SKIP() << "trace spans compiled out";
+  const analysis::AnalyzerService service(smoke_analyzer());
+  const std::vector<std::string> sources = smoke_sources();
+
+  std::ostringstream trace_out;
+  obs::TraceSink sink(trace_out);
+  obs::set_trace_sink(&sink);
+  analysis::BatchOptions options;
+  options.threads = 2;
+  const analysis::BatchResult result = service.analyze_batch(sources, options);
+  obs::set_trace_sink(nullptr);
+
+  double batch_dur_us = 0.0;
+  for (const std::string& line : split_lines(trace_out.str())) {
+    if (json_string_field(line, "name") == "batch") {
+      batch_dur_us = json_field(line, "dur");
+    }
+  }
+  EXPECT_GE(batch_dur_us / 1000.0, 0.95 * result.stats.wall_ms);
+}
+
+}  // namespace
+}  // namespace jst
