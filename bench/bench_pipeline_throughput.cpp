@@ -151,22 +151,27 @@ void BM_JsFuckEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_JsFuckEncode);
 
-// Per-thread-config BatchStats of the last BM_AnalyzeBatch iteration,
-// exported to BENCH_pipeline.json after the run (keyed and emitted in
-// thread-count order).
-std::map<std::size_t, jst::bench::BenchRecord>& batch_records() {
-  static std::map<std::size_t, jst::bench::BenchRecord> records;
+// Per-config BatchStats of the last BM_AnalyzeBatch iteration, exported
+// to BENCH_pipeline.json after the run (keyed by config string, emitted
+// in key order: limits=off rows before limits=on per thread count).
+std::map<std::string, jst::bench::BenchRecord>& batch_records() {
+  static std::map<std::string, jst::bench::BenchRecord> records;
   return records;
 }
 
-// Batch analysis over a held-out corpus; state.range(0) = thread lanes.
-// Registered from main() so a --threads override can pin the axis.
+// Batch analysis over a held-out corpus; state.range(0) = thread lanes,
+// state.range(1) = resource governance (0 = limits off, 1 = production
+// limits — none trip on this corpus, so the delta between paired rows is
+// pure budget-guard overhead; the target is <2%). Registered from main()
+// so a --threads override can pin the thread axis.
 void BM_AnalyzeBatch(benchmark::State& state) {
   static const std::vector<std::string> kCorpus =
       jst::bench::held_out_regular(48, 0xba7c4);
   const analysis::AnalyzerService service(jst::bench::analyzer());
+  const bool governed = state.range(1) != 0;
   analysis::BatchOptions options;
   options.threads = static_cast<std::size_t>(state.range(0));
+  if (governed) options.limits = ResourceLimits::production();
 
   std::size_t total_bytes = 0;
   for (const std::string& source : kCorpus) total_bytes += source.size();
@@ -186,13 +191,14 @@ void BM_AnalyzeBatch(benchmark::State& state) {
   state.counters["p99_script_ms"] = last_stats.p99_script_ms;
 
   jst::bench::BenchRecord record;
-  record.config = "threads=" + std::to_string(last_stats.threads);
+  record.config = "threads=" + std::to_string(last_stats.threads) +
+                  ",limits=" + (governed ? "on" : "off");
   record.threads = last_stats.threads;
   record.scripts = kCorpus.size();
   record.wall_ms = last_stats.wall_ms;
   record.scripts_per_second = last_stats.scripts_per_second;
   record.stats_json = last_stats.to_json();
-  batch_records()[last_stats.threads] = std::move(record);
+  batch_records()[record.config] = std::move(record);
 }
 
 }  // namespace
@@ -215,10 +221,14 @@ int main(int argc, char** argv) {
   auto* batch = benchmark::RegisterBenchmark("BM_AnalyzeBatch",
                                              BM_AnalyzeBatch);
   batch->Unit(benchmark::kMillisecond)->UseRealTime();
+  // Every thread config runs limits-off then limits-on so the paired rows
+  // in BENCH_pipeline.json expose the budget-guard overhead directly.
   if (pinned_threads > 0) {
-    batch->Arg(pinned_threads);
+    batch->Args({pinned_threads, 0})->Args({pinned_threads, 1});
   } else {
-    batch->Arg(1)->Arg(2)->Arg(4);
+    for (long threads : {1L, 2L, 4L}) {
+      batch->Args({threads, 0})->Args({threads, 1});
+    }
   }
 
   benchmark::Initialize(&argc, argv);
@@ -226,11 +236,11 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  // Record the perf trajectory machine-readably (one row per thread
-  // config that actually ran; empty when --benchmark_filter skipped the
-  // batch axis).
+  // Record the perf trajectory machine-readably (one row per
+  // threads×limits config that actually ran; empty when
+  // --benchmark_filter skipped the batch axis).
   std::vector<jst::bench::BenchRecord> records;
-  for (auto& [threads, record] : batch_records()) {
+  for (auto& [config, record] : batch_records()) {
     records.push_back(std::move(record));
   }
   if (!records.empty()) jst::bench::write_bench_json("pipeline", records);

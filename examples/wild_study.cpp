@@ -6,11 +6,21 @@
 //
 //   $ ./wild_study [scripts_per_population]
 //   $ ./wild_study 120 --trace-out trace.json --metrics-out metrics.json
+//   $ ./wild_study 120 --deadline-ms 120000 --max-ast-nodes 1000000 \
+//         --ndjson-out outcomes.ndjson
 //
 // --trace-out writes Chrome trace_event JSONL (load in Perfetto or
 // chrome://tracing to see per-stage spans across worker threads);
 // --metrics-out writes the process metrics registry as JSON (use a
-// .prom suffix for Prometheus text exposition format instead).
+// .prom suffix for Prometheus text exposition format instead);
+// --ndjson-out streams one ScriptOutcome::to_json() object per analyzed
+// script (NDJSON), the machine-readable twin of the printed table.
+//
+// Resource governance (DESIGN.md §10): --deadline-ms, --max-source-bytes,
+// --max-tokens, --max-ast-nodes, --max-depth, and --max-dataflow-edges
+// populate BatchOptions::limits; 0 (the default) disables a ceiling.
+// --production-limits applies ResourceLimits::production() first, then
+// lets the individual flags override.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,17 +51,44 @@ int main(int argc, char** argv) {
   std::size_t per_population = 60;
   std::string metrics_out;
   std::string trace_out;
+  std::string ndjson_out;
+  ResourceLimits limits;
+  const auto size_flag = [&](int& i, std::size_t& field) {
+    field = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--ndjson-out") == 0 && i + 1 < argc) {
+      ndjson_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--production-limits") == 0) {
+      limits = ResourceLimits::production();
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      limits.deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--max-source-bytes") == 0 &&
+               i + 1 < argc) {
+      size_flag(i, limits.max_source_bytes);
+    } else if (std::strcmp(argv[i], "--max-tokens") == 0 && i + 1 < argc) {
+      size_flag(i, limits.max_tokens);
+    } else if (std::strcmp(argv[i], "--max-ast-nodes") == 0 && i + 1 < argc) {
+      size_flag(i, limits.max_ast_nodes);
+    } else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
+      size_flag(i, limits.max_ast_depth);
+    } else if (std::strcmp(argv[i], "--max-dataflow-edges") == 0 &&
+               i + 1 < argc) {
+      size_flag(i, limits.max_dataflow_edges);
     } else if (argv[i][0] != '-') {
       per_population = static_cast<std::size_t>(std::atoi(argv[i]));
     } else {
       std::fprintf(stderr,
                    "usage: wild_study [scripts_per_population] "
-                   "[--metrics-out FILE] [--trace-out FILE]\n");
+                   "[--metrics-out FILE] [--trace-out FILE] "
+                   "[--ndjson-out FILE] [--production-limits] "
+                   "[--deadline-ms N] [--max-source-bytes N] "
+                   "[--max-tokens N] [--max-ast-nodes N] [--max-depth N] "
+                   "[--max-dataflow-edges N]\n");
       return 2;
     }
   }
@@ -90,6 +127,19 @@ int main(int argc, char** argv) {
       {"BSI", analysis::bsi_spec()},
   };
 
+  std::ofstream ndjson_stream;
+  if (!ndjson_out.empty()) {
+    ndjson_stream.open(ndjson_out);
+    if (!ndjson_stream) {
+      std::fprintf(stderr, "cannot open %s\n", ndjson_out.c_str());
+      return 1;
+    }
+  }
+
+  analysis::BatchOptions batch_options;
+  batch_options.limits = limits;
+
+  std::size_t quarantined = 0;
   std::printf("%-16s %12s %12s %12s %12s %10s %10s\n", "population",
               "transformed", "id-obf", "str-obf", "minified*", "p50 ms",
               "p99 ms");
@@ -101,7 +151,14 @@ int main(int argc, char** argv) {
     for (const analysis::Sample& sample : samples) {
       sources.push_back(sample.source);
     }
-    const analysis::BatchResult batch = service.analyze_batch(sources);
+    const analysis::BatchResult batch =
+        service.analyze_batch(sources, batch_options);
+    quarantined += batch.stats.budget_tripped();
+    if (ndjson_stream.is_open()) {
+      for (const analysis::ScriptOutcome& outcome : batch.outcomes) {
+        ndjson_stream << outcome.to_json() << '\n';
+      }
+    }
 
     std::size_t transformed = 0;
     std::size_t analyzed = 0;
@@ -109,7 +166,9 @@ int main(int argc, char** argv) {
     double str_obf = 0.0;
     double minified = 0.0;
     for (const analysis::ScriptOutcome& outcome : batch.outcomes) {
-      if (outcome.parse_failed()) continue;
+      // Budget-tripped and parse-failed scripts carry no predictions, so
+      // they are excluded from the table (but counted in `quarantined`).
+      if (!outcome.has_predictions()) continue;
       const analysis::ScriptReport& report = outcome.report;
       ++analyzed;
       if (!report.level1.transformed()) continue;
@@ -136,6 +195,16 @@ int main(int argc, char** argv) {
   std::printf("\n* summed confidence of the two minification techniques\n");
   std::printf("expected shape: benign rows minification-led; malware rows "
               "identifier/string-obfuscation-led\n");
+  if (limits.any_enabled()) {
+    std::fprintf(stderr,
+                 "[wild] resource governance on: %llu script(s) quarantined "
+                 "by budget limits\n",
+                 static_cast<unsigned long long>(quarantined));
+  }
+  if (ndjson_stream.is_open()) {
+    std::fprintf(stderr, "[wild] wrote per-script NDJSON to %s\n",
+                 ndjson_out.c_str());
+  }
 
   if (trace_sink) {
     obs::set_trace_sink(nullptr);

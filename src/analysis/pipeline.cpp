@@ -1,5 +1,6 @@
 #include "analysis/pipeline.h"
 
+#include <array>
 #include <chrono>
 #include <istream>
 #include <ostream>
@@ -9,7 +10,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
+#include "support/json_writer.h"
 #include "support/thread_pool.h"
+#include "transform/technique.h"
 
 namespace jst::analysis {
 namespace {
@@ -43,17 +46,78 @@ ScriptMetrics& script_metrics() {
   return *metrics;
 }
 
+// Budget-trip telemetry (DESIGN.md §10): one aggregate counter plus one
+// counter per ResourceKind, named jst_budget_<kind>_total.
+struct BudgetMetrics {
+  obs::Counter& trips =
+      obs::MetricsRegistry::global().counter("jst_budget_trips_total");
+  obs::Counter& degraded =
+      obs::MetricsRegistry::global().counter("jst_scripts_degraded_total");
+  std::array<obs::Counter*, 6> by_kind{};
+
+  BudgetMetrics() {
+    for (std::size_t i = 0; i < by_kind.size(); ++i) {
+      const std::string name =
+          "jst_budget_" +
+          std::string(to_string(static_cast<ResourceKind>(i))) + "_total";
+      by_kind[i] = &obs::MetricsRegistry::global().counter(name);
+    }
+  }
+};
+
+BudgetMetrics& budget_metrics() {
+  static BudgetMetrics* metrics = new BudgetMetrics();  // outlives statics
+  return *metrics;
+}
+
+// Statuses whose analysis stopped before features could run.
+bool hard_failure(ScriptStatus status) {
+  switch (status) {
+    case ScriptStatus::kParseError:
+    case ScriptStatus::kBudgetTokens:
+    case ScriptStatus::kBudgetAstNodes:
+    case ScriptStatus::kBudgetDepth:
+    case ScriptStatus::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ScriptStatus status_for_trip(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kSourceBytes: return ScriptStatus::kIneligibleSize;
+    case ResourceKind::kTokens: return ScriptStatus::kBudgetTokens;
+    case ResourceKind::kAstNodes: return ScriptStatus::kBudgetAstNodes;
+    case ResourceKind::kAstDepth: return ScriptStatus::kBudgetDepth;
+    case ResourceKind::kDataflowEdges: return ScriptStatus::kBudgetDataflow;
+    case ResourceKind::kDeadline: return ScriptStatus::kDeadlineExceeded;
+  }
+  return ScriptStatus::kParseError;
+}
+
 void record_outcome_metrics(const ScriptOutcome& outcome) {
   ScriptMetrics& metrics = script_metrics();
+  // Touch the budget singleton unconditionally so the jst_budget_* series
+  // exist (at 0) in every export, not only after the first trip.
+  BudgetMetrics& budget = budget_metrics();
   metrics.scripts.add(1);
   metrics.total_ms.record(outcome.timing.total_ms);
   metrics.static_analysis_ms.record(outcome.timing.static_analysis_ms);
+  if (outcome.budget.has_value()) {
+    budget.trips.add(1);
+    budget.by_kind[static_cast<std::size_t>(outcome.budget->kind)]->add(1);
+    if (outcome.degraded()) budget.degraded.add(1);
+  }
   if (outcome.parse_failed()) {
     metrics.parse_errors.add(1);
     return;
   }
+  if (hard_failure(outcome.status)) return;
   metrics.features_ms.record(outcome.timing.features_ms);
-  metrics.inference_ms.record(outcome.timing.inference_ms);
+  if (outcome.has_predictions()) {
+    metrics.inference_ms.record(outcome.timing.inference_ms);
+  }
 }
 
 }  // namespace
@@ -64,8 +128,81 @@ std::string_view to_string(ScriptStatus status) {
     case ScriptStatus::kParseError: return "parse_error";
     case ScriptStatus::kIneligibleSize: return "ineligible_size";
     case ScriptStatus::kIneligibleAst: return "ineligible_ast";
+    case ScriptStatus::kBudgetTokens: return "budget_tokens";
+    case ScriptStatus::kBudgetAstNodes: return "budget_ast_nodes";
+    case ScriptStatus::kBudgetDepth: return "budget_depth";
+    case ScriptStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case ScriptStatus::kBudgetDataflow: return "budget_dataflow";
+    case ScriptStatus::kDegraded: return "degraded";
   }
   return "unknown";
+}
+
+std::string ScriptOutcome::to_json() const {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("status"); writer.value(to_string(status));
+  writer.key("degraded"); writer.value(degraded());
+  if (!error_message.empty()) {
+    writer.key("error"); writer.value(error_message);
+  }
+  writer.key("timing");
+  writer.begin_object();
+  writer.key("total_ms"); writer.value(timing.total_ms);
+  writer.key("static_analysis_ms"); writer.value(timing.static_analysis_ms);
+  writer.key("features_ms"); writer.value(timing.features_ms);
+  writer.key("inference_ms"); writer.value(timing.inference_ms);
+  writer.end_object();
+  writer.key("budget");
+  if (budget.has_value()) {
+    writer.begin_object();
+    writer.key("kind"); writer.value(jst::to_string(budget->kind));
+    writer.key("limit"); writer.value(budget->limit);
+    writer.key("observed"); writer.value(budget->observed);
+    writer.key("stage"); writer.value(budget->stage);
+    writer.end_object();
+  } else {
+    writer.null();
+  }
+  if (!skipped_stages.empty()) {
+    writer.key("skipped_stages");
+    writer.begin_array();
+    for (const std::string& stage : skipped_stages) writer.value(stage);
+    writer.end_array();
+  }
+  if (!partial_features.empty()) {
+    writer.key("partial_features");
+    writer.begin_array();
+    for (const float value : partial_features) {
+      writer.value(static_cast<double>(value));
+    }
+    writer.end_array();
+  }
+  writer.key("report");
+  if (has_predictions()) {
+    writer.begin_object();
+    writer.key("p_regular"); writer.value(report.level1.p_regular);
+    writer.key("p_minified"); writer.value(report.level1.p_minified);
+    writer.key("p_obfuscated"); writer.value(report.level1.p_obfuscated);
+    writer.key("transformed"); writer.value(report.level1.transformed());
+    writer.key("technique_confidence");
+    writer.begin_array();
+    for (const double confidence : report.technique_confidence) {
+      writer.value(confidence);
+    }
+    writer.end_array();
+    writer.key("techniques");
+    writer.begin_array();
+    for (const transform::Technique technique : report.techniques) {
+      writer.value(transform::technique_name(technique));
+    }
+    writer.end_array();
+    writer.end_object();
+  } else {
+    writer.null();
+  }
+  writer.end_object();
+  return writer.str();
 }
 
 TransformationAnalyzer::TransformationAnalyzer(PipelineOptions options)
@@ -172,16 +309,56 @@ ScriptReport TransformationAnalyzer::analyze(std::string_view source) const {
 
 ScriptOutcome TransformationAnalyzer::analyze_outcome(
     std::string_view source) const {
+  return analyze_outcome(source, ResourceLimits{});
+}
+
+// The resource-governed per-script pipeline (DESIGN.md §10). Hard stages
+// (lex/parse/CFG) throw BudgetExceeded, mapped to a budget status here;
+// soft stages (data flow, features, inference) degrade: the outcome keeps
+// everything computed before the trip and lists the skipped stages.
+// Tripped ceilings never escape as exceptions.
+ScriptOutcome TransformationAnalyzer::analyze_outcome(
+    std::string_view source, const ResourceLimits& limits) const {
   if (!trained_) throw ModelError("analyze: detector not trained");
   ScriptOutcome outcome;
   JST_SPAN("script");
+  const bool governed = limits.any_enabled();
+  Budget budget(limits);
   const auto start = std::chrono::steady_clock::now();
+
+  // Source-size ceiling: refused before the lexer touches a byte. This is
+  // the successor of the retired BatchOptions::max_bytes guard and keeps
+  // its status (kIneligibleSize) so population counts stay comparable.
+  if (limits.max_source_bytes > 0 && source.size() > limits.max_source_bytes) {
+    budget.set_stage("pre-parse");
+    BudgetTrip trip = budget.make_trip(ResourceKind::kSourceBytes);
+    trip.observed = static_cast<double>(source.size());
+    outcome.status = ScriptStatus::kIneligibleSize;
+    outcome.report.status = outcome.status;
+    outcome.error_message = trip.to_string();
+    outcome.budget = std::move(trip);
+    outcome.timing.static_analysis_ms = ms_since(start);
+    outcome.timing.total_ms = outcome.timing.static_analysis_ms;
+    record_outcome_metrics(outcome);
+    return outcome;
+  }
 
   ScriptAnalysis analysis;
   {
     JST_SPAN("static_analysis");
     try {
-      analysis = analyze_script(source, options_.detector.features.analysis);
+      AnalysisOptions analysis_options = options_.detector.features.analysis;
+      analysis_options.budget = governed ? &budget : nullptr;
+      analysis = analyze_script(source, analysis_options);
+    } catch (const BudgetExceeded& error) {
+      outcome.status = status_for_trip(error.trip().kind);
+      outcome.report.status = outcome.status;
+      outcome.budget = error.trip();
+      outcome.error_message = error.what();
+      outcome.timing.static_analysis_ms = ms_since(start);
+      outcome.timing.total_ms = outcome.timing.static_analysis_ms;
+      record_outcome_metrics(outcome);
+      return outcome;
     } catch (const ParseError& error) {
       outcome.status = ScriptStatus::kParseError;
       outcome.report.status = outcome.status;
@@ -203,7 +380,53 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     }
   }
   outcome.timing.static_analysis_ms = ms_since(start);
+
+  // Soft trip 1: the data-flow pass ran out of edge budget. Edges are
+  // truncated but the AST and CFG are intact, so features and inference
+  // still run below; the budget status takes precedence over eligibility.
+  const bool dataflow_edges_tripped =
+      analysis.data_flow.tripped.has_value() &&
+      analysis.data_flow.tripped->kind == ResourceKind::kDataflowEdges;
+  const bool dataflow_deadline_tripped =
+      analysis.data_flow.tripped.has_value() &&
+      analysis.data_flow.tripped->kind == ResourceKind::kDeadline;
+  if (dataflow_edges_tripped) {
+    outcome.status = ScriptStatus::kBudgetDataflow;
+    outcome.budget = analysis.data_flow.tripped;
+    outcome.error_message = outcome.budget->to_string();
+    outcome.skipped_stages.push_back("dataflow");
+  }
   outcome.report.status = outcome.status;
+
+  // Soft trip 2: the deadline passed during data flow or by this
+  // checkpoint. Degrade — emit the hand-picked block (cheap, bounded by
+  // the already-admitted AST) and skip n-grams and inference.
+  budget.set_stage("features");
+  if (governed && (dataflow_deadline_tripped || budget.deadline_expired())) {
+    outcome.status = ScriptStatus::kDegraded;
+    outcome.budget = dataflow_deadline_tripped
+                         ? analysis.data_flow.tripped
+                         : std::optional<BudgetTrip>(
+                               budget.make_trip(ResourceKind::kDeadline));
+    outcome.error_message = outcome.budget->to_string();
+    if (dataflow_deadline_tripped) {
+      outcome.skipped_stages.push_back("dataflow");
+    }
+    outcome.skipped_stages.push_back("ngrams");
+    outcome.skipped_stages.push_back("inference");
+    const auto features_start = std::chrono::steady_clock::now();
+    {
+      JST_SPAN("features");
+      features::FeatureConfig handpicked_only = options_.detector.features;
+      handpicked_only.use_ngrams = false;
+      outcome.partial_features = features::extract(analysis, handpicked_only);
+    }
+    outcome.timing.features_ms = ms_since(features_start);
+    outcome.timing.total_ms = ms_since(start);
+    outcome.report.status = outcome.status;
+    record_outcome_metrics(outcome);
+    return outcome;
+  }
 
   const auto features_start = std::chrono::steady_clock::now();
   std::vector<float> row;
@@ -212,6 +435,21 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     row = features::extract(analysis, options_.detector.features);
   }
   outcome.timing.features_ms = ms_since(features_start);
+
+  // Soft trip 3: the deadline passed during feature extraction. The full
+  // feature row exists but inference is skipped.
+  budget.set_stage("inference");
+  if (governed && budget.deadline_expired()) {
+    outcome.status = ScriptStatus::kDegraded;
+    outcome.budget = budget.make_trip(ResourceKind::kDeadline);
+    outcome.error_message = outcome.budget->to_string();
+    outcome.skipped_stages.push_back("inference");
+    outcome.partial_features = std::move(row);
+    outcome.timing.total_ms = ms_since(start);
+    outcome.report.status = outcome.status;
+    record_outcome_metrics(outcome);
+    return outcome;
+  }
 
   const auto inference_start = std::chrono::steady_clock::now();
   {

@@ -12,11 +12,13 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "analysis/dataset.h"
 #include "analysis/detector.h"
+#include "support/budget.h"
 
 namespace jst::analysis {
 
@@ -32,12 +34,26 @@ struct PipelineOptions {
 // Per-script analysis disposition. Predictions are computed for every
 // script that parses — including ineligible ones — so callers can decide
 // whether to honor the paper's §III-D1 filter; the status records which
-// criterion (if any) failed.
+// criterion (if any) failed. Budget statuses record a tripped
+// ResourceLimits ceiling (DESIGN.md §10): the four hard trips carry no
+// predictions (the AST never fully materialized), while kBudgetDataflow
+// and kDegraded are degraded outcomes that still carry whatever the
+// pipeline could compute before the trip.
 enum class ScriptStatus {
   kOk,              // parsed and passed the paper's eligibility filter
   kParseError,      // could not be tokenized/parsed; no predictions
-  kIneligibleSize,  // outside [512 B, 2 MB]
+  kIneligibleSize,  // outside [512 B, 2 MB], or above max_source_bytes
   kIneligibleAst,   // no conditional, function, or call node
+  // Hard budget trips (no AST, no predictions; diagnostic populated).
+  kBudgetTokens,      // max_tokens tripped in the lexer
+  kBudgetAstNodes,    // max_ast_nodes tripped in the parser
+  kBudgetDepth,       // max_ast_depth tripped in the parser
+  kDeadlineExceeded,  // deadline_ms tripped in a hard stage (lex/parse/cfg)
+  // Degraded outcomes (diagnostic populated, skipped stages listed).
+  kBudgetDataflow,  // max_dataflow_edges tripped; edges truncated, but
+                    // features + predictions were still computed
+  kDegraded,        // deadline noticed at a soft checkpoint after parsing;
+                    // hand-picked features emitted, later stages skipped
 };
 
 std::string_view to_string(ScriptStatus status);
@@ -53,12 +69,6 @@ struct ScriptReport {
   bool ok() const { return status == ScriptStatus::kOk; }
   // Predictions are absent exactly when parsing failed.
   bool parse_failed() const { return status == ScriptStatus::kParseError; }
-
-  // Deprecated shims for the pre-batch bool-pair API.
-  [[deprecated("use !parse_failed() / status")]] bool parsed() const {
-    return !parse_failed();
-  }
-  [[deprecated("use ok() / status")]] bool eligible() const { return ok(); }
 };
 
 // Per-stage wall time of one script's analysis, in milliseconds.
@@ -73,12 +83,37 @@ struct StageTimings {
 // failure diagnostics and timing the bool-pair convention used to drop.
 struct ScriptOutcome {
   ScriptStatus status = ScriptStatus::kParseError;
-  ScriptReport report;        // predictions populated whenever parsed
-  std::string error_message;  // parse diagnostics; empty otherwise
+  ScriptReport report;        // predictions populated whenever inference ran
+  std::string error_message;  // parse/budget diagnostics; empty otherwise
   StageTimings timing;
+  // Populated on every budget status: which ceiling, the configured limit,
+  // the observed value, and the stage that noticed the trip.
+  std::optional<BudgetTrip> budget;
+  // Degraded outcomes: stages that were skipped ("dataflow", "ngrams",
+  // "inference"), in pipeline order.
+  std::vector<std::string> skipped_stages;
+  // Degraded outcomes that skipped inference: the features that were still
+  // computed (the hand-picked block when n-grams were skipped, or the full
+  // row when only inference was) so callers keep a usable signal for
+  // quarantined scripts.
+  std::vector<float> partial_features;
 
   bool ok() const { return status == ScriptStatus::kOk; }
   bool parse_failed() const { return status == ScriptStatus::kParseError; }
+  // Partial results under a tripped soft budget (DESIGN.md §10).
+  bool degraded() const {
+    return status == ScriptStatus::kDegraded ||
+           status == ScriptStatus::kBudgetDataflow;
+  }
+  // True when level-1/level-2 inference ran and report carries predictions.
+  bool has_predictions() const {
+    return !report.technique_confidence.empty();
+  }
+
+  // One self-contained JSON object (status, diagnostics, timings, and the
+  // report's predictions) — symmetric with BatchStats::to_json(), so
+  // callers can stream per-script NDJSON without hand-rolled formatting.
+  std::string to_json() const;
 };
 
 class TransformationAnalyzer {
@@ -104,8 +139,13 @@ class TransformationAnalyzer {
   ScriptReport analyze(std::string_view source) const;
 
   // analyze() plus parse diagnostics and per-stage timings — the unit of
-  // work AnalyzerService fans out over the thread pool.
+  // work AnalyzerService fans out over the thread pool. The `limits`
+  // overload governs the call with a per-script Budget: tripped ceilings
+  // surface as budget statuses or degraded outcomes, never as exceptions
+  // (a default-constructed ResourceLimits governs nothing).
   ScriptOutcome analyze_outcome(std::string_view source) const;
+  ScriptOutcome analyze_outcome(std::string_view source,
+                                const ResourceLimits& limits) const;
 
   const Level1Detector& level1() const { return level1_; }
   const Level2Detector& level2() const { return level2_; }

@@ -42,6 +42,13 @@ std::string BatchStats::to_json() const {
   writer.key("parse_errors"); writer.value(parse_errors);
   writer.key("ineligible_size"); writer.value(ineligible_size);
   writer.key("ineligible_ast"); writer.value(ineligible_ast);
+  writer.key("budget_tokens"); writer.value(budget_tokens);
+  writer.key("budget_ast_nodes"); writer.value(budget_ast_nodes);
+  writer.key("budget_depth"); writer.value(budget_depth);
+  writer.key("budget_dataflow"); writer.value(budget_dataflow);
+  writer.key("deadline_exceeded"); writer.value(deadline_exceeded);
+  writer.key("degraded"); writer.value(degraded);
+  writer.key("budget_tripped"); writer.value(budget_tripped());
   writer.key("threads"); writer.value(threads);
   writer.key("wall_ms"); writer.value(wall_ms);
   writer.key("scripts_per_second"); writer.value(scripts_per_second);
@@ -65,18 +72,9 @@ AnalyzerService::AnalyzerService(const TransformationAnalyzer& analyzer)
   }
 }
 
-ScriptOutcome AnalyzerService::analyze_one(std::string_view source,
-                                           std::size_t max_bytes) const {
-  if (max_bytes > 0 && source.size() > max_bytes) {
-    ScriptOutcome outcome;
-    outcome.status = ScriptStatus::kIneligibleSize;
-    outcome.report.status = outcome.status;
-    outcome.error_message = "script exceeds batch max_bytes (" +
-                            std::to_string(source.size()) + " > " +
-                            std::to_string(max_bytes) + " bytes)";
-    return outcome;
-  }
-  return analyzer_->analyze_outcome(source);
+ScriptOutcome AnalyzerService::analyze_one(
+    std::string_view source, const ResourceLimits& limits) const {
+  return analyzer_->analyze_outcome(source, limits);
 }
 
 BatchResult AnalyzerService::analyze_batch(
@@ -91,7 +89,7 @@ BatchResult AnalyzerService::analyze_batch(
   JST_SPAN("batch");
   const auto start = std::chrono::steady_clock::now();
   support::run_parallel(threads, sources.size(), [&](std::size_t i) {
-    result.outcomes[i] = analyze_one(sources[i], options.max_bytes);
+    result.outcomes[i] = analyze_one(sources[i], options.limits);
   });
   result.stats.wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
@@ -107,6 +105,12 @@ BatchResult AnalyzerService::analyze_batch(
       case ScriptStatus::kParseError: ++stats.parse_errors; break;
       case ScriptStatus::kIneligibleSize: ++stats.ineligible_size; break;
       case ScriptStatus::kIneligibleAst: ++stats.ineligible_ast; break;
+      case ScriptStatus::kBudgetTokens: ++stats.budget_tokens; break;
+      case ScriptStatus::kBudgetAstNodes: ++stats.budget_ast_nodes; break;
+      case ScriptStatus::kBudgetDepth: ++stats.budget_depth; break;
+      case ScriptStatus::kBudgetDataflow: ++stats.budget_dataflow; break;
+      case ScriptStatus::kDeadlineExceeded: ++stats.deadline_exceeded; break;
+      case ScriptStatus::kDegraded: ++stats.degraded; break;
     }
     stats.static_analysis_ms += outcome.timing.static_analysis_ms;
     stats.features_ms += outcome.timing.features_ms;

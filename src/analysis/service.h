@@ -21,10 +21,13 @@ struct BatchOptions {
   // Parallelism for the batch (0 = JST_THREADS / hardware default,
   // 1 = serial). Results are identical for every value.
   std::size_t threads = 0;
-  // Scripts larger than this many bytes are marked kIneligibleSize without
-  // being parsed — a guard against pathological inputs in service traffic.
-  // 0 disables the cap (every script is parsed and scored).
-  std::size_t max_bytes = 0;
+  // Per-script resource ceilings (support/budget.h). Every script in the
+  // batch is analyzed under its own Budget built from these limits; tripped
+  // ceilings surface as budget statuses / degraded outcomes and are tallied
+  // in BatchStats, never thrown. The default governs nothing. This
+  // supersedes the old max_bytes field: set limits.max_source_bytes for the
+  // former behavior (see DESIGN.md §10).
+  ResourceLimits limits;
 };
 
 // Aggregate counters over one analyze_batch call.
@@ -41,9 +44,18 @@ struct BatchStats {
   std::size_t parse_errors = 0;
   std::size_t ineligible_size = 0;
   std::size_t ineligible_ast = 0;
-  std::size_t threads = 1;          // parallelism actually used
-  double wall_ms = 0.0;             // batch wall-clock time
-  double scripts_per_second = 0.0;  // total / wall time
+  // Budget quarantine counters (DESIGN.md §10), one per budget status.
+  std::size_t budget_tokens = 0;      // kBudgetTokens
+  std::size_t budget_ast_nodes = 0;   // kBudgetAstNodes
+  std::size_t budget_depth = 0;       // kBudgetDepth
+  std::size_t budget_dataflow = 0;    // kBudgetDataflow (degraded)
+  std::size_t deadline_exceeded = 0;  // kDeadlineExceeded (hard stage)
+  std::size_t degraded = 0;           // kDegraded (soft-checkpoint deadline)
+  std::size_t threads = 1;            // parallelism actually used
+  // Batch wall-clock time. For an empty batch every rate/percentile field
+  // below is a well-defined 0.0 (no division happens on total == 0).
+  double wall_ms = 0.0;
+  double scripts_per_second = 0.0;  // total / wall time; 0 when total == 0
   // Per-stage time summed across scripts (≈ wall_ms × threads when the
   // pool is saturated); see the invariant above.
   double static_analysis_ms = 0.0;
@@ -58,6 +70,11 @@ struct BatchStats {
   double p99_script_ms = 0.0;
   double max_script_ms = 0.0;  // slowest single script
 
+  // Scripts quarantined by any ResourceLimits ceiling (hard or degraded).
+  std::size_t budget_tripped() const {
+    return budget_tokens + budget_ast_nodes + budget_depth + budget_dataflow +
+           deadline_exceeded + degraded;
+  }
   double parse_failure_rate() const {
     return total == 0 ? 0.0
                       : static_cast<double>(parse_errors) /
@@ -84,9 +101,10 @@ class AnalyzerService {
   // otherwise. The service borrows the analyzer, which must outlive it.
   explicit AnalyzerService(const TransformationAnalyzer& analyzer);
 
-  // Analyzes one script, honoring the max_bytes guard.
+  // Analyzes one script under the given resource ceilings (the default
+  // governs nothing). Tripped limits surface as statuses, never throws.
   ScriptOutcome analyze_one(std::string_view source,
-                            std::size_t max_bytes = 0) const;
+                            const ResourceLimits& limits = {}) const;
 
   // Analyzes every source concurrently; never throws on per-script
   // failures (they surface as ScriptOutcome statuses).

@@ -145,6 +145,7 @@ bool Node::is_loop() const {
 }
 
 Node* Ast::make(NodeKind kind) {
+  if (budget_ != nullptr) budget_->charge_ast_nodes();
   nodes_.emplace_back();
   Node* node = &nodes_.back();
   node->kind = kind;

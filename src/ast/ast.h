@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/budget.h"
 #include "support/error.h"
 
 namespace jst {
@@ -156,6 +157,13 @@ class Ast {
   Node* root() const { return root_; }
   void set_root(Node* root) { root_ = root; }
 
+  // Attaches a resource budget charged one AST node per make() (and polled
+  // for the deadline); a tripped ceiling throws BudgetExceeded out of
+  // make(). The pointer is non-owning and must be cleared (or outlive the
+  // Ast) before the Ast escapes the budget's scope — parse_program()
+  // detaches it before returning.
+  void set_budget(Budget* budget) { budget_ = budget; }
+
   // Assigns pre-order ids and parent pointers from the root; returns the
   // number of reachable nodes.
   std::size_t finalize();
@@ -169,6 +177,7 @@ class Ast {
   std::deque<Node> nodes_;
   Node* root_ = nullptr;
   std::size_t node_count_ = 0;
+  Budget* budget_ = nullptr;
 };
 
 }  // namespace jst

@@ -14,6 +14,8 @@ namespace {
 // statement.
 class CfgBuilder {
  public:
+  explicit CfgBuilder(Budget* budget) : budget_(budget) {}
+
   std::vector<std::pair<std::uint32_t, std::uint32_t>> build(const Node* root) {
     if (root != nullptr) {
       visit_body(root->kids, *root);
@@ -55,6 +57,7 @@ class CfgBuilder {
   }
 
   void edge(const Node* from, const Node* to) {
+    if (budget_ != nullptr) budget_->poll_deadline();
     if (from == nullptr || to == nullptr) return;
     edges_.emplace_back(from->id, to->id);
   }
@@ -282,6 +285,7 @@ class CfgBuilder {
   }
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  Budget* budget_ = nullptr;
   BreakableStack breakables_;
   std::string pending_label_;
 };
@@ -315,9 +319,9 @@ std::size_t ControlFlow::back_edge_count() const {
   return count;
 }
 
-ControlFlow build_control_flow(const Ast& ast) {
+ControlFlow build_control_flow(const Ast& ast, Budget* budget) {
   ControlFlow flow;
-  CfgBuilder builder;
+  CfgBuilder builder(budget);
   flow.edges = builder.build(ast.root());
   return flow;
 }

@@ -36,7 +36,9 @@ struct ControlFlow {
 };
 
 // Builds the control-flow edges for a finalized AST. The AST must have had
-// Ast::finalize() called (ids and parents assigned).
-ControlFlow build_control_flow(const Ast& ast);
+// Ast::finalize() called (ids and parents assigned). A non-null `budget`
+// is polled for the wall-clock deadline while edges are emitted; a passed
+// deadline throws BudgetExceeded.
+ControlFlow build_control_flow(const Ast& ast, Budget* budget = nullptr);
 
 }  // namespace jst

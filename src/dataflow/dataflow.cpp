@@ -16,16 +16,24 @@ struct Scope {
 
 class DataFlowBuilder {
  public:
-  explicit DataFlowBuilder(DataFlow& out) : out_(out) {}
+  DataFlowBuilder(DataFlow& out, Budget* budget)
+      : out_(out), budget_(budget) {}
 
   void run(const Node* root) {
     if (root == nullptr) return;
     Scope* global = new_scope(Scope::Kind::kFunction, nullptr);
     hoist_into_function_scope(root, global);
     collect_lexical(root->kids, global);
-    for (const Node* statement : root->kids) visit(statement, global);
+    for (const Node* statement : root->kids) {
+      visit(statement, global);
+      if (aborted_) return;  // deadline noticed mid-resolution
+    }
     // Emit def -> use edges: declaration and every assignment site are
-    // definition sources; every read is a destination.
+    // definition sources; every read is a destination. This product is the
+    // quadratic blow-up on adversarial inputs (one binding, thousands of
+    // writes × thousands of reads), so the edge ceiling and deadline are
+    // checked per edge; a trip truncates the edge list and records itself
+    // instead of throwing — the pipeline degrades around it.
     for (const Binding& binding : out_.bindings) {
       std::vector<const Node*> defs;
       if (binding.declaration != nullptr) defs.push_back(binding.declaration);
@@ -33,13 +41,32 @@ class DataFlowBuilder {
                   binding.assignments.end());
       for (const Node* def : defs) {
         for (const Node* use : binding.uses) {
-          if (def != use) out_.edges.emplace_back(def->id, use->id);
+          if (def == use) continue;
+          if (budget_ != nullptr) {
+            if (!budget_->try_charge_dataflow_edges()) {
+              abort_with(ResourceKind::kDataflowEdges);
+              return;
+            }
+            if (budget_->dataflow_edges_charged() %
+                        Budget::kDeadlinePollStride ==
+                    0 &&
+                budget_->deadline_expired()) {
+              abort_with(ResourceKind::kDeadline);
+              return;
+            }
+          }
+          out_.edges.emplace_back(def->id, use->id);
         }
       }
     }
   }
 
  private:
+  void abort_with(ResourceKind kind) {
+    out_.tripped = budget_->make_trip(kind);
+    out_.completed = false;
+    aborted_ = true;
+  }
   Scope* new_scope(Scope::Kind kind, Scope* parent) {
     scopes_.push_back(std::make_unique<Scope>());
     Scope* scope = scopes_.back().get();
@@ -273,7 +300,13 @@ class DataFlowBuilder {
   }
 
   void visit(const Node* node, Scope* scope) {
-    if (node == nullptr) return;
+    if (node == nullptr || aborted_) return;
+    if (budget_ != nullptr &&
+        ++visits_ % Budget::kDeadlinePollStride == 0 &&
+        budget_->deadline_expired()) {
+      abort_with(ResourceKind::kDeadline);
+      return;
+    }
     switch (node->kind) {
       case NodeKind::kIdentifier:
         record_use(node, scope);
@@ -455,6 +488,9 @@ class DataFlowBuilder {
   }
 
   DataFlow& out_;
+  Budget* budget_ = nullptr;
+  std::size_t visits_ = 0;
+  bool aborted_ = false;
   std::vector<std::unique_ptr<Scope>> scopes_;
 };
 
@@ -466,7 +502,7 @@ DataFlow build_data_flow(const Ast& ast, const DataFlowOptions& options) {
     flow.completed = false;
     return flow;
   }
-  DataFlowBuilder builder(flow);
+  DataFlowBuilder builder(flow, options.budget);
   builder.run(ast.root());
   return flow;
 }

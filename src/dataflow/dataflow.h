@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ast/ast.h"
+#include "support/budget.h"
 
 namespace jst {
 
@@ -43,8 +45,14 @@ struct DataFlow {
   // Identifier reads that resolved to no binding (globals/undeclared).
   std::size_t unresolved_uses = 0;
   std::size_t scope_count = 0;
-  // False when the node budget was exceeded and edges were not generated.
+  // False when the node budget was exceeded and edges were not generated,
+  // or when a resource budget stopped edge generation early (see `tripped`).
   bool completed = true;
+  // Populated when the attached Budget's data-flow edge ceiling or
+  // deadline stopped the pass; edges are truncated at the trip point. The
+  // data-flow stage is soft: the pass records the trip and returns instead
+  // of throwing, so the pipeline can degrade around it (DESIGN.md §10).
+  std::optional<BudgetTrip> tripped;
 
   std::size_t edge_count() const { return edges.size(); }
 };
@@ -53,6 +61,10 @@ struct DataFlowOptions {
   // Analysis is skipped (completed=false) above this many AST nodes.
   // Stands in for the paper's two-minute timeout.
   std::size_t node_budget = 2'000'000;
+  // Non-owning per-script budget: charged one unit per def->use edge and
+  // polled for the deadline during reference resolution. nullptr governs
+  // nothing.
+  Budget* budget = nullptr;
 };
 
 // Requires a finalized AST.

@@ -8,15 +8,19 @@ namespace jst {
 ScriptAnalysis analyze_script(std::string_view source,
                               const AnalysisOptions& options) {
   ScriptAnalysis analysis;
-  analysis.parse = parse_program(source);
+  analysis.parse = parse_program(source, options.budget);
   if (options.build_cfg) {
     JST_SPAN("cfg");
-    analysis.control_flow = build_control_flow(analysis.parse.ast);
+    if (options.budget != nullptr) options.budget->set_stage("cfg");
+    analysis.control_flow = build_control_flow(analysis.parse.ast,
+                                               options.budget);
   }
   if (options.build_dataflow) {
     JST_SPAN("dataflow");
+    if (options.budget != nullptr) options.budget->set_stage("dataflow");
     DataFlowOptions dataflow_options;
     dataflow_options.node_budget = options.dataflow_node_budget;
+    dataflow_options.budget = options.budget;
     analysis.data_flow = build_data_flow(analysis.parse.ast, dataflow_options);
   }
   return analysis;

@@ -15,6 +15,12 @@ struct AnalysisOptions {
   std::size_t dataflow_node_budget = 2'000'000;
   bool build_cfg = true;
   bool build_dataflow = true;
+  // Non-owning per-script resource budget (support/budget.h), threaded
+  // into the lexer, parser, CFG builder, and data-flow pass. Trips in the
+  // hard stages (lex/parse/CFG) throw BudgetExceeded out of
+  // analyze_script; a data-flow trip is soft — it is recorded in
+  // DataFlow::tripped and the analysis returns with truncated edges.
+  Budget* budget = nullptr;
 };
 
 struct ScriptAnalysis {

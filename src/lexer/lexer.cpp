@@ -38,7 +38,8 @@ bool is_js_keyword(std::string_view word) {
   return keyword_set().count(word) > 0;
 }
 
-Lexer::Lexer(std::string_view source) : source_(source) {}
+Lexer::Lexer(std::string_view source, Budget* budget)
+    : source_(source), budget_(budget) {}
 
 char Lexer::peek(std::size_t ahead) const {
   return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
@@ -154,6 +155,7 @@ bool Lexer::regex_allowed() const {
 }
 
 Token Lexer::next() {
+  if (budget_ != nullptr) budget_->charge_tokens();
   newline_pending_ = false;
   skip_trivia();
   const std::size_t start_offset = pos_;

@@ -16,13 +16,17 @@
 #include <vector>
 
 #include "lexer/token.h"
+#include "support/budget.h"
 #include "support/error.h"
 
 namespace jst {
 
 class Lexer {
  public:
-  explicit Lexer(std::string_view source);
+  // `budget`, when non-null, is charged one token per next() call and
+  // polled for the wall-clock deadline every Budget::kDeadlinePollStride
+  // tokens; a tripped ceiling throws BudgetExceeded out of next().
+  explicit Lexer(std::string_view source, Budget* budget = nullptr);
 
   // Scans and returns the next token; returns kEndOfFile at the end.
   // Throws ParseError on malformed input.
@@ -69,6 +73,7 @@ class Lexer {
   std::optional<Token> previous_;
   std::size_t comment_count_ = 0;
   std::size_t comment_bytes_ = 0;
+  Budget* budget_ = nullptr;  // non-owning; nullptr = ungoverned
 };
 
 // True if `word` is a reserved keyword (not including null/true/false).

@@ -5,11 +5,18 @@
 #include <cstdio>
 #include <ostream>
 #include <string>
+#include <thread>
 
 namespace jst::obs {
 namespace {
 
 std::atomic<TraceSink*> g_sink{nullptr};
+// Spans currently holding a sink pointer (between span_acquire_sink and
+// span_release_sink). set_trace_sink drains this to zero after swapping,
+// so no span can write to a sink the caller is about to destroy — e.g. a
+// pool worker whose pool.task span closes just after parallel_for's
+// barrier released the caller.
+std::atomic<std::uint64_t> g_open_spans{0};
 
 std::chrono::steady_clock::time_point trace_epoch() {
   static const auto kEpoch = std::chrono::steady_clock::now();
@@ -37,10 +44,36 @@ TraceSink* set_trace_sink(TraceSink* sink) {
   // Force the epoch before any span can read the clock, so ts values are
   // stable relative to the first attach.
   trace_epoch();
-  return g_sink.exchange(sink, std::memory_order_acq_rel);
+  TraceSink* previous = g_sink.exchange(sink, std::memory_order_seq_cst);
+  // Drain in-flight spans before returning: seq_cst on the exchange and
+  // the acquire/registration below means every concurrent span either
+  // observes the new pointer or is counted in g_open_spans here. Once the
+  // count hits zero the previous sink is unreachable and safe to destroy.
+  // (Don't call this while the calling thread holds an open span.)
+  while (g_open_spans.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  return previous;
 }
 
 TraceSink* trace_sink() { return g_sink.load(std::memory_order_acquire); }
+
+TraceSink* span_acquire_sink() {
+  // Fast path: tracing disabled — one relaxed load, as before.
+  if (g_sink.load(std::memory_order_relaxed) == nullptr) return nullptr;
+  // Register as a writer BEFORE re-reading the pointer (both seq_cst, the
+  // store-buffering pair with set_trace_sink's exchange-then-drain).
+  g_open_spans.fetch_add(1, std::memory_order_seq_cst);
+  TraceSink* sink = g_sink.load(std::memory_order_seq_cst);
+  if (sink == nullptr) {
+    g_open_spans.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  return sink;
+}
+
+void span_release_sink() {
+  g_open_spans.fetch_sub(1, std::memory_order_seq_cst);
+}
 
 std::uint32_t trace_thread_id() {
   static std::atomic<std::uint32_t> next{0};

@@ -17,9 +17,13 @@
 //   ... run the batch ...
 //   jst::obs::set_trace_sink(nullptr);
 //
-// The sink must outlive every span opened while it was attached (attach/
-// detach at a point where no instrumented work is in flight). Spans nest
-// naturally: Perfetto stacks same-thread events by interval containment.
+// Detach is a synchronization point: set_trace_sink waits for every span
+// that captured the previous sink to finish writing before returning, so
+// destroying the sink right after detaching is always safe — even when a
+// pool worker's span is still closing after a parallel_for barrier
+// released the caller. Corollary: never call set_trace_sink while the
+// calling thread itself holds an open span. Spans nest naturally:
+// Perfetto stacks same-thread events by interval containment.
 //
 // Compile-time switch: building with -DJST_TRACING=0 (CMake option
 // JSTRACED_TRACING=OFF) turns JST_SPAN into a no-op statement; the
@@ -71,12 +75,18 @@ std::uint32_t trace_thread_id();
 // Microseconds since the process-wide trace epoch (first use).
 double trace_now_us();
 
+// Span-side half of the detach handshake: acquire registers the span as
+// an in-flight writer (returns nullptr without registering when tracing
+// is off); release must follow the span's final write.
+TraceSink* span_acquire_sink();
+void span_release_sink();
+
 // RAII span: records start at construction, emits a complete event at
 // destruction. When no sink is attached at construction it is inert.
 class Span {
  public:
   explicit Span(const char* name)
-      : name_(name), sink_(trace_sink()) {
+      : name_(name), sink_(span_acquire_sink()) {
     if (sink_ != nullptr) start_us_ = trace_now_us();
   }
   ~Span() {
@@ -84,6 +94,7 @@ class Span {
       sink_->write_complete_event(name_, start_us_,
                                   trace_now_us() - start_us_,
                                   trace_thread_id());
+      span_release_sink();
     }
   }
 

@@ -52,10 +52,17 @@ bool is_assignment_op(std::string_view op) {
 
 }  // namespace
 
-// RAII nesting-depth guard (see Parser::kMaxNestingDepth).
+// RAII nesting-depth guard (see Parser::kMaxNestingDepth). The budget's
+// configurable depth ceiling is checked first so it trips as a structured
+// BudgetExceeded before the hard recursion guard's ParseError.
 struct ParserDepthGuard {
   explicit ParserDepthGuard(Parser& parser) : parser_(parser) {
-    if (++parser_.nesting_depth_ > Parser::kMaxNestingDepth) {
+    ++parser_.nesting_depth_;
+    if (parser_.budget_ != nullptr) {
+      parser_.budget_->check_depth(
+          static_cast<std::size_t>(parser_.nesting_depth_));
+    }
+    if (parser_.nesting_depth_ > Parser::kMaxNestingDepth) {
       parser_.fail("nesting depth exceeded");
     }
   }
@@ -63,9 +70,10 @@ struct ParserDepthGuard {
   Parser& parser_;
 };
 
-ParseResult parse_program(std::string_view source) {
+ParseResult parse_program(std::string_view source, Budget* budget) {
   ParseResult result;
-  Lexer lexer(source);
+  if (budget != nullptr) budget->set_stage("lex");
+  Lexer lexer(source, budget);
   std::vector<Token> tokens;
   {
     JST_SPAN("lex");
@@ -82,10 +90,19 @@ ParseResult parse_program(std::string_view source) {
   result.tokens = tokens;
 
   JST_SPAN("parse");
-  Parser parser(std::move(tokens), result.ast);
-  Node* root = parser.parse_program_body();
-  result.ast.set_root(root);
-  result.ast.finalize();
+  if (budget != nullptr) budget->set_stage("parse");
+  result.ast.set_budget(budget);
+  try {
+    Parser parser(std::move(tokens), result.ast, budget);
+    Node* root = parser.parse_program_body();
+    result.ast.set_root(root);
+    result.ast.finalize();
+  } catch (...) {
+    result.ast.set_budget(nullptr);
+    throw;
+  }
+  // The Ast outlives the per-script budget; never let the pointer escape.
+  result.ast.set_budget(nullptr);
   return result;
 }
 
@@ -98,8 +115,8 @@ bool parses(std::string_view source) {
   }
 }
 
-Parser::Parser(std::vector<Token> tokens, Ast& ast)
-    : tokens_(std::move(tokens)), ast_(ast) {
+Parser::Parser(std::vector<Token> tokens, Ast& ast, Budget* budget)
+    : tokens_(std::move(tokens)), ast_(ast), budget_(budget) {
   eof_token_.type = TokenType::kEndOfFile;
   eof_token_.line = tokens_.empty() ? 1 : tokens_.back().line;
 }
@@ -1029,14 +1046,14 @@ Node* Parser::parse_template_literal(const Token& token) {
 }
 
 Node* Parser::parse_subexpression(std::string_view source) {
-  Lexer lexer(source);
+  Lexer lexer(source, budget_);
   std::vector<Token> tokens;
   while (true) {
     Token token = lexer.next();
     if (token.type == TokenType::kEndOfFile) break;
     tokens.push_back(std::move(token));
   }
-  Parser sub(std::move(tokens), ast_);
+  Parser sub(std::move(tokens), ast_, budget_);
   Node* expression = sub.parse_expression();
   if (!sub.at_end()) {
     fail("trailing tokens in template substitution");

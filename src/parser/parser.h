@@ -30,16 +30,20 @@ struct ParseResult {
   std::size_t source_lines = 0;
 };
 
-// Parses a full program. Throws ParseError on malformed input.
-ParseResult parse_program(std::string_view source);
+// Parses a full program. Throws ParseError on malformed input. A non-null
+// `budget` is charged per token and per AST node and checked against its
+// depth ceiling and deadline; a tripped ceiling throws BudgetExceeded
+// (the budget pointer is detached from the returned Ast before returning).
+ParseResult parse_program(std::string_view source, Budget* budget = nullptr);
 
 // Convenience: true if the source parses.
 bool parses(std::string_view source);
 
 class Parser {
  public:
-  // `tokens` must not contain the EOF token.
-  Parser(std::vector<Token> tokens, Ast& ast);
+  // `tokens` must not contain the EOF token. `budget`, when non-null, has
+  // its AST-depth ceiling checked on every nesting step.
+  Parser(std::vector<Token> tokens, Ast& ast, Budget* budget = nullptr);
 
   Node* parse_program_body();
 
@@ -110,6 +114,7 @@ class Parser {
   std::vector<Token> tokens_;
   std::size_t index_ = 0;
   Ast& ast_;
+  Budget* budget_ = nullptr;
   int function_depth_ = 0;
   Token eof_token_;
 

@@ -1,0 +1,85 @@
+#include "support/budget.h"
+
+#include <cmath>
+
+namespace jst {
+namespace {
+
+std::string format_value(ResourceKind kind, double value) {
+  if (kind == ResourceKind::kDeadline) {
+    std::string text = std::to_string(value);
+    return text + " ms";
+  }
+  return std::to_string(static_cast<long long>(value));
+}
+
+}  // namespace
+
+std::string_view to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kSourceBytes: return "source_bytes";
+    case ResourceKind::kTokens: return "tokens";
+    case ResourceKind::kAstNodes: return "ast_nodes";
+    case ResourceKind::kAstDepth: return "ast_depth";
+    case ResourceKind::kDataflowEdges: return "dataflow_edges";
+    case ResourceKind::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+std::string BudgetTrip::to_string() const {
+  std::string text(jst::to_string(kind));
+  text += " budget exceeded";
+  if (!stage.empty()) {
+    text += " in ";
+    text += stage;
+  }
+  text += " (" + format_value(kind, observed) + " > " +
+          format_value(kind, limit) + ")";
+  return text;
+}
+
+BudgetExceeded::BudgetExceeded(BudgetTrip trip)
+    : std::runtime_error(trip.to_string()), trip_(std::move(trip)) {}
+
+BudgetTrip Budget::make_trip(ResourceKind kind) const {
+  BudgetTrip trip;
+  trip.kind = kind;
+  trip.stage = stage_;
+  switch (kind) {
+    case ResourceKind::kSourceBytes:
+      trip.limit = static_cast<double>(limits_.max_source_bytes);
+      break;
+    case ResourceKind::kTokens:
+      trip.limit = static_cast<double>(limits_.max_tokens);
+      trip.observed = static_cast<double>(tokens_);
+      break;
+    case ResourceKind::kAstNodes:
+      trip.limit = static_cast<double>(limits_.max_ast_nodes);
+      trip.observed = static_cast<double>(ast_nodes_);
+      break;
+    case ResourceKind::kAstDepth:
+      trip.limit = static_cast<double>(limits_.max_ast_depth);
+      break;
+    case ResourceKind::kDataflowEdges:
+      trip.limit = static_cast<double>(limits_.max_dataflow_edges);
+      trip.observed = static_cast<double>(dataflow_edges_);
+      break;
+    case ResourceKind::kDeadline:
+      trip.limit = limits_.deadline_ms;
+      trip.observed = elapsed_ms();
+      break;
+  }
+  return trip;
+}
+
+void Budget::trip(ResourceKind kind, double limit, double observed) {
+  BudgetTrip record;
+  record.kind = kind;
+  record.limit = limit;
+  record.observed = observed;
+  record.stage = stage_;
+  throw BudgetExceeded(std::move(record));
+}
+
+}  // namespace jst

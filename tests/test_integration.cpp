@@ -265,19 +265,42 @@ TEST(Service, BatchDeterministicAcrossThreadCounts) {
   }
 }
 
-TEST(Service, MaxBytesGuardSkipsParsing) {
+TEST(Service, SourceBytesLimitSkipsParsing) {
   AnalyzerService service(shared_analyzer());
   const std::vector<std::string> sources = held_out_regular(2, 9911);
   BatchOptions options;
-  options.max_bytes = 16;  // everything is larger than this
+  options.limits.max_source_bytes = 16;  // everything is larger than this
   const BatchResult result = service.analyze_batch(sources, options);
   for (const ScriptOutcome& outcome : result.outcomes) {
     EXPECT_EQ(outcome.status, ScriptStatus::kIneligibleSize);
-    EXPECT_NE(outcome.error_message.find("max_bytes"), std::string::npos);
+    ASSERT_TRUE(outcome.budget.has_value());
+    EXPECT_EQ(outcome.budget->kind, ResourceKind::kSourceBytes);
+    EXPECT_EQ(outcome.budget->limit, 16.0);
+    EXPECT_GT(outcome.budget->observed, 16.0);
+    EXPECT_NE(outcome.error_message.find("source_bytes"), std::string::npos);
     // Guarded scripts are never parsed or scored.
     EXPECT_TRUE(outcome.report.technique_confidence.empty());
   }
   EXPECT_EQ(result.stats.ineligible_size, 2u);
+}
+
+TEST(Service, EmptyBatchStatsAreWellDefined) {
+  AnalyzerService service(shared_analyzer());
+  const std::vector<std::string> sources;
+  const BatchResult result = service.analyze_batch(sources);
+  const BatchStats& stats = result.stats;
+  EXPECT_EQ(stats.total, 0u);
+  EXPECT_EQ(stats.budget_tripped(), 0u);
+  // Documented contract: every rate/percentile is 0 (not NaN) on an empty
+  // batch, and to_json() stays serializable.
+  EXPECT_EQ(stats.scripts_per_second, 0.0);
+  EXPECT_EQ(stats.parse_failure_rate(), 0.0);
+  EXPECT_EQ(stats.p50_script_ms, 0.0);
+  EXPECT_EQ(stats.p95_script_ms, 0.0);
+  EXPECT_EQ(stats.p99_script_ms, 0.0);
+  EXPECT_EQ(stats.max_script_ms, 0.0);
+  EXPECT_FALSE(stats.to_json().empty());
+  EXPECT_NE(stats.to_json().find("\"total\":0"), std::string::npos);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "support/budget.h"
 #include "support/json_writer.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -320,6 +321,140 @@ TEST(JsonWriter, NonFiniteBecomesNull) {
   w.value(std::nan(""));
   w.end_array();
   EXPECT_EQ(w.str(), "[null]");
+}
+
+// --- Budget ------------------------------------------------------------
+
+TEST(Budget, DefaultLimitsGovernNothing) {
+  ResourceLimits limits;
+  EXPECT_FALSE(limits.any_enabled());
+  Budget budget(limits);
+  for (int i = 0; i < 100000; ++i) budget.charge_tokens();
+  for (int i = 0; i < 100000; ++i) budget.charge_ast_nodes();
+  budget.check_depth(100000);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(budget.try_charge_dataflow_edges());
+  }
+  EXPECT_FALSE(budget.deadline_expired());
+  EXPECT_EQ(budget.tokens_charged(), 100000u);
+  EXPECT_EQ(budget.ast_nodes_charged(), 100000u);
+  EXPECT_EQ(budget.dataflow_edges_charged(), 100000u);
+}
+
+TEST(Budget, ProductionLimitsAreEnabled) {
+  const ResourceLimits limits = ResourceLimits::production();
+  EXPECT_TRUE(limits.any_enabled());
+  EXPECT_GT(limits.max_source_bytes, 0u);
+  EXPECT_GT(limits.max_tokens, 0u);
+  EXPECT_GT(limits.max_ast_nodes, 0u);
+  EXPECT_GT(limits.max_ast_depth, 0u);
+  EXPECT_GT(limits.max_dataflow_edges, 0u);
+  EXPECT_GT(limits.deadline_ms, 0.0);
+}
+
+TEST(Budget, TokenCeilingTripsExactlyPastLimit) {
+  ResourceLimits limits;
+  limits.max_tokens = 10;
+  Budget budget(limits);
+  budget.set_stage("lex");
+  for (int i = 0; i < 10; ++i) budget.charge_tokens();  // at the limit: fine
+  try {
+    budget.charge_tokens();  // 11th trips
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& error) {
+    EXPECT_EQ(error.trip().kind, ResourceKind::kTokens);
+    EXPECT_EQ(error.trip().limit, 10.0);
+    EXPECT_EQ(error.trip().observed, 11.0);
+    EXPECT_EQ(error.trip().stage, "lex");
+    EXPECT_NE(std::string(error.what()).find("tokens"), std::string::npos);
+  }
+}
+
+TEST(Budget, AstNodeCeilingTrips) {
+  ResourceLimits limits;
+  limits.max_ast_nodes = 5;
+  Budget budget(limits);
+  budget.set_stage("parse");
+  for (int i = 0; i < 5; ++i) budget.charge_ast_nodes();
+  EXPECT_THROW(budget.charge_ast_nodes(), BudgetExceeded);
+}
+
+TEST(Budget, DepthCeilingTrips) {
+  ResourceLimits limits;
+  limits.max_ast_depth = 8;
+  Budget budget(limits);
+  budget.set_stage("parse");
+  budget.check_depth(8);  // at the limit: fine
+  try {
+    budget.check_depth(9);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& error) {
+    EXPECT_EQ(error.trip().kind, ResourceKind::kAstDepth);
+    EXPECT_EQ(error.trip().limit, 8.0);
+    EXPECT_EQ(error.trip().observed, 9.0);
+  }
+}
+
+TEST(Budget, DataflowEdgesAreSoft) {
+  ResourceLimits limits;
+  limits.max_dataflow_edges = 3;
+  Budget budget(limits);
+  budget.set_stage("dataflow");
+  EXPECT_TRUE(budget.try_charge_dataflow_edges());
+  EXPECT_TRUE(budget.try_charge_dataflow_edges());
+  EXPECT_TRUE(budget.try_charge_dataflow_edges());
+  // Past the ceiling: refused, never throws.
+  EXPECT_FALSE(budget.try_charge_dataflow_edges());
+  EXPECT_FALSE(budget.try_charge_dataflow_edges());
+  const BudgetTrip trip = budget.make_trip(ResourceKind::kDataflowEdges);
+  EXPECT_EQ(trip.limit, 3.0);
+  EXPECT_GT(trip.observed, 3.0);
+}
+
+TEST(Budget, ExpiredDeadlineDetected) {
+  ResourceLimits limits;
+  limits.deadline_ms = 1e-9;  // already expired by the first check
+  Budget budget(limits);
+  budget.set_stage("features");
+  EXPECT_TRUE(budget.deadline_expired());
+  EXPECT_THROW(budget.check_deadline(), BudgetExceeded);
+}
+
+TEST(Budget, GenerousDeadlineDoesNotTrip) {
+  ResourceLimits limits;
+  limits.deadline_ms = 1e9;
+  Budget budget(limits);
+  EXPECT_FALSE(budget.deadline_expired());
+  budget.check_deadline();  // no throw
+  for (int i = 0; i < 10000; ++i) budget.charge_tokens();
+}
+
+TEST(Budget, TripDiagnosticsFormatted) {
+  ResourceLimits limits;
+  limits.max_tokens = 2;
+  Budget budget(limits);
+  budget.set_stage("lex");
+  budget.charge_tokens();
+  budget.charge_tokens();
+  try {
+    budget.charge_tokens();
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& error) {
+    const std::string text = error.trip().to_string();
+    EXPECT_NE(text.find("tokens"), std::string::npos);
+    EXPECT_NE(text.find("lex"), std::string::npos);
+    EXPECT_NE(text.find('2'), std::string::npos);
+    EXPECT_NE(text.find('3'), std::string::npos);
+  }
+}
+
+TEST(Budget, ResourceKindNames) {
+  EXPECT_EQ(to_string(ResourceKind::kSourceBytes), "source_bytes");
+  EXPECT_EQ(to_string(ResourceKind::kTokens), "tokens");
+  EXPECT_EQ(to_string(ResourceKind::kAstNodes), "ast_nodes");
+  EXPECT_EQ(to_string(ResourceKind::kAstDepth), "ast_depth");
+  EXPECT_EQ(to_string(ResourceKind::kDataflowEdges), "dataflow_edges");
+  EXPECT_EQ(to_string(ResourceKind::kDeadline), "deadline");
 }
 
 }  // namespace
