@@ -100,6 +100,63 @@ void BM_FullFeatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFeatureExtraction);
 
+// Post-parse fast-path microbenchmarks, paired for direct comparison on
+// the same analyzed script / feature row: the legacy multi-walk extractor
+// vs the fused single-pass extractor, and the reference per-tree walk vs
+// compiled-forest inference (both detector levels per iteration).
+void BM_LegacyExtraction(benchmark::State& state) {
+  features::FeatureConfig config;
+  const ScriptAnalysis analysis =
+      analyze_script(sample_source(), config.analysis);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::extract(analysis, config));
+  }
+}
+BENCHMARK(BM_LegacyExtraction);
+
+void BM_FusedExtraction(benchmark::State& state) {
+  features::FeatureConfig config;
+  const ScriptAnalysis analysis =
+      analyze_script(sample_source(), config.analysis);
+  features::ExtractScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        features::extract_into(analysis, config, scratch).data());
+  }
+}
+BENCHMARK(BM_FusedExtraction);
+
+void BM_ReferenceInference(benchmark::State& state) {
+  const auto& model = jst::bench::analyzer();
+  const features::FeatureConfig& config = model.options().detector.features;
+  const ScriptAnalysis analysis =
+      analyze_script(sample_source(), config.analysis);
+  const std::vector<float> row = features::extract(analysis, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.level1().reference_classifier().predict_proba(row));
+    benchmark::DoNotOptimize(
+        model.level2().reference_classifier().predict_proba(row));
+  }
+}
+BENCHMARK(BM_ReferenceInference);
+
+void BM_CompiledInference(benchmark::State& state) {
+  const auto& model = jst::bench::analyzer();
+  const features::FeatureConfig& config = model.options().detector.features;
+  const ScriptAnalysis analysis =
+      analyze_script(sample_source(), config.analysis);
+  const std::vector<float> row = features::extract(analysis, config);
+  ml::PredictScratch scratch;
+  std::vector<double> proba;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.level1().predict(row, scratch));
+    model.level2().predict_proba(row, scratch, proba);
+    benchmark::DoNotOptimize(proba.data());
+  }
+}
+BENCHMARK(BM_CompiledInference);
+
 void BM_AnalyzeEndToEnd(benchmark::State& state) {
   const auto& model = jst::bench::analyzer();
   for (auto _ : state) {

@@ -7,6 +7,7 @@
 
 #include "analysis/labels.h"
 #include "features/feature_extractor.h"
+#include "ml/compiled_forest.h"
 #include "ml/metrics.h"
 #include "ml/multilabel.h"
 
@@ -42,19 +43,35 @@ class Level1Detector {
     bool regular() const { return !transformed(); }
   };
 
+  // Predictions route through the compiled fast path (built at the end
+  // of fit()/load()); the scratch overload is allocation-free in steady
+  // state. Both are bit-identical to the reference classifier.
   Prediction predict(std::span<const float> row) const;
+  Prediction predict(std::span<const float> row,
+                     ml::PredictScratch& scratch) const;
   const DetectorConfig& config() const { return config_; }
+
+  // The uncompiled classifier (equivalence-test oracle) and its compiled
+  // counterpart. compiled().compiled() is false until fit() or load().
+  const ml::MultiLabelClassifier& reference_classifier() const {
+    return *classifier_;
+  }
+  const ml::CompiledEnsemble& compiled() const { return compiled_; }
 
   // Persist/restore the trained classifier behind a versioned model header
   // (magic + format version + feature dimension + forest parameters). The
   // loader must be constructed with the same DetectorConfig; a mismatch
-  // throws ModelError naming the offending field.
-  void save(std::ostream& out) const;
+  // throws ModelError naming the offending field. New saves default to the
+  // binary forest encoding; load() auto-detects, so text files written by
+  // older builds keep loading.
+  void save(std::ostream& out,
+            ml::ModelEncoding encoding = ml::ModelEncoding::kBinary) const;
   void load(std::istream& in);
 
  private:
   DetectorConfig config_;
   std::unique_ptr<ml::MultiLabelClassifier> classifier_;
+  ml::CompiledEnsemble compiled_;
 };
 
 // Level 2: multi-task over the ten techniques.
@@ -64,24 +81,36 @@ class Level2Detector {
 
   void fit(const ml::Matrix& data, const ml::LabelMatrix& labels, Rng& rng);
 
-  // Per-technique confidence, index = Technique value.
+  // Per-technique confidence, index = Technique value. The scratch
+  // overload writes into `out` without allocating in steady state.
   std::vector<double> predict_proba(std::span<const float> row) const;
+  void predict_proba(std::span<const float> row, ml::PredictScratch& scratch,
+                     std::vector<double>& out) const;
 
   // Paper's final rule: the top-k most confident techniques above the
   // threshold.
   std::vector<transform::Technique> predict_techniques(
       std::span<const float> row) const;
+  std::vector<transform::Technique> predict_techniques(
+      std::span<const float> row, ml::PredictScratch& scratch) const;
   std::vector<transform::Technique> predict_topk(std::span<const float> row,
                                                  std::size_t k) const;
 
   const DetectorConfig& config() const { return config_; }
 
-  void save(std::ostream& out) const;
+  const ml::MultiLabelClassifier& reference_classifier() const {
+    return *classifier_;
+  }
+  const ml::CompiledEnsemble& compiled() const { return compiled_; }
+
+  void save(std::ostream& out,
+            ml::ModelEncoding encoding = ml::ModelEncoding::kBinary) const;
   void load(std::istream& in);
 
  private:
   DetectorConfig config_;
   std::unique_ptr<ml::MultiLabelClassifier> classifier_;
+  ml::CompiledEnsemble compiled_;
 };
 
 }  // namespace jst::analysis

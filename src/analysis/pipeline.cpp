@@ -46,6 +46,27 @@ ScriptMetrics& script_metrics() {
   return *metrics;
 }
 
+// Scratch-reuse telemetry for the zero-alloc fast path: how often a
+// warmed-up scratch was handed another script, and the largest
+// steady-state footprint any scratch reached.
+struct ScratchMetrics {
+  obs::Counter& reuses =
+      obs::MetricsRegistry::global().counter("jst_scratch_reuse_total");
+  obs::Gauge& peak_bytes =
+      obs::MetricsRegistry::global().gauge("jst_scratch_peak_bytes");
+
+  void record_peak(std::size_t bytes) {
+    // Racy max across workers is fine — telemetry only.
+    const auto value = static_cast<double>(bytes);
+    if (value > peak_bytes.value()) peak_bytes.set(value);
+  }
+};
+
+ScratchMetrics& scratch_metrics() {
+  static ScratchMetrics* metrics = new ScratchMetrics();  // outlives statics
+  return *metrics;
+}
+
 // Budget-trip telemetry (DESIGN.md §10): one aggregate counter plus one
 // counter per ResourceKind, named jst_budget_<kind>_total.
 struct BudgetMetrics {
@@ -312,14 +333,22 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
   return analyze_outcome(source, ResourceLimits{});
 }
 
+ScriptOutcome TransformationAnalyzer::analyze_outcome(
+    std::string_view source, const ResourceLimits& limits) const {
+  static thread_local ScriptScratch scratch;
+  return analyze_outcome(source, limits, scratch);
+}
+
 // The resource-governed per-script pipeline (DESIGN.md §10). Hard stages
 // (lex/parse/CFG) throw BudgetExceeded, mapped to a budget status here;
 // soft stages (data flow, features, inference) degrade: the outcome keeps
 // everything computed before the trip and lists the skipped stages.
 // Tripped ceilings never escape as exceptions.
 ScriptOutcome TransformationAnalyzer::analyze_outcome(
-    std::string_view source, const ResourceLimits& limits) const {
+    std::string_view source, const ResourceLimits& limits,
+    ScriptScratch& scratch) const {
   if (!trained_) throw ModelError("analyze: detector not trained");
+  if (scratch.extract.uses > 0) scratch_metrics().reuses.add(1);
   ScriptOutcome outcome;
   JST_SPAN("script");
   const bool governed = limits.any_enabled();
@@ -349,6 +378,7 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     try {
       AnalysisOptions analysis_options = options_.detector.features.analysis;
       analysis_options.budget = governed ? &budget : nullptr;
+      analysis_options.dataflow_scratch = &scratch.extract.dataflow;
       analysis = analyze_script(source, analysis_options);
     } catch (const BudgetExceeded& error) {
       outcome.status = status_for_trip(error.trip().kind);
@@ -419,20 +449,23 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
       JST_SPAN("features");
       features::FeatureConfig handpicked_only = options_.detector.features;
       handpicked_only.use_ngrams = false;
-      outcome.partial_features = features::extract(analysis, handpicked_only);
+      outcome.partial_features =
+          features::extract_into(analysis, handpicked_only, scratch.extract);
     }
     outcome.timing.features_ms = ms_since(features_start);
     outcome.timing.total_ms = ms_since(start);
     outcome.report.status = outcome.status;
+    scratch_metrics().record_peak(scratch.capacity_bytes());
     record_outcome_metrics(outcome);
     return outcome;
   }
 
   const auto features_start = std::chrono::steady_clock::now();
-  std::vector<float> row;
+  const std::vector<float>* row = nullptr;
   {
     JST_SPAN("features");
-    row = features::extract(analysis, options_.detector.features);
+    row = &features::extract_into(analysis, options_.detector.features,
+                                  scratch.extract);
   }
   outcome.timing.features_ms = ms_since(features_start);
 
@@ -444,9 +477,10 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     outcome.budget = budget.make_trip(ResourceKind::kDeadline);
     outcome.error_message = outcome.budget->to_string();
     outcome.skipped_stages.push_back("inference");
-    outcome.partial_features = std::move(row);
+    outcome.partial_features = *row;
     outcome.timing.total_ms = ms_since(start);
     outcome.report.status = outcome.status;
+    scratch_metrics().record_peak(scratch.capacity_bytes());
     record_outcome_metrics(outcome);
     return outcome;
   }
@@ -454,14 +488,17 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
   const auto inference_start = std::chrono::steady_clock::now();
   {
     JST_SPAN("inference");
-    outcome.report.level1 = level1_.predict(row);
-    outcome.report.technique_confidence = level2_.predict_proba(row);
+    outcome.report.level1 = level1_.predict(*row, scratch.predict);
+    level2_.predict_proba(*row, scratch.predict,
+                          outcome.report.technique_confidence);
     if (outcome.report.level1.transformed()) {
-      outcome.report.techniques = level2_.predict_techniques(row);
+      outcome.report.techniques =
+          level2_.predict_techniques(*row, scratch.predict);
     }
   }
   outcome.timing.inference_ms = ms_since(inference_start);
   outcome.timing.total_ms = ms_since(start);
+  scratch_metrics().record_peak(scratch.capacity_bytes());
   record_outcome_metrics(outcome);
   return outcome;
 }

@@ -116,6 +116,22 @@ struct ScriptOutcome {
   std::string to_json() const;
 };
 
+// Per-worker reusable state for the analyze fast path: the fused
+// feature-extraction scratch (counters, traversal stack, n-gram ring,
+// feature row, data-flow workspace) plus the compiled-inference scratch
+// (chain row, probability and ranking buffers). One instance per batch
+// worker thread makes the post-parse pipeline allocation-free in steady
+// state; reuse and footprint are reported via jst_scratch_reuse_total
+// and jst_scratch_peak_bytes.
+struct ScriptScratch {
+  features::ExtractScratch extract;
+  ml::PredictScratch predict;
+
+  std::size_t capacity_bytes() const {
+    return extract.capacity_bytes() + predict.capacity_bytes();
+  }
+};
+
 class TransformationAnalyzer {
  public:
   explicit TransformationAnalyzer(PipelineOptions options = {});
@@ -146,6 +162,14 @@ class TransformationAnalyzer {
   ScriptOutcome analyze_outcome(std::string_view source) const;
   ScriptOutcome analyze_outcome(std::string_view source,
                                 const ResourceLimits& limits) const;
+  // The fast-path overload the batch workers use: feature extraction and
+  // inference run through `scratch`, whose buffer capacities persist
+  // across scripts (allocation-free steady state). Results are
+  // bit-identical to the scratch-less overloads, which delegate here with
+  // a per-thread scratch.
+  ScriptOutcome analyze_outcome(std::string_view source,
+                                const ResourceLimits& limits,
+                                ScriptScratch& scratch) const;
 
   const Level1Detector& level1() const { return level1_; }
   const Level2Detector& level2() const { return level2_; }

@@ -89,7 +89,12 @@ BatchResult AnalyzerService::analyze_batch(
   JST_SPAN("batch");
   const auto start = std::chrono::steady_clock::now();
   support::run_parallel(threads, sources.size(), [&](std::size_t i) {
-    result.outcomes[i] = analyze_one(sources[i], options.limits);
+    // One scratch per worker thread, reused for every script the worker
+    // analyzes (in this batch and all later ones): feature extraction and
+    // inference run allocation-free once the buffers have warmed up.
+    static thread_local ScriptScratch scratch;
+    result.outcomes[i] =
+        analyzer_->analyze_outcome(sources[i], options.limits, scratch);
   });
   result.stats.wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)

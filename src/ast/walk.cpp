@@ -5,30 +5,12 @@
 namespace jst {
 
 void walk_preorder(Node* root, const std::function<void(Node&)>& visit) {
-  if (root == nullptr) return;
-  std::vector<Node*> stack = {root};
-  while (!stack.empty()) {
-    Node* node = stack.back();
-    stack.pop_back();
-    visit(*node);
-    for (auto it = node->kids.rbegin(); it != node->kids.rend(); ++it) {
-      if (*it != nullptr) stack.push_back(*it);
-    }
-  }
+  for_each_preorder(root, [&visit](Node& node) { visit(node); });
 }
 
 void walk_preorder(const Node* root,
                    const std::function<void(const Node&)>& visit) {
-  if (root == nullptr) return;
-  std::vector<const Node*> stack = {root};
-  while (!stack.empty()) {
-    const Node* node = stack.back();
-    stack.pop_back();
-    visit(*node);
-    for (auto it = node->kids.rbegin(); it != node->kids.rend(); ++it) {
-      if (*it != nullptr) stack.push_back(*it);
-    }
-  }
+  for_each_preorder(root, [&visit](const Node& node) { visit(node); });
 }
 
 void walk_postorder(Node* root, const std::function<void(Node&)>& visit) {
@@ -49,50 +31,44 @@ void walk_postorder(Node* root, const std::function<void(Node&)>& visit) {
 
 std::vector<NodeKind> preorder_kinds(const Node* root) {
   std::vector<NodeKind> kinds;
-  walk_preorder(root, [&kinds](const Node& node) { kinds.push_back(node.kind); });
+  for_each_preorder(root,
+                    [&kinds](const Node& node) { kinds.push_back(node.kind); });
   return kinds;
 }
 
 std::size_t tree_depth(const Node* root) {
   if (root == nullptr) return 0;
   std::size_t max_depth = 0;
-  std::vector<std::pair<const Node*, std::size_t>> stack = {{root, 1}};
-  while (!stack.empty()) {
-    auto [node, depth] = stack.back();
-    stack.pop_back();
-    max_depth = std::max(max_depth, depth);
-    for (const Node* kid : node->kids) {
-      if (kid != nullptr) stack.emplace_back(kid, depth + 1);
-    }
-  }
+  std::vector<std::pair<const Node*, std::size_t>> stack;
+  for_each_preorder_depth(root, stack,
+                          [&max_depth](const Node&, std::size_t depth) {
+                            max_depth = std::max(max_depth, depth);
+                          });
   return max_depth;
 }
 
 std::size_t tree_breadth(const Node* root) {
   if (root == nullptr) return 0;
   std::vector<std::size_t> level_counts;
-  std::vector<std::pair<const Node*, std::size_t>> stack = {{root, 0}};
-  while (!stack.empty()) {
-    auto [node, level] = stack.back();
-    stack.pop_back();
-    if (level >= level_counts.size()) level_counts.resize(level + 1, 0);
-    ++level_counts[level];
-    for (const Node* kid : node->kids) {
-      if (kid != nullptr) stack.emplace_back(kid, level + 1);
-    }
-  }
+  std::vector<std::pair<const Node*, std::size_t>> stack;
+  for_each_preorder_depth(
+      root, stack, [&level_counts](const Node&, std::size_t depth) {
+        const std::size_t level = depth - 1;
+        if (level >= level_counts.size()) level_counts.resize(level + 1, 0);
+        ++level_counts[level];
+      });
   return *std::max_element(level_counts.begin(), level_counts.end());
 }
 
 std::size_t count_nodes(const Node* root) {
   std::size_t count = 0;
-  walk_preorder(root, [&count](const Node&) { ++count; });
+  for_each_preorder(root, [&count](const Node&) { ++count; });
   return count;
 }
 
 std::vector<Node*> collect_kind(Node* root, NodeKind kind) {
   std::vector<Node*> out;
-  walk_preorder(root, [&out, kind](Node& node) {
+  for_each_preorder(root, [&out, kind](Node& node) {
     if (node.kind == kind) out.push_back(&node);
   });
   return out;
@@ -100,7 +76,7 @@ std::vector<Node*> collect_kind(Node* root, NodeKind kind) {
 
 std::vector<const Node*> collect_kind(const Node* root, NodeKind kind) {
   std::vector<const Node*> out;
-  walk_preorder(root, [&out, kind](const Node& node) {
+  for_each_preorder(root, [&out, kind](const Node& node) {
     if (node.kind == kind) out.push_back(&node);
   });
   return out;

@@ -303,10 +303,18 @@ std::unordered_map<std::uint32_t, std::size_t> ControlFlow::out_degrees()
 }
 
 std::size_t ControlFlow::branch_node_count() const {
+  // `edges` is sorted by (from, to) and deduplicated (see build()), so an
+  // out-degree is the length of a run of equal `from` values — a linear
+  // scan, where the previous implementation built an unordered_map per
+  // call (a per-script allocation on the feature fast path).
   std::size_t count = 0;
-  for (const auto& [node, degree] : out_degrees()) {
-    (void)node;
-    if (degree >= 2) ++count;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ++run;
+    if (i + 1 == edges.size() || edges[i + 1].first != edges[i].first) {
+      if (run >= 2) ++count;
+      run = 0;
+    }
   }
   return count;
 }

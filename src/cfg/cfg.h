@@ -27,7 +27,9 @@ struct ControlFlow {
   // Out-degree per source node id.
   std::unordered_map<std::uint32_t, std::size_t> out_degrees() const;
 
-  // Number of nodes with out-degree >= 2 (branch points).
+  // Number of nodes with out-degree >= 2 (branch points). Relies on
+  // `edges` being sorted by (from, to), which build_control_flow
+  // guarantees.
   std::size_t branch_node_count() const;
 
   // Number of back edges (edge to an id <= own id, i.e., loops; pre-order

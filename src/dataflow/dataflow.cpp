@@ -1,6 +1,7 @@
 #include "dataflow/dataflow.h"
 
 #include <memory>
+#include <utility>
 
 #include "ast/walk.h"
 
@@ -16,8 +17,8 @@ struct Scope {
 
 class DataFlowBuilder {
  public:
-  DataFlowBuilder(DataFlow& out, Budget* budget)
-      : out_(out), budget_(budget) {}
+  DataFlowBuilder(DataFlow& out, Budget* budget, DataFlowScratch* scratch)
+      : out_(out), budget_(budget), scratch_(scratch) {}
 
   void run(const Node* root) {
     if (root == nullptr) return;
@@ -34,8 +35,12 @@ class DataFlowBuilder {
     // writes × thousands of reads), so the edge ceiling and deadline are
     // checked per edge; a trip truncates the edge list and records itself
     // instead of throwing — the pipeline degrades around it.
+    DataFlowScratch local_scratch;
+    DataFlowScratch& workspace =
+        scratch_ != nullptr ? *scratch_ : local_scratch;
     for (const Binding& binding : out_.bindings) {
-      std::vector<const Node*> defs;
+      std::vector<const Node*>& defs = workspace.defs;
+      defs.clear();
       if (binding.declaration != nullptr) defs.push_back(binding.declaration);
       defs.insert(defs.end(), binding.assignments.begin(),
                   binding.assignments.end());
@@ -150,10 +155,22 @@ class DataFlowBuilder {
 
   // Hoists `var` declarators and function declarations from the subtree
   // into the function scope, without descending into nested functions.
+  // Iterative pre-order with pruning: deep expression chains make the
+  // subtree arbitrarily deep (the parser's recursion guard only bounds
+  // nested statements), so per-node recursion would overflow the native
+  // stack on hostile inputs. The explicit stack visits every descendant
+  // in exactly the order the recursive version did, so bindings are
+  // created in the same order and get the same indices.
   void hoist_into_function_scope(const Node* node, Scope* function_scope) {
     if (node == nullptr) return;
-    for (const Node* kid : node->kids) {
-      if (kid == nullptr) continue;
+    std::vector<const Node*>& stack = hoist_stack_;
+    const std::size_t base = stack.size();  // re-entered via visit_function
+    for (std::size_t i = node->kids.size(); i > 0; --i) {
+      if (node->kids[i - 1] != nullptr) stack.push_back(node->kids[i - 1]);
+    }
+    while (stack.size() > base) {
+      const Node* kid = stack.back();
+      stack.pop_back();
       if (kid->kind == NodeKind::kFunctionDeclaration) {
         if (kid->kid(0) != nullptr) {
           const std::size_t index =
@@ -169,11 +186,12 @@ class DataFlowBuilder {
         for (const Node* declarator : kid->kids) {
           bind_pattern(declarator->kid(0), function_scope, false);
         }
-        // Initializers may contain more nested statements (rare), recurse.
-        hoist_into_function_scope(kid, function_scope);
-        continue;
+        // Initializers may contain more nested statements (rare); fall
+        // through to descend into the declarators.
       }
-      hoist_into_function_scope(kid, function_scope);
+      for (std::size_t i = kid->kids.size(); i > 0; --i) {
+        if (kid->kids[i - 1] != nullptr) stack.push_back(kid->kids[i - 1]);
+      }
     }
   }
 
@@ -299,8 +317,44 @@ class DataFlowBuilder {
     for (const Node* statement : node->kids) visit(statement, scope);
   }
 
+  void push_kid(const Node* node, Scope* scope) {
+    if (node != nullptr) spine_.emplace_back(node, scope);
+  }
+
+  // Pushes `node`'s kids so they pop in source order.
+  void push_kids_of(const Node* node, Scope* scope) {
+    for (std::size_t i = node->kids.size(); i > 0; --i) {
+      push_kid(node->kids[i - 1], scope);
+    }
+  }
+
+  // Iterative driver: expression chains (binary, call/member, sequence)
+  // are parsed iteratively, so their AST depth is NOT bounded by the
+  // parser's nesting recursion guard — a hostile 10k-term `[]+[]+...`
+  // blob must not overflow the native stack here. Same-scope descent
+  // therefore goes through an explicit spine stack; only scope-opening
+  // and binding constructs (functions, blocks, loops, catch, switch —
+  // forms the parser can only nest through its depth-guarded recursion)
+  // re-enter visit() and consume native frames. A re-entrant call drains
+  // its own segment of the shared stack (everything above `base`), which
+  // preserves the exact pre-order visitation — and budget-poll order —
+  // of the recursive implementation it replaced.
   void visit(const Node* node, Scope* scope) {
-    if (node == nullptr || aborted_) return;
+    const std::size_t base = spine_.size();
+    push_kid(node, scope);
+    while (spine_.size() > base) {
+      if (aborted_) {
+        spine_.resize(base);
+        return;
+      }
+      const auto [next, next_scope] = spine_.back();
+      spine_.pop_back();
+      step(next, next_scope);
+    }
+  }
+
+  // Handles one node; same-scope subtrees are pushed, not recursed.
+  void step(const Node* node, Scope* scope) {
     if (budget_ != nullptr &&
         ++visits_ % Budget::kDeadlinePollStride == 0 &&
         budget_->deadline_expired()) {
@@ -371,9 +425,9 @@ class DataFlowBuilder {
       }
 
       case NodeKind::kTryStatement:
-        visit(node->kid(0), scope);
-        visit(node->kid(1), scope);  // CatchClause handled above
-        visit(node->kid(2), scope);
+        push_kid(node->kid(2), scope);
+        push_kid(node->kid(1), scope);  // CatchClause handled above
+        push_kid(node->kid(0), scope);
         break;
 
       case NodeKind::kForStatement: {
@@ -424,7 +478,7 @@ class DataFlowBuilder {
             target->kind == NodeKind::kIdentifier) {
           record_use(target, scope);  // compound assignment also reads
         }
-        visit(node->kid(1), scope);
+        push_kid(node->kid(1), scope);
         break;
       }
 
@@ -434,19 +488,19 @@ class DataFlowBuilder {
           record_use(argument, scope);
           record_write(argument, scope);
         } else {
-          visit(argument, scope);
+          push_kid(argument, scope);
         }
         break;
       }
 
       case NodeKind::kMemberExpression:
-        visit(node->kid(0), scope);
-        if (node->flag_a) visit(node->kid(1), scope);  // computed only
+        if (node->flag_a) push_kid(node->kid(1), scope);  // computed only
+        push_kid(node->kid(0), scope);
         break;
 
       case NodeKind::kProperty:
-        if (node->flag_a) visit(node->kid(0), scope);  // computed key
-        visit(node->kid(1), scope);
+        push_kid(node->kid(1), scope);
+        if (node->flag_a) push_kid(node->kid(0), scope);  // computed key
         break;
 
       case NodeKind::kMethodDefinition:
@@ -455,7 +509,7 @@ class DataFlowBuilder {
         break;
 
       case NodeKind::kLabeledStatement:
-        visit(node->kid(1), scope);  // label identifier is not a reference
+        push_kid(node->kid(1), scope);  // label identifier is not a reference
         break;
 
       case NodeKind::kBreakStatement:
@@ -483,15 +537,20 @@ class DataFlowBuilder {
       }
 
       default:
-        for (const Node* kid : node->kids) visit(kid, scope);
+        push_kids_of(node, scope);
     }
   }
 
   DataFlow& out_;
   Budget* budget_ = nullptr;
+  DataFlowScratch* scratch_ = nullptr;
   std::size_t visits_ = 0;
   bool aborted_ = false;
   std::vector<std::unique_ptr<Scope>> scopes_;
+  // Shared stacks for the iterative walkers; re-entrant calls operate on
+  // the segment above their own base index.
+  std::vector<std::pair<const Node*, Scope*>> spine_;
+  std::vector<const Node*> hoist_stack_;
 };
 
 }  // namespace
@@ -502,7 +561,7 @@ DataFlow build_data_flow(const Ast& ast, const DataFlowOptions& options) {
     flow.completed = false;
     return flow;
   }
-  DataFlowBuilder builder(flow, options.budget);
+  DataFlowBuilder builder(flow, options.budget, options.scratch);
   builder.run(ast.root());
   return flow;
 }

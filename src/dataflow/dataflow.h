@@ -57,6 +57,17 @@ struct DataFlow {
   std::size_t edge_count() const { return edges.size(); }
 };
 
+// Reusable builder workspace: the per-binding definition-site list used
+// while emitting def -> use edges. Hoisted out of the builder so batch
+// callers can reuse its capacity across scripts (features/scratch.h).
+struct DataFlowScratch {
+  std::vector<const Node*> defs;
+
+  std::size_t capacity_bytes() const {
+    return defs.capacity() * sizeof(const Node*);
+  }
+};
+
 struct DataFlowOptions {
   // Analysis is skipped (completed=false) above this many AST nodes.
   // Stands in for the paper's two-minute timeout.
@@ -65,6 +76,8 @@ struct DataFlowOptions {
   // polled for the deadline during reference resolution. nullptr governs
   // nothing.
   Budget* budget = nullptr;
+  // Non-owning reusable workspace; nullptr allocates per call.
+  DataFlowScratch* scratch = nullptr;
 };
 
 // Requires a finalized AST.

@@ -21,6 +21,7 @@ ScriptAnalysis analyze_script(std::string_view source,
     DataFlowOptions dataflow_options;
     dataflow_options.node_budget = options.dataflow_node_budget;
     dataflow_options.budget = options.budget;
+    dataflow_options.scratch = options.dataflow_scratch;
     analysis.data_flow = build_data_flow(analysis.parse.ast, dataflow_options);
   }
   return analysis;

@@ -21,6 +21,9 @@ struct AnalysisOptions {
   // analyze_script; a data-flow trip is soft — it is recorded in
   // DataFlow::tripped and the analysis returns with truncated edges.
   Budget* budget = nullptr;
+  // Non-owning reusable data-flow builder workspace (capacity survives
+  // across scripts); nullptr allocates per call.
+  DataFlowScratch* dataflow_scratch = nullptr;
 };
 
 struct ScriptAnalysis {

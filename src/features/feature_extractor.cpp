@@ -1,5 +1,10 @@
 #include "features/feature_extractor.h"
 
+#include <algorithm>
+#include <cstdint>
+
+#include "ast/walk.h"
+
 namespace jst::features {
 
 std::size_t feature_dimension(const FeatureConfig& config) {
@@ -43,6 +48,91 @@ std::vector<float> extract_from_source(std::string_view source,
                                        const FeatureConfig& config) {
   const ScriptAnalysis analysis = analyze_script(source, config.analysis);
   return extract(analysis, config);
+}
+
+const std::vector<float>& extract_into(const ScriptAnalysis& analysis,
+                                       const FeatureConfig& config,
+                                       ExtractScratch& scratch) {
+  ++scratch.uses;
+  scratch.row.clear();
+  const Node* root = analysis.parse.ast.root();
+
+  const std::size_t n = config.ngram.n;
+  const std::size_t hash_dim = config.ngram.hash_dim;
+  const bool want_handpicked = config.use_handpicked;
+  // The incremental ring needs n >= 1 in-flight hash states; n == 0 is a
+  // degenerate configuration nobody uses, handled by the reference path
+  // below so the two implementations never diverge.
+  const bool want_ngrams = config.use_ngrams && hash_dim > 0 && n > 0;
+
+  ExtractCounters& counters = scratch.counters;
+  if (want_handpicked) {
+    counters.reset();
+    scratch.level_counts.clear();
+  }
+  if (want_ngrams) {
+    scratch.ngram_histogram.assign(hash_dim, 0.0f);
+    scratch.fnv_ring.assign(n, 0);
+  }
+
+  std::size_t max_depth = 0;
+  std::size_t node_index = 0;
+  if (root != nullptr && (want_handpicked || want_ngrams)) {
+    for_each_preorder_depth(
+        root, scratch.walk_stack,
+        [&](const Node& node, std::size_t depth) {
+          if (want_handpicked) {
+            gather_handpicked(node, counters);
+            if (depth > max_depth) max_depth = depth;
+            const std::size_t level = depth - 1;
+            if (level >= scratch.level_counts.size()) {
+              scratch.level_counts.resize(level + 1, 0);
+            }
+            ++scratch.level_counts[level];
+          }
+          if (want_ngrams) {
+            // Ring of FNV-1a partial states, one per in-flight window:
+            // the slot for the window starting at this node resets to the
+            // offset basis, every slot absorbs this node's kind byte, and
+            // the window that just saw its n-th byte emits. Windows emit
+            // in the same order the reference hasher iterates them, so
+            // the float histogram increments identically.
+            const auto byte = static_cast<std::uint8_t>(node.kind);
+            scratch.fnv_ring[node_index % n] = kFnvOffsetBasis;
+            for (std::uint64_t& hash : scratch.fnv_ring) {
+              hash = (hash ^ byte) * kFnvPrime;
+            }
+            if (node_index + 1 >= n) {
+              ++scratch
+                    .ngram_histogram[scratch.fnv_ring[(node_index + 1) % n] %
+                                     hash_dim];
+            }
+          }
+          ++node_index;
+        });
+  }
+
+  if (want_handpicked) {
+    const std::size_t breadth =
+        scratch.level_counts.empty()
+            ? 0
+            : *std::max_element(scratch.level_counts.begin(),
+                                scratch.level_counts.end());
+    assemble_handpicked(analysis, counters, max_depth, breadth, scratch.row);
+  }
+  if (want_ngrams) {
+    const std::size_t windows = ngram_window_count(node_index, n);
+    if (windows > 0) {
+      const float scale = 1.0f / static_cast<float>(windows);
+      for (float& value : scratch.ngram_histogram) value *= scale;
+    }
+    scratch.row.insert(scratch.row.end(), scratch.ngram_histogram.begin(),
+                       scratch.ngram_histogram.end());
+  } else if (config.use_ngrams) {
+    const std::vector<float> reference = ngram_features(root, config.ngram);
+    scratch.row.insert(scratch.row.end(), reference.begin(), reference.end());
+  }
+  return scratch.row;
 }
 
 }  // namespace jst::features

@@ -1,9 +1,9 @@
 #include "features/handpicked.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+#include <string_view>
 
 #include "ast/walk.h"
 #include "support/stats.h"
@@ -12,91 +12,61 @@
 namespace jst::features {
 namespace {
 
-const std::unordered_set<std::string>& string_operation_names() {
-  static const std::unordered_set<std::string> kNames = {
-      "split",   "concat",    "join",        "replace", "reverse",
-      "substr",  "substring", "charAt",      "charCodeAt", "slice",
-      "indexOf", "fromCharCode", "codePointAt", "padStart", "repeat",
-  };
-  return kNames;
+// String-manipulation method names counted as string operations. Length
+// dispatch for the same reason as decoder_builtin_index: this runs for
+// every member-callee in the script, and almost every property name exits
+// on the first integer compare.
+bool is_string_operation(std::string_view name) {
+  switch (name.size()) {
+    case 4: return name == "join";
+    case 5: return name == "split" || name == "slice";
+    case 6: return name == "concat" || name == "substr" ||
+                   name == "charAt" || name == "repeat";
+    case 7: return name == "replace" || name == "reverse" ||
+                   name == "indexOf";
+    case 8: return name == "padStart";
+    case 9: return name == "substring";
+    case 10: return name == "charCodeAt";
+    case 11: return name == "codePointAt";
+    case 12: return name == "fromCharCode";
+    default: return false;
+  }
 }
 
-const std::vector<std::string>& decoder_builtins() {
-  static const std::vector<std::string> kNames = {
-      "eval",   "Function",           "atob",
-      "btoa",   "unescape",           "escape",
-      "decodeURIComponent",           "encodeURIComponent",
-      "parseInt",
-  };
-  return kNames;
-}
-
-struct Counters {
-  // node-kind counts
-  std::size_t nodes = 0;
-  std::size_t identifiers = 0;
-  std::size_t literals = 0;
-  std::size_t string_literals = 0;
-  std::size_t number_literals = 0;
-  std::size_t hex_number_literals = 0;
-  std::size_t calls = 0;
-  std::size_t members = 0;
-  std::size_t member_dot = 0;
-  std::size_t member_bracket = 0;
-  std::size_t member_bracket_string_key = 0;
-  std::size_t conditionals = 0;   // ConditionalExpression
-  std::size_t if_statements = 0;
-  std::size_t sequences = 0;
-  std::size_t empty_statements = 0;
-  std::size_t unary_bang_plus = 0;
-  std::size_t unary_total = 0;
-  std::size_t binary_total = 0;
-  std::size_t binary_plus = 0;
-  std::size_t binary_plus_on_strings = 0;
-  std::size_t binary_numeric_only = 0;
-  std::size_t empty_arrays = 0;
-  std::size_t functions = 0;
-  std::size_t function_params = 0;
-  std::size_t iife = 0;
-  std::size_t try_statements = 0;
-  std::size_t throw_statements = 0;
-  std::size_t with_statements = 0;
-  std::size_t regex_literals = 0;
-  std::size_t template_literals = 0;
-  std::size_t debugger_statements = 0;
-  std::size_t debugger_in_loop_or_function = 0;
-  std::size_t labeled = 0;
-  std::size_t assignments = 0;
-  std::size_t update_expressions = 0;
-  std::size_t var_declarations = 0;
-  std::size_t declarators = 0;
-  std::size_t switches = 0;
-  std::size_t switch_cases = 0;
-  std::size_t switch_in_loop = 0;
-  std::size_t infinite_loops = 0;   // while(true) / for(;;)
-  std::size_t string_operations = 0;
-  std::size_t self_defense_markers = 0;  // toString/callee/constructor refs
-  std::size_t new_expressions = 0;
-  std::size_t spread_like = 0;
-  std::size_t array_elements_total = 0;
-  std::size_t arrays = 0;
-  std::size_t object_properties_total = 0;
-  std::size_t objects = 0;
-  std::size_t large_arrays = 0;  // >= 16 elements
-
-  std::vector<double> identifier_lengths;
-  std::size_t identifiers_len1 = 0;
-  std::size_t identifiers_len2 = 0;
-  std::size_t identifiers_hexlike = 0;  // _0x.... (obfuscator.io style)
-  std::unordered_set<std::string> unique_identifiers;
-
-  std::vector<double> string_lengths;
-  std::string all_string_bytes;
-  std::size_t encoded_looking_strings = 0;
-
-  std::unordered_map<std::string, bool> builtin_seen;
-  std::size_t eval_calls = 0;
+// Order defines the builtin_seen array layout and the has_* feature
+// columns (must stay aligned with handpicked_feature_names()).
+constexpr std::array<std::string_view, 9> kDecoderBuiltins = {
+    "eval",   "Function",           "atob",
+    "btoa",   "unescape",           "escape",
+    "decodeURIComponent",           "encodeURIComponent",
+    "parseInt",
 };
+
+// Index into kDecoderBuiltins, or -1. Dispatching on length first lets
+// almost every callee name exit after one integer compare — this runs
+// for every identifier callee in the script.
+int decoder_builtin_index(std::string_view name) {
+  switch (name.size()) {
+    case 4:
+      if (name == "eval") return 0;
+      if (name == "atob") return 2;
+      if (name == "btoa") return 3;
+      return -1;
+    case 6:
+      return name == "escape" ? 5 : -1;
+    case 8:
+      if (name == "Function") return 1;
+      if (name == "unescape") return 4;
+      if (name == "parseInt") return 8;
+      return -1;
+    case 18:
+      if (name == "decodeURIComponent") return 6;
+      if (name == "encodeURIComponent") return 7;
+      return -1;
+    default:
+      return -1;
+  }
+}
 
 bool looks_encoded(const std::string& value) {
   if (value.size() < 8) return false;
@@ -159,13 +129,19 @@ bool is_infinite_loop(const Node& node) {
 
 bool contains_switch_statement(const Node& body) {
   bool found = false;
-  walk_preorder(&body, [&found](const Node& node) {
+  for_each_preorder(&body, [&found](const Node& node) {
     if (node.kind == NodeKind::kSwitchStatement) found = true;
   });
   return found;
 }
 
-void gather(const Node& node, Counters& c) {
+double safe_div(double a, double b) { return b == 0.0 ? 0.0 : a / b; }
+
+double log1p_scaled(double v) { return std::log1p(std::max(0.0, v)); }
+
+}  // namespace
+
+void gather_handpicked(const Node& node, ExtractCounters& c) {
   ++c.nodes;
   switch (node.kind) {
     case NodeKind::kIdentifier: {
@@ -213,15 +189,13 @@ void gather(const Node& node, Counters& c) {
       const Node* callee = node.kid(0);
       if (callee != nullptr) {
         if (callee->kind == NodeKind::kIdentifier) {
-          for (const std::string& builtin : decoder_builtins()) {
-            if (callee->str_value == builtin) c.builtin_seen[builtin] = true;
-          }
-          if (callee->str_value == "eval") ++c.eval_calls;
+          const int builtin = decoder_builtin_index(callee->str_value);
+          if (builtin >= 0) c.builtin_seen[static_cast<std::size_t>(builtin)] = true;
+          if (builtin == 0) ++c.eval_calls;  // kDecoderBuiltins[0] == "eval"
         }
         if (callee->kind == NodeKind::kMemberExpression && !callee->flag_a &&
             callee->kid(1) != nullptr) {
-          const std::string& property = callee->kids[1]->str_value;
-          if (string_operation_names().count(property) > 0) {
+          if (is_string_operation(callee->kids[1]->str_value)) {
             ++c.string_operations;
           }
         }
@@ -369,12 +343,6 @@ void gather(const Node& node, Counters& c) {
   }
 }
 
-double safe_div(double a, double b) { return b == 0.0 ? 0.0 : a / b; }
-
-double log1p_scaled(double v) { return std::log1p(std::max(0.0, v)); }
-
-}  // namespace
-
 const std::vector<std::string>& handpicked_feature_names() {
   static const std::vector<std::string> kNames = {
       // shape
@@ -431,12 +399,10 @@ const std::vector<std::string>& handpicked_feature_names() {
   return kNames;
 }
 
-std::vector<float> handpicked_features(const ScriptAnalysis& analysis) {
+void assemble_handpicked(const ScriptAnalysis& analysis,
+                         const ExtractCounters& c, std::size_t depth_value,
+                         std::size_t breadth_value, std::vector<float>& out) {
   const ParseResult& parse = analysis.parse;
-  const Node* root = parse.ast.root();
-
-  Counters c;
-  walk_preorder(root, [&c](const Node& node) { gather(node, c); });
 
   const double nodes = static_cast<double>(std::max<std::size_t>(c.nodes, 1));
   const double lines =
@@ -444,25 +410,17 @@ std::vector<float> handpicked_features(const ScriptAnalysis& analysis) {
   const double bytes =
       static_cast<double>(std::max<std::size_t>(parse.source_bytes, 1));
 
-  // Token statistics.
-  std::size_t punctuators = 0;
-  double token_length_total = 0.0;
-  // Max line length approximated from token end columns.
-  std::size_t max_line_length = 0;
-  for (const Token& token : parse.tokens) {
-    if (token.type == TokenType::kPunctuator) ++punctuators;
-    token_length_total += static_cast<double>(token.raw.size());
-    max_line_length = std::max(max_line_length, token.column + token.raw.size());
-  }
-  const double token_count =
-      static_cast<double>(std::max<std::size_t>(parse.tokens.size(), 1));
+  // Token statistics: summarized once at lex time (TokenStats) — the
+  // stream itself is never re-walked here.
+  const std::size_t punctuators = parse.token_stats.punctuators;
+  const double token_length_total = parse.token_stats.raw_bytes;
+  const std::size_t max_line_length = parse.token_stats.max_line_length;
+  const double token_count = static_cast<double>(
+      std::max<std::size_t>(parse.token_stats.count, 1));
 
   // Whitespace ratio: bytes not covered by tokens or comments approximate
   // whitespace volume.
-  double token_bytes = 0.0;
-  for (const Token& token : parse.tokens) {
-    token_bytes += static_cast<double>(token.raw.size());
-  }
+  const double token_bytes = parse.token_stats.raw_bytes;
   const double whitespace_ratio = std::clamp(
       (bytes - token_bytes - static_cast<double>(parse.comment_bytes)) / bytes,
       0.0, 1.0);
@@ -485,11 +443,10 @@ std::vector<float> handpicked_features(const ScriptAnalysis& analysis) {
   const double use_count =
       static_cast<double>(std::max<std::size_t>(total_uses, 1));
 
-  const double depth = static_cast<double>(tree_depth(root));
-  const double breadth = static_cast<double>(tree_breadth(root));
+  const double depth = static_cast<double>(depth_value);
+  const double breadth = static_cast<double>(breadth_value);
 
-  std::vector<float> out;
-  out.reserve(handpicked_feature_names().size());
+  out.reserve(out.size() + handpicked_feature_names().size());
   const auto push = [&out](double value) {
     out.push_back(static_cast<float>(value));
   };
@@ -553,9 +510,9 @@ std::vector<float> handpicked_features(const ScriptAnalysis& analysis) {
   push(safe_div(static_cast<double>(c.hex_number_literals),
                 static_cast<double>(c.number_literals)));
   push(static_cast<double>(c.binary_numeric_only) / nodes);
-  // builtins
-  for (const std::string& builtin : decoder_builtins()) {
-    push(c.builtin_seen.count(builtin) > 0 ? 1.0 : 0.0);
+  // builtins (columns follow kDecoderBuiltins order)
+  for (const bool seen : c.builtin_seen) {
+    push(seen ? 1.0 : 0.0);
   }
   push(static_cast<double>(c.eval_calls) / nodes);
   // structure / logic
@@ -615,7 +572,15 @@ std::vector<float> handpicked_features(const ScriptAnalysis& analysis) {
   push(safe_div(static_cast<double>(total_uses),
                 static_cast<double>(std::max<std::size_t>(bindings_with_uses, 1))));
   push(static_cast<double>(c.self_defense_markers) / nodes);
+}
 
+std::vector<float> handpicked_features(const ScriptAnalysis& analysis) {
+  const Node* root = analysis.parse.ast.root();
+  ExtractCounters c;
+  walk_preorder(root,
+                [&c](const Node& node) { gather_handpicked(node, c); });
+  std::vector<float> out;
+  assemble_handpicked(analysis, c, tree_depth(root), tree_breadth(root), out);
   return out;
 }
 

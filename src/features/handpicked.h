@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "features/analysis_pipeline.h"
+#include "features/scratch.h"
 
 namespace jst::features {
 
@@ -25,5 +26,18 @@ namespace jst::features {
 const std::vector<std::string>& handpicked_feature_names();
 
 std::vector<float> handpicked_features(const ScriptAnalysis& analysis);
+
+// Per-node counter update — the traversal body of handpicked_features,
+// exposed so the fused single-pass extractor (feature_extractor.cpp) can
+// drive it from its own walk. Must be called once per node in pre-order.
+void gather_handpicked(const Node& node, ExtractCounters& counters);
+
+// Assembles the hand-picked feature block from gathered counters plus the
+// tree depth/breadth, appending handpicked_feature_names().size() values
+// to `out`. Shared by the legacy and fused extraction paths, so the two
+// differ only in how the counters were gathered.
+void assemble_handpicked(const ScriptAnalysis& analysis,
+                         const ExtractCounters& counters, std::size_t depth,
+                         std::size_t breadth, std::vector<float>& out);
 
 }  // namespace jst::features

@@ -13,10 +13,10 @@ std::vector<float> ngram_features(const Node* root, const NgramConfig& config) {
   const std::size_t windows = kinds.size() - config.n + 1;
   for (std::size_t i = 0; i < windows; ++i) {
     // FNV-1a over the kind bytes of the window.
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    std::uint64_t hash = kFnvOffsetBasis;
     for (std::size_t j = 0; j < config.n; ++j) {
       hash ^= static_cast<std::uint8_t>(kinds[i + j]);
-      hash *= 0x100000001b3ULL;
+      hash *= kFnvPrime;
     }
     ++histogram[hash % config.hash_dim];
   }
@@ -25,9 +25,12 @@ std::vector<float> ngram_features(const Node* root, const NgramConfig& config) {
   return histogram;
 }
 
+std::size_t ngram_window_count(std::size_t node_count, std::size_t n) {
+  return node_count >= n ? node_count - n + 1 : 0;
+}
+
 std::size_t ngram_window_count(const Node* root, std::size_t n) {
-  const std::size_t count = count_nodes(root);
-  return count >= n ? count - n + 1 : 0;
+  return ngram_window_count(count_nodes(root), n);
 }
 
 }  // namespace jst::features

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "ml/model_codec.h"
 #include "support/error.h"
 
 namespace jst::ml {
@@ -177,6 +178,22 @@ void DecisionTree::load(std::istream& in) {
       throw ModelError("DecisionTree::load: truncated node table");
     }
   }
+}
+
+void DecisionTree::save_binary(std::ostream& out) const {
+  codec::write_u64(out, nodes_.size());
+  codec::write_u64(out, depth_);
+  codec::write_u64(out, feature_count_);
+  codec::write_array<TreeNode>(out, nodes_);
+}
+
+void DecisionTree::load_binary(std::istream& in) {
+  const std::uint64_t count = codec::read_u64(in, "tree node count");
+  depth_ = static_cast<std::size_t>(codec::read_u64(in, "tree depth"));
+  feature_count_ =
+      static_cast<std::size_t>(codec::read_u64(in, "tree feature count"));
+  nodes_.assign(static_cast<std::size_t>(count), TreeNode{});
+  codec::read_array<TreeNode>(in, nodes_, "tree node table");
 }
 
 void DecisionTree::add_feature_importance(std::vector<double>& out) const {

@@ -36,8 +36,31 @@ struct TreeParams {
   std::size_t max_features = 0;
 };
 
+// Serialization encoding for trained models (see analysis/model_io.h for
+// the header that sits in front of detector-level streams). Text is the
+// historical human-readable format and stays loadable forever; binary is
+// the fast path for forest-sized models (fixed-width little-endian node
+// records instead of decimal round-trips). Loaders auto-detect from the
+// per-component magic, so either encoding reads back transparently.
+enum class ModelEncoding : std::uint8_t {
+  kText,
+  kBinary,
+};
+
 class DecisionTree {
  public:
+  // One node of the fitted tree. Kept public (it is plain data) so the
+  // compiled inference fast path (compiled_forest.h) can flatten the
+  // node table without re-walking predictions through this class.
+  struct TreeNode {
+    std::int32_t feature = -1;       // -1 for leaves
+    float threshold = 0.0f;          // go left when value <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    float value = 0.0f;              // leaf: positive-class probability
+    float importance = 0.0f;         // weighted impurity decrease
+  };
+
   // Fits on the samples selected by `indices` (bootstrap subset).
   void fit(const Matrix& data, std::span<const std::uint8_t> labels,
            std::span<const std::size_t> indices, const TreeParams& params,
@@ -48,6 +71,11 @@ class DecisionTree {
 
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t depth() const { return depth_; }
+  std::size_t feature_count() const { return feature_count_; }
+
+  // Fitted node table (root = index 0; internal nodes precede their
+  // subtrees). Read-only view for flattening/inspection.
+  std::span<const TreeNode> nodes() const { return nodes_; }
 
   // Accumulates impurity-decrease feature importances into `out`
   // (size = feature count).
@@ -58,16 +86,14 @@ class DecisionTree {
   void save(std::ostream& out) const;
   void load(std::istream& in);
 
- private:
-  struct TreeNode {
-    std::int32_t feature = -1;       // -1 for leaves
-    float threshold = 0.0f;          // go left when value <= threshold
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    float value = 0.0f;              // leaf: positive-class probability
-    float importance = 0.0f;         // weighted impurity decrease
-  };
+  // Binary serialization: raw little-endian node records (much faster
+  // than the decimal text round-trip for forest-sized models). Framed by
+  // the forest wrapper's versioned magic; throws ModelError on
+  // truncation.
+  void save_binary(std::ostream& out) const;
+  void load_binary(std::istream& in);
 
+ private:
   std::int32_t build(const Matrix& data, std::span<const std::uint8_t> labels,
                      std::vector<std::size_t>& indices, std::size_t begin,
                      std::size_t end, std::size_t depth,

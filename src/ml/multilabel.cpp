@@ -136,9 +136,9 @@ namespace jst::ml {
 namespace {
 
 void save_forests(const std::vector<RandomForest>& forests, const char* tag,
-                  std::ostream& out) {
+                  std::ostream& out, ModelEncoding encoding) {
   out << tag << ' ' << forests.size() << '\n';
-  for (const RandomForest& forest : forests) forest.save(out);
+  for (const RandomForest& forest : forests) forest.save(out, encoding);
 }
 
 void load_forests(std::vector<RandomForest>& forests, const char* tag,
@@ -154,16 +154,16 @@ void load_forests(std::vector<RandomForest>& forests, const char* tag,
 
 }  // namespace
 
-void BinaryRelevance::save(std::ostream& out) const {
-  save_forests(forests_, "binary-relevance", out);
+void BinaryRelevance::save(std::ostream& out, ModelEncoding encoding) const {
+  save_forests(forests_, "binary-relevance", out, encoding);
 }
 
 void BinaryRelevance::load(std::istream& in) {
   load_forests(forests_, "binary-relevance", in);
 }
 
-void ClassifierChain::save(std::ostream& out) const {
-  save_forests(forests_, "classifier-chain", out);
+void ClassifierChain::save(std::ostream& out, ModelEncoding encoding) const {
+  save_forests(forests_, "classifier-chain", out, encoding);
 }
 
 void ClassifierChain::load(std::istream& in) {

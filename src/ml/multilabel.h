@@ -36,8 +36,19 @@ class MultiLabelClassifier {
 
   virtual std::size_t label_count() const = 0;
 
-  // Text serialization of the trained per-label forests.
-  virtual void save(std::ostream& out) const = 0;
+  // Introspection for the compiled inference fast path
+  // (ml/compiled_forest.h): the fitted per-label forests and the chain
+  // rule parameters. `chained()` is true when position P's forest expects
+  // the thresholded predictions of positions [0, P-1] appended to the row.
+  virtual std::span<const RandomForest> forests() const = 0;
+  virtual bool chained() const = 0;
+  virtual double chain_threshold() const { return 0.5; }
+
+  // Serialization of the trained per-label forests; the encoding picks
+  // text (historical, human-readable) or binary per-forest payloads.
+  // load() auto-detects, so files written by either encoding read back.
+  virtual void save(std::ostream& out,
+                    ModelEncoding encoding = ModelEncoding::kText) const = 0;
   virtual void load(std::istream& in) = 0;
 
   // Labels with probability >= threshold.
@@ -61,7 +72,10 @@ class BinaryRelevance final : public MultiLabelClassifier {
            const ForestParams& params, Rng& rng) override;
   std::vector<double> predict_proba(std::span<const float> row) const override;
   std::size_t label_count() const override { return forests_.size(); }
-  void save(std::ostream& out) const override;
+  std::span<const RandomForest> forests() const override { return forests_; }
+  bool chained() const override { return false; }
+  void save(std::ostream& out,
+            ModelEncoding encoding = ModelEncoding::kText) const override;
   void load(std::istream& in) override;
 
  private:
@@ -74,7 +88,11 @@ class ClassifierChain final : public MultiLabelClassifier {
            const ForestParams& params, Rng& rng) override;
   std::vector<double> predict_proba(std::span<const float> row) const override;
   std::size_t label_count() const override { return forests_.size(); }
-  void save(std::ostream& out) const override;
+  std::span<const RandomForest> forests() const override { return forests_; }
+  bool chained() const override { return true; }
+  double chain_threshold() const override { return chain_threshold_; }
+  void save(std::ostream& out,
+            ModelEncoding encoding = ModelEncoding::kText) const override;
   void load(std::istream& in) override;
 
  private:

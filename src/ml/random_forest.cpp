@@ -7,6 +7,7 @@
 #include <ostream>
 #include <string>
 
+#include "ml/model_codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
@@ -54,10 +55,22 @@ double RandomForest::predict_proba(std::span<const float> row) const {
 }
 
 namespace {
+// v1: whitespace-separated text (the original format, still written by
+// ModelEncoding::kText and always readable). v2b: binary node records
+// framed by the same magic convention; the tag line ends in '\n' so the
+// payload starts at an exact byte offset.
 constexpr const char* kForestMagic = "jstraced-forest-v1";
+constexpr const char* kForestMagicBinary = "jstraced-forest-v2b";
 }
 
-void RandomForest::save(std::ostream& out) const {
+void RandomForest::save(std::ostream& out, ModelEncoding encoding) const {
+  if (encoding == ModelEncoding::kBinary) {
+    out << kForestMagicBinary << '\n';
+    codec::write_u64(out, trees_.size());
+    codec::write_u64(out, feature_count_);
+    for (const DecisionTree& tree : trees_) tree.save_binary(out);
+    return;
+  }
   out << kForestMagic << '\n';
   out << trees_.size() << ' ' << feature_count_ << '\n';
   for (const DecisionTree& tree : trees_) tree.save(out);
@@ -65,8 +78,21 @@ void RandomForest::save(std::ostream& out) const {
 
 void RandomForest::load(std::istream& in) {
   std::string magic;
-  if (!(in >> magic) || magic != kForestMagic) {
-    throw ModelError("RandomForest::load: unrecognized format");
+  if (!(in >> magic)) {
+    throw ModelError("RandomForest::load: empty or truncated stream");
+  }
+  if (magic == kForestMagicBinary) {
+    codec::skip_separator(in);
+    const std::uint64_t count = codec::read_u64(in, "forest tree count");
+    feature_count_ =
+        static_cast<std::size_t>(codec::read_u64(in, "forest feature count"));
+    trees_.assign(static_cast<std::size_t>(count), DecisionTree{});
+    for (DecisionTree& tree : trees_) tree.load_binary(in);
+    return;
+  }
+  if (magic != kForestMagic) {
+    throw ModelError("RandomForest::load: unrecognized format (magic \"" +
+                     magic + "\")");
   }
   std::size_t count = 0;
   if (!(in >> count >> feature_count_)) {

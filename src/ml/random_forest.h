@@ -38,13 +38,21 @@ class RandomForest {
 
   bool trained() const { return !trees_.empty(); }
   std::size_t tree_count() const { return trees_.size(); }
+  std::size_t feature_count() const { return feature_count_; }
+
+  // Fitted trees, read-only — consumed by CompiledForest::compile.
+  std::span<const DecisionTree> trees() const { return trees_; }
 
   // Normalized Gini feature importances (sums to 1 unless all zero).
   std::vector<double> feature_importance() const;
 
-  // Text serialization: save a trained forest, load it back without
-  // retraining. Throws ModelError on format mismatch.
-  void save(std::ostream& out) const;
+  // Serialization: save a trained forest, load it back without
+  // retraining. The encoding picks the on-disk format (text = the
+  // historical v1 human-readable form; binary = fixed-width node records,
+  // much faster for large models). load() auto-detects from the magic, so
+  // old text files keep loading. Throws ModelError on format mismatch.
+  void save(std::ostream& out, ModelEncoding encoding = ModelEncoding::kText)
+      const;
   void load(std::istream& in);
 
  private:

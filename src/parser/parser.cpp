@@ -1,5 +1,6 @@
 #include "parser/parser.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "obs/trace.h"
@@ -77,11 +78,17 @@ ParseResult parse_program(std::string_view source, Budget* budget) {
   std::vector<Token> tokens;
   {
     JST_SPAN("lex");
+    TokenStats& stats = result.token_stats;
     while (true) {
       Token token = lexer.next();
       if (token.type == TokenType::kEndOfFile) break;
+      if (token.type == TokenType::kPunctuator) ++stats.punctuators;
+      stats.raw_bytes += static_cast<double>(token.raw.size());
+      stats.max_line_length =
+          std::max(stats.max_line_length, token.column + token.raw.size());
       tokens.push_back(std::move(token));
     }
+    stats.count = tokens.size();
   }
   result.comment_count = lexer.comment_count();
   result.comment_bytes = lexer.comment_bytes();

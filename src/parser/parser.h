@@ -21,9 +21,25 @@ namespace jst {
 // Parse result: the arena plus lexical statistics needed by the feature
 // extractor (comment volume is erased from the AST but matters for
 // minification detection).
+// Aggregates over the token stream, accumulated during lexing while the
+// tokens are cache-hot. The hand-picked feature block consumes these
+// four numbers instead of re-walking the (cold, string-heavy) token
+// vector at feature time.
+struct TokenStats {
+  std::size_t count = 0;        // tokens in the stream (no EOF)
+  std::size_t punctuators = 0;
+  // Max (column + raw length) over tokens — a max-line-length proxy.
+  std::size_t max_line_length = 0;
+  // Sum of raw token lengths, accumulated in stream order as a double —
+  // the exact order/type the feature assembly historically used, so the
+  // derived features are bit-identical.
+  double raw_bytes = 0.0;
+};
+
 struct ParseResult {
   Ast ast;
   std::vector<Token> tokens;     // full token stream (no EOF)
+  TokenStats token_stats;
   std::size_t comment_count = 0;
   std::size_t comment_bytes = 0;
   std::size_t source_bytes = 0;

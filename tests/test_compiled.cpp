@@ -1,0 +1,460 @@
+// Equivalence suite for the compiled inference fast path and the fused
+// feature extractor. "Equivalent" here means bit-identical: the compiled
+// forest accumulates the same float leaf values into a double in the same
+// order as the reference tree walk, and the fused extractor emits the
+// same float vector as the legacy multi-walk — so every comparison below
+// is exact (EXPECT_EQ), never approximate.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "analysis/detector.h"
+#include "analysis/labels.h"
+#include "analysis/pipeline.h"
+#include "features/feature_extractor.h"
+#include "ml/compiled_forest.h"
+#include "ml/multilabel.h"
+#include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "transform/technique.h"
+
+namespace jst {
+namespace {
+
+std::vector<std::vector<float>> random_rows(std::size_t count,
+                                            std::size_t features, Rng& rng) {
+  std::vector<std::vector<float>> rows(count);
+  for (auto& row : rows) {
+    row.resize(features);
+    for (float& value : row) value = static_cast<float>(rng.uniform());
+  }
+  return rows;
+}
+
+std::vector<std::uint8_t> noisy_labels(
+    const std::vector<std::vector<float>>& rows, Rng& rng) {
+  std::vector<std::uint8_t> labels(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    bool positive = rows[i][0] + rows[i][1] > 1.0f;
+    if (rng.bernoulli(0.1)) positive = !positive;
+    labels[i] = positive ? 1 : 0;
+  }
+  return labels;
+}
+
+ml::RandomForest trained_forest(std::size_t tree_count, std::uint64_t seed,
+                                std::vector<std::vector<float>>& rows_out) {
+  Rng rng(seed);
+  rows_out = random_rows(300, 5, rng);
+  const std::vector<std::uint8_t> labels = noisy_labels(rows_out, rng);
+  ml::RandomForest forest;
+  ml::ForestParams params;
+  params.tree_count = tree_count;
+  forest.fit(ml::Matrix{&rows_out}, labels, params, rng);
+  return forest;
+}
+
+ml::LabelMatrix correlated_labels(const std::vector<std::vector<float>>& rows) {
+  ml::LabelMatrix labels;
+  labels.reserve(rows.size());
+  for (const auto& row : rows) {
+    const std::uint8_t l0 = row[0] > 0.5f;
+    const std::uint8_t l2 = row[1] > 0.5f;
+    labels.push_back({l0, l0, l2});
+  }
+  return labels;
+}
+
+// --- CompiledForest vs RandomForest ---------------------------------------
+
+TEST(CompiledForest, BitIdenticalToReferenceOnRandomRows) {
+  std::vector<std::vector<float>> rows;
+  // 20 trees spans multiple tree blocks (kTreeBlock = 8), exercising the
+  // partial final block.
+  const ml::RandomForest forest = trained_forest(20, 101, rows);
+  const ml::CompiledForest compiled = ml::CompiledForest::compile(forest);
+  EXPECT_EQ(compiled.tree_count(), forest.tree_count());
+  EXPECT_EQ(compiled.feature_count(), forest.feature_count());
+
+  Rng rng(102);
+  const auto probes = random_rows(200, 5, rng);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(compiled.predict_proba(probes[i]),
+              forest.predict_proba(probes[i]))
+        << "probe " << i;
+  }
+}
+
+TEST(CompiledForest, PredictBatchBitIdenticalToPerRow) {
+  std::vector<std::vector<float>> rows;
+  const ml::RandomForest forest = trained_forest(20, 103, rows);
+  const ml::CompiledForest compiled = ml::CompiledForest::compile(forest);
+
+  Rng rng(104);
+  const auto probes = random_rows(97, 5, rng);
+  std::vector<double> batch(probes.size());
+  compiled.predict_batch(ml::Matrix{&probes}, batch);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(batch[i], compiled.predict_proba(probes[i])) << "row " << i;
+    EXPECT_EQ(batch[i], forest.predict_proba(probes[i])) << "row " << i;
+  }
+}
+
+TEST(CompiledForest, ErrorsOnUntrainedAndUncompiled) {
+  EXPECT_THROW(ml::CompiledForest::compile(ml::RandomForest{}), ModelError);
+  ml::CompiledForest not_compiled;
+  EXPECT_FALSE(not_compiled.compiled());
+  const std::vector<float> row = {0.5f};
+  EXPECT_THROW(not_compiled.predict_proba(row), ModelError);
+}
+
+TEST(CompiledForest, BatchRejectsSizeMismatch) {
+  std::vector<std::vector<float>> rows;
+  const ml::RandomForest forest = trained_forest(4, 105, rows);
+  const ml::CompiledForest compiled = ml::CompiledForest::compile(forest);
+  Rng rng(106);
+  const auto probes = random_rows(8, 5, rng);
+  std::vector<double> wrong_size(probes.size() + 1);
+  EXPECT_THROW(compiled.predict_batch(ml::Matrix{&probes}, wrong_size),
+               ModelError);
+}
+
+// --- CompiledEnsemble vs MultiLabelClassifier -----------------------------
+
+template <typename Classifier>
+void expect_ensemble_matches(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto rows = random_rows(300, 2, rng);
+  const ml::LabelMatrix labels = correlated_labels(rows);
+  Classifier classifier;
+  ml::ForestParams params;
+  params.tree_count = 8;
+  classifier.fit(ml::Matrix{&rows}, labels, params, rng);
+
+  const ml::CompiledEnsemble compiled =
+      ml::CompiledEnsemble::compile(classifier);
+  EXPECT_EQ(compiled.label_count(), classifier.label_count());
+  EXPECT_EQ(compiled.chained(), classifier.chained());
+
+  ml::PredictScratch scratch;
+  const auto probes = random_rows(60, 2, rng);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const std::vector<double> reference = classifier.predict_proba(probes[i]);
+    std::vector<double> fast;
+    compiled.predict_proba(probes[i], scratch, fast);
+    ASSERT_EQ(fast.size(), reference.size());
+    for (std::size_t j = 0; j < fast.size(); ++j) {
+      EXPECT_EQ(fast[j], reference[j]) << "probe " << i << " label " << j;
+    }
+
+    std::vector<std::size_t> picked;
+    for (const double threshold : {0.1, 0.5, 0.9}) {
+      compiled.predict_set(probes[i], threshold, scratch, picked);
+      EXPECT_EQ(picked, classifier.predict_set(probes[i], threshold));
+      for (const std::size_t k : {1u, 2u, 3u, 5u}) {
+        compiled.predict_topk_thresholded(probes[i], k, threshold, scratch,
+                                          picked);
+        EXPECT_EQ(picked,
+                  classifier.predict_topk_thresholded(probes[i], k, threshold));
+      }
+    }
+    for (const std::size_t k : {1u, 2u, 3u, 5u}) {
+      compiled.predict_topk(probes[i], k, scratch, picked);
+      EXPECT_EQ(picked, classifier.predict_topk(probes[i], k));
+    }
+  }
+}
+
+TEST(CompiledEnsemble, BinaryRelevanceBitIdentical) {
+  expect_ensemble_matches<ml::BinaryRelevance>(201);
+}
+
+TEST(CompiledEnsemble, ClassifierChainBitIdentical) {
+  expect_ensemble_matches<ml::ClassifierChain>(202);
+}
+
+TEST(CompiledEnsemble, MatchesAfterSaveLoadInBothEncodings) {
+  Rng rng(203);
+  const auto rows = random_rows(250, 2, rng);
+  const ml::LabelMatrix labels = correlated_labels(rows);
+  ml::ClassifierChain original;
+  ml::ForestParams params;
+  params.tree_count = 6;
+  original.fit(ml::Matrix{&rows}, labels, params, rng);
+
+  const auto probes = random_rows(40, 2, rng);
+  for (const ml::ModelEncoding encoding :
+       {ml::ModelEncoding::kText, ml::ModelEncoding::kBinary}) {
+    std::stringstream stream;
+    original.save(stream, encoding);
+    ml::ClassifierChain loaded;
+    loaded.load(stream);
+    const ml::CompiledEnsemble compiled =
+        ml::CompiledEnsemble::compile(loaded);
+    ml::PredictScratch scratch;
+    std::vector<double> fast;
+    for (const auto& probe : probes) {
+      const std::vector<double> reference = original.predict_proba(probe);
+      compiled.predict_proba(probe, scratch, fast);
+      ASSERT_EQ(fast.size(), reference.size());
+      for (std::size_t j = 0; j < fast.size(); ++j) {
+        EXPECT_EQ(fast[j], reference[j]);
+      }
+    }
+  }
+}
+
+// --- binary model encoding -------------------------------------------------
+
+TEST(BinaryModelEncoding, ForestRoundTripsAndAutoDetects) {
+  std::vector<std::vector<float>> rows;
+  const ml::RandomForest forest = trained_forest(6, 301, rows);
+
+  std::stringstream text_stream;
+  forest.save(text_stream, ml::ModelEncoding::kText);
+  std::stringstream binary_stream;
+  forest.save(binary_stream, ml::ModelEncoding::kBinary);
+
+  ml::RandomForest from_text;
+  from_text.load(text_stream);
+  ml::RandomForest from_binary;
+  from_binary.load(binary_stream);
+  EXPECT_EQ(from_binary.tree_count(), forest.tree_count());
+  EXPECT_EQ(from_binary.feature_count(), forest.feature_count());
+
+  Rng rng(302);
+  const auto probes = random_rows(50, 5, rng);
+  for (const auto& probe : probes) {
+    const double reference = forest.predict_proba(probe);
+    EXPECT_EQ(from_text.predict_proba(probe), reference);
+    EXPECT_EQ(from_binary.predict_proba(probe), reference);
+  }
+}
+
+TEST(BinaryModelEncoding, TruncatedBinaryStreamThrows) {
+  std::vector<std::vector<float>> rows;
+  const ml::RandomForest forest = trained_forest(4, 303, rows);
+  std::ostringstream out;
+  forest.save(out, ml::ModelEncoding::kBinary);
+  const std::string bytes = out.str();
+  for (const std::size_t keep :
+       {bytes.size() / 2, bytes.size() - 1, std::size_t{24}}) {
+    std::istringstream truncated(bytes.substr(0, keep));
+    ml::RandomForest loaded;
+    EXPECT_THROW(loaded.load(truncated), ModelError) << "keep=" << keep;
+  }
+}
+
+TEST(BinaryModelEncoding, UnknownMagicThrows) {
+  std::istringstream stream("jstraced-forest-v9 garbage");
+  ml::RandomForest forest;
+  try {
+    forest.load(stream);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& error) {
+    // The mismatch error must name the unrecognized magic.
+    EXPECT_NE(std::string(error.what()).find("jstraced-forest-v9"),
+              std::string::npos);
+  }
+}
+
+// --- fused feature extraction ---------------------------------------------
+
+std::vector<std::string> seed_corpus() {
+  analysis::CorpusSpec spec;
+  spec.regular_count = 16;
+  spec.seed = 424242;
+  std::vector<std::string> corpus = analysis::generate_regular_corpus(spec);
+  // Transformed variants: every technique applied to the first sources, so
+  // the fused walk sees obfuscator-shaped trees (big arrays, hex names,
+  // switch dispatchers), not just regular code.
+  Rng rng(99);
+  std::size_t base = 0;
+  for (const transform::Technique technique : transform::all_techniques()) {
+    corpus.push_back(
+        analysis::make_transformed_sample(corpus[base % 16], technique, rng)
+            .source);
+    ++base;
+  }
+  return corpus;
+}
+
+void expect_rows_equal(const std::vector<float>& reference,
+                       const std::vector<float>& fused, std::size_t script) {
+  ASSERT_EQ(fused.size(), reference.size()) << "script " << script;
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    ASSERT_EQ(fused[i], reference[i]) << "script " << script << " dim " << i;
+  }
+}
+
+TEST(FusedExtraction, BitIdenticalToLegacyOnSeedCorpus) {
+  const std::vector<std::string> corpus = seed_corpus();
+  const features::FeatureConfig config;
+  // ONE scratch across the whole corpus: equality on every script also
+  // proves reuse leaks no state from previous scripts.
+  features::ExtractScratch scratch;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const ScriptAnalysis analysis =
+        analyze_script(corpus[i], config.analysis);
+    const std::vector<float> reference = features::extract(analysis, config);
+    const std::vector<float>& fused =
+        features::extract_into(analysis, config, scratch);
+    expect_rows_equal(reference, fused, i);
+  }
+  EXPECT_EQ(scratch.uses, corpus.size());
+  EXPECT_GT(scratch.capacity_bytes(), 0u);
+}
+
+TEST(FusedExtraction, SingleBlockConfigsMatchLegacy) {
+  const std::vector<std::string> corpus = seed_corpus();
+  features::ExtractScratch scratch;
+  for (std::size_t variant = 0; variant < 2; ++variant) {
+    features::FeatureConfig config;
+    config.use_handpicked = variant == 0;
+    config.use_ngrams = variant == 1;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const ScriptAnalysis analysis =
+          analyze_script(corpus[i], config.analysis);
+      const std::vector<float> reference =
+          features::extract(analysis, config);
+      const std::vector<float>& fused =
+          features::extract_into(analysis, config, scratch);
+      expect_rows_equal(reference, fused, i);
+    }
+  }
+}
+
+TEST(FusedExtraction, DataflowScratchDoesNotChangeAnalysis) {
+  const std::vector<std::string> corpus = seed_corpus();
+  DataFlowScratch dataflow_scratch;
+  for (std::size_t i = 0; i < 6; ++i) {
+    AnalysisOptions plain;
+    AnalysisOptions reusing;
+    reusing.dataflow_scratch = &dataflow_scratch;
+    const ScriptAnalysis a = analyze_script(corpus[i], plain);
+    const ScriptAnalysis b = analyze_script(corpus[i], reusing);
+    EXPECT_EQ(a.data_flow.edges, b.data_flow.edges) << "script " << i;
+    EXPECT_EQ(a.data_flow.unresolved_uses, b.data_flow.unresolved_uses);
+  }
+}
+
+// --- detector routing ------------------------------------------------------
+
+const analysis::TransformationAnalyzer& shared_analyzer() {
+  static analysis::TransformationAnalyzer* analyzer = [] {
+    analysis::PipelineOptions options;
+    options.training_regular_count = 32;
+    options.per_technique_count = 6;
+    options.detector.forest.tree_count = 6;
+    options.detector.features.ngram.hash_dim = 64;
+    options.seed = 20260806;
+    auto* built = new analysis::TransformationAnalyzer(options);
+    built->train();
+    return built;
+  }();
+  return *analyzer;
+}
+
+TEST(CompiledDetector, PredictionsBitIdenticalToReferenceClassifier) {
+  const analysis::TransformationAnalyzer& analyzer = shared_analyzer();
+  const features::FeatureConfig& config =
+      analyzer.options().detector.features;
+  const std::vector<std::string> corpus = seed_corpus();
+  ASSERT_TRUE(analyzer.level1().compiled().compiled());
+  ASSERT_TRUE(analyzer.level2().compiled().compiled());
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    const ScriptAnalysis analysis_result =
+        analyze_script(corpus[corpus.size() - 1 - i], config.analysis);
+    const std::vector<float> row =
+        features::extract(analysis_result, config);
+
+    const auto level1 = analyzer.level1().predict(row);
+    const std::vector<double> level1_reference =
+        analyzer.level1().reference_classifier().predict_proba(row);
+    EXPECT_EQ(level1.p_regular, level1_reference[0]);
+    EXPECT_EQ(level1.p_minified, level1_reference[1]);
+    EXPECT_EQ(level1.p_obfuscated, level1_reference[2]);
+
+    const std::vector<double> level2 = analyzer.level2().predict_proba(row);
+    const std::vector<double> level2_reference =
+        analyzer.level2().reference_classifier().predict_proba(row);
+    ASSERT_EQ(level2.size(), level2_reference.size());
+    for (std::size_t j = 0; j < level2.size(); ++j) {
+      EXPECT_EQ(level2[j], level2_reference[j]) << "label " << j;
+    }
+
+    const analysis::DetectorConfig& detector_config =
+        analyzer.level2().config();
+    EXPECT_EQ(analyzer.level2().predict_techniques(row),
+              analysis::techniques_from_indices(
+                  analyzer.level2()
+                      .reference_classifier()
+                      .predict_topk_thresholded(
+                          row, detector_config.level2_topk,
+                          detector_config.level2_threshold)));
+  }
+}
+
+TEST(CompiledDetector, SaveLoadRoundTripKeepsPredictions) {
+  const analysis::TransformationAnalyzer& analyzer = shared_analyzer();
+  std::stringstream stream;
+  analyzer.save(stream);  // defaults to the binary forest encoding
+
+  analysis::TransformationAnalyzer loaded(analyzer.options());
+  loaded.load(stream);
+
+  const std::vector<std::string> corpus = seed_corpus();
+  for (std::size_t i = 0; i < 4; ++i) {
+    const analysis::ScriptReport a = analyzer.analyze(corpus[i]);
+    const analysis::ScriptReport b = loaded.analyze(corpus[i]);
+    EXPECT_EQ(a.level1.p_regular, b.level1.p_regular) << "script " << i;
+    EXPECT_EQ(a.level1.p_minified, b.level1.p_minified);
+    EXPECT_EQ(a.level1.p_obfuscated, b.level1.p_obfuscated);
+    EXPECT_EQ(a.technique_confidence, b.technique_confidence);
+    EXPECT_EQ(a.techniques, b.techniques);
+  }
+}
+
+// --- scratch reuse ---------------------------------------------------------
+
+TEST(ScriptScratch, ReusedScratchMatchesFreshAndRecordsMetrics) {
+  const analysis::TransformationAnalyzer& analyzer = shared_analyzer();
+  const std::vector<std::string> corpus = seed_corpus();
+
+  obs::Counter& reuses =
+      obs::MetricsRegistry::global().counter("jst_scratch_reuse_total");
+  obs::Gauge& peak =
+      obs::MetricsRegistry::global().gauge("jst_scratch_peak_bytes");
+  const std::uint64_t reuses_before = reuses.value();
+
+  analysis::ScriptScratch scratch;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const analysis::ScriptOutcome reused =
+        analyzer.analyze_outcome(corpus[i], ResourceLimits{}, scratch);
+    analysis::ScriptScratch fresh;
+    const analysis::ScriptOutcome baseline =
+        analyzer.analyze_outcome(corpus[i], ResourceLimits{}, fresh);
+    EXPECT_EQ(reused.status, baseline.status) << "script " << i;
+    EXPECT_EQ(reused.report.level1.p_regular, baseline.report.level1.p_regular);
+    EXPECT_EQ(reused.report.level1.p_minified,
+              baseline.report.level1.p_minified);
+    EXPECT_EQ(reused.report.level1.p_obfuscated,
+              baseline.report.level1.p_obfuscated);
+    EXPECT_EQ(reused.report.technique_confidence,
+              baseline.report.technique_confidence);
+    EXPECT_EQ(reused.report.techniques, baseline.report.techniques);
+  }
+  // 5 reuses of `scratch` (first use is a warm-up, not a reuse).
+  EXPECT_GE(reuses.value() - reuses_before, 5u);
+  EXPECT_GT(peak.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace jst
