@@ -75,6 +75,12 @@ std::string write_bench_json(std::string_view bench,
     writer.key("scripts"); writer.value(record.scripts);
     writer.key("wall_ms"); writer.value(record.wall_ms);
     writer.key("scripts_per_second"); writer.value(record.scripts_per_second);
+    if (record.lex_ms > 0.0 || record.parse_ms > 0.0) {
+      writer.key("lex_ms"); writer.value(record.lex_ms);
+      writer.key("parse_ms"); writer.value(record.parse_ms);
+      writer.key("frontend_ms"); writer.value(record.lex_ms + record.parse_ms);
+      writer.key("postparse_ms"); writer.value(record.postparse_ms);
+    }
     if (!record.stats_json.empty()) {
       writer.key("stats"); writer.raw(record.stats_json);
     }

@@ -48,6 +48,14 @@ struct BenchRecord {
   double wall_ms = 0.0;     // batch wall time for this config
   double scripts_per_second = 0.0;
   std::string stats_json;  // optional BatchStats::to_json() payload
+  // Optional front-end stage split (bench_pipeline_throughput
+  // --stage-split): serial milliseconds over the corpus spent in
+  // tokenize-only (lex_ms), in parse_program minus the lex share
+  // (parse_ms), and in everything after the parse (postparse_ms).
+  // Emitted only when a split was measured.
+  double lex_ms = 0.0;
+  double parse_ms = 0.0;
+  double postparse_ms = 0.0;
 };
 
 // Writes `BENCH_<bench>.json` — {"bench":…,"scale":…,"results":[…]} —

@@ -5,8 +5,12 @@
 //
 //   $ ./bench_pipeline_throughput                 # sweeps 1/2/4 threads
 //   $ ./bench_pipeline_throughput --threads 8     # pins the batch width
+//   $ ./bench_pipeline_throughput --stage-split   # lex/parse/post-parse ms
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -38,8 +42,10 @@ const std::string& sample_source() {
 }
 
 void BM_Tokenize(benchmark::State& state) {
+  support::Arena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Lexer::tokenize(sample_source()));
+    arena.reset();
+    benchmark::DoNotOptimize(Lexer::tokenize(sample_source(), arena));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(sample_source().size()));
@@ -258,17 +264,86 @@ void BM_AnalyzeBatch(benchmark::State& state) {
   batch_records()[record.config] = std::move(record);
 }
 
+// Front-end stage split (--stage-split): one serial pass over the batch
+// corpus per stage, pooled arenas reset per script (the steady-state
+// analyze_batch configuration), best of `reps` repetitions.
+//
+//   lex_ms       tokenize-only pass (Lexer::tokenize into a pooled arena)
+//   parse_ms    parse_program total minus the lex share
+//   postparse_ms serial analyze_batch wall minus the front end
+//
+// The method is documented in bench/README.md; the committed
+// BENCH_pipeline.json carries paired pr4/pr5 rows captured with it.
+jst::bench::BenchRecord run_stage_split(int reps) {
+  using clock = std::chrono::steady_clock;
+  const auto ms_since = [](clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(clock::now() - start)
+        .count();
+  };
+  const std::vector<std::string> corpus =
+      jst::bench::held_out_regular(48, 0xba7c4);
+  const analysis::AnalyzerService service(jst::bench::analyzer());
+  analysis::BatchOptions options;
+  options.threads = 1;
+
+  double lex_ms = 1e300, frontend_ms = 1e300, batch_ms = 1e300;
+  double scripts_per_second = 0.0;
+  support::Arena arena;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto lex_start = clock::now();
+    for (const std::string& source : corpus) {
+      arena.reset();
+      benchmark::DoNotOptimize(Lexer::tokenize(source, arena));
+    }
+    lex_ms = std::min(lex_ms, ms_since(lex_start));
+
+    const auto parse_start = clock::now();
+    for (const std::string& source : corpus) {
+      benchmark::DoNotOptimize(
+          parse_program(source, nullptr, &arena).ast.node_count());
+    }
+    frontend_ms = std::min(frontend_ms, ms_since(parse_start));
+
+    const auto batch_start = clock::now();
+    const analysis::BatchResult result =
+        service.analyze_batch(corpus, options);
+    benchmark::DoNotOptimize(result.stats.ok);
+    batch_ms = std::min(batch_ms, ms_since(batch_start));
+    scripts_per_second =
+        std::max(scripts_per_second, result.stats.scripts_per_second);
+  }
+
+  jst::bench::BenchRecord record;
+  record.config = "stage-split,threads=1,limits=off";
+  record.threads = 1;
+  record.scripts = corpus.size();
+  record.wall_ms = batch_ms;
+  record.scripts_per_second = scripts_per_second;
+  record.lex_ms = lex_ms;
+  record.parse_ms = std::max(0.0, frontend_ms - lex_ms);
+  record.postparse_ms = std::max(0.0, batch_ms - frontend_ms);
+  std::printf(
+      "stage-split (best of %d, serial, %zu scripts): lex %.3f ms, "
+      "parse %.3f ms, front end %.3f ms, post-parse %.3f ms\n",
+      reps, corpus.size(), record.lex_ms, record.parse_ms, frontend_ms,
+      record.postparse_ms);
+  return record;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract our own --threads flag before google-benchmark parses argv.
+  // Extract our own flags before google-benchmark parses argv.
   long pinned_threads = 0;
+  bool stage_split = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       pinned_threads = std::atol(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       pinned_threads = std::atol(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--stage-split") == 0) {
+      stage_split = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -290,7 +365,10 @@ int main(int argc, char** argv) {
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // --stage-split is a standalone report: it skips the google-benchmark
+  // sweep. Both modes write BENCH_pipeline.json, so when capturing both
+  // point each run at its own $JSTRACED_BENCH_OUT.
+  if (!stage_split) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
   // Record the perf trajectory machine-readably (one row per
@@ -300,6 +378,7 @@ int main(int argc, char** argv) {
   for (auto& [config, record] : batch_records()) {
     records.push_back(std::move(record));
   }
+  if (stage_split) records.push_back(run_stage_split(/*reps=*/5));
   if (!records.empty()) jst::bench::write_bench_json("pipeline", records);
   return 0;
 }

@@ -67,6 +67,27 @@ ScratchMetrics& scratch_metrics() {
   return *metrics;
 }
 
+// Pooled front-end arena telemetry: how often a warmed-up arena was
+// reset-and-reused for another script, and the largest per-script
+// footprint (peak bytes across resets) any worker arena reached.
+struct ArenaMetrics {
+  obs::Counter& reuses =
+      obs::MetricsRegistry::global().counter("jst_arena_reuse_total");
+  obs::Gauge& peak_bytes =
+      obs::MetricsRegistry::global().gauge("jst_arena_peak_bytes");
+
+  void record_peak(std::size_t bytes) {
+    // Racy max across workers is fine — telemetry only.
+    const auto value = static_cast<double>(bytes);
+    if (value > peak_bytes.value()) peak_bytes.set(value);
+  }
+};
+
+ArenaMetrics& arena_metrics() {
+  static ArenaMetrics* metrics = new ArenaMetrics();  // outlives statics
+  return *metrics;
+}
+
 // Budget-trip telemetry (DESIGN.md §10): one aggregate counter plus one
 // counter per ResourceKind, named jst_budget_<kind>_total.
 struct BudgetMetrics {
@@ -119,9 +140,12 @@ ScriptStatus status_for_trip(ResourceKind kind) {
 
 void record_outcome_metrics(const ScriptOutcome& outcome) {
   ScriptMetrics& metrics = script_metrics();
-  // Touch the budget singleton unconditionally so the jst_budget_* series
-  // exist (at 0) in every export, not only after the first trip.
+  // Touch the budget/scratch/arena singletons unconditionally so the
+  // jst_budget_*, jst_scratch_*, and jst_arena_* series exist (at 0) in
+  // every export, not only after the first trip or reuse.
   BudgetMetrics& budget = budget_metrics();
+  scratch_metrics();
+  arena_metrics();
   metrics.scripts.add(1);
   metrics.total_ms.record(outcome.timing.total_ms);
   metrics.static_analysis_ms.record(outcome.timing.static_analysis_ms);
@@ -349,6 +373,9 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     ScriptScratch& scratch) const {
   if (!trained_) throw ModelError("analyze: detector not trained");
   if (scratch.extract.uses > 0) scratch_metrics().reuses.add(1);
+  // epoch > 0 means the pooled arena has been reset at least once, i.e.
+  // this script reuses chunks warmed up by a previous one.
+  if (scratch.arena.epoch() > 0) arena_metrics().reuses.add(1);
   ScriptOutcome outcome;
   JST_SPAN("script");
   const bool governed = limits.any_enabled();
@@ -379,6 +406,7 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
       AnalysisOptions analysis_options = options_.detector.features.analysis;
       analysis_options.budget = governed ? &budget : nullptr;
       analysis_options.dataflow_scratch = &scratch.extract.dataflow;
+      analysis_options.arena = &scratch.arena;
       analysis = analyze_script(source, analysis_options);
     } catch (const BudgetExceeded& error) {
       outcome.status = status_for_trip(error.trip().kind);
@@ -456,6 +484,7 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     outcome.timing.total_ms = ms_since(start);
     outcome.report.status = outcome.status;
     scratch_metrics().record_peak(scratch.capacity_bytes());
+    arena_metrics().record_peak(scratch.arena.peak_bytes());
     record_outcome_metrics(outcome);
     return outcome;
   }
@@ -481,6 +510,7 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     outcome.timing.total_ms = ms_since(start);
     outcome.report.status = outcome.status;
     scratch_metrics().record_peak(scratch.capacity_bytes());
+    arena_metrics().record_peak(scratch.arena.peak_bytes());
     record_outcome_metrics(outcome);
     return outcome;
   }
@@ -499,6 +529,7 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
   outcome.timing.inference_ms = ms_since(inference_start);
   outcome.timing.total_ms = ms_since(start);
   scratch_metrics().record_peak(scratch.capacity_bytes());
+  arena_metrics().record_peak(scratch.arena.peak_bytes());
   record_outcome_metrics(outcome);
   return outcome;
 }

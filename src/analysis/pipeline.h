@@ -18,6 +18,7 @@
 
 #include "analysis/dataset.h"
 #include "analysis/detector.h"
+#include "support/arena.h"
 #include "support/budget.h"
 
 namespace jst::analysis {
@@ -126,9 +127,16 @@ struct ScriptOutcome {
 struct ScriptScratch {
   features::ExtractScratch extract;
   ml::PredictScratch predict;
+  // Pooled front-end arena: the lexer, token stream, and AST of every
+  // script this worker analyzes live here. parse_program resets it (not
+  // frees it) per script, so steady-state lex+parse reuses the same
+  // chunks and allocates nothing. Reuse and footprint are reported via
+  // jst_arena_reuse_total and jst_arena_peak_bytes.
+  support::Arena arena;
 
   std::size_t capacity_bytes() const {
-    return extract.capacity_bytes() + predict.capacity_bytes();
+    return extract.capacity_bytes() + predict.capacity_bytes() +
+           arena.capacity_bytes();
   }
 };
 

@@ -1,5 +1,8 @@
 #include "ast/ast.h"
 
+#include <new>
+#include <type_traits>
+
 namespace jst {
 
 std::string_view node_kind_name(NodeKind kind) {
@@ -144,24 +147,39 @@ bool Node::is_loop() const {
   }
 }
 
+// reset() reclaims node storage without running destructors, so the
+// whole Node (including its NodeList and payload views) must be trivial
+// to destroy.
+static_assert(std::is_trivially_destructible_v<Node>);
+
+void NodeList::grow(std::size_t at_least) {
+  std::size_t next = capacity_ == 0 ? 4 : static_cast<std::size_t>(capacity_) * 2;
+  while (next < at_least) next *= 2;
+  Node** grown = arena_->alloc_array<Node*>(next);
+  for (std::size_t i = 0; i < size_; ++i) grown[i] = data_[i];
+  data_ = grown;
+  capacity_ = static_cast<std::uint32_t>(next);
+}
+
 Node* Ast::make(NodeKind kind) {
   if (budget_ != nullptr) budget_->charge_ast_nodes();
-  nodes_.emplace_back();
-  Node* node = &nodes_.back();
+  Node* node = new (arena_->allocate(sizeof(Node), alignof(Node))) Node();
   node->kind = kind;
+  node->kids.set_arena(arena_);
+  ++allocated_;
   return node;
 }
 
-Node* Ast::make_identifier(std::string name) {
+Node* Ast::make_identifier(std::string_view name) {
   Node* node = make(NodeKind::kIdentifier);
-  node->str_value = std::move(name);
+  node->str_value = intern(name);
   return node;
 }
 
-Node* Ast::make_string(std::string value) {
+Node* Ast::make_string(std::string_view value) {
   Node* node = make(NodeKind::kLiteral);
   node->lit_kind = LiteralKind::kString;
-  node->str_value = std::move(value);
+  node->str_value = intern(value);
   return node;
 }
 
@@ -185,19 +203,21 @@ Node* Ast::make_null() {
   return node;
 }
 
-Node* Ast::make_regex(std::string pattern, std::string flags) {
+Node* Ast::make_regex(std::string_view pattern, std::string_view flags) {
   Node* node = make(NodeKind::kLiteral);
   node->lit_kind = LiteralKind::kRegExp;
-  node->str_value = std::move(pattern);
-  node->raw = std::move(flags);
+  node->str_value = intern(pattern);
+  node->raw = intern(flags);
   return node;
 }
 
 Node* Ast::clone(const Node* node) {
   if (node == nullptr) return nullptr;
   Node* copy = make(node->kind);
-  copy->str_value = node->str_value;
-  copy->raw = node->raw;
+  // Payload text is re-interned so a clone into a fresh Ast (different
+  // arena) owns its bytes and survives the source tree's arena reset.
+  copy->str_value = intern(node->str_value);
+  copy->raw = intern(node->raw);
   copy->num_value = node->num_value;
   copy->lit_kind = node->lit_kind;
   copy->flag_a = node->flag_a;
@@ -212,17 +232,21 @@ Node* Ast::clone(const Node* node) {
 std::size_t Ast::finalize() {
   node_count_ = 0;
   if (root_ == nullptr) return 0;
-  // Iterative pre-order traversal assigning ids and parents.
-  std::vector<Node*> stack = {root_};
+  // Iterative pre-order traversal assigning ids and parents. The stack is
+  // arena-allocated (each node is pushed at most once, so allocated_
+  // bounds its growth); the transient block is reclaimed at the next
+  // arena reset, keeping finalize() heap-allocation-free.
+  Node** stack = arena_->alloc_array<Node*>(allocated_ + 1);
+  std::size_t depth = 0;
+  stack[depth++] = root_;
   root_->parent = nullptr;
-  while (!stack.empty()) {
-    Node* node = stack.back();
-    stack.pop_back();
+  while (depth > 0) {
+    Node* node = stack[--depth];
     node->id = static_cast<std::uint32_t>(node_count_++);
     for (auto it = node->kids.rbegin(); it != node->kids.rend(); ++it) {
       if (*it != nullptr) {
         (*it)->parent = node;
-        stack.push_back(*it);
+        stack[depth++] = *it;
       }
     }
   }

@@ -8,13 +8,15 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <functional>
+#include <initializer_list>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "support/arena.h"
 #include "support/budget.h"
 #include "support/error.h"
 
@@ -102,13 +104,132 @@ enum class LiteralKind : std::uint8_t {
 
 std::string_view node_kind_name(NodeKind kind);
 
+struct Node;
+
+// Child list living entirely in the owning Ast's arena: a vector-shaped
+// span of Node* grown by doubling (the abandoned block is reclaimed at
+// the arena's next reset). Trivially destructible, so Node storage can be
+// dropped wholesale without running destructors. The API mirrors the
+// std::vector<Node*> it replaced — only the operations the parser and
+// transformers actually use.
+class NodeList {
+ public:
+  using value_type = Node*;
+  using iterator = Node**;
+  using const_iterator = Node* const*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  NodeList() = default;
+
+  // Wired by Ast::make(); every growth allocation comes from here.
+  void set_arena(support::Arena* arena) { arena_ = arena; }
+
+  Node** begin() { return data_; }
+  Node** end() { return data_ + size_; }
+  Node* const* begin() const { return data_; }
+  Node* const* end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Node*& operator[](std::size_t i) { return data_[i]; }
+  Node* operator[](std::size_t i) const { return data_[i]; }
+  Node*& front() { return data_[0]; }
+  Node* front() const { return data_[0]; }
+  Node*& back() { return data_[size_ - 1]; }
+  Node* back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+  void pop_back() { --size_; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted > capacity_) grow(wanted);
+  }
+
+  void push_back(Node* node) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = node;
+  }
+
+  // Single-element insert; returns an iterator to the inserted element.
+  iterator insert(const_iterator pos, Node* node) {
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    if (size_ == capacity_) grow(size_ + 1);
+    for (std::size_t i = size_; i > at; --i) data_[i] = data_[i - 1];
+    data_[at] = node;
+    ++size_;
+    return data_ + at;
+  }
+
+  // Range insert (used by transformers splicing statement lists).
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    const std::size_t count =
+        static_cast<std::size_t>(std::distance(first, last));
+    if (count == 0) return data_ + at;
+    if (size_ + count > capacity_) grow(size_ + count);
+    for (std::size_t i = size_; i > at; --i) {
+      data_[i + count - 1] = data_[i - 1];
+    }
+    std::size_t i = at;
+    for (It it = first; it != last; ++it) data_[i++] = *it;
+    size_ += count;
+    return data_ + at;
+  }
+
+  iterator erase(const_iterator pos) {
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    for (std::size_t i = at; i + 1 < size_; ++i) data_[i] = data_[i + 1];
+    --size_;
+    return data_ + at;
+  }
+
+  NodeList& operator=(std::initializer_list<Node*> nodes) {
+    clear();
+    reserve(nodes.size());
+    for (Node* node : nodes) data_[size_++] = node;
+    return *this;
+  }
+
+  void assign(std::initializer_list<Node*> nodes) { *this = nodes; }
+
+  // Replace the contents with a copied range (transformers rebuilding a
+  // statement list in a transient std::vector).
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    insert(cend(), first, last);
+  }
+
+ private:
+  void grow(std::size_t at_least);
+
+  support::Arena* arena_ = nullptr;
+  Node** data_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = 0;
+};
+
 struct Node {
   NodeKind kind = NodeKind::kProgram;
-  std::vector<Node*> kids;
+  NodeList kids;
 
-  // Payload (meaning depends on kind; see enum comments).
-  std::string str_value;
-  std::string raw;          // literal raw text / regex flags
+  // Payload (meaning depends on kind; see enum comments). Views into the
+  // owning Ast's arena (or static/token storage); use Ast::intern() when
+  // assigning text that does not already have arena lifetime.
+  std::string_view str_value;
+  std::string_view raw;     // literal raw text / regex flags
   double num_value = 0.0;
   LiteralKind lit_kind = LiteralKind::kNull;
   bool flag_a = false;      // computed / prefix / delegate / expression-body
@@ -131,25 +252,44 @@ struct Node {
   Node* kid(std::size_t i) const { return i < kids.size() ? kids[i] : nullptr; }
 };
 
-// Arena-owning AST. Node addresses are stable (deque storage). Typical
-// lifecycle: parser builds nodes via make(), sets the root, and calls
-// finalize() to assign ids/parents; transformers may mutate the tree and
-// re-finalize.
+// Arena-backed AST. Nodes are placement-constructed in the arena, so
+// addresses are stable for the arena's epoch (chunks never move) and the
+// whole tree is reclaimed by a single arena reset — no destructors run.
+// Typical lifecycle: parser builds nodes via make(), sets the root, and
+// calls finalize() to assign ids/parents; transformers may mutate the
+// tree and re-finalize.
+//
+// An Ast either owns a private arena (default constructor) or borrows a
+// pooled one (analysis::ScriptScratch hands the same arena to every
+// script its worker analyzes; parse_program resets it per script).
 class Ast {
  public:
-  Ast() = default;
+  Ast() : owned_arena_(std::make_unique<support::Arena>()),
+          arena_(owned_arena_.get()) {}
+  explicit Ast(support::Arena* arena) : arena_(arena) {}
   Ast(Ast&&) noexcept = default;
   Ast& operator=(Ast&&) noexcept = default;
   Ast(const Ast&) = delete;
   Ast& operator=(const Ast&) = delete;
 
   Node* make(NodeKind kind);
-  Node* make_identifier(std::string name);
-  Node* make_string(std::string value);
+  Node* make_identifier(std::string_view name);
+  Node* make_string(std::string_view value);
   Node* make_number(double value);
   Node* make_bool(bool value);
   Node* make_null();
-  Node* make_regex(std::string pattern, std::string flags);
+  Node* make_regex(std::string_view pattern, std::string_view flags);
+
+  // Copies `text` into the arena and returns the stable view. Required
+  // whenever a Node payload is assigned text whose storage does not
+  // already outlive the tree (local std::strings in transformers, etc.).
+  std::string_view intern(std::string_view text) {
+    return arena_->alloc_string(text);
+  }
+
+  // The arena nodes, payloads, and kid arrays live in.
+  support::Arena& arena() { return *arena_; }
+  const support::Arena& arena() const { return *arena_; }
 
   // Deep copy of `node` (and its subtree) into this arena.
   Node* clone(const Node* node);
@@ -169,13 +309,15 @@ class Ast {
   std::size_t finalize();
 
   // Number of nodes allocated in the arena (including detached ones).
-  std::size_t allocated() const { return nodes_.size(); }
+  std::size_t allocated() const { return allocated_; }
   // Number of nodes reachable from the root after the last finalize().
   std::size_t node_count() const { return node_count_; }
 
  private:
-  std::deque<Node> nodes_;
+  std::unique_ptr<support::Arena> owned_arena_;  // null when pooled
+  support::Arena* arena_ = nullptr;
   Node* root_ = nullptr;
+  std::size_t allocated_ = 0;
   std::size_t node_count_ = 0;
   Budget* budget_ = nullptr;
 };

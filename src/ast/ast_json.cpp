@@ -108,7 +108,8 @@ void emit(const Node* node, JsonWriter& json) {
         case LiteralKind::kBoolean: json.value(node->num_value != 0.0); break;
         case LiteralKind::kNull: json.null(); break;
         case LiteralKind::kRegExp:
-          json.value("/" + node->str_value + "/" + node->raw);
+          json.value("/" + std::string(node->str_value) + "/" +
+                     std::string(node->raw));
           break;
       }
       if (!node->raw.empty() && node->lit_kind == LiteralKind::kNumber) {

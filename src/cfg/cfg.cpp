@@ -97,7 +97,7 @@ class CfgBuilder {
     }
   }
 
-  Exits visit_body(const std::vector<Node*>& statements, const Node& owner) {
+  Exits visit_body(const NodeList& statements, const Node& owner) {
     Exits previous = {&owner};
     bool first = true;
     for (const Node* statement : statements) {
@@ -232,7 +232,8 @@ class CfgBuilder {
 
       case NodeKind::kBreakStatement: {
         const std::string label =
-            node.kid(0) != nullptr ? node.kids[0]->str_value : std::string();
+            node.kid(0) != nullptr ? std::string(node.kids[0]->str_value)
+                                   : std::string();
         for (auto it = breakables_.rbegin(); it != breakables_.rend(); ++it) {
           if (label.empty() || it->label == label) {
             it->break_sink->push_back(&node);
@@ -244,7 +245,8 @@ class CfgBuilder {
 
       case NodeKind::kContinueStatement: {
         const std::string label =
-            node.kid(0) != nullptr ? node.kids[0]->str_value : std::string();
+            node.kid(0) != nullptr ? std::string(node.kids[0]->str_value)
+                                   : std::string();
         for (auto it = breakables_.rbegin(); it != breakables_.rend(); ++it) {
           if (it->continue_target != nullptr &&
               (label.empty() || it->label == label)) {

@@ -1047,7 +1047,7 @@ class Printer {
         token("null");
         break;
       case LiteralKind::kRegExp:
-        token("/" + node.str_value + "/" + node.raw);
+        token("/" + std::string(node.str_value) + "/" + std::string(node.raw));
         break;
     }
   }

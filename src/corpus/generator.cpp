@@ -64,7 +64,7 @@ Node* ProgramGenerator::gen_literal() {
       return ast_->make_number(static_cast<double>(rng_.uniform_int(0, 10000)));
     case 5: {
       Node* literal = ast_->make_number(rng_.uniform(0.0, 10.0));
-      literal->raw = strings::format_double(literal->num_value, 3);
+      literal->raw = ast_->intern(strings::format_double(literal->num_value, 3));
       return literal;
     }
     case 6:
@@ -132,7 +132,7 @@ Node* ProgramGenerator::gen_binary(int depth) {
   Node* node = ast_->make(op == "&&" || op == "||"
                               ? NodeKind::kLogicalExpression
                               : NodeKind::kBinaryExpression);
-  node->str_value = op;
+  node->str_value = ast_->intern(op);
   Node* left = depth > 0 ? gen_expression(depth - 1) : gen_reference();
   Node* right = depth > 0 ? gen_expression(depth - 1) : gen_literal();
   node->kids = {left, right};
@@ -194,12 +194,13 @@ Node* ProgramGenerator::gen_function_expression(int depth, bool arrow) {
 Node* ProgramGenerator::gen_template_literal(int depth) {
   Node* node = ast_->make(NodeKind::kTemplateLiteral);
   Node* head = ast_->make(NodeKind::kTemplateElement);
-  head->str_value = std::string(rng_.choice(string_pool())) + " ";
+  head->str_value =
+      ast_->intern(std::string(rng_.choice(string_pool())) + " ");
   Node* tail = ast_->make(NodeKind::kTemplateElement);
   tail->str_value = rng_.bernoulli(0.5)
-                        ? std::string(" ") +
-                              std::string(rng_.choice(string_pool()))
-                        : std::string();
+                        ? ast_->intern(std::string(" ") +
+                                       std::string(rng_.choice(string_pool())))
+                        : std::string_view();
   node->kids = {head, depth > 0 ? gen_expression(depth - 1) : gen_reference(),
                 tail};
   return node;

@@ -1,6 +1,8 @@
 #include "dataflow/dataflow.h"
 
 #include <memory>
+#include <span>
+#include <string_view>
 #include <utility>
 
 #include "ast/walk.h"
@@ -88,9 +90,10 @@ class DataFlowBuilder {
     return scope;
   }
 
-  std::size_t bind(const std::string& name, Scope* scope,
+  std::size_t bind(std::string_view name, Scope* scope,
                    const Node* declaration) {
-    auto it = scope->bindings.find(name);
+    const std::string key(name);
+    auto it = scope->bindings.find(key);
     if (it != scope->bindings.end()) {
       // Redeclaration (var x twice, or function overriding var): keep the
       // first binding, update the declaration node if missing.
@@ -99,17 +102,18 @@ class DataFlowBuilder {
       return it->second;
     }
     Binding binding;
-    binding.name = name;
+    binding.name = key;
     binding.declaration = declaration;
     out_.bindings.push_back(std::move(binding));
     const std::size_t index = out_.bindings.size() - 1;
-    scope->bindings.emplace(name, index);
+    scope->bindings.emplace(key, index);
     return index;
   }
 
-  Binding* resolve(const std::string& name, Scope* scope) {
+  Binding* resolve(std::string_view name, Scope* scope) {
+    const std::string key(name);
     for (Scope* s = scope; s != nullptr; s = s->parent) {
-      auto it = s->bindings.find(name);
+      auto it = s->bindings.find(key);
       if (it != s->bindings.end()) return &out_.bindings[it->second];
     }
     return nullptr;
@@ -196,7 +200,10 @@ class DataFlowBuilder {
   }
 
   // Binds let/const/class declared directly in this statement list.
-  void collect_lexical(const std::vector<Node*>& statements, Scope* scope) {
+  // Templated over the list type: callers pass the arena-backed NodeList
+  // or (for switch cases) a span over a kid-list tail.
+  template <typename StatementList>
+  void collect_lexical(const StatementList& statements, Scope* scope) {
     for (const Node* statement : statements) {
       if (statement == nullptr) continue;
       if (statement->kind == NodeKind::kVariableDeclaration &&
@@ -522,8 +529,8 @@ class DataFlowBuilder {
         for (std::size_t i = 1; i < node->kids.size(); ++i) {
           const Node* switch_case = node->kids[i];
           collect_lexical(
-              std::vector<Node*>(switch_case->kids.begin() + 1,
-                                 switch_case->kids.end()),
+              std::span<Node* const>(switch_case->kids.begin() + 1,
+                                     switch_case->kids.end()),
               switch_scope);
         }
         for (std::size_t i = 1; i < node->kids.size(); ++i) {

@@ -8,7 +8,7 @@ namespace jst {
 ScriptAnalysis analyze_script(std::string_view source,
                               const AnalysisOptions& options) {
   ScriptAnalysis analysis;
-  analysis.parse = parse_program(source, options.budget);
+  analysis.parse = parse_program(source, options.budget, options.arena);
   if (options.build_cfg) {
     JST_SPAN("cfg");
     if (options.budget != nullptr) options.budget->set_stage("cfg");

@@ -24,6 +24,12 @@ struct AnalysisOptions {
   // Non-owning reusable data-flow builder workspace (capacity survives
   // across scripts); nullptr allocates per call.
   DataFlowScratch* dataflow_scratch = nullptr;
+  // Non-owning pooled front-end arena (support/arena.h). When set, the
+  // lexer, token stream, and AST all live in it and parse_program resets
+  // it first — the per-script pooling contract: the returned
+  // ScriptAnalysis is valid only until the arena's next reset. nullptr
+  // gives the Ast a private arena (fully self-contained result).
+  support::Arena* arena = nullptr;
 };
 
 struct ScriptAnalysis {

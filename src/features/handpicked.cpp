@@ -68,7 +68,7 @@ int decoder_builtin_index(std::string_view name) {
   }
 }
 
-bool looks_encoded(const std::string& value) {
+bool looks_encoded(std::string_view value) {
   if (value.size() < 8) return false;
   // Long strings with very low space frequency and either high entropy or
   // base64/hex shape are typical of packed payloads.
@@ -87,7 +87,7 @@ bool looks_encoded(const std::string& value) {
   return false;
 }
 
-bool is_hexlike_identifier(const std::string& name) {
+bool is_hexlike_identifier(std::string_view name) {
   // _0x1a2b3c or similar machine-generated names.
   if (name.size() >= 4 && name[0] == '_' && name[1] == '0' &&
       (name[2] == 'x' || name[2] == 'X')) {
@@ -146,7 +146,7 @@ void gather_handpicked(const Node& node, ExtractCounters& c) {
   switch (node.kind) {
     case NodeKind::kIdentifier: {
       ++c.identifiers;
-      const std::string& name = node.str_value;
+      const std::string_view name = node.str_value;
       c.identifier_lengths.push_back(static_cast<double>(name.size()));
       if (name.size() == 1) ++c.identifiers_len1;
       if (name.size() == 2) ++c.identifiers_len2;

@@ -7,13 +7,14 @@
 
 namespace jst::interp {
 
-void Environment::declare(const std::string& name, Value value) {
-  bindings_[name] = std::move(value);
+void Environment::declare(std::string_view name, Value value) {
+  bindings_[std::string(name)] = std::move(value);
 }
 
-void Environment::assign(const std::string& name, Value value) {
+void Environment::assign(std::string_view name, Value value) {
+  const std::string key(name);
   for (Environment* env = this; env != nullptr; env = env->parent_.get()) {
-    auto it = env->bindings_.find(name);
+    auto it = env->bindings_.find(key);
     if (it != env->bindings_.end()) {
       it->second = std::move(value);
       return;
@@ -22,23 +23,25 @@ void Environment::assign(const std::string& name, Value value) {
   // Sloppy-mode implicit global.
   Environment* root = this;
   while (root->parent_ != nullptr) root = root->parent_.get();
-  root->bindings_[name] = std::move(value);
+  root->bindings_[key] = std::move(value);
 }
 
-Value Environment::get(const std::string& name) const {
+Value Environment::get(std::string_view name) const {
+  const std::string key(name);
   for (const Environment* env = this; env != nullptr;
        env = env->parent_.get()) {
-    const auto it = env->bindings_.find(name);
+    const auto it = env->bindings_.find(key);
     if (it != env->bindings_.end()) return it->second;
   }
-  throw ThrownValue{Value(std::string("ReferenceError: " + name +
+  throw ThrownValue{Value(std::string("ReferenceError: " + key +
                                       " is not defined"))};
 }
 
-bool Environment::has(const std::string& name) const {
+bool Environment::has(std::string_view name) const {
+  const std::string key(name);
   for (const Environment* env = this; env != nullptr;
        env = env->parent_.get()) {
-    if (env->bindings_.count(name) > 0) return true;
+    if (env->bindings_.count(key) > 0) return true;
   }
   return false;
 }
@@ -376,7 +379,7 @@ Interpreter::Completion Interpreter::exec_statement(const Node* node,
     }
 
     case NodeKind::kLabeledStatement: {
-      const std::string& label = node->kids[0]->str_value;
+      const std::string_view label = node->kids[0]->str_value;
       const Completion completion = exec_statement(node->kids[1], environment);
       if ((completion.type == CompletionType::kBreak ||
            completion.type == CompletionType::kContinue) &&
@@ -439,9 +442,13 @@ Interpreter::Completion Interpreter::exec_statement(const Node* node,
 std::string Interpreter::property_key(const Node* key_node, bool computed,
                                       const EnvPtr& environment) {
   if (computed) return to_string_value(eval(key_node, environment));
-  if (key_node->kind == NodeKind::kIdentifier) return key_node->str_value;
+  if (key_node->kind == NodeKind::kIdentifier) {
+    return std::string(key_node->str_value);
+  }
   if (key_node->kind == NodeKind::kLiteral) {
-    if (key_node->lit_kind == LiteralKind::kString) return key_node->str_value;
+    if (key_node->lit_kind == LiteralKind::kString) {
+      return std::string(key_node->str_value);
+    }
     return to_string_value(Value(key_node->num_value));
   }
   throw InterpreterError("unsupported property key");
@@ -579,7 +586,8 @@ void Interpreter::bind_pattern(const Node* pattern, const Value& value,
   }
 }
 
-Value Interpreter::get_member(const Value& object, const std::string& key) {
+Value Interpreter::get_member(const Value& object, std::string_view key_view) {
+  const std::string key(key_view);
   if (const std::string* text = std::get_if<std::string>(&object)) {
     if (key == "length") return static_cast<double>(text->size());
     if (!key.empty() &&
@@ -607,8 +615,9 @@ Value Interpreter::get_member(const Value& object, const std::string& key) {
                                       key + "'"))};
 }
 
-void Interpreter::set_member(const Value& object, const std::string& key,
+void Interpreter::set_member(const Value& object, std::string_view key_view,
                              Value value) {
+  const std::string key(key_view);
   if (const ObjectPtr* obj = std::get_if<ObjectPtr>(&object)) {
     (*obj)->set(key, std::move(value));
     return;
@@ -636,7 +645,7 @@ void Interpreter::assign_target(const Node* target, Value value,
     const std::string key =
         target->flag_a
             ? to_string_value(eval(target->kids[1], environment))
-            : target->kids[1]->str_value;
+            : std::string(target->kids[1]->str_value);
     set_member(object, key, std::move(value));
     return;
   }
@@ -649,7 +658,7 @@ void Interpreter::assign_target(const Node* target, Value value,
 }
 
 Value Interpreter::eval_binary(const Node* node, const EnvPtr& environment) {
-  const std::string& op = node->str_value;
+  const std::string_view op = node->str_value;
   const Value left = eval(node->kids[0], environment);
 
   if (op == "&&") {
@@ -740,7 +749,8 @@ Value Interpreter::eval_binary(const Node* node, const EnvPtr& environment) {
     return false;
   }
   if (op == "instanceof") return false;  // no prototype chain modeled
-  throw InterpreterError("unsupported binary operator " + op);
+  throw InterpreterError("unsupported binary operator " +
+                         std::string(op));
 }
 
 Value Interpreter::eval_call(const Node* node, const EnvPtr& environment) {
@@ -752,7 +762,7 @@ Value Interpreter::eval_call(const Node* node, const EnvPtr& environment) {
     const std::string key =
         callee->flag_a
             ? to_string_value(eval(callee->kids[1], environment))
-            : callee->kids[1]->str_value;
+            : std::string(callee->kids[1]->str_value);
     this_value = object;
     function = get_member(object, key);
   } else {
@@ -790,7 +800,7 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
 
     case NodeKind::kLiteral:
       switch (node->lit_kind) {
-        case LiteralKind::kString: return node->str_value;
+        case LiteralKind::kString: return std::string(node->str_value);
         case LiteralKind::kNumber: return node->num_value;
         case LiteralKind::kBoolean: return node->num_value != 0.0;
         case LiteralKind::kNull: return Null{};
@@ -808,7 +818,7 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
       for (const Node* kid : node->kids) {
         if (kid->kind == NodeKind::kTemplateElement) {
           // Cooked value: unescape the raw chunk minimally.
-          const std::string& raw = kid->str_value;
+          const std::string_view raw = kid->str_value;
           for (std::size_t i = 0; i < raw.size(); ++i) {
             if (raw[i] == '\\' && i + 1 < raw.size()) {
               const char next = raw[++i];
@@ -887,7 +897,7 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
     }
 
     case NodeKind::kUnaryExpression: {
-      const std::string& op = node->str_value;
+      const std::string_view op = node->str_value;
       if (op == "typeof") {
         // typeof undeclaredVar does not throw.
         const Node* argument = node->kids[0];
@@ -904,7 +914,7 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
           const std::string key =
               argument->flag_a
                   ? to_string_value(eval(argument->kids[1], environment))
-                  : argument->kids[1]->str_value;
+                  : std::string(argument->kids[1]->str_value);
           if (const ObjectPtr* obj = std::get_if<ObjectPtr>(&object)) {
             (*obj)->properties.erase(key);
             return true;
@@ -925,7 +935,8 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
         return static_cast<double>(~as_int);
       }
       if (op == "void") return Undefined{};
-      throw InterpreterError("unsupported unary operator " + op);
+      throw InterpreterError("unsupported unary operator " +
+                             std::string(op));
     }
 
     case NodeKind::kUpdateExpression: {
@@ -945,7 +956,7 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
       return eval_binary(node, environment);
 
     case NodeKind::kAssignmentExpression: {
-      const std::string& op = node->str_value;
+      const std::string_view op = node->str_value;
       if (op == "=") {
         Value value = eval(node->kids[1], environment);
         assign_target(node->kids[0], value, environment);
@@ -975,7 +986,7 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
       Value result;
       {
         // Reuse eval_binary's logic via a tiny shim: build values directly.
-        const std::string& bop = binary.str_value;
+        const std::string_view bop = binary.str_value;
         if (bop == "+") {
           if (std::holds_alternative<std::string>(current) ||
               std::holds_alternative<std::string>(rhs)) {
@@ -994,7 +1005,8 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
         } else if (bop == "**") {
           result = std::pow(to_number(current), to_number(rhs));
         } else {
-          throw InterpreterError("unsupported compound assignment " + op);
+          throw InterpreterError("unsupported compound assignment " +
+                               std::string(op));
         }
       }
       assign_target(target, result, environment);
@@ -1031,7 +1043,7 @@ Value Interpreter::eval(const Node* node, const EnvPtr& environment) {
       const Value object = eval(node->kids[0], environment);
       const std::string key =
           node->flag_a ? to_string_value(eval(node->kids[1], environment))
-                       : node->kids[1]->str_value;
+                       : std::string(node->kids[1]->str_value);
       return get_member(object, key);
     }
 

@@ -25,14 +25,14 @@ class Environment : public std::enable_shared_from_this<Environment> {
       : parent_(std::move(parent)) {}
 
   // Declares (or redeclares) in this environment.
-  void declare(const std::string& name, Value value);
+  void declare(std::string_view name, Value value);
   // Assigns to the nearest declaration; declares globally if absent
   // (sloppy mode).
-  void assign(const std::string& name, Value value);
+  void assign(std::string_view name, Value value);
   // Looks up through the chain; throws ThrownValue(ReferenceError string)
   // if absent.
-  Value get(const std::string& name) const;
-  bool has(const std::string& name) const;
+  Value get(std::string_view name) const;
+  bool has(std::string_view name) const;
 
   Environment* parent() { return parent_.get(); }
 
@@ -90,8 +90,8 @@ class Interpreter {
   Value eval_call(const Node* node, const EnvPtr& environment);
   Value eval_member_object(const Node* member, const EnvPtr& environment,
                            Value* this_out);
-  Value get_member(const Value& object, const std::string& key);
-  void set_member(const Value& object, const std::string& key, Value value);
+  Value get_member(const Value& object, std::string_view key);
+  void set_member(const Value& object, std::string_view key, Value value);
   void assign_target(const Node* target, Value value, const EnvPtr& environment);
   void bind_pattern(const Node* pattern, const Value& value,
                     const EnvPtr& environment, bool declare);

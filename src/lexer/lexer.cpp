@@ -32,14 +32,24 @@ bool is_id_part(char c) {
 
 bool is_line_terminator(char c) { return c == '\n' || c == '\r'; }
 
+unsigned hex_value(char c) {
+  if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+  return static_cast<unsigned>(c - 'A' + 10);
+}
+
+std::string_view view_of(const support::ArenaVec<char>& cooked) {
+  return std::string_view(cooked.data(), cooked.size());
+}
+
 }  // namespace
 
 bool is_js_keyword(std::string_view word) {
   return keyword_set().count(word) > 0;
 }
 
-Lexer::Lexer(std::string_view source, Budget* budget)
-    : source_(source), budget_(budget) {}
+Lexer::Lexer(std::string_view source, support::Arena& arena, Budget* budget)
+    : source_(source), arena_(&arena), budget_(budget) {}
 
 char Lexer::peek(std::size_t ahead) const {
   return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
@@ -68,6 +78,10 @@ bool Lexer::match(char expected) {
 
 void Lexer::fail(const std::string& message) const {
   throw ParseError(message, line_, column_);
+}
+
+std::string_view Lexer::slice(std::size_t begin, std::size_t end) const {
+  return source_.substr(begin, end - begin);
 }
 
 void Lexer::skip_trivia() {
@@ -120,7 +134,7 @@ Token Lexer::make_token(TokenType type, std::size_t start_offset,
   token.offset = start_offset;
   token.line = start_line;
   token.column = start_column;
-  token.raw = std::string(source_.substr(start_offset, pos_ - start_offset));
+  token.raw = slice(start_offset, pos_);
   token.newline_before = newline_pending_;
   return token;
 }
@@ -191,14 +205,23 @@ Token Lexer::scan_identifier_or_keyword() {
   const std::size_t start_offset = pos_;
   const std::size_t start_line = line_;
   const std::size_t start_column = column_;
-  std::string name;
+  // Zero-copy fast path: the name is the source slice until a \uXXXX
+  // escape makes the cooked name differ, at which point the prefix is
+  // copied into the arena and cooking continues there.
+  support::ArenaVec<char> cooked(*arena_);
+  bool dirty = false;
   while (!eof()) {
     const char c = peek();
     if (is_id_part(c)) {
-      name.push_back(advance());
+      advance();
+      if (dirty) cooked.push_back(c);
     } else if (c == '\\' && peek(1) == 'u') {
       // \uXXXX identifier escape: decode the hex, keep the low byte as the
       // cooked character (sufficient for the ASCII identifiers we target).
+      if (!dirty) {
+        cooked.append(source_.data() + start_offset, pos_ - start_offset);
+        dirty = true;
+      }
       advance();
       advance();
       unsigned code = 0;
@@ -206,9 +229,7 @@ Token Lexer::scan_identifier_or_keyword() {
         advance();
         while (!eof() && peek() != '}') {
           if (!strings::is_hex_digit(peek())) fail("bad unicode escape");
-          code = code * 16 + static_cast<unsigned>(
-                                 std::strtol(std::string(1, advance()).c_str(),
-                                             nullptr, 16));
+          code = code * 16 + hex_value(advance());
         }
         if (!match('}')) fail("unterminated unicode escape");
       } else {
@@ -216,25 +237,26 @@ Token Lexer::scan_identifier_or_keyword() {
           if (eof() || !strings::is_hex_digit(peek())) {
             fail("bad unicode escape in identifier");
           }
-          code = code * 16 + static_cast<unsigned>(
-                                 std::strtol(std::string(1, advance()).c_str(),
-                                             nullptr, 16));
+          code = code * 16 + hex_value(advance());
         }
       }
-      name.push_back(static_cast<char>(code & 0x7f));
+      cooked.push_back(static_cast<char>(code & 0x7f));
     } else if (static_cast<unsigned char>(c) >= 0x80) {
       // Pass non-ASCII identifier bytes through (UTF-8 identifiers occur in
       // obfuscated code).
-      name.push_back(advance());
+      advance();
+      if (dirty) cooked.push_back(c);
     } else {
       break;
     }
   }
-  if (name.empty()) {
+  if (pos_ == start_offset) {
     // A lone '\' not starting a \uXXXX escape: no progress was made; this
     // must be a hard error or the tokenizer would loop forever.
     fail("unexpected '\\'");
   }
+  const std::string_view name =
+      dirty ? view_of(cooked) : slice(start_offset, pos_);
   Token token;
   if (name == "true" || name == "false") {
     token = make_token(TokenType::kBooleanLiteral, start_offset, start_line,
@@ -249,7 +271,7 @@ Token Lexer::scan_identifier_or_keyword() {
     token = make_token(TokenType::kIdentifier, start_offset, start_line,
                        start_column);
   }
-  token.value = std::move(name);
+  token.value = name;
   return token;
 }
 
@@ -264,8 +286,7 @@ Token Lexer::scan_number() {
     advance();
     if (!strings::is_hex_digit(peek())) fail("missing hex digits");
     while (!eof() && strings::is_hex_digit(peek())) {
-      value = value * 16 +
-              std::strtol(std::string(1, advance()).c_str(), nullptr, 16);
+      value = value * 16 + hex_value(advance());
     }
   } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
     advance();
@@ -279,6 +300,8 @@ Token Lexer::scan_number() {
     while (peek() >= '0' && peek() <= '7') value = value * 8 + (advance() - '0');
   } else if (peek() == '0' && strings::is_ascii_digit(peek(1))) {
     // Legacy octal (non-strict); fall back to decimal if 8/9 appear.
+    // Short digit runs stay in the std::string SSO buffer (strtod needs a
+    // NUL-terminated copy, the source slice is not).
     std::string digits;
     advance();
     while (strings::is_ascii_digit(peek())) digits.push_back(advance());
@@ -315,15 +338,25 @@ Token Lexer::scan_string(char quote) {
   const std::size_t start_line = line_;
   const std::size_t start_column = column_;
   advance();  // opening quote
-  std::string cooked;
+  // Zero-copy fast path: the cooked value equals the source slice between
+  // the quotes until the first backslash; from there the prefix is copied
+  // into the arena and escapes decode into the copy.
+  const std::size_t content_start = pos_;
+  support::ArenaVec<char> cooked(*arena_);
+  bool dirty = false;
   while (true) {
     if (eof()) fail("unterminated string literal");
     char c = advance();
     if (c == quote) break;
     if (is_line_terminator(c)) fail("newline in string literal");
     if (c != '\\') {
-      cooked.push_back(c);
+      if (dirty) cooked.push_back(c);
       continue;
+    }
+    if (!dirty) {
+      cooked.append(source_.data() + content_start,
+                    (pos_ - 1) - content_start);
+      dirty = true;
     }
     if (eof()) fail("unterminated escape sequence");
     const char esc = advance();
@@ -355,8 +388,7 @@ Token Lexer::scan_string(char quote) {
         unsigned code = 0;
         for (int i = 0; i < 2; ++i) {
           if (eof() || !strings::is_hex_digit(peek())) fail("bad hex escape");
-          code = code * 16 + static_cast<unsigned>(std::strtol(
-                                 std::string(1, advance()).c_str(), nullptr, 16));
+          code = code * 16 + hex_value(advance());
         }
         cooked.push_back(static_cast<char>(code));
         break;
@@ -367,8 +399,7 @@ Token Lexer::scan_string(char quote) {
           advance();
           while (!eof() && peek() != '}') {
             if (!strings::is_hex_digit(peek())) fail("bad unicode escape");
-            code = code * 16 + static_cast<unsigned>(std::strtol(
-                                   std::string(1, advance()).c_str(), nullptr, 16));
+            code = code * 16 + hex_value(advance());
           }
           if (!match('}')) fail("unterminated unicode escape");
         } else {
@@ -376,8 +407,7 @@ Token Lexer::scan_string(char quote) {
             if (eof() || !strings::is_hex_digit(peek())) {
               fail("bad unicode escape");
             }
-            code = code * 16 + static_cast<unsigned>(std::strtol(
-                                   std::string(1, advance()).c_str(), nullptr, 16));
+            code = code * 16 + hex_value(advance());
           }
         }
         // Encode as UTF-8.
@@ -404,7 +434,7 @@ Token Lexer::scan_string(char quote) {
   }
   Token token = make_token(TokenType::kStringLiteral, start_offset, start_line,
                            start_column);
-  token.value = std::move(cooked);
+  token.value = dirty ? view_of(cooked) : slice(content_start, pos_ - 1);
   return token;
 }
 
@@ -414,62 +444,71 @@ Token Lexer::scan_template() {
   const std::size_t start_column = column_;
   advance();  // opening backtick
 
-  std::vector<std::string> quasis;
-  std::vector<std::string> expressions;
-  std::string current;
+  // Quasis are always verbatim source slices (escapes are kept raw);
+  // substitution expressions are slices too unless a comment inside was
+  // skipped, which switches that expression to arena-cooked copying.
+  support::ArenaVec<std::string_view> quasis(*arena_);
+  support::ArenaVec<std::string_view> expressions(*arena_);
+  std::size_t chunk_start = pos_;
   while (true) {
     if (eof()) fail("unterminated template literal");
     char c = advance();
-    if (c == '`') break;
+    if (c == '`') {
+      quasis.push_back(slice(chunk_start, pos_ - 1));
+      break;
+    }
     if (c == '\\') {
       if (eof()) fail("unterminated template escape");
-      current.push_back('\\');
-      current.push_back(advance());
+      advance();
       continue;
     }
     if (c == '$' && peek() == '{') {
+      quasis.push_back(slice(chunk_start, pos_ - 1));
       advance();  // '{'
-      quasis.push_back(std::move(current));
-      current.clear();
       // Balanced scan of the substitution expression, skipping over nested
       // strings, templates, and comments so their braces do not count.
-      std::string expr;
+      const std::size_t expr_start = pos_;
+      support::ArenaVec<char> cooked(*arena_);
+      bool dirty = false;
       int depth = 1;
       while (depth > 0) {
         if (eof()) fail("unterminated template substitution");
         char e = advance();
         if (e == '{') {
           ++depth;
-          expr.push_back(e);
+          if (dirty) cooked.push_back(e);
         } else if (e == '}') {
           --depth;
-          if (depth > 0) expr.push_back(e);
+          if (depth > 0 && dirty) cooked.push_back(e);
         } else if (e == '"' || e == '\'') {
-          expr.push_back(e);
+          if (dirty) cooked.push_back(e);
           while (true) {
             if (eof()) fail("unterminated string in template substitution");
             char s = advance();
-            expr.push_back(s);
+            if (dirty) cooked.push_back(s);
             if (s == '\\') {
               if (eof()) fail("unterminated escape");
-              expr.push_back(advance());
+              const char esc = advance();
+              if (dirty) cooked.push_back(esc);
             } else if (s == e) {
               break;
             }
           }
         } else if (e == '`') {
           // Nested template: balanced scan with its own substitution depth.
-          expr.push_back(e);
+          if (dirty) cooked.push_back(e);
           int nested_subst = 0;
           while (true) {
             if (eof()) fail("unterminated nested template");
             char t = advance();
-            expr.push_back(t);
+            if (dirty) cooked.push_back(t);
             if (t == '\\') {
               if (eof()) fail("unterminated escape");
-              expr.push_back(advance());
+              const char esc = advance();
+              if (dirty) cooked.push_back(esc);
             } else if (t == '$' && peek() == '{') {
-              expr.push_back(advance());
+              const char brace = advance();
+              if (dirty) cooked.push_back(brace);
               ++nested_subst;
             } else if (t == '}' && nested_subst > 0) {
               --nested_subst;
@@ -478,8 +517,20 @@ Token Lexer::scan_template() {
             }
           }
         } else if (e == '/' && peek() == '/') {
+          // Comment bytes are dropped from the expression, so the cooked
+          // text diverges from the slice here.
+          if (!dirty) {
+            cooked.append(source_.data() + expr_start,
+                          (pos_ - 1) - expr_start);
+            dirty = true;
+          }
           while (!eof() && !is_line_terminator(peek())) advance();
         } else if (e == '/' && peek() == '*') {
+          if (!dirty) {
+            cooked.append(source_.data() + expr_start,
+                          (pos_ - 1) - expr_start);
+            dirty = true;
+          }
           advance();
           while (!eof() && !(peek() == '*' && peek(1) == '/')) advance();
           if (!eof()) {
@@ -487,21 +538,22 @@ Token Lexer::scan_template() {
             advance();
           }
         } else {
-          expr.push_back(e);
+          if (dirty) cooked.push_back(e);
         }
       }
-      expressions.push_back(std::move(expr));
-    } else {
-      current.push_back(c);
+      expressions.push_back(dirty ? view_of(cooked)
+                                  : slice(expr_start, pos_ - 1));
+      chunk_start = pos_;
     }
   }
-  quasis.push_back(std::move(current));
 
   Token token =
       make_token(TokenType::kTemplate, start_offset, start_line, start_column);
   token.value = token.raw;
-  token.template_expressions = std::move(expressions);
-  token.template_quasis = std::move(quasis);
+  token.template_expressions =
+      std::span<const std::string_view>(expressions.data(), expressions.size());
+  token.template_quasis =
+      std::span<const std::string_view>(quasis.data(), quasis.size());
   return token;
 }
 
@@ -510,7 +562,9 @@ Token Lexer::scan_regex() {
   const std::size_t start_line = line_;
   const std::size_t start_column = column_;
   advance();  // '/'
-  std::string pattern;
+  // The pattern is always the verbatim slice between the delimiting
+  // slashes (escapes are kept raw), so no cooking is ever needed.
+  const std::size_t pattern_start = pos_;
   bool in_class = false;
   while (true) {
     if (eof()) fail("unterminated regular expression");
@@ -518,22 +572,21 @@ Token Lexer::scan_regex() {
     if (is_line_terminator(c)) fail("newline in regular expression");
     if (c == '\\') {
       if (eof()) fail("unterminated regex escape");
-      pattern.push_back('\\');
-      pattern.push_back(advance());
+      advance();
       continue;
     }
     if (c == '[') in_class = true;
     if (c == ']') in_class = false;
     if (c == '/' && !in_class) break;
-    pattern.push_back(c);
   }
-  std::string flags;
-  while (!eof() && is_id_part(peek())) flags.push_back(advance());
+  const std::string_view pattern = slice(pattern_start, pos_ - 1);
+  const std::size_t flags_start = pos_;
+  while (!eof() && is_id_part(peek())) advance();
 
   Token token = make_token(TokenType::kRegularExpression, start_offset,
                            start_line, start_column);
-  token.value = std::move(pattern);
-  token.regex_flags = std::move(flags);
+  token.value = pattern;
+  token.regex_flags = slice(flags_start, pos_);
   return token;
 }
 
@@ -560,7 +613,7 @@ Token Lexer::scan_punctuator() {
       for (std::size_t i = 0; i < candidate.size(); ++i) advance();
       Token token = make_token(TokenType::kPunctuator, start_offset, start_line,
                                start_column);
-      token.value = std::string(candidate);
+      token.value = candidate;  // static storage, outlives every arena
       return token;
     }
   }
@@ -569,20 +622,21 @@ Token Lexer::scan_punctuator() {
       advance();
       Token token = make_token(TokenType::kPunctuator, start_offset, start_line,
                                start_column);
-      token.value = std::string(candidate);
+      token.value = candidate;
       return token;
     }
   }
   fail(std::string("unexpected character '") + peek() + "'");
 }
 
-std::vector<Token> Lexer::tokenize(std::string_view source) {
-  Lexer lexer(source);
+std::vector<Token> Lexer::tokenize(std::string_view source,
+                                   support::Arena& arena) {
+  Lexer lexer(source, arena);
   std::vector<Token> tokens;
   while (true) {
     Token token = lexer.next();
     if (token.type == TokenType::kEndOfFile) break;
-    tokens.push_back(std::move(token));
+    tokens.push_back(token);
   }
   return tokens;
 }

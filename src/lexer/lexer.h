@@ -8,6 +8,11 @@
 // from division by previous-token context, as in Esprima's tokenizer),
 // comments (line, block, and HTML-comment-like `<!--`), and the full
 // punctuator set.
+// Tokens are zero-copy: payload views point into the caller's `source`
+// buffer (which must stay alive and unmoved for as long as the tokens
+// are used) or, when unescaping changed the text, into storage cooked
+// into the caller's Arena. parse_program arranges for both lifetimes to
+// coincide by copying the script into the arena first (DESIGN.md §12).
 #pragma once
 
 #include <optional>
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "lexer/token.h"
+#include "support/arena.h"
 #include "support/budget.h"
 #include "support/error.h"
 
@@ -23,17 +29,22 @@ namespace jst {
 
 class Lexer {
  public:
-  // `budget`, when non-null, is charged one token per next() call and
-  // polled for the wall-clock deadline every Budget::kDeadlinePollStride
-  // tokens; a tripped ceiling throws BudgetExceeded out of next().
-  explicit Lexer(std::string_view source, Budget* budget = nullptr);
+  // `arena` receives cooked token payloads (escaped strings/identifiers,
+  // template spans); `budget`, when non-null, is charged one token per
+  // next() call and polled for the wall-clock deadline every
+  // Budget::kDeadlinePollStride tokens; a tripped ceiling throws
+  // BudgetExceeded out of next().
+  Lexer(std::string_view source, support::Arena& arena,
+        Budget* budget = nullptr);
 
   // Scans and returns the next token; returns kEndOfFile at the end.
   // Throws ParseError on malformed input.
   Token next();
 
-  // Tokenizes an entire source (excluding the EOF token).
-  static std::vector<Token> tokenize(std::string_view source);
+  // Tokenizes an entire source (excluding the EOF token). The returned
+  // tokens view into `source` and `arena`.
+  static std::vector<Token> tokenize(std::string_view source,
+                                     support::Arena& arena);
 
   // Number of comments skipped so far and their total byte size.
   std::size_t comment_count() const { return comment_count_; }
@@ -47,6 +58,8 @@ class Lexer {
   char advance();
   bool match(char expected);
   [[noreturn]] void fail(const std::string& message) const;
+  // View of source_[begin, end).
+  std::string_view slice(std::size_t begin, std::size_t end) const;
 
   // Skips whitespace and comments; records whether a newline was crossed.
   void skip_trivia();
@@ -66,6 +79,7 @@ class Lexer {
   bool regex_allowed() const;
 
   std::string_view source_;
+  support::Arena* arena_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t column_ = 0;

@@ -3,12 +3,18 @@
 // Mirrors Esprima's token taxonomy so that downstream token-level features
 // match the paper's abstraction (§III-A: "we also leverage Esprima to
 // collect lexical units (i.e., tokens)").
+//
+// Token payloads are zero-copy views (DESIGN.md §12): they point into the
+// arena-stable copy of the source when the cooked value equals the raw
+// slice (the overwhelmingly common case), and into arena-copied cooked
+// storage only when unescaping changed the text. Either way the bytes
+// live exactly as long as the Arena epoch the token was lexed under, so a
+// Token is trivially copyable and never owns heap memory.
 #pragma once
 
 #include <cstddef>
-#include <string>
+#include <span>
 #include <string_view>
-#include <vector>
 
 namespace jst {
 
@@ -31,17 +37,17 @@ struct Token {
   TokenType type = TokenType::kEndOfFile;
   // Cooked value: identifier name, keyword text, decoded string value,
   // punctuator text, regex pattern (without flags), raw template text.
-  std::string value;
+  std::string_view value;
   // Exact source slice.
-  std::string raw;
+  std::string_view raw;
   // For numeric literals.
   double number = 0.0;
   // For regular expressions.
-  std::string regex_flags;
+  std::string_view regex_flags;
   // For templates: source slices of each ${...} substitution expression.
-  std::vector<std::string> template_expressions;
+  std::span<const std::string_view> template_expressions;
   // Cooked text chunks between substitutions (size = substitutions + 1).
-  std::vector<std::string> template_quasis;
+  std::span<const std::string_view> template_quasis;
 
   std::size_t offset = 0;  // byte offset of the first character
   std::size_t line = 1;    // 1-based

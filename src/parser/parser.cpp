@@ -71,11 +71,20 @@ struct ParserDepthGuard {
   Parser& parser_;
 };
 
-ParseResult parse_program(std::string_view source, Budget* budget) {
-  ParseResult result;
+ParseResult parse_program(std::string_view source, Budget* budget,
+                          support::Arena* arena) {
+  // Pooled contract: the caller's arena is rewound for this script; any
+  // previous ParseResult built in it is dead from here on.
+  if (arena != nullptr) arena->reset();
+  ParseResult result{arena != nullptr ? Ast(arena) : Ast()};
+  support::Arena& frontend_arena = result.ast.arena();
+  // Copy the script into the arena so token/node views never dangle on
+  // the caller's buffer (one memcpy; reclaimed by the pooled reset).
+  const std::string_view stable_source = frontend_arena.alloc_string(source);
+
   if (budget != nullptr) budget->set_stage("lex");
-  Lexer lexer(source, budget);
-  std::vector<Token> tokens;
+  Lexer lexer(stable_source, frontend_arena, budget);
+  support::ArenaVec<Token> tokens(frontend_arena);
   {
     JST_SPAN("lex");
     TokenStats& stats = result.token_stats;
@@ -86,7 +95,7 @@ ParseResult parse_program(std::string_view source, Budget* budget) {
       stats.raw_bytes += static_cast<double>(token.raw.size());
       stats.max_line_length =
           std::max(stats.max_line_length, token.column + token.raw.size());
-      tokens.push_back(std::move(token));
+      tokens.push_back(token);
     }
     stats.count = tokens.size();
   }
@@ -94,13 +103,13 @@ ParseResult parse_program(std::string_view source, Budget* budget) {
   result.comment_bytes = lexer.comment_bytes();
   result.source_bytes = source.size();
   result.source_lines = lexer.line();
-  result.tokens = tokens;
+  result.tokens = std::span<const Token>(tokens.data(), tokens.size());
 
   JST_SPAN("parse");
   if (budget != nullptr) budget->set_stage("parse");
   result.ast.set_budget(budget);
   try {
-    Parser parser(std::move(tokens), result.ast, budget);
+    Parser parser(result.tokens, result.ast, budget);
     Node* root = parser.parse_program_body();
     result.ast.set_root(root);
     result.ast.finalize();
@@ -122,8 +131,8 @@ bool parses(std::string_view source) {
   }
 }
 
-Parser::Parser(std::vector<Token> tokens, Ast& ast, Budget* budget)
-    : tokens_(std::move(tokens)), ast_(ast), budget_(budget) {
+Parser::Parser(std::span<const Token> tokens, Ast& ast, Budget* budget)
+    : tokens_(tokens), ast_(ast), budget_(budget) {
   eof_token_.type = TokenType::kEndOfFile;
   eof_token_.line = tokens_.empty() ? 1 : tokens_.back().line;
 }
@@ -167,8 +176,8 @@ bool Parser::match_keyword(std::string_view text) {
 
 void Parser::expect_punct(std::string_view text) {
   if (!match_punct(text)) {
-    fail("expected '" + std::string(text) + "' but found '" + current().value +
-         "'");
+    fail("expected '" + std::string(text) + "' but found '" +
+         std::string(current().value) + "'");
   }
 }
 
@@ -188,7 +197,7 @@ void Parser::consume_semicolon() {
   // Automatic semicolon insertion: allowed before '}', at EOF, or when the
   // offending token sits on a new line.
   if (at_end() || check_punct("}") || current().newline_before) return;
-  fail("expected ';' but found '" + current().value + "'");
+  fail("expected ';' but found '" + std::string(current().value) + "'");
 }
 
 bool Parser::is_arrow_ahead(std::size_t ahead) const {
@@ -694,7 +703,9 @@ Node* Parser::parse_class(bool is_declaration) {
     }
     bool is_async = false;
     bool is_generator = false;
-    std::string method_kind = "method";
+    // View-safe: every candidate value is a string literal (static) or a
+    // token payload (arena lifetime), so the node can keep the view.
+    std::string_view method_kind = "method";
     if (check_identifier("async") && !check_punct("(", 1) &&
         !peek(1).newline_before) {
       advance();
@@ -830,7 +841,7 @@ Node* Parser::parse_binary(int min_precedence) {
   while (true) {
     const int precedence = binary_precedence(current());
     if (precedence < 0 || precedence < min_precedence) break;
-    const std::string op = advance().value;
+    const std::string_view op = advance().value;
     // '**' is right-associative; everything else left-associative.
     const int next_min = (op == "**") ? precedence : precedence + 1;
     Node* right = parse_binary(next_min);
@@ -1053,14 +1064,19 @@ Node* Parser::parse_template_literal(const Token& token) {
 }
 
 Node* Parser::parse_subexpression(std::string_view source) {
-  Lexer lexer(source, budget_);
-  std::vector<Token> tokens;
+  // `source` is a template-expression view with arena lifetime already
+  // (slice of the stable source or arena-cooked), so the nested lexer can
+  // cook into the same arena without copying the sub-source again.
+  support::Arena& arena = ast_.arena();
+  Lexer lexer(source, arena, budget_);
+  support::ArenaVec<Token> tokens(arena);
   while (true) {
     Token token = lexer.next();
     if (token.type == TokenType::kEndOfFile) break;
-    tokens.push_back(std::move(token));
+    tokens.push_back(token);
   }
-  Parser sub(std::move(tokens), ast_, budget_);
+  Parser sub(std::span<const Token>(tokens.data(), tokens.size()), ast_,
+             budget_);
   Node* expression = sub.parse_expression();
   if (!sub.at_end()) {
     fail("trailing tokens in template substitution");
@@ -1279,7 +1295,7 @@ Node* Parser::parse_primary() {
       if (token.value == "new") {
         return parse_new();
       }
-      fail("unexpected keyword '" + token.value + "' in expression");
+      fail("unexpected keyword '" + std::string(token.value) + "' in expression");
     }
     case TokenType::kPunctuator: {
       if (token.value == "(") {
@@ -1290,7 +1306,7 @@ Node* Parser::parse_primary() {
       }
       if (token.value == "[") return parse_array_literal();
       if (token.value == "{") return parse_object_literal();
-      fail("unexpected token '" + token.value + "'");
+      fail("unexpected token '" + std::string(token.value) + "'");
     }
     default:
       fail("unexpected token");

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "ast/ast.h"
 #include "lexer/lexer.h"
+#include "support/arena.h"
 
 namespace jst {
 
@@ -38,7 +40,11 @@ struct TokenStats {
 
 struct ParseResult {
   Ast ast;
-  std::vector<Token> tokens;     // full token stream (no EOF)
+  // Full token stream (no EOF), stored in the same arena as the AST. The
+  // span (and every token payload view) shares the arena's lifetime: for
+  // an owned-arena parse it lives as long as `ast`; for a pooled-arena
+  // parse it is valid until the pool's next reset.
+  std::span<const Token> tokens;
   TokenStats token_stats;
   std::size_t comment_count = 0;
   std::size_t comment_bytes = 0;
@@ -50,16 +56,25 @@ struct ParseResult {
 // `budget` is charged per token and per AST node and checked against its
 // depth ceiling and deadline; a tripped ceiling throws BudgetExceeded
 // (the budget pointer is detached from the returned Ast before returning).
-ParseResult parse_program(std::string_view source, Budget* budget = nullptr);
+//
+// When `arena` is non-null the whole front end runs in it — it is reset()
+// first (per-script pooling contract: at most one live ParseResult per
+// pooled arena), the source is copied in so every token/node view has
+// arena lifetime, and the Ast borrows it instead of owning one. With a
+// null arena the Ast owns a private arena and the result is fully
+// self-contained.
+ParseResult parse_program(std::string_view source, Budget* budget = nullptr,
+                          support::Arena* arena = nullptr);
 
 // Convenience: true if the source parses.
 bool parses(std::string_view source);
 
 class Parser {
  public:
-  // `tokens` must not contain the EOF token. `budget`, when non-null, has
-  // its AST-depth ceiling checked on every nesting step.
-  Parser(std::vector<Token> tokens, Ast& ast, Budget* budget = nullptr);
+  // `tokens` must not contain the EOF token and must stay alive for the
+  // parse (parse_program keeps it in the arena). `budget`, when non-null,
+  // has its AST-depth ceiling checked on every nesting step.
+  Parser(std::span<const Token> tokens, Ast& ast, Budget* budget = nullptr);
 
   Node* parse_program_body();
 
@@ -116,6 +131,8 @@ class Parser {
   Node* parse_object_property();
   Node* parse_template_literal(const Token& token);
   Node* parse_arrow_tail(std::vector<Node*> params, bool is_async);
+  // (params travel through a transient std::vector; they are copied into
+  // the arena-backed kid list when attached to the function node.)
   Node* parse_property_key(bool* computed);
   Node* parse_function_rest(Node* function_node);  // params + body
 
@@ -127,7 +144,7 @@ class Parser {
   // Reparses a sub-source (template substitution) into this arena.
   Node* parse_subexpression(std::string_view source);
 
-  std::vector<Token> tokens_;
+  std::span<const Token> tokens_;
   std::size_t index_ = 0;
   Ast& ast_;
   Budget* budget_ = nullptr;

@@ -129,7 +129,7 @@ std::string inject_dead_code(std::string_view source, Rng& rng,
       rebuilt.push_back(make_dead_statement(ast, rng, pool));
       ++injected;
     }
-    container->kids = std::move(rebuilt);
+    container->kids.assign(rebuilt.begin(), rebuilt.end());
   }
   ast.finalize();
   // Dead-code injectors (obfuscator.io) rename identifiers and compact

@@ -62,7 +62,7 @@ bool contains_rebinding_jump(const Node& node, bool inside_protector) {
   return false;
 }
 
-void flatten_list(Ast& ast, std::vector<Node*>& statements, Rng& rng,
+void flatten_list(Ast& ast, NodeList& statements, Rng& rng,
                   const FlattenOptions& options) {
   // Partition: leading hoisted declarations stay, the longest safe run is
   // flattened.
@@ -147,10 +147,10 @@ void flatten_list(Ast& ast, std::vector<Node*>& statements, Rng& rng,
   Node* loop = ast.make(NodeKind::kWhileStatement);
   loop->kids = {ast.make_bool(true), loop_body};
 
-  statements = std::move(head);
+  statements.assign(head.begin(), head.end());
   statements.push_back(declaration);
   statements.push_back(loop);
-  statements.insert(statements.end(), tail.begin(), tail.end());
+  statements.insert(statements.cend(), tail.begin(), tail.end());
 }
 
 }  // namespace

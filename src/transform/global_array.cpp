@@ -46,7 +46,7 @@ std::string global_array_transform(std::string_view source, Rng& rng,
   std::vector<std::string> table;
   std::vector<std::size_t> literal_index(strings_found.size());
   for (std::size_t i = 0; i < strings_found.size(); ++i) {
-    const std::string& value = strings_found[i]->str_value;
+    const std::string_view value = strings_found[i]->str_value;
     std::size_t index = table.size();
     for (std::size_t j = 0; j < table.size(); ++j) {
       if (table[j] == value) {
@@ -54,7 +54,7 @@ std::string global_array_transform(std::string_view source, Rng& rng,
         break;
       }
     }
-    if (index == table.size()) table.push_back(value);
+    if (index == table.size()) table.emplace_back(value);
     literal_index[i] = index;
   }
   rng.shuffle(table);
@@ -81,11 +81,11 @@ std::string global_array_transform(std::string_view source, Rng& rng,
     Node* call = ast.make(NodeKind::kCallExpression);
     Node* index_literal = ast.make_number(
         static_cast<double>(static_cast<long long>(literal_index[i]) + offset));
-    index_literal->raw =
+    index_literal->raw = ast.intern(
         "0x" + strings::to_base_n(
                    static_cast<std::uint64_t>(
                        static_cast<long long>(literal_index[i]) + offset),
-                   16);
+                   16));
     call->kids = {ast.make_identifier(accessor_name), index_literal};
     Node* parent = literal->parent;
     for (Node*& kid : parent->kids) {
@@ -112,8 +112,8 @@ std::string global_array_transform(std::string_view source, Rng& rng,
   Node* index_expr = ast.make(NodeKind::kBinaryExpression);
   index_expr->str_value = "-";
   Node* offset_literal = ast.make_number(static_cast<double>(offset));
-  offset_literal->raw =
-      "0x" + strings::to_base_n(static_cast<std::uint64_t>(offset), 16);
+  offset_literal->raw = ast.intern(
+      "0x" + strings::to_base_n(static_cast<std::uint64_t>(offset), 16));
   index_expr->kids = {ast.make_identifier("i"), offset_literal};
   Node* member = ast.make(NodeKind::kMemberExpression);
   member->flag_a = true;

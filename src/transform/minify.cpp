@@ -60,7 +60,7 @@ bool fold_constants(Ast& ast, Node* root) {
         const double b = right->num_value;
         double result = 0.0;
         bool ok = true;
-        const std::string& op = node.str_value;
+        const std::string_view op = node.str_value;
         if (op == "+") result = a + b;
         else if (op == "-") result = a - b;
         else if (op == "*") result = a * b;
@@ -74,7 +74,8 @@ bool fold_constants(Ast& ast, Node* root) {
         }
       } else if (is_string_literal(left) && is_string_literal(right) &&
                  node.str_value == "+") {
-        Node* literal = ast.make_string(left->str_value + right->str_value);
+        Node* literal = ast.make_string(std::string(left->str_value) +
+                                        std::string(right->str_value));
         replace_node(node, *literal);
         changed = true;
       }
@@ -110,12 +111,12 @@ void shorten_booleans(Ast& ast, Node* root) {
       return;  // literal key position
     }
     Node* zero_or_one = ast.make_number(node.num_value != 0.0 ? 0.0 : 1.0);
-    Node bang;
-    bang.kind = NodeKind::kUnaryExpression;
-    bang.str_value = "!";
-    bang.flag_a = true;
-    bang.kids = {zero_or_one};
-    replace_node(node, bang);
+    // Arena-allocated (not a stack Node): the kid list needs the arena.
+    Node* bang = ast.make(NodeKind::kUnaryExpression);
+    bang->str_value = "!";
+    bang->flag_a = true;
+    bang->kids = {zero_or_one};
+    replace_node(node, *bang);
   });
 }
 
@@ -147,18 +148,16 @@ void simplify_statements(Ast& ast, Node* root) {
         if (alternate_expression == nullptr) return;
         Node* ternary = ast.make(NodeKind::kConditionalExpression);
         ternary->kids = {test, consequent_expression, alternate_expression};
-        Node statement;
-        statement.kind = NodeKind::kExpressionStatement;
-        statement.kids = {ternary};
-        replace_node(node, statement);
+        Node* statement = ast.make(NodeKind::kExpressionStatement);
+        statement->kids = {ternary};
+        replace_node(node, *statement);
       } else {
         Node* logical = ast.make(NodeKind::kLogicalExpression);
         logical->str_value = "&&";
         logical->kids = {test, consequent_expression};
-        Node statement;
-        statement.kind = NodeKind::kExpressionStatement;
-        statement.kids = {logical};
-        replace_node(node, statement);
+        Node* statement = ast.make(NodeKind::kExpressionStatement);
+        statement->kids = {logical};
+        replace_node(node, *statement);
       }
     }
   });
@@ -214,7 +213,7 @@ void clean_statement_lists(Node* root, bool merge_vars) {
           break;
       }
     }
-    node.kids = std::move(rebuilt);
+    node.kids.assign(rebuilt.begin(), rebuilt.end());
   });
 }
 

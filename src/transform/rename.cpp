@@ -30,7 +30,8 @@ std::size_t rename_bindings(
     if (inserted) {
       it->second = make_name(ordinal++, binding.name);
     }
-    const std::string& new_name = it->second;
+    // Interned so the payload view outlives the local mapping table.
+    const std::string_view new_name = ast.intern(it->second);
     const auto apply = [&](const Node* node) {
       // Nodes come from this AST; renaming via const_cast is confined here.
       auto* mutable_node = const_cast<Node*>(node);

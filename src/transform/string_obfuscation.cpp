@@ -1,6 +1,7 @@
 // String obfuscation (gnirts / custom-encoding style): string literals are
 // split into concatenation chains, rewritten with hex escape sequences, or
 // rebuilt through String.fromCharCode.
+#include <string_view>
 #include "ast/walk.h"
 #include "codegen/codegen.h"
 #include "parser/parser.h"
@@ -24,10 +25,10 @@ bool rewritable_position(const Node& literal) {
   }
 }
 
-Node* make_concat_chain(Ast& ast, const std::string& value,
+Node* make_concat_chain(Ast& ast, std::string_view value,
                         std::size_t chunk_count, Rng& rng) {
   // Split into chunk_count pieces at random cut points.
-  std::vector<std::string> chunks;
+  std::vector<std::string_view> chunks;
   std::size_t start = 0;
   for (std::size_t i = 1; i < chunk_count && start < value.size(); ++i) {
     const std::size_t remaining = value.size() - start;
@@ -49,7 +50,7 @@ Node* make_concat_chain(Ast& ast, const std::string& value,
   return left;
 }
 
-Node* make_from_char_code(Ast& ast, const std::string& value) {
+Node* make_from_char_code(Ast& ast, std::string_view value) {
   // String.fromCharCode(c0, c1, ...)
   Node* string_id = ast.make_identifier("String");
   Node* member = ast.make(NodeKind::kMemberExpression);

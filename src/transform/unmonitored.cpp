@@ -101,8 +101,8 @@ std::string obfuscate_integers(std::string_view source, Rng& rng,
         Node* inner = ast.make(NodeKind::kBinaryExpression);
         inner->str_value = "^";
         Node* mask_literal = ast.make_number(static_cast<double>(mask));
-        mask_literal->raw =
-            "0x" + strings::to_base_n(static_cast<std::uint64_t>(mask), 16);
+        mask_literal->raw = ast.intern(
+            "0x" + strings::to_base_n(static_cast<std::uint64_t>(mask), 16));
         // Only non-negative 32-bit values survive ^ faithfully.
         if (value < 0 || value > 0x7fffffff) {
           Node* sum = ast.make(NodeKind::kBinaryExpression);

@@ -6,7 +6,11 @@ namespace jst {
 namespace {
 
 std::vector<Token> lex(std::string_view source) {
-  return Lexer::tokenize(source);
+  // Token payload views must outlive the returned vector, so the cooked
+  // storage lives in a test-lifetime arena. Source text is a string
+  // literal (static storage), so slice-backed payloads are always safe.
+  static support::Arena arena;
+  return Lexer::tokenize(source, arena);
 }
 
 TEST(Lexer, EmptyInput) {
@@ -129,7 +133,8 @@ TEST(Lexer, RegexWithCharacterClassSlash) {
 }
 
 TEST(Lexer, CommentsAreCounted) {
-  Lexer lexer("// line\nx /* block\ncomment */ y");
+  support::Arena arena;
+  Lexer lexer("// line\nx /* block\ncomment */ y", arena);
   std::vector<Token> tokens;
   while (true) {
     Token token = lexer.next();
@@ -151,7 +156,9 @@ TEST(Lexer, MultiCharPunctuators) {
   const auto tokens = lex("a === b !== c >>> d ** e => f ?. g ?? h");
   std::vector<std::string> punctuators;
   for (const Token& token : tokens) {
-    if (token.type == TokenType::kPunctuator) punctuators.push_back(token.value);
+    if (token.type == TokenType::kPunctuator) {
+      punctuators.emplace_back(token.value);
+    }
   }
   const std::vector<std::string> expected = {"===", "!==", ">>>", "**",
                                              "=>",  "?.",  "??"};
@@ -163,7 +170,7 @@ TEST(Lexer, CompoundAssignments) {
   std::vector<std::string> ops;
   for (const Token& token : tokens) {
     if (token.type == TokenType::kPunctuator && token.value != ";") {
-      ops.push_back(token.value);
+      ops.emplace_back(token.value);
     }
   }
   const std::vector<std::string> expected = {"+=", "<<=", ">>>=", "**="};
