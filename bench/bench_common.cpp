@@ -81,6 +81,13 @@ std::string write_bench_json(std::string_view bench,
       writer.key("frontend_ms"); writer.value(record.lex_ms + record.parse_ms);
       writer.key("postparse_ms"); writer.value(record.postparse_ms);
     }
+    if (record.latency_p50_ms > 0.0) {
+      writer.key("latency_p50_ms"); writer.value(record.latency_p50_ms);
+      writer.key("latency_p95_ms"); writer.value(record.latency_p95_ms);
+      writer.key("latency_p99_ms"); writer.value(record.latency_p99_ms);
+      writer.key("shed_rate"); writer.value(record.shed_rate);
+      writer.key("offered_qps"); writer.value(record.offered_qps);
+    }
     if (!record.stats_json.empty()) {
       writer.key("stats"); writer.raw(record.stats_json);
     }

@@ -56,6 +56,15 @@ struct BenchRecord {
   double lex_ms = 0.0;
   double parse_ms = 0.0;
   double postparse_ms = 0.0;
+  // Optional serving-path measurements (bench_server_latency): client-
+  // observed round-trip percentiles, shed fraction, and the sustained
+  // request rate the closed-loop clients achieved. Emitted only when a
+  // latency distribution was measured (latency_p50_ms > 0).
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double shed_rate = 0.0;
+  double offered_qps = 0.0;
 };
 
 // Writes `BENCH_<bench>.json` — {"bench":…,"scale":…,"results":[…]} —

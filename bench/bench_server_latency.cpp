@@ -1,0 +1,134 @@
+// Serving-path latency under sustained load (DESIGN.md §13).
+//
+// Starts an in-process jstraced Server on a Unix socket, drives it with
+// the closed-loop client load generator at increasing concurrency, and
+// reports client-observed p50/p99 round-trip latency, achieved QPS, and
+// shed rate per configuration. A final overload configuration (slow
+// service floor, tiny queue, tight deadline) demonstrates admission
+// control shedding instead of queueing to a timeout.
+//
+// Emits BENCH_server_latency.json (see bench_common.h) so the serving
+// latency trajectory is recorded across PRs alongside the batch numbers.
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "support/strings.h"
+
+int main() {
+  using namespace jst;
+
+  bench::print_header("Serving-path latency: jstraced-server round trips",
+                      "service API (DESIGN.md §13); no paper counterpart");
+
+  const std::string socket_path =
+      "/tmp/jstraced_bench_" + std::to_string(::getpid()) + ".sock";
+  const analysis::AnalyzerService service(bench::analyzer());
+
+  // Request bodies: simulated Alexa-population scripts, the same
+  // distribution the batch benches analyze.
+  const auto samples = analysis::simulate_population(
+      analysis::alexa_spec(), bench::scaled(48),
+      strings::fnv1a("bench_server_latency"));
+  std::vector<std::string> sources;
+  sources.reserve(samples.size());
+  for (const analysis::Sample& sample : samples) {
+    sources.push_back(sample.source);
+  }
+
+  std::vector<bench::BenchRecord> records;
+
+  // --- sustained load at increasing concurrency --------------------------
+  {
+    server::ServerConfig config;
+    config.socket_path = socket_path;
+    config.workers = 2;
+    server::Server daemon(service, config);
+    daemon.start();
+
+    for (const std::size_t connections : {1, 2, 4, 8}) {
+      server::LoadOptions load;
+      load.connections = connections;
+      load.requests_per_connection = bench::scaled(64);
+      load.detail = analysis::OutputDetail::kStatus;
+      load.sources = sources;
+      const server::LoadReport report =
+          server::run_load(socket_path, load);
+
+      bench::BenchRecord record;
+      record.config = "connections=" + std::to_string(connections);
+      record.threads = daemon.workers();
+      record.scripts = report.sent;
+      record.wall_ms = report.wall_ms;
+      record.scripts_per_second = report.achieved_qps;
+      record.latency_p50_ms = report.latency_p50_ms;
+      record.latency_p95_ms = report.latency_p95_ms;
+      record.latency_p99_ms = report.latency_p99_ms;
+      record.shed_rate = report.shed_rate();
+      record.offered_qps = report.achieved_qps;
+      records.push_back(record);
+
+      std::printf(
+          "  %-16s p50 %8.2f ms  p99 %8.2f ms  %8.1f req/s  shed %5.1f%%  "
+          "transport errors %llu\n",
+          record.config.c_str(), report.latency_p50_ms, report.latency_p99_ms,
+          report.achieved_qps, 100.0 * report.shed_rate(),
+          static_cast<unsigned long long>(report.transport_errors));
+    }
+    daemon.shutdown();
+  }
+
+  // --- overload: offered rate beyond capacity ----------------------------
+  // One slow worker (5 ms service floor), a 4-deep admission cap, and a
+  // 25 ms deadline: eight closed-loop clients offer far more than one
+  // lane serves, so admission control must shed — the row documents that
+  // overload answers with kOverloaded instead of unbounded queueing.
+  {
+    server::ServerConfig config;
+    config.socket_path = socket_path;
+    config.workers = 1;
+    config.max_queue_depth = 4;
+    config.min_service_ms = 5.0;
+    server::Server daemon(service, config);
+    daemon.start();
+
+    server::LoadOptions load;
+    load.connections = 8;
+    load.requests_per_connection = bench::scaled(32);
+    load.deadline_ms = 25.0;
+    load.detail = analysis::OutputDetail::kStatus;
+    load.sources = sources;
+    const server::LoadReport report = server::run_load(socket_path, load);
+
+    bench::BenchRecord record;
+    record.config = "overload(workers=1,depth=4,deadline=25ms)";
+    record.threads = daemon.workers();
+    record.scripts = report.sent;
+    record.wall_ms = report.wall_ms;
+    record.scripts_per_second = report.achieved_qps;
+    record.latency_p50_ms = report.latency_p50_ms;
+    record.latency_p95_ms = report.latency_p95_ms;
+    record.latency_p99_ms = report.latency_p99_ms;
+    record.shed_rate = report.shed_rate();
+    record.offered_qps = report.achieved_qps;
+    records.push_back(record);
+
+    std::printf(
+        "  %-16s p50 %8.2f ms  p99 %8.2f ms  %8.1f req/s  shed %5.1f%%\n",
+        "overload", report.latency_p50_ms, report.latency_p99_ms,
+        report.achieved_qps, 100.0 * report.shed_rate());
+    bench::print_note(
+        "overload row: shed rate > 0 is the design working — arrivals the "
+        "deadline cannot absorb are answered kOverloaded immediately");
+    daemon.shutdown();
+  }
+
+  bench::write_bench_json("server_latency", records);
+  bench::print_footer();
+  return 0;
+}

@@ -33,6 +33,7 @@
 #include "analysis/wild.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/limits_flags.h"
 #include "support/strings.h"
 
 namespace {
@@ -53,42 +54,28 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string ndjson_out;
   ResourceLimits limits;
-  const auto size_flag = [&](int& i, std::size_t& field) {
-    field = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-  };
   for (int i = 1; i < argc; ++i) {
+    std::string limits_error;
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--ndjson-out") == 0 && i + 1 < argc) {
       ndjson_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--production-limits") == 0) {
-      limits = ResourceLimits::production();
-    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
-      limits.deadline_ms = std::strtod(argv[++i], nullptr);
-    } else if (std::strcmp(argv[i], "--max-source-bytes") == 0 &&
-               i + 1 < argc) {
-      size_flag(i, limits.max_source_bytes);
-    } else if (std::strcmp(argv[i], "--max-tokens") == 0 && i + 1 < argc) {
-      size_flag(i, limits.max_tokens);
-    } else if (std::strcmp(argv[i], "--max-ast-nodes") == 0 && i + 1 < argc) {
-      size_flag(i, limits.max_ast_nodes);
-    } else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
-      size_flag(i, limits.max_ast_depth);
-    } else if (std::strcmp(argv[i], "--max-dataflow-edges") == 0 &&
-               i + 1 < argc) {
-      size_flag(i, limits.max_dataflow_edges);
+    } else if (support::consume_limits_flag(argc, argv, i, limits,
+                                            limits_error)) {
+      if (!limits_error.empty()) {
+        std::fprintf(stderr, "wild_study: %s\n", limits_error.c_str());
+        return 2;
+      }
     } else if (argv[i][0] != '-') {
       per_population = static_cast<std::size_t>(std::atoi(argv[i]));
     } else {
       std::fprintf(stderr,
                    "usage: wild_study [scripts_per_population] "
                    "[--metrics-out FILE] [--trace-out FILE] "
-                   "[--ndjson-out FILE] [--production-limits] "
-                   "[--deadline-ms N] [--max-source-bytes N] "
-                   "[--max-tokens N] [--max-ast-nodes N] [--max-depth N] "
-                   "[--max-dataflow-edges N]\n");
+                   "[--ndjson-out FILE] %s\n",
+                   support::limits_flags_usage());
       return 2;
     }
   }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "analysis/model_io.h"
+#include "analysis/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
@@ -184,70 +185,11 @@ std::string_view to_string(ScriptStatus status) {
 }
 
 std::string ScriptOutcome::to_json() const {
-  JsonWriter writer;
-  writer.begin_object();
-  writer.key("status"); writer.value(to_string(status));
-  writer.key("degraded"); writer.value(degraded());
-  if (!error_message.empty()) {
-    writer.key("error"); writer.value(error_message);
-  }
-  writer.key("timing");
-  writer.begin_object();
-  writer.key("total_ms"); writer.value(timing.total_ms);
-  writer.key("static_analysis_ms"); writer.value(timing.static_analysis_ms);
-  writer.key("features_ms"); writer.value(timing.features_ms);
-  writer.key("inference_ms"); writer.value(timing.inference_ms);
-  writer.end_object();
-  writer.key("budget");
-  if (budget.has_value()) {
-    writer.begin_object();
-    writer.key("kind"); writer.value(jst::to_string(budget->kind));
-    writer.key("limit"); writer.value(budget->limit);
-    writer.key("observed"); writer.value(budget->observed);
-    writer.key("stage"); writer.value(budget->stage);
-    writer.end_object();
-  } else {
-    writer.null();
-  }
-  if (!skipped_stages.empty()) {
-    writer.key("skipped_stages");
-    writer.begin_array();
-    for (const std::string& stage : skipped_stages) writer.value(stage);
-    writer.end_array();
-  }
-  if (!partial_features.empty()) {
-    writer.key("partial_features");
-    writer.begin_array();
-    for (const float value : partial_features) {
-      writer.value(static_cast<double>(value));
-    }
-    writer.end_array();
-  }
-  writer.key("report");
-  if (has_predictions()) {
-    writer.begin_object();
-    writer.key("p_regular"); writer.value(report.level1.p_regular);
-    writer.key("p_minified"); writer.value(report.level1.p_minified);
-    writer.key("p_obfuscated"); writer.value(report.level1.p_obfuscated);
-    writer.key("transformed"); writer.value(report.level1.transformed());
-    writer.key("technique_confidence");
-    writer.begin_array();
-    for (const double confidence : report.technique_confidence) {
-      writer.value(confidence);
-    }
-    writer.end_array();
-    writer.key("techniques");
-    writer.begin_array();
-    for (const transform::Technique technique : report.techniques) {
-      writer.value(transform::technique_name(technique));
-    }
-    writer.end_array();
-    writer.end_object();
-  } else {
-    writer.null();
-  }
-  writer.end_object();
-  return writer.str();
+  // Serialization lives in the versioned wire schema (analysis/wire.h) so
+  // this method, the daemon, and wild_study --ndjson-out emit identical
+  // bytes; v1 preserves the pre-schema field order the golden frontend
+  // fixture was captured against.
+  return wire::script_outcome_json(*this);
 }
 
 TransformationAnalyzer::TransformationAnalyzer(PipelineOptions options)

@@ -4,13 +4,16 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <utility>
 #include <vector>
 
+#include "analysis/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
-#include "support/json_writer.h"
 #include "support/stats.h"
+#include "support/strings.h"
 #include "support/thread_pool.h"
 
 namespace jst::analysis {
@@ -32,79 +35,20 @@ BatchMetrics& batch_metrics() {
   return *metrics;
 }
 
-}  // namespace
-
-std::string BatchStats::to_json() const {
-  JsonWriter writer;
-  writer.begin_object();
-  writer.key("total"); writer.value(total);
-  writer.key("ok"); writer.value(ok);
-  writer.key("parse_errors"); writer.value(parse_errors);
-  writer.key("ineligible_size"); writer.value(ineligible_size);
-  writer.key("ineligible_ast"); writer.value(ineligible_ast);
-  writer.key("budget_tokens"); writer.value(budget_tokens);
-  writer.key("budget_ast_nodes"); writer.value(budget_ast_nodes);
-  writer.key("budget_depth"); writer.value(budget_depth);
-  writer.key("budget_dataflow"); writer.value(budget_dataflow);
-  writer.key("deadline_exceeded"); writer.value(deadline_exceeded);
-  writer.key("degraded"); writer.value(degraded);
-  writer.key("budget_tripped"); writer.value(budget_tripped());
-  writer.key("threads"); writer.value(threads);
-  writer.key("wall_ms"); writer.value(wall_ms);
-  writer.key("scripts_per_second"); writer.value(scripts_per_second);
-  writer.key("parse_failure_rate"); writer.value(parse_failure_rate());
-  writer.key("static_analysis_ms"); writer.value(static_analysis_ms);
-  writer.key("features_ms"); writer.value(features_ms);
-  writer.key("inference_ms"); writer.value(inference_ms);
-  writer.key("total_script_ms"); writer.value(total_script_ms);
-  writer.key("p50_script_ms"); writer.value(p50_script_ms);
-  writer.key("p95_script_ms"); writer.value(p95_script_ms);
-  writer.key("p99_script_ms"); writer.value(p99_script_ms);
-  writer.key("max_script_ms"); writer.value(max_script_ms);
-  writer.end_object();
-  return writer.str();
-}
-
-AnalyzerService::AnalyzerService(const TransformationAnalyzer& analyzer)
-    : analyzer_(&analyzer) {
-  if (!analyzer.trained()) {
-    throw ModelError("AnalyzerService: analyzer is not trained");
-  }
-}
-
-ScriptOutcome AnalyzerService::analyze_one(
-    std::string_view source, const ResourceLimits& limits) const {
-  return analyzer_->analyze_outcome(source, limits);
-}
-
-BatchResult AnalyzerService::analyze_batch(
-    std::span<const std::string> sources, const BatchOptions& options) const {
-  BatchResult result;
-  result.outcomes.resize(sources.size());
-  const std::size_t threads = options.threads == 0
-                                  ? support::ThreadPool::default_parallelism()
-                                  : options.threads;
-  result.stats.threads = std::max<std::size_t>(threads, 1);
-
-  JST_SPAN("batch");
-  const auto start = std::chrono::steady_clock::now();
-  support::run_parallel(threads, sources.size(), [&](std::size_t i) {
-    // One scratch per worker thread, reused for every script the worker
-    // analyzes (in this batch and all later ones): feature extraction and
-    // inference run allocation-free once the buffers have warmed up.
-    static thread_local ScriptScratch scratch;
-    result.outcomes[i] =
-        analyzer_->analyze_outcome(sources[i], options.limits, scratch);
-  });
-  result.stats.wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-
-  BatchStats& stats = result.stats;
-  stats.total = result.outcomes.size();
+// Folds the analyzed responses into BatchStats. Only kOk responses carry
+// an outcome that went through the pipeline; rejected requests
+// contribute to no counter (BatchStats doc).
+BatchStats aggregate_stats(std::span<const AnalyzeResponse> responses,
+                           double wall_ms, std::size_t threads) {
+  BatchStats stats;
+  stats.threads = std::max<std::size_t>(threads, 1);
+  stats.wall_ms = wall_ms;
   std::vector<double> script_ms;
-  script_ms.reserve(result.outcomes.size());
-  for (const ScriptOutcome& outcome : result.outcomes) {
+  script_ms.reserve(responses.size());
+  for (const AnalyzeResponse& response : responses) {
+    if (!response.ok()) continue;
+    const ScriptOutcome& outcome = response.outcome;
+    ++stats.total;
     switch (outcome.status) {
       case ScriptStatus::kOk: ++stats.ok; break;
       case ScriptStatus::kParseError: ++stats.parse_errors; break;
@@ -139,11 +83,169 @@ BatchResult AnalyzerService::analyze_batch(
          stats.total_script_ms - stats.stage_ms_sum() <=
              0.05 * stats.total_script_ms +
                  0.05 * static_cast<double>(stats.total));
+  return stats;
+}
+
+}  // namespace
+
+std::string_view to_string(OutputDetail detail) {
+  switch (detail) {
+    case OutputDetail::kStatus: return "status";
+    case OutputDetail::kSummary: return "summary";
+    case OutputDetail::kFull: return "full";
+  }
+  return "full";
+}
+
+std::string_view to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kInvalidRequest: return "invalid_request";
+    case ResponseStatus::kNotFound: return "not_found";
+    case ResponseStatus::kOverloaded: return "overloaded";
+    case ResponseStatus::kDraining: return "draining";
+  }
+  return "invalid_request";
+}
+
+std::string content_hash(std::string_view source) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(strings::fnv1a(source)));
+  return std::string(hex, 16);
+}
+
+AnalyzeRequest AnalyzeRequest::for_source(std::string source, std::string id) {
+  AnalyzeRequest request;
+  request.id = std::move(id);
+  request.source = std::move(source);
+  request.has_source = true;
+  return request;
+}
+
+AnalyzeRequest AnalyzeRequest::for_hash(std::string source_hash,
+                                        std::string id) {
+  AnalyzeRequest request;
+  request.id = std::move(id);
+  request.source_hash = std::move(source_hash);
+  return request;
+}
+
+std::string AnalyzeResponse::to_json() const {
+  return wire::analyze_response_json(*this);
+}
+
+std::string BatchStats::to_json() const {
+  return wire::batch_stats_json(*this);
+}
+
+AnalyzerService::AnalyzerService(const TransformationAnalyzer& analyzer)
+    : analyzer_(&analyzer) {
+  if (!analyzer.trained()) {
+    throw ModelError("AnalyzerService: analyzer is not trained");
+  }
+}
+
+AnalyzeResponse AnalyzerService::analyze_with_scratch(
+    const AnalyzeRequest& request, const ResourceLimits& default_limits,
+    ScriptScratch& scratch) const {
+  AnalyzeResponse response;
+  response.id = request.id;
+  response.detail = request.detail;
+  if (!request.has_source) {
+    if (request.source_hash.empty()) {
+      response.status = ResponseStatus::kInvalidRequest;
+      response.error = "request carries neither source nor source_hash";
+    } else {
+      // Resolution needs a registry of previously seen sources; that
+      // lives in the daemon (server/server.h), which substitutes the
+      // resolved source before calling the service.
+      response.status = ResponseStatus::kNotFound;
+      response.source_hash = request.source_hash;
+      response.error =
+          "source_hash reference requires a resolver; submit the source "
+          "inline first";
+    }
+    return response;
+  }
+  response.source_hash = content_hash(request.source);
+  if (!request.source_hash.empty() &&
+      request.source_hash != response.source_hash) {
+    response.status = ResponseStatus::kInvalidRequest;
+    response.error = "source_hash does not match the inline source (" +
+                     request.source_hash + " vs " + response.source_hash + ")";
+    return response;
+  }
+  const ResourceLimits& limits =
+      request.limits.has_value() ? *request.limits : default_limits;
+  response.outcome = analyzer_->analyze_outcome(request.source, limits,
+                                                scratch);
+  response.status = ResponseStatus::kOk;
+  response.service_ms = response.outcome.timing.total_ms;
+  return response;
+}
+
+AnalyzeResponse AnalyzerService::analyze(
+    const AnalyzeRequest& request, const ResourceLimits& default_limits) const {
+  // Per-thread scratch, shared with every other single-request call this
+  // thread makes (same reuse discipline as the batch workers).
+  static thread_local ScriptScratch scratch;
+  return analyze_with_scratch(request, default_limits, scratch);
+}
+
+BatchResponse AnalyzerService::analyze_batch(
+    std::span<const AnalyzeRequest> requests,
+    const BatchOptions& options) const {
+  BatchResponse result;
+  result.responses.resize(requests.size());
+  const std::size_t threads = support::resolve_threads(options.threads);
+
+  JST_SPAN("batch");
+  const auto start = std::chrono::steady_clock::now();
+  support::run_parallel(threads, requests.size(), [&](std::size_t i) {
+    // One scratch per worker thread, reused for every script the worker
+    // analyzes (in this batch and all later ones): feature extraction and
+    // inference run allocation-free once the buffers have warmed up.
+    static thread_local ScriptScratch scratch;
+    result.responses[i] =
+        analyze_with_scratch(requests[i], options.limits, scratch);
+  });
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  result.stats = aggregate_stats(result.responses, wall_ms, threads);
 
   BatchMetrics& metrics = batch_metrics();
   metrics.batches.add(1);
-  metrics.scripts.add(stats.total);
-  metrics.wall_ms.record(stats.wall_ms);
+  metrics.scripts.add(result.stats.total);
+  metrics.wall_ms.record(result.stats.wall_ms);
+  return result;
+}
+
+ScriptOutcome AnalyzerService::analyze_one(
+    std::string_view source, const ResourceLimits& limits) const {
+  // Deprecated shim: one inline-source request through the request path.
+  AnalyzeRequest request = AnalyzeRequest::for_source(std::string(source));
+  return analyze(request, limits).outcome;
+}
+
+BatchResult AnalyzerService::analyze_batch(
+    std::span<const std::string> sources, const BatchOptions& options) const {
+  // Deprecated shim: adapt each source into an inline request and run the
+  // request-path batch. Outcomes and stats are identical; the adapter
+  // costs one copy of each source.
+  std::vector<AnalyzeRequest> requests;
+  requests.reserve(sources.size());
+  for (const std::string& source : sources) {
+    requests.push_back(AnalyzeRequest::for_source(source));
+  }
+  BatchResponse batch = analyze_batch(requests, options);
+  BatchResult result;
+  result.stats = batch.stats;
+  result.outcomes.reserve(batch.responses.size());
+  for (AnalyzeResponse& response : batch.responses) {
+    result.outcomes.push_back(std::move(response.outcome));
+  }
   return result;
 }
 

@@ -1,16 +1,22 @@
-// Batch-analysis service facade over a trained TransformationAnalyzer.
+// Analysis-as-a-service API over a trained TransformationAnalyzer.
 //
-// The paper's wild study (§IV) classifies hundreds of thousands of scripts;
-// this is the production-shaped entry point for that workload: a span of
-// sources fans out over the thread pool, every script yields a structured
-// ScriptOutcome (status + report + diagnostics + timings), and the batch
-// returns aggregate observability counters (scripts/sec, parse-failure
-// rate, per-stage wall time). Outcomes are positionally aligned with the
-// input and independent of the thread count.
+// The paper's wild study (§IV) classifies hundreds of thousands of scripts
+// under a per-script timeout — a workload shaped like a service, not a
+// batch CLI. This header is the service contract (DESIGN.md §13): every
+// frontend (the batch CLI shims below, the jstraced-server daemon, the
+// bench drivers) builds an AnalyzeRequest, the service answers with an
+// AnalyzeResponse, and both sides of that exchange serialize through the
+// versioned NDJSON wire schema in analysis/wire.h. The original
+// analyze_one / analyze_batch entry points remain as thin adapters over
+// the request path — deprecated but working, like the ScriptStatus and
+// max_bytes migrations before them (DESIGN.md §8, §10).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/pipeline.h"
@@ -18,26 +24,106 @@
 namespace jst::analysis {
 
 struct BatchOptions {
-  // Parallelism for the batch (0 = JST_THREADS / hardware default,
-  // 1 = serial). Results are identical for every value.
+  // Parallelism for the batch (0 = JST_THREADS / hardware default via
+  // support::resolve_threads, 1 = serial). Results are identical for
+  // every value.
   std::size_t threads = 0;
   // Per-script resource ceilings (support/budget.h). Every script in the
   // batch is analyzed under its own Budget built from these limits; tripped
   // ceilings surface as budget statuses / degraded outcomes and are tallied
-  // in BatchStats, never thrown. The default governs nothing. This
-  // supersedes the old max_bytes field: set limits.max_source_bytes for the
-  // former behavior (see DESIGN.md §10).
+  // in BatchStats, never thrown. The default governs nothing. A request's
+  // own limits override (AnalyzeRequest::limits); this field is the batch
+  // default. This supersedes the old max_bytes field: set
+  // limits.max_source_bytes for the former behavior (see DESIGN.md §10).
   ResourceLimits limits;
 };
 
-// Aggregate counters over one analyze_batch call.
+// How much of the analysis outcome a response should carry on the wire
+// (AnalyzeRequest::detail). Analysis work is identical for every level —
+// detail only governs serialization, so a daemon client can trade
+// response size against information.
+enum class OutputDetail : std::uint8_t {
+  kStatus,   // outcome status string only
+  kSummary,  // status + diagnostics + budget trip + timings (no report)
+  kFull,     // the complete ScriptOutcome, report included
+};
+
+std::string_view to_string(OutputDetail detail);
+
+// Disposition of one AnalyzeRequest, distinct from the per-script
+// ScriptStatus: ResponseStatus describes the request/transport layer
+// (admission, resolution, validation) while ScriptStatus describes the
+// analysis itself. A request can be answered kOk while its outcome is a
+// parse error or a budget quarantine.
+enum class ResponseStatus : std::uint8_t {
+  kOk,              // analyzed; outcome populated
+  kInvalidRequest,  // malformed request (no source, bad limits, bad JSON)
+  kNotFound,        // source_hash reference unknown to the resolver
+  kOverloaded,      // admission control shed the request (DESIGN.md §13)
+  kDraining,        // server is shutting down; request not admitted
+};
+
+std::string_view to_string(ResponseStatus status);
+
+// One unit of service work: an inline source (or a content-hash reference
+// to one the resolver has already seen), an optional per-request limits
+// override, and the requested response detail.
+struct AnalyzeRequest {
+  // Opaque client token echoed back verbatim; lets clients correlate
+  // pipelined responses, which the daemon emits in completion order.
+  std::string id;
+  // Inline JS source. `has_source` distinguishes an intentionally empty
+  // script from an absent field (wire requests may carry only a hash).
+  std::string source;
+  bool has_source = false;
+  // Content-hash reference (16 lowercase hex digits, FNV-1a 64 of the
+  // source bytes): names a script previously submitted inline to the same
+  // resolver. Requests carrying both source and hash are validated for
+  // consistency and rejected on mismatch.
+  std::string source_hash;
+  // Per-request override of the service/batch default limits.
+  std::optional<ResourceLimits> limits;
+  OutputDetail detail = OutputDetail::kFull;
+
+  static AnalyzeRequest for_source(std::string source,
+                                   std::string id = std::string());
+  static AnalyzeRequest for_hash(std::string source_hash,
+                                 std::string id = std::string());
+};
+
+// The service's answer: request disposition, the content hash of the
+// analyzed source, the ScriptOutcome (kOk only), and server-side queue
+// metadata. Fields under "daemon-filled" are zero when the service is
+// called in-process (no queue exists).
+struct AnalyzeResponse {
+  ResponseStatus status = ResponseStatus::kInvalidRequest;
+  std::string id;           // echoed from the request
+  std::string source_hash;  // computed (inline) or echoed (reference)
+  ScriptOutcome outcome;    // meaningful only when status == kOk
+  std::string error;        // diagnostic for every non-kOk status
+  OutputDetail detail = OutputDetail::kFull;  // serialization level
+  // --- daemon-filled queue metadata (DESIGN.md §13) ---
+  double queue_ms = 0.0;    // admission -> worker pickup
+  double service_ms = 0.0;  // worker pickup -> response ready
+  std::size_t queue_depth = 0;  // depth observed at admission
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+
+  // One NDJSON line in the versioned wire schema (analysis/wire.h),
+  // honoring `detail`.
+  std::string to_json() const;
+};
+
+// Aggregate counters over one batch call.
 //
 // Stage accounting invariant: the per-stage sums partition the per-script
 // totals — static_analysis_ms + features_ms + inference_ms ≈
 // total_script_ms, where static analysis covers lex + parse + CFG + data
 // flow + the §III-D1 eligibility walk. The residue is only the clock
-// reads between stage boundaries (microseconds per script); analyze_batch
-// asserts the invariant in debug builds.
+// reads between stage boundaries (microseconds per script); the batch
+// aggregator asserts the invariant in debug builds. Only analyzed
+// requests (ResponseStatus::kOk) are counted: a rejected or unresolved
+// request never reaches the pipeline, so it contributes to no counter.
 struct BatchStats {
   std::size_t total = 0;
   std::size_t ok = 0;
@@ -85,13 +171,21 @@ struct BatchStats {
     return static_analysis_ms + features_ms + inference_ms;
   }
 
-  // One self-contained JSON object with every field above, for perf
-  // dashboards and the BENCH_*.json exports.
+  // One self-contained JSON object with every field above, in the
+  // versioned wire schema (analysis/wire.h) — identical bytes whether
+  // emitted here, by the daemon, or by wild_study --ndjson-out.
   std::string to_json() const;
 };
 
 struct BatchResult {
   std::vector<ScriptOutcome> outcomes;  // aligned with the input span
+  BatchStats stats;
+};
+
+// Result of a request-path batch: responses positionally aligned with the
+// requests, plus aggregate stats over the analyzed subset.
+struct BatchResponse {
+  std::vector<AnalyzeResponse> responses;  // aligned with the input span
   BatchStats stats;
 };
 
@@ -101,20 +195,49 @@ class AnalyzerService {
   // otherwise. The service borrows the analyzer, which must outlive it.
   explicit AnalyzerService(const TransformationAnalyzer& analyzer);
 
-  // Analyzes one script under the given resource ceilings (the default
-  // governs nothing). Tripped limits surface as statuses, never throws.
+  // --- request/response API (the primary entry points) ---
+
+  // Serves one request under its own limits (falling back to
+  // `default_limits` when the request carries no override). Never throws
+  // on request or analysis failures — both surface as ResponseStatus /
+  // ScriptStatus. Hash-only requests return kNotFound here: resolution
+  // requires a registry, which the daemon layers on top (server/server.h).
+  AnalyzeResponse analyze(const AnalyzeRequest& request,
+                          const ResourceLimits& default_limits = {}) const;
+
+  // Serves every request concurrently over the thread pool; responses are
+  // positionally aligned and independent of the thread count. Outcomes are
+  // bit-identical to analyze() on each request in isolation.
+  BatchResponse analyze_batch(std::span<const AnalyzeRequest> requests,
+                              const BatchOptions& options = {}) const;
+
+  // --- deprecated shims (thin adapters over the request path) ---
+
+  // DEPRECATED: build an AnalyzeRequest and call analyze() instead.
+  // Equivalent to the request path on an inline-source request; kept
+  // working for existing callers, like the ScriptStatus and max_bytes
+  // migrations before it.
   ScriptOutcome analyze_one(std::string_view source,
                             const ResourceLimits& limits = {}) const;
 
-  // Analyzes every source concurrently; never throws on per-script
-  // failures (they surface as ScriptOutcome statuses).
+  // DEPRECATED: build AnalyzeRequests and call the request-path overload.
+  // Same outcomes and stats; costs one copy of each source into its
+  // adapter request.
   BatchResult analyze_batch(std::span<const std::string> sources,
                             const BatchOptions& options = {}) const;
 
   const TransformationAnalyzer& analyzer() const { return *analyzer_; }
 
  private:
+  AnalyzeResponse analyze_with_scratch(const AnalyzeRequest& request,
+                                       const ResourceLimits& default_limits,
+                                       ScriptScratch& scratch) const;
+
   const TransformationAnalyzer* analyzer_;
 };
+
+// Content hash used for AnalyzeRequest::source_hash references: FNV-1a 64
+// of the raw source bytes, formatted as 16 lowercase hex digits.
+std::string content_hash(std::string_view source);
 
 }  // namespace jst::analysis

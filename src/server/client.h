@@ -1,0 +1,101 @@
+// Blocking client for jstraced-server, plus the closed-loop load
+// generator shared by the jstraced-client binary and
+// bench/bench_server_latency.
+//
+// A Client owns one connection and speaks the NDJSON wire schema
+// (analysis/wire.h): call() writes one request line and blocks until the
+// matching response line arrives. Requests on one Client are strictly
+// sequential; open one Client per thread for concurrency (run_load does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/service.h"
+#include "analysis/wire.h"
+
+namespace jst::server {
+
+class Client {
+ public:
+  // Connects immediately; throws std::runtime_error if the daemon is not
+  // listening on `socket_path`.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // One request, one response. Throws std::runtime_error on transport
+  // failure (connection reset, malformed response line); server-side
+  // rejections come back as regular responses with a non-kOk status.
+  analysis::wire::ParsedResponse call(const analysis::AnalyzeRequest& request);
+
+  // Sends a raw line (appending '\n') and returns the raw response line.
+  // Used for op lines ({"op":"ping"}, {"op":"metrics"}) and by tests that
+  // probe malformed input.
+  std::string call_raw(const std::string& line);
+
+  bool ping();
+  // The registry snapshot as one JSON document (the "metrics" member of
+  // the op response).
+  std::string metrics_json();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+// --- load generation -------------------------------------------------------
+
+struct LoadOptions {
+  // Concurrent connections, each its own thread with its own Client.
+  std::size_t connections = 4;
+  // Requests sent per connection (closed loop: next request leaves when
+  // the previous response arrived).
+  std::size_t requests_per_connection = 64;
+  // Per-request deadline forwarded in the request limits; 0 = none.
+  double deadline_ms = 0.0;
+  // Detail level requested (status-only keeps response parsing off the
+  // measured path).
+  analysis::OutputDetail detail = analysis::OutputDetail::kStatus;
+  // Script bodies to submit, round-robined across requests. Must be
+  // non-empty.
+  std::vector<std::string> sources;
+};
+
+struct LoadReport {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;        // kOverloaded + kDraining responses
+  std::uint64_t rejected = 0;    // kInvalidRequest + kNotFound responses
+  std::uint64_t transport_errors = 0;
+  double wall_ms = 0.0;
+  // Client-observed round-trip latency over completed (non-transport-error)
+  // requests, shed responses included — a shed answer is still an answer.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double achieved_qps = 0.0;
+
+  double shed_rate() const {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(shed) / static_cast<double>(sent);
+  }
+  std::string to_json() const;
+};
+
+// Runs the closed-loop load described by `options` against the daemon at
+// `socket_path` and aggregates what came back. Transport errors count per
+// failed request and end that connection's loop early.
+LoadReport run_load(const std::string& socket_path,
+                    const LoadOptions& options);
+
+}  // namespace jst::server

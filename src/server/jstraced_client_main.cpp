@@ -1,0 +1,129 @@
+// jstraced-client: load generator and probe for jstraced-server.
+//
+//   $ ./jstraced-client --socket /tmp/jstraced.sock --ping
+//   $ ./jstraced-client --socket /tmp/jstraced.sock --metrics
+//   $ ./jstraced-client --socket /tmp/jstraced.sock
+//         --connections 8 --requests 64 --deadline-ms 2000 --json
+//
+// Load mode runs a closed loop per connection (next request leaves when
+// the previous response lands) over simulated Alexa-population scripts
+// and reports client-observed latency percentiles and the shed rate.
+// --json emits the LoadReport as one JSON object on stdout (the format
+// bench_server_latency aggregates); the default is a human summary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/wild.h"
+#include "server/client.h"
+#include "support/strings.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: jstraced-client --socket PATH "
+               "[--ping | --metrics | --connections N --requests N "
+               "[--deadline-ms X] [--detail status|summary|full] "
+               "[--scripts N] [--json]]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jst;
+
+  std::string socket_path;
+  server::LoadOptions options;
+  std::size_t script_count = 32;
+  bool ping = false;
+  bool metrics = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      options.connections = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      options.requests_per_connection =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--detail") == 0 && i + 1 < argc) {
+      const char* level = argv[++i];
+      if (std::strcmp(level, "status") == 0) {
+        options.detail = analysis::OutputDetail::kStatus;
+      } else if (std::strcmp(level, "summary") == 0) {
+        options.detail = analysis::OutputDetail::kSummary;
+      } else if (std::strcmp(level, "full") == 0) {
+        options.detail = analysis::OutputDetail::kFull;
+      } else {
+        usage();
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--scripts") == 0 && i + 1 < argc) {
+      script_count = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      ping = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    if (ping) {
+      server::Client client(socket_path);
+      const bool alive = client.ping();
+      std::printf("%s\n", alive ? "ok" : "unreachable");
+      return alive ? 0 : 1;
+    }
+    if (metrics) {
+      server::Client client(socket_path);
+      std::printf("%s\n", client.metrics_json().c_str());
+      return 0;
+    }
+
+    const auto samples = analysis::simulate_population(
+        analysis::alexa_spec(), script_count, strings::fnv1a("jstraced-client"));
+    options.sources.reserve(samples.size());
+    for (const analysis::Sample& sample : samples) {
+      options.sources.push_back(sample.source);
+    }
+
+    const server::LoadReport report = server::run_load(socket_path, options);
+    if (json) {
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      std::printf(
+          "sent %llu  ok %llu  shed %llu (%.1f%%)  rejected %llu  "
+          "transport errors %llu\n",
+          static_cast<unsigned long long>(report.sent),
+          static_cast<unsigned long long>(report.ok),
+          static_cast<unsigned long long>(report.shed),
+          100.0 * report.shed_rate(),
+          static_cast<unsigned long long>(report.rejected),
+          static_cast<unsigned long long>(report.transport_errors));
+      std::printf(
+          "latency p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms  "
+          "(%.1f req/s over %.0f ms)\n",
+          report.latency_p50_ms, report.latency_p95_ms, report.latency_p99_ms,
+          report.latency_max_ms, report.achieved_qps, report.wall_ms);
+    }
+    return report.transport_errors == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "jstraced-client: %s\n", error.what());
+    return 1;
+  }
+}

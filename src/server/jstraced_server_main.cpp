@@ -1,0 +1,142 @@
+// jstraced-server: the analysis daemon (DESIGN.md §13).
+//
+//   $ ./jstraced-server --socket /tmp/jstraced.sock
+//   $ ./jstraced-server --socket /tmp/jstraced.sock --workers 4
+//         --production-limits --deadline-ms 5000
+//
+// Trains the detectors at startup (--training-regular / --per-technique
+// size the synthetic corpus) or restores a saved model with --model FILE,
+// then serves AnalyzeRequests over the Unix socket until SIGTERM/SIGINT,
+// which triggers a graceful drain: stop accepting, answer every admitted
+// request, shed the rest with kDraining, remove the socket file.
+//
+// The limits flags (support/limits_flags.h) set the *default* per-request
+// ResourceLimits; any request may carry its own override.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/pipeline.h"
+#include "analysis/service.h"
+#include "server/server.h"
+#include "support/limits_flags.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: jstraced-server --socket PATH [--workers N] "
+               "[--max-queue-depth N] [--min-service-ms X] [--model FILE] "
+               "[--training-regular N] [--per-technique N] %s\n",
+               jst::support::limits_flags_usage());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jst;
+
+  server::ServerConfig config;
+  std::string model_path;
+  analysis::PipelineOptions pipeline_options;
+  pipeline_options.training_regular_count = 100;
+  pipeline_options.per_technique_count = 20;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string limits_error;
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      config.socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      config.workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-queue-depth") == 0 &&
+               i + 1 < argc) {
+      config.max_queue_depth = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--min-service-ms") == 0 && i + 1 < argc) {
+      config.min_service_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--training-regular") == 0 &&
+               i + 1 < argc) {
+      pipeline_options.training_regular_count =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--per-technique") == 0 && i + 1 < argc) {
+      pipeline_options.per_technique_count =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (support::consume_limits_flag(argc, argv, i,
+                                            config.default_limits,
+                                            limits_error)) {
+      if (!limits_error.empty()) {
+        std::fprintf(stderr, "jstraced-server: %s\n", limits_error.c_str());
+        return 2;
+      }
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (config.socket_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  // Block the shutdown signals in every thread (workers inherit the mask)
+  // so they can be collected synchronously with sigwait below instead of
+  // in an async handler.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGTERM);
+  sigaddset(&shutdown_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+
+  analysis::TransformationAnalyzer analyzer(pipeline_options);
+  if (!model_path.empty()) {
+    std::ifstream in(model_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "jstraced-server: cannot open model %s\n",
+                   model_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[jstraced] loading model from %s\n",
+                 model_path.c_str());
+    analyzer.load(in);
+  } else {
+    std::fprintf(stderr,
+                 "[jstraced] training detectors (%zu regular, %zu per "
+                 "technique)...\n",
+                 pipeline_options.training_regular_count,
+                 pipeline_options.per_technique_count);
+    analyzer.train();
+  }
+  const analysis::AnalyzerService service(analyzer);
+
+  try {
+    server::Server daemon(service, config);
+    daemon.start();
+    // The readiness line: scripts wait for it before connecting.
+    std::fprintf(stderr, "[jstraced] listening on %s (workers=%zu)\n",
+                 daemon.socket_path().c_str(), daemon.workers());
+    std::fflush(stderr);
+
+    int signal_number = 0;
+    sigwait(&shutdown_signals, &signal_number);
+    std::fprintf(stderr, "[jstraced] signal %d: draining...\n",
+                 signal_number);
+    daemon.shutdown();
+    const server::ServerStats stats = daemon.stats();
+    std::fprintf(stderr,
+                 "[jstraced] drained: %llu connections, %llu admitted, "
+                 "%llu served, %llu shed, %llu invalid\n",
+                 static_cast<unsigned long long>(stats.connections_accepted),
+                 static_cast<unsigned long long>(stats.requests_admitted),
+                 static_cast<unsigned long long>(stats.requests_served),
+                 static_cast<unsigned long long>(stats.requests_shed),
+                 static_cast<unsigned long long>(stats.requests_invalid));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "jstraced-server: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

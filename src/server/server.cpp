@@ -1,0 +1,520 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/wire.h"
+#include "obs/metrics.h"
+#include "support/json_writer.h"
+
+namespace jst::server {
+namespace {
+
+// Daemon telemetry (DESIGN.md §13). One shared instrument family: the
+// registry is process-wide, and a process runs one serving daemon (tests
+// that start several servers share the family, which only blends the p95
+// estimate they already share).
+struct ServerMetrics {
+  obs::Counter& requests =
+      obs::MetricsRegistry::global().counter("jst_server_requests_total");
+  obs::Counter& shed =
+      obs::MetricsRegistry::global().counter("jst_server_shed_total");
+  obs::Counter& connections =
+      obs::MetricsRegistry::global().counter("jst_server_connections_total");
+  obs::Gauge& queue_depth =
+      obs::MetricsRegistry::global().gauge("jst_server_queue_depth");
+  obs::Histogram& queue_ms =
+      obs::MetricsRegistry::global().histogram("jst_server_queue_ms");
+  obs::Histogram& service_ms =
+      obs::MetricsRegistry::global().histogram("jst_server_service_ms");
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics* metrics = new ServerMetrics();  // outlives statics
+  return *metrics;
+}
+
+// Writes the whole buffer, retrying on EINTR / partial writes. Returns
+// false on any hard error (EPIPE when the peer vanished is the common
+// one); MSG_NOSIGNAL keeps a dead peer from killing the daemon.
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+// One accepted client connection. The reader thread owns the read side;
+// responses are written by pool workers under `write_mutex`. The fd is
+// closed only by the reader thread, after every admitted request from
+// this connection has been answered (`pending` reaching 0), so a pool
+// worker can never write into a recycled descriptor.
+struct Server::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::mutex write_mutex;
+  std::mutex pending_mutex;
+  std::condition_variable pending_zero;
+  std::size_t pending = 0;
+  bool stop_reading = false;  // set after a one-shot HTTP exchange
+};
+
+bool Server::should_shed(std::size_t queue_depth, std::size_t workers,
+                         double p95_service_ms, double deadline_ms,
+                         std::size_t max_queue_depth) {
+  if (max_queue_depth > 0 && queue_depth >= max_queue_depth) return true;
+  if (deadline_ms <= 0.0 || p95_service_ms <= 0.0 || queue_depth == 0) {
+    return false;
+  }
+  const double lanes = static_cast<double>(workers == 0 ? 1 : workers);
+  const double estimated_wait_ms =
+      static_cast<double>(queue_depth) * p95_service_ms / lanes;
+  return estimated_wait_ms > deadline_ms;
+}
+
+Server::Server(const analysis::AnalyzerService& service, ServerConfig config)
+    : service_(&service), config_(std::move(config)) {
+  if (config_.socket_path.empty()) {
+    throw std::runtime_error("jstraced-server: socket_path is empty");
+  }
+  workers_ = support::resolve_threads(config_.workers);
+
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("jstraced-server: socket path too long: " +
+                             config_.socket_path);
+  }
+  std::memcpy(address.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("jstraced-server: socket(): ") +
+                             std::strerror(errno));
+  }
+  ::unlink(config_.socket_path.c_str());  // stale file from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("jstraced-server: cannot listen on " +
+                             config_.socket_path + ": " + reason);
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  // `workers_` real worker threads: the pool counts its caller as a lane,
+  // and the reader threads that submit never analyze inline.
+  pool_ = std::make_unique<support::ThreadPool>(workers_ + 1);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket closed (shutdown) or hard error
+    }
+    server_metrics().connections.add(1);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->reader = std::thread([this, raw] { serve_connection(*raw); });
+  }
+}
+
+void Server::serve_connection(Connection& connection) {
+  std::string buffer;
+  char chunk[64 * 1024];
+  bool open = true;
+  while (open && !connection.stop_reading) {
+    const ssize_t n = ::recv(connection.fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error (including shutdown())
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) handle_line(connection, line);
+      if (connection.stop_reading) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  // Every admitted request must be answered before the fd can be closed;
+  // see the Connection invariant above.
+  {
+    std::unique_lock<std::mutex> lock(connection.pending_mutex);
+    connection.pending_zero.wait(lock,
+                                 [&] { return connection.pending == 0; });
+  }
+  std::lock_guard<std::mutex> lock(connection.write_mutex);
+  ::close(connection.fd);
+  connection.fd = -1;
+}
+
+void Server::handle_line(Connection& connection, const std::string& line) {
+  // Raw "GET /metrics" → one-shot HTTP-style scrape (curl --unix-socket).
+  if (line.rfind("GET ", 0) == 0) {
+    serve_metrics_http(connection);
+    return;
+  }
+
+  std::string parse_error;
+  std::optional<support::JsonValue> document =
+      support::parse_json(line, &parse_error);
+  if (!document.has_value()) {
+    analysis::AnalyzeResponse response;
+    response.status = analysis::ResponseStatus::kInvalidRequest;
+    response.error = "malformed JSON (" + parse_error + ")";
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_invalid;
+    }
+    respond(connection, response);
+    return;
+  }
+
+  if (const support::JsonValue* op = document->find("op")) {
+    const std::string& name = op->as_string();
+    if (name != "ping" && name != "metrics") {
+      analysis::AnalyzeResponse response;
+      response.status = analysis::ResponseStatus::kInvalidRequest;
+      response.error = "unknown op '" + name + "'";
+      respond(connection, response);
+      return;
+    }
+    JsonWriter writer;
+    writer.begin_object();
+    writer.key("v");
+    writer.value(static_cast<long long>(analysis::wire::kWireFormatVersion));
+    writer.key("status");
+    writer.value("ok");
+    if (name == "ping") {
+      writer.key("op");
+      writer.value("ping");
+    } else {
+      const support::JsonValue* format = document->find("format");
+      if (format != nullptr && format->as_string() == "prometheus") {
+        writer.key("metrics_text");
+        writer.value(obs::MetricsRegistry::global().to_prometheus());
+      } else {
+        writer.key("metrics");
+        writer.raw(obs::MetricsRegistry::global().to_json());
+      }
+    }
+    writer.end_object();
+    std::lock_guard<std::mutex> lock(connection.write_mutex);
+    if (connection.fd >= 0) write_all(connection.fd, writer.str() + "\n");
+    return;
+  }
+
+  std::string request_error;
+  std::optional<analysis::AnalyzeRequest> request =
+      analysis::wire::parse_analyze_request(*document, &request_error);
+  if (!request.has_value()) {
+    analysis::AnalyzeResponse response;
+    response.status = analysis::ResponseStatus::kInvalidRequest;
+    response.error = request_error;
+    if (const support::JsonValue* id = document->find("id")) {
+      response.id = id->as_string();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_invalid;
+    }
+    respond(connection, response);
+    return;
+  }
+  handle_request(connection, *std::move(request));
+}
+
+void Server::handle_request(Connection& connection,
+                            analysis::AnalyzeRequest request) {
+  analysis::AnalyzeResponse early;
+  early.id = request.id;
+  early.detail = request.detail;
+
+  if (draining_.load(std::memory_order_relaxed)) {
+    early.status = analysis::ResponseStatus::kDraining;
+    early.error = "server is draining";
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_shed;
+    }
+    server_metrics().shed.add(1);
+    respond(connection, early);
+    return;
+  }
+
+  // Resolve a content-hash reference against the registry before
+  // admission, so an unresolvable request never occupies queue space.
+  // Inline sources register under their hash on the way in — the hash
+  // echoed in the response is immediately usable as a reference.
+  if (request.has_source) {
+    register_source(analysis::content_hash(request.source), request.source);
+  } else {
+    if (!resolve_source(request.source_hash, request.source)) {
+      early.status = analysis::ResponseStatus::kNotFound;
+      early.source_hash = request.source_hash;
+      early.error = "unknown source_hash '" + request.source_hash + "'";
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.requests_invalid;
+      }
+      respond(connection, early);
+      return;
+    }
+    request.has_source = true;
+  }
+
+  const ResourceLimits& limits =
+      request.limits.has_value() ? *request.limits : config_.default_limits;
+
+  // Admission control (header comment): hard cap on in-flight requests,
+  // plus the queue-wait estimate against this request's deadline.
+  std::size_t depth_at_admission = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const double p95 = server_metrics().service_ms.p95();
+    if (should_shed(inflight_, workers_, p95, limits.deadline_ms,
+                    config_.max_queue_depth)) {
+      early.status = analysis::ResponseStatus::kOverloaded;
+      early.queue_depth = inflight_;
+      early.error = "overloaded: " + std::to_string(inflight_) +
+                    " in flight, p95 " + std::to_string(p95) + " ms";
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.requests_shed;
+      }
+      server_metrics().shed.add(1);
+      respond(connection, early);
+      return;
+    }
+    ++inflight_;
+    depth_at_admission = inflight_;
+  }
+  server_metrics().queue_depth.set(static_cast<double>(depth_at_admission));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_admitted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connection.pending_mutex);
+    ++connection.pending;
+  }
+
+  const auto admitted_at = std::chrono::steady_clock::now();
+  Connection* raw = &connection;
+  pool_->submit([this, raw, request = std::move(request), admitted_at,
+                 depth_at_admission]() mutable {
+    process_request(*raw, request, admitted_at, depth_at_admission);
+  });
+}
+
+void Server::process_request(
+    Connection& connection, const analysis::AnalyzeRequest& request,
+    std::chrono::steady_clock::time_point admitted_at,
+    std::size_t depth_at_admission) {
+  ServerMetrics& metrics = server_metrics();
+  const double queue_ms = elapsed_ms(admitted_at);
+  metrics.queue_ms.record(queue_ms);
+
+  analysis::AnalyzeResponse response;
+  ResourceLimits limits =
+      request.limits.has_value() ? *request.limits : config_.default_limits;
+  const bool deadline_elapsed_in_queue =
+      limits.deadline_ms > 0.0 && queue_ms >= limits.deadline_ms;
+  if (deadline_elapsed_in_queue) {
+    // The wait already consumed the whole deadline: shed instead of
+    // running an analysis guaranteed to be answered late.
+    response.status = analysis::ResponseStatus::kOverloaded;
+    response.id = request.id;
+    response.detail = request.detail;
+    response.error = "deadline elapsed after " + std::to_string(queue_ms) +
+                     " ms in queue";
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_shed;
+    }
+    metrics.shed.add(1);
+  } else {
+    const auto picked_up = std::chrono::steady_clock::now();
+    if (limits.deadline_ms > 0.0) {
+      // The deadline is end-to-end: the analysis Budget gets whatever the
+      // queue wait left over.
+      limits.deadline_ms -= queue_ms;
+      analysis::AnalyzeRequest governed = request;
+      governed.limits = limits;
+      response = service_->analyze(governed);
+    } else {
+      response = service_->analyze(request, limits);
+    }
+    if (config_.min_service_ms > 0.0) {
+      const double remaining = config_.min_service_ms - elapsed_ms(picked_up);
+      if (remaining > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(remaining));
+      }
+    }
+    response.service_ms = elapsed_ms(picked_up);
+    metrics.service_ms.record(response.service_ms);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (response.ok()) ++stats_.requests_served;
+      else ++stats_.requests_invalid;
+    }
+  }
+  response.queue_ms = queue_ms;
+  response.queue_depth = depth_at_admission;
+  metrics.requests.add(1);
+
+  respond(connection, response);
+
+  {
+    std::lock_guard<std::mutex> lock(connection.pending_mutex);
+    --connection.pending;
+    if (connection.pending == 0) connection.pending_zero.notify_all();
+  }
+  std::size_t depth_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    depth_now = --inflight_;
+    if (inflight_ == 0) inflight_zero_.notify_all();
+  }
+  metrics.queue_depth.set(static_cast<double>(depth_now));
+}
+
+void Server::respond(Connection& connection,
+                     const analysis::AnalyzeResponse& response) {
+  const std::string line = analysis::wire::analyze_response_json(response);
+  std::lock_guard<std::mutex> lock(connection.write_mutex);
+  if (connection.fd >= 0) write_all(connection.fd, line + "\n");
+}
+
+void Server::register_source(const std::string& hash,
+                             const std::string& source) {
+  if (config_.hash_registry_entries == 0) return;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (sources_by_hash_.size() >= config_.hash_registry_entries &&
+      sources_by_hash_.find(hash) == sources_by_hash_.end()) {
+    return;  // registry full; references to this script will miss
+  }
+  sources_by_hash_.emplace(hash, source);
+}
+
+bool Server::resolve_source(const std::string& hash,
+                            std::string& source) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = sources_by_hash_.find(hash);
+  if (it == sources_by_hash_.end()) return false;
+  source = it->second;
+  return true;
+}
+
+void Server::serve_metrics_http(Connection& connection) {
+  const std::string body = obs::MetricsRegistry::global().to_prometheus();
+  std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n"
+      "Connection: close\r\n\r\n" + body;
+  {
+    std::lock_guard<std::mutex> lock(connection.write_mutex);
+    if (connection.fd >= 0) {
+      write_all(connection.fd, response);
+      ::shutdown(connection.fd, SHUT_WR);
+    }
+  }
+  connection.stop_reading = true;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Server::shutdown() {
+  if (stopped_.exchange(true)) return;
+  draining_.store(true, std::memory_order_relaxed);
+
+  // Stop accepting: closing the listening socket fails the blocking
+  // accept() and ends the accept loop.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Drain: every admitted request gets its response before any
+  // connection is torn down. Requests read after this point are answered
+  // kDraining by handle_request.
+  {
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    inflight_zero_.wait(lock, [this] { return inflight_ == 0; });
+  }
+
+  // Unblock readers stuck in recv(); they close their own fd after their
+  // pending count (already zero) allows it.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::unique_ptr<Connection>& connection : connections_) {
+      std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const std::unique_ptr<Connection>& connection : connections) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+
+  pool_.reset();  // drains any remaining (already answered) tasks
+  ::unlink(config_.socket_path.c_str());
+}
+
+}  // namespace jst::server

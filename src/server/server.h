@@ -1,0 +1,164 @@
+// jstraced-server: a long-lived analysis daemon over a Unix domain socket.
+//
+// The step from "one process, one batch" to "serving" (DESIGN.md §13):
+// clients connect to a SOCK_STREAM Unix socket and speak newline-delimited
+// JSON in the versioned wire schema (analysis/wire.h) — one AnalyzeRequest
+// per line in, one AnalyzeResponse per line out, emitted in completion
+// order and correlated by the echoed request id. Each admitted request is
+// queued into a support::ThreadPool and served by AnalyzerService under
+// its own ResourceLimits deadline (support/budget.h).
+//
+// Admission control: a request is shed with an explicit kOverloaded
+// response — never queued to time out silently — when either
+//   * the hard cap trips: in-flight requests >= max_queue_depth, or
+//   * the wait estimate exceeds the request's deadline:
+//       queue_depth × observed p95 service time / workers > deadline_ms
+// (the p95 comes from the server's own jst_server_service_ms histogram,
+// so the estimate adapts to the traffic actually being served). A request
+// whose deadline has already elapsed while queued is shed at pickup for
+// the same reason. The decision logic is a pure function
+// (Server::should_shed) so shedding is deterministic and unit-testable.
+//
+// Also served on the same socket:
+//   * {"op":"metrics"} → one JSON line with the obs::MetricsRegistry;
+//   * a raw "GET /metrics" line → Prometheus text exposition over a
+//     minimal HTTP/1.0 response, then the connection closes (so
+//     `curl --unix-socket` scrape configs work unchanged);
+//   * {"op":"ping"} → {"status":"ok"} liveness probe.
+//
+// Shutdown is a graceful drain (SIGTERM in the daemon binary maps to
+// Server::shutdown): stop accepting connections, answer every admitted
+// request, shed still-arriving ones with kDraining, then close all
+// connections and remove the socket file.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/service.h"
+#include "support/budget.h"
+#include "support/thread_pool.h"
+
+namespace jst::server {
+
+struct ServerConfig {
+  // Filesystem path the listening socket binds to; a stale file from a
+  // previous run is removed. Must be non-empty.
+  std::string socket_path;
+  // Analysis worker threads (0 = JST_THREADS / hardware default via
+  // support::resolve_threads). Connection readers are separate threads;
+  // `workers` bounds concurrent analyses.
+  std::size_t workers = 0;
+  // Hard admission cap on in-flight (queued + running) requests; 0 means
+  // "no cap" and only the deadline-based estimate sheds.
+  std::size_t max_queue_depth = 256;
+  // Default per-request limits when a request carries no override.
+  ResourceLimits default_limits;
+  // Artificial floor on per-request service time, in milliseconds. Load
+  // and drain tests use it to make queue pressure reproducible on corpora
+  // whose real scripts analyze in microseconds; 0 disables.
+  double min_service_ms = 0.0;
+  // Capacity of the content-hash registry backing source_hash references
+  // (entries; insertion stops at the cap). 0 disables resolution.
+  std::size_t hash_registry_entries = 4096;
+};
+
+// Point-in-time counters for tests and the drain log line.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t requests_shed = 0;      // kOverloaded + kDraining
+  std::uint64_t requests_invalid = 0;   // kInvalidRequest + kNotFound
+};
+
+class Server {
+ public:
+  // Binds and listens immediately (throws std::runtime_error on socket
+  // errors); serving starts with start().
+  Server(const analysis::AnalyzerService& service, ServerConfig config);
+  ~Server();  // implies shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Spawns the accept loop. Idempotent.
+  void start();
+
+  // Graceful drain: stop accepting, answer every admitted request, shed
+  // the rest with kDraining, close every connection, unlink the socket.
+  // Safe to call from a signal-driven shutdown path (not the handler
+  // itself) and idempotent.
+  void shutdown();
+
+  const ServerConfig& config() const { return config_; }
+  const std::string& socket_path() const { return config_.socket_path; }
+  std::size_t workers() const { return workers_; }
+  ServerStats stats() const;
+
+  // The admission-control predicate (DESIGN.md §13), exposed as a pure
+  // function: shed when the hard cap trips or when the estimated queue
+  // wait (queue_depth × p95 service ms / workers) exceeds the request's
+  // deadline. With no deadline only the hard cap sheds — an ungoverned
+  // request is allowed to wait arbitrarily long.
+  static bool should_shed(std::size_t queue_depth, std::size_t workers,
+                          double p95_service_ms, double deadline_ms,
+                          std::size_t max_queue_depth);
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(Connection& connection);
+  void handle_line(Connection& connection, const std::string& line);
+  void handle_request(Connection& connection, analysis::AnalyzeRequest request);
+  void process_request(Connection& connection,
+                       const analysis::AnalyzeRequest& request,
+                       std::chrono::steady_clock::time_point admitted_at,
+                       std::size_t depth_at_admission);
+  void respond(Connection& connection, const analysis::AnalyzeResponse&);
+  void serve_metrics_http(Connection& connection);
+  // Registers an inline source under its hash; returns false (registry
+  // full / disabled) without error — resolution is best-effort.
+  void register_source(const std::string& hash, const std::string& source);
+  bool resolve_source(const std::string& hash, std::string& source) const;
+
+  const analysis::AnalyzerService* service_;
+  ServerConfig config_;
+  std::size_t workers_ = 1;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Analysis pool: workers_ real worker threads (the pool counts the
+  // caller as a lane, and reader threads never analyze inline).
+  std::unique_ptr<support::ThreadPool> pool_;
+
+  // In-flight (admitted, not yet answered) request count; shutdown waits
+  // for it to reach zero.
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_zero_;
+  std::size_t inflight_ = 0;
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex registry_mutex_;
+  std::map<std::string, std::string> sources_by_hash_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace jst::server

@@ -1,0 +1,75 @@
+// Minimal recursive-descent JSON parser producing a small immutable DOM.
+//
+// The daemon's request path (DESIGN.md §13) speaks newline-delimited JSON
+// over a Unix socket, so the repo needs a reader to mirror JsonWriter.
+// Scope is deliberately small: strict RFC 8259 structure, doubles for all
+// numbers, UTF-8 passed through verbatim, \uXXXX decoded for the BMP
+// (surrogate pairs are rejected — request payloads are JS source, which
+// the wire layer ships as plain UTF-8 strings). Parsing never throws:
+// failures surface as a std::nullopt plus a position-carrying error
+// string, which the server echoes back in kInvalidRequest responses.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jst::support {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; the value-returning forms default on kind mismatch so
+  // callers can express "field absent or wrong type" in one expression.
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& as_string() const;  // empty string on mismatch
+  const std::vector<JsonValue>& as_array() const;    // empty on mismatch
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  // Object member lookup; nullptr when this is not an object or the key is
+  // absent (JSON null members return a non-null pointer to a null value).
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool value);
+  static JsonValue make_number(double value);
+  static JsonValue make_string(std::string value);
+  static JsonValue make_array(std::vector<JsonValue> values);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses one complete JSON document (leading/trailing whitespace allowed,
+// trailing garbage rejected). On failure returns std::nullopt and, when
+// `error` is non-null, stores "offset N: reason".
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace jst::support

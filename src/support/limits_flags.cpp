@@ -1,0 +1,93 @@
+#include "support/limits_flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace jst::support {
+namespace {
+
+// Parses the value argument following flag argv[i]; advances i on success.
+bool next_value(int argc, char** argv, int& i, const char** out,
+                std::string& error) {
+  if (i + 1 >= argc) {
+    error = std::string(argv[i]) + ": missing value";
+    return false;
+  }
+  *out = argv[++i];
+  return true;
+}
+
+bool parse_size(const char* flag, const char* text, std::size_t& field,
+                std::string& error) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    error = std::string(flag) + ": invalid count '" + text + "'";
+    return false;
+  }
+  field = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool parse_ms(const char* flag, const char* text, double& field,
+              std::string& error) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0' || value < 0.0) {
+    error = std::string(flag) + ": invalid milliseconds '" + text + "'";
+    return false;
+  }
+  field = value;
+  return true;
+}
+
+}  // namespace
+
+bool consume_limits_flag(int argc, char** argv, int& i, ResourceLimits& limits,
+                         std::string& error) {
+  const char* flag = argv[i];
+  if (std::strcmp(flag, "--production-limits") == 0) {
+    limits = ResourceLimits::production();
+    return true;
+  }
+
+  struct SizeFlag {
+    const char* name;
+    std::size_t ResourceLimits::* field;
+  };
+  static constexpr SizeFlag kSizeFlags[] = {
+      {"--max-source-bytes", &ResourceLimits::max_source_bytes},
+      {"--max-tokens", &ResourceLimits::max_tokens},
+      {"--max-ast-nodes", &ResourceLimits::max_ast_nodes},
+      {"--max-depth", &ResourceLimits::max_ast_depth},
+      {"--max-dataflow-edges", &ResourceLimits::max_dataflow_edges},
+  };
+  for (const SizeFlag& size_flag : kSizeFlags) {
+    if (std::strcmp(flag, size_flag.name) != 0) continue;
+    const char* value = nullptr;
+    if (next_value(argc, argv, i, &value, error)) {
+      parse_size(flag, value, limits.*(size_flag.field), error);
+    }
+    return true;
+  }
+
+  if (std::strcmp(flag, "--deadline-ms") == 0) {
+    const char* value = nullptr;
+    if (next_value(argc, argv, i, &value, error)) {
+      parse_ms(flag, value, limits.deadline_ms, error);
+    }
+    return true;
+  }
+  return false;
+}
+
+const char* limits_flags_usage() {
+  return "[--production-limits] [--deadline-ms N] [--max-source-bytes N] "
+         "[--max-tokens N] [--max-ast-nodes N] [--max-depth N] "
+         "[--max-dataflow-edges N]";
+}
+
+}  // namespace jst::support

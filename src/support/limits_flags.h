@@ -1,0 +1,34 @@
+// Shared command-line parser for ResourceLimits (DESIGN.md §10, §13).
+//
+// wild_study, jstraced-server, and jstraced-client all accept the same
+// resource-governance flag family; this is the single implementation so
+// the flags cannot drift apart:
+//   --production-limits            start from ResourceLimits::production()
+//   --deadline-ms N                per-script wall-clock deadline
+//   --max-source-bytes N           raw script size ceiling
+//   --max-tokens N                 lexed token ceiling
+//   --max-ast-nodes N              AST node ceiling
+//   --max-depth N                  parser nesting ceiling
+//   --max-dataflow-edges N         def->use edge ceiling
+// Flags apply in argv order, so --production-limits first then individual
+// overrides is the documented idiom.
+#pragma once
+
+#include <string>
+
+#include "support/budget.h"
+
+namespace jst::support {
+
+// Attempts to consume argv[i] (and its value argument, if any) as one of
+// the shared ResourceLimits flags, updating `limits` and advancing `i`
+// past consumed arguments. Returns true when the flag was recognized.
+// A recognized flag with a missing or malformed value also returns true
+// but sets `error` to a diagnostic; callers should fail usage on it.
+bool consume_limits_flag(int argc, char** argv, int& i, ResourceLimits& limits,
+                         std::string& error);
+
+// One-line usage fragment listing every flag above, for --help texts.
+const char* limits_flags_usage();
+
+}  // namespace jst::support

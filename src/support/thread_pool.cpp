@@ -84,7 +84,7 @@ struct ForState {
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t parallelism) {
-  if (parallelism == 0) parallelism = default_parallelism();
+  parallelism = resolve_threads(parallelism);
   workers_.reserve(parallelism - 1);
   for (std::size_t i = 0; i + 1 < parallelism; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -165,7 +165,7 @@ ThreadPool& ThreadPool::global() {
 
 void run_parallel(std::size_t threads, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
-  if (threads == 0) threads = ThreadPool::default_parallelism();
+  threads = resolve_threads(threads);
   if (threads <= 1 || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;

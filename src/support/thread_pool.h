@@ -63,6 +63,15 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+// Canonical requested-parallelism resolution, shared by every surface
+// that accepts a thread count (BatchOptions::threads, ServerConfig::workers,
+// run_parallel, the pool constructor): 0 means "JST_THREADS / hardware
+// default", any positive value is taken literally. Centralizing the rule
+// keeps the environment variable read through exactly one code path.
+inline std::size_t resolve_threads(std::size_t requested) {
+  return requested == 0 ? ThreadPool::default_parallelism() : requested;
+}
+
 // Convenience wrapper used across the pipeline: runs `body` over [0, count)
 // with `threads` lanes. 0 = default_parallelism(); 1 = plain serial loop;
 // the global pool is reused when it already has the requested width.
