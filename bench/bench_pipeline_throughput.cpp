@@ -6,6 +6,7 @@
 //   $ ./bench_pipeline_throughput                 # sweeps 1/2/4 threads
 //   $ ./bench_pipeline_throughput --threads 8     # pins the batch width
 //   $ ./bench_pipeline_throughput --stage-split   # lex/parse/post-parse ms
+//   $ ./bench_pipeline_throughput --obs-overhead  # sinks on vs off, <=2%?
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -24,6 +25,7 @@
 #include "dataflow/dataflow.h"
 #include "features/feature_extractor.h"
 #include "lexer/lexer.h"
+#include "obs/flight_recorder.h"
 #include "parser/parser.h"
 #include "transform/transform.h"
 
@@ -330,12 +332,62 @@ jst::bench::BenchRecord run_stage_split(int reps) {
   return record;
 }
 
+// Observability-overhead smoke (--obs-overhead): the serial batch wall
+// with the flight recorder enabled (the serving default) vs disabled,
+// best of `reps` each. The budget is 2% — the instrumented path must not
+// tax the batch engine, which never carries a request id and therefore
+// only pays the per-script thread-local gate plus the always-on metric
+// adds. Exit 1 when the budget is exceeded; CI runs this non-gating.
+int run_obs_overhead(int reps) {
+  using clock = std::chrono::steady_clock;
+  const auto ms_since = [](clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(clock::now() - start)
+        .count();
+  };
+  const std::vector<std::string> corpus =
+      jst::bench::held_out_regular(48, 0xba7c4);
+  const analysis::AnalyzerService service(jst::bench::analyzer());
+  analysis::BatchOptions options;
+  options.threads = 1;
+
+  const auto best_wall = [&](bool sinks_on) {
+    obs::FlightRecorder::global().set_enabled(sinks_on);
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = clock::now();
+      const analysis::BatchResult result =
+          service.analyze_batch(corpus, options);
+      benchmark::DoNotOptimize(result.stats.ok);
+      best = std::min(best, ms_since(start));
+    }
+    return best;
+  };
+
+  // One untimed warm-up batch so model lazies, pooled arenas, and page
+  // faults are paid before either timed configuration.
+  benchmark::DoNotOptimize(service.analyze_batch(corpus, options).stats.ok);
+  const double off_ms = best_wall(/*sinks_on=*/false);
+  const double on_ms = best_wall(/*sinks_on=*/true);
+  obs::FlightRecorder::global().set_enabled(true);
+
+  const double delta_pct =
+      off_ms > 0.0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+  const bool within_budget = delta_pct <= 2.0;
+  std::printf(
+      "obs-overhead (best of %d, serial, %zu scripts): sinks off %.3f ms, "
+      "sinks on %.3f ms, delta %+.2f%% (budget 2%%) -> %s\n",
+      reps, corpus.size(), off_ms, on_ms, delta_pct,
+      within_budget ? "OK" : "OVER BUDGET");
+  return within_budget ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Extract our own flags before google-benchmark parses argv.
   long pinned_threads = 0;
   bool stage_split = false;
+  bool obs_overhead = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -344,6 +396,8 @@ int main(int argc, char** argv) {
       pinned_threads = std::atol(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--stage-split") == 0) {
       stage_split = true;
+    } else if (std::strcmp(argv[i], "--obs-overhead") == 0) {
+      obs_overhead = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -365,6 +419,12 @@ int main(int argc, char** argv) {
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // --obs-overhead is a standalone pass/fail probe: no sweep, no JSON.
+  if (obs_overhead) {
+    const int status = run_obs_overhead(/*reps=*/5);
+    benchmark::Shutdown();
+    return status;
+  }
   // --stage-split is a standalone report: it skips the google-benchmark
   // sweep. Both modes write BENCH_pipeline.json, so when capturing both
   // point each run at its own $JSTRACED_BENCH_OUT.

@@ -71,6 +71,9 @@ int main() {
       record.latency_p99_ms = report.latency_p99_ms;
       record.shed_rate = report.shed_rate();
       record.offered_qps = report.achieved_qps;
+      // Server-side recent-window snapshot (queue depth, windowed p95,
+      // slowest exemplars) rides along with the client-observed numbers.
+      record.stats_json = daemon.stats_json();
       records.push_back(record);
 
       std::printf(
@@ -116,6 +119,7 @@ int main() {
     record.latency_p99_ms = report.latency_p99_ms;
     record.shed_rate = report.shed_rate();
     record.offered_qps = report.achieved_qps;
+    record.stats_json = daemon.stats_json();
     records.push_back(record);
 
     std::printf(

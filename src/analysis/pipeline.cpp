@@ -8,7 +8,9 @@
 
 #include "analysis/model_io.h"
 #include "analysis/wire.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "support/error.h"
 #include "support/json_writer.h"
@@ -113,6 +115,96 @@ BudgetMetrics& budget_metrics() {
   return *metrics;
 }
 
+// Prediction telemetry (DESIGN.md §14): what the detectors are *saying*,
+// not just how fast they say it. Level-1 verdict counters plus, per
+// technique, a positive counter and a confidence histogram on the unit
+// layout — a drifting confidence distribution is visible in the export
+// long before thresholded positives move.
+struct PredictMetrics {
+  obs::Counter& transformed =
+      obs::MetricsRegistry::global().counter("jst_predict_transformed_total");
+  obs::Counter& minified =
+      obs::MetricsRegistry::global().counter("jst_predict_minified_total");
+  obs::Counter& obfuscated =
+      obs::MetricsRegistry::global().counter("jst_predict_obfuscated_total");
+  obs::Counter& regular =
+      obs::MetricsRegistry::global().counter("jst_predict_regular_total");
+  std::array<obs::Counter*, transform::kTechniqueCount> technique_positive{};
+  std::array<obs::Histogram*, transform::kTechniqueCount>
+      technique_confidence{};
+
+  PredictMetrics() {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.set_help("jst_predict_transformed_total",
+                      "scripts level 1 flagged as minified and/or obfuscated");
+    registry.set_help("jst_predict_minified_total",
+                      "scripts level 1 flagged as minified");
+    registry.set_help("jst_predict_obfuscated_total",
+                      "scripts level 1 flagged as obfuscated");
+    registry.set_help("jst_predict_regular_total",
+                      "scripts level 1 considered untransformed");
+    for (transform::Technique technique : transform::all_techniques()) {
+      const std::string name(transform::technique_name(technique));
+      const std::size_t i = static_cast<std::size_t>(technique);
+      technique_positive[i] =
+          &registry.counter("jst_predict_" + name + "_total");
+      registry.set_help("jst_predict_" + name + "_total",
+                        "scripts level 2 labeled " + name);
+      technique_confidence[i] = &registry.histogram(
+          "jst_predict_" + name + "_confidence",
+          obs::HistogramLayout::kUnit);
+      registry.set_help("jst_predict_" + name + "_confidence",
+                        "level-2 confidence for " + name + " (all scripts)");
+    }
+  }
+
+  void record(const ScriptReport& report) {
+    if (report.level1.transformed()) {
+      transformed.add(1);
+    } else {
+      regular.add(1);
+    }
+    if (report.level1.minified()) minified.add(1);
+    if (report.level1.obfuscated()) obfuscated.add(1);
+    for (std::size_t i = 0; i < report.technique_confidence.size() &&
+                            i < transform::kTechniqueCount;
+         ++i) {
+      technique_confidence[i]->record(report.technique_confidence[i]);
+    }
+    for (transform::Technique technique : report.techniques) {
+      technique_positive[static_cast<std::size_t>(technique)]->add(1);
+    }
+  }
+};
+
+PredictMetrics& predict_metrics() {
+  static PredictMetrics* metrics = new PredictMetrics();  // outlives statics
+  return *metrics;
+}
+
+// Flight-recorder breadcrumbs for the serving path: per-stage timings and
+// the budget trip, keyed to the request id in scope. Gated on an active
+// RequestScope so the batch path (wild_study, training, benches) pays
+// nothing beyond one thread-local read per script.
+void record_outcome_flight(const ScriptOutcome& outcome) {
+  if (obs::current_request_id().empty()) return;
+  if (outcome.budget.has_value()) {
+    obs::flight_record(obs::FlightEventKind::kBudgetTrip, {},
+                       to_string(outcome.budget->kind).data(),
+                       outcome.budget->observed, outcome.budget->limit);
+  }
+  obs::flight_record(obs::FlightEventKind::kStage, {}, "static_analysis",
+                     outcome.timing.static_analysis_ms);
+  if (outcome.timing.features_ms > 0.0) {
+    obs::flight_record(obs::FlightEventKind::kStage, {}, "features",
+                       outcome.timing.features_ms);
+  }
+  if (outcome.has_predictions()) {
+    obs::flight_record(obs::FlightEventKind::kStage, {}, "inference",
+                       outcome.timing.inference_ms);
+  }
+}
+
 // Statuses whose analysis stopped before features could run.
 bool hard_failure(ScriptStatus status) {
   switch (status) {
@@ -141,12 +233,15 @@ ScriptStatus status_for_trip(ResourceKind kind) {
 
 void record_outcome_metrics(const ScriptOutcome& outcome) {
   ScriptMetrics& metrics = script_metrics();
-  // Touch the budget/scratch/arena singletons unconditionally so the
-  // jst_budget_*, jst_scratch_*, and jst_arena_* series exist (at 0) in
-  // every export, not only after the first trip or reuse.
+  // Touch the budget/scratch/arena/predict singletons unconditionally so
+  // the jst_budget_*, jst_scratch_*, jst_arena_*, and jst_predict_*
+  // series exist (at 0) in every export, not only after the first trip,
+  // reuse, or prediction.
   BudgetMetrics& budget = budget_metrics();
+  PredictMetrics& predict = predict_metrics();
   scratch_metrics();
   arena_metrics();
+  record_outcome_flight(outcome);
   metrics.scripts.add(1);
   metrics.total_ms.record(outcome.timing.total_ms);
   metrics.static_analysis_ms.record(outcome.timing.static_analysis_ms);
@@ -163,6 +258,7 @@ void record_outcome_metrics(const ScriptOutcome& outcome) {
   metrics.features_ms.record(outcome.timing.features_ms);
   if (outcome.has_predictions()) {
     metrics.inference_ms.record(outcome.timing.inference_ms);
+    predict.record(outcome.report);
   }
 }
 

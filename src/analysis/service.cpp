@@ -10,6 +10,7 @@
 
 #include "analysis/wire.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "support/error.h"
 #include "support/stats.h"
@@ -149,8 +150,12 @@ AnalyzerService::AnalyzerService(const TransformationAnalyzer& analyzer)
 AnalyzeResponse AnalyzerService::analyze_with_scratch(
     const AnalyzeRequest& request, const ResourceLimits& default_limits,
     ScriptScratch& scratch) const {
+  // Install the request's trace-correlation id for everything below —
+  // validation included, so even a rejection's spans are attributable.
+  obs::RequestScope request_scope(request.request_id);
   AnalyzeResponse response;
   response.id = request.id;
+  response.request_id = request.request_id;
   response.detail = request.detail;
   if (!request.has_source) {
     if (request.source_hash.empty()) {

@@ -72,6 +72,14 @@ struct AnalyzeRequest {
   // Opaque client token echoed back verbatim; lets clients correlate
   // pipelined responses, which the daemon emits in completion order.
   std::string id;
+  // Observability correlation token: 16 lowercase hex digits
+  // (obs::is_valid_request_id). Clients may supply one (wire v2+); the
+  // daemon mints one at admission when absent. The service installs it
+  // as the thread's obs::RequestScope for the duration of the analysis,
+  // so every trace span and flight-recorder event the request produces
+  // carries it. Distinct from `id`: `id` is client-meaningful and
+  // free-form, `request_id` is the fixed-shape join key for traces.
+  std::string request_id;
   // Inline JS source. `has_source` distinguishes an intentionally empty
   // script from an absent field (wire requests may carry only a hash).
   std::string source;
@@ -98,6 +106,7 @@ struct AnalyzeRequest {
 struct AnalyzeResponse {
   ResponseStatus status = ResponseStatus::kInvalidRequest;
   std::string id;           // echoed from the request
+  std::string request_id;   // echoed (or daemon-minted) trace join key
   std::string source_hash;  // computed (inline) or echoed (reference)
   ScriptOutcome outcome;    // meaningful only when status == kOk
   std::string error;        // diagnostic for every non-kOk status

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/request_context.h"
 #include "transform/technique.h"
 
 namespace jst::analysis::wire {
@@ -201,6 +202,9 @@ std::string analyze_request_json(const AnalyzeRequest& request) {
   if (!request.id.empty()) {
     writer.key("id"); writer.value(request.id);
   }
+  if (!request.request_id.empty()) {
+    writer.key("request_id"); writer.value(request.request_id);
+  }
   writer.key("detail"); writer.value(to_string(request.detail));
   if (request.limits.has_value()) {
     writer.key("limits");
@@ -222,6 +226,9 @@ std::string analyze_response_json(const AnalyzeResponse& response) {
   writer.key("v"); writer.value(static_cast<long long>(kWireFormatVersion));
   if (!response.id.empty()) {
     writer.key("id"); writer.value(response.id);
+  }
+  if (!response.request_id.empty()) {
+    writer.key("request_id"); writer.value(response.request_id);
   }
   writer.key("status"); writer.value(to_string(response.status));
   if (!response.source_hash.empty()) {
@@ -316,15 +323,43 @@ std::optional<AnalyzeRequest> parse_analyze_request(
     return std::nullopt;
   }
 
+  // Resolve the pinned version first (object iteration is key-sorted, so
+  // "v" would otherwise be seen after the fields it gates).
+  std::uint32_t version = kWireFormatVersion;
+  if (const support::JsonValue* pinned = document.find("v")) {
+    const bool integral =
+        pinned->is_number() &&
+        pinned->as_number() ==
+            static_cast<double>(static_cast<std::uint32_t>(
+                pinned->as_number()));
+    if (!integral || pinned->as_number() < 1.0 ||
+        pinned->as_number() > static_cast<double>(kWireFormatVersion)) {
+      set_error(error, "unsupported wire version (expected 1.." +
+                           std::to_string(kWireFormatVersion) + ")");
+      return std::nullopt;
+    }
+    version = static_cast<std::uint32_t>(pinned->as_number());
+  }
+
   AnalyzeRequest request;
   for (const auto& [key, member] : document.as_object()) {
     if (key == "v") {
-      if (!member.is_number() ||
-          member.as_number() != static_cast<double>(kWireFormatVersion)) {
-        set_error(error, "unsupported wire version (expected " +
-                             std::to_string(kWireFormatVersion) + ")");
+      continue;  // handled above
+    } else if (key == "request_id") {
+      if (version < kWireRequestIdVersion) {
+        set_error(error, "request_id requires wire v" +
+                             std::to_string(kWireRequestIdVersion) +
+                             " (request pins v" + std::to_string(version) +
+                             ")");
         return std::nullopt;
       }
+      if (!member.is_string() ||
+          !obs::is_valid_request_id(member.as_string())) {
+        set_error(error,
+                  "request_id: expected 16 lowercase hex characters");
+        return std::nullopt;
+      }
+      request.request_id = member.as_string();
     } else if (key == "id") {
       if (!member.is_string()) {
         set_error(error, "id: expected a string");
@@ -394,6 +429,9 @@ std::optional<ParsedResponse> parse_analyze_response(std::string_view line,
   }
   if (const support::JsonValue* id = document->find("id")) {
     response.id = id->as_string();
+  }
+  if (const support::JsonValue* rid = document->find("request_id")) {
+    response.request_id = rid->as_string();
   }
   if (const support::JsonValue* hash = document->find("source_hash")) {
     response.source_hash = hash->as_string();

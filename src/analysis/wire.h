@@ -13,6 +13,14 @@
 //   v1 — initial schema. ScriptOutcome and BatchStats objects keep the
 //        exact field order of the pre-schema to_json() methods (the
 //        frontend golden fixture was captured against it).
+//   v2 — optional "request_id" (16 lowercase hex) on requests and
+//        responses: the observability correlation token joining a
+//        response to its trace spans and flight-recorder events.
+//        Parsers accept any version ≤ current; a request that pins
+//        "v":1 while carrying request_id is rejected, and v1 documents
+//        without the field parse exactly as before. ScriptOutcome /
+//        BatchStats bytes are unchanged (the golden fixture still
+//        matches).
 #pragma once
 
 #include <cstdint>
@@ -26,7 +34,10 @@
 
 namespace jst::analysis::wire {
 
-inline constexpr std::uint32_t kWireFormatVersion = 1;
+inline constexpr std::uint32_t kWireFormatVersion = 2;
+
+// First version that understands the optional "request_id" field.
+inline constexpr std::uint32_t kWireRequestIdVersion = 2;
 
 // --- serialization -------------------------------------------------------
 
@@ -55,7 +66,8 @@ std::string analyze_response_json(const AnalyzeResponse& response);
 // --- parsing -------------------------------------------------------------
 
 // Parses one request line. Accepts an optional "v" (defaults to the
-// current version; newer versions are rejected), "id", "source",
+// current version; any version ≤ current is accepted, newer versions
+// are rejected), "id", "request_id" (v2+, 16 lowercase hex), "source",
 // "source_hash", "detail" ("status" | "summary" | "full"), and "limits"
 // ({"production":true} merges the production defaults, then the
 // individual ceiling fields override). Returns std::nullopt and fills
@@ -77,6 +89,7 @@ struct ParsedResponse {
   std::uint32_t version = kWireFormatVersion;
   ResponseStatus status = ResponseStatus::kInvalidRequest;
   std::string id;
+  std::string request_id;
   std::string source_hash;
   std::string error;
   double queue_ms = 0.0;

@@ -1,0 +1,151 @@
+// Flight recorder: an always-on, fixed-size ring of structured serving
+// events, dumped on demand for postmortems.
+//
+// Metrics tell you *that* the daemon shed; the flight recorder tells you
+// *why*: each admit/shed verdict is recorded with the exact inputs the
+// decision consumed (queue depth, windowed p95, deadline), each request
+// leaves pickup/respond events with its stage timings, and budget trips
+// land with the tripped stage. Every event carries the request id in
+// scope, so a dump joins against the trace JSONL on `rid`.
+//
+// Storage is one ring per recording thread (registered on first use,
+// never freed), each guarded by its own mutex — uncontended in steady
+// state since only the owning thread records into it and only dumps read
+// it. Capacity is fixed at kRingCapacity events per thread; old events
+// are overwritten, which is the point: the recorder always holds the
+// *recent* past, sized for "what just happened before the incident".
+//
+// Dump triggers (all NDJSON, one event per line, sorted by timestamp):
+//   - `{"op":"flight"}` on the daemon socket;
+//   - SIGUSR1 to the daemon process (writes to --flight-out);
+//   - automatically when an overload-shed burst crosses the configured
+//     threshold (Server::Config::shed_burst_dump_threshold).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jst::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kAdmit,         // a/b/c = queue_depth, p95_ms consulted, deadline_ms
+  kShed,          // same inputs as kAdmit; the verdict went the other way
+  kPickup,        // a = queue_ms (time spent queued before a worker ran it)
+  kRespond,       // a/b = service_ms, status code
+  kBudgetTrip,    // label = tripped resource, a = observed value
+  kStage,         // label = stage name, a = stage_ms
+  kSlowExemplar,  // key = source_hash, a = service_ms (new slowest-N entry)
+};
+
+const char* flight_event_kind_name(FlightEventKind kind);
+
+// One recorded event. Fixed-size POD so recording never allocates; `rid`
+// and `key` are NUL-terminated copies (16 hex chars + NUL), `label` must
+// point at static storage (stage names, resource names).
+struct FlightEvent {
+  double ts_us = 0.0;
+  std::uint32_t tid = 0;
+  FlightEventKind kind = FlightEventKind::kAdmit;
+  char rid[17] = {0};
+  char key[17] = {0};
+  const char* label = nullptr;
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRingCapacity = 1024;
+
+  // Records into the calling thread's ring; `rid` defaults to the
+  // current RequestScope id when empty. No-op while disabled.
+  void record(FlightEventKind kind, std::string_view rid,
+              std::string_view key, const char* label, double a = 0.0,
+              double b = 0.0, double c = 0.0);
+
+  // Serializes every live event across all thread rings, oldest first,
+  // one JSON object per line. Best-effort snapshot: events recorded
+  // while the dump walks other threads' rings may or may not appear.
+  std::string dump_ndjson() const;
+
+  // Same events as one JSON array (for embedding in a wire response).
+  std::string dump_json_array() const;
+
+  // dump_ndjson to `path` (truncating); returns false on I/O failure.
+  bool dump_to_file(const std::string& path) const;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded events (rings stay registered). Test hook.
+  void clear();
+
+  // Process-wide recorder, intentionally leaked like the metrics
+  // registry so late-exiting threads can still record.
+  static FlightRecorder& global();
+
+  FlightRecorder();
+
+ private:
+  struct Ring {
+    std::mutex mutex;
+    std::uint64_t head = 0;  // total events ever recorded by this thread
+    std::array<FlightEvent, kRingCapacity> events;
+    std::uint32_t tid = 0;
+  };
+
+  Ring& local_ring();
+  std::vector<FlightEvent> collect_sorted() const;
+
+  // Distinguishes recorder instances in the thread-local ring cache;
+  // never reused, so a recorder allocated at a dead recorder's address
+  // cannot inherit its rings.
+  const std::uint64_t instance_id_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex rings_mutex_;
+  std::vector<Ring*> rings_;
+};
+
+// Convenience wrapper over the global recorder with rid defaulting to
+// the calling thread's current request id.
+void flight_record(FlightEventKind kind, std::string_view key = {},
+                   const char* label = nullptr, double a = 0.0,
+                   double b = 0.0, double c = 0.0);
+
+// Slowest-N request exemplars keyed by source_hash: the daemon offers
+// every completed request; the table keeps the N largest service times
+// (one entry per distinct hash, max-deduplicated) so a stats probe can
+// name which *scripts* are slow, not just how slow the tail is.
+class SlowExemplars {
+ public:
+  explicit SlowExemplars(std::size_t capacity = 8);
+
+  struct Entry {
+    std::string source_hash;
+    std::string rid;
+    double service_ms = 0.0;
+  };
+
+  // Returns true when the offer entered (or re-ranked within) the table.
+  bool offer(std::string_view source_hash, std::string_view rid,
+             double service_ms);
+  // Descending by service_ms.
+  std::vector<Entry> snapshot() const;
+  // JSON array: [{"source_hash":...,"rid":...,"service_ms":...},...]
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace jst::obs

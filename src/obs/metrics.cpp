@@ -50,49 +50,62 @@ void atomic_fetch_max(std::atomic<double>& target, double value) {
 
 }  // namespace
 
-const std::array<double, Histogram::kBucketCount>& Histogram::bucket_bounds() {
-  static const std::array<double, kBucketCount> kBounds = {
+const std::array<double, Histogram::kBucketCount>& Histogram::layout_bounds(
+    HistogramLayout layout) {
+  static const std::array<double, kBucketCount> kLatencyBounds = {
       0.01, 0.025, 0.05,  0.1,   0.25,   0.5,    1.0,
       2.5,  5.0,   10.0,  25.0,  50.0,   100.0,  250.0,
       500.0, 1000.0, 2500.0, 5000.0, 10000.0,
       std::numeric_limits<double>::infinity()};
-  return kBounds;
+  // 19 linear steps of 0.05 across [0, 0.95]; scores land one per 5%.
+  static const std::array<double, kBucketCount> kUnitBounds = {
+      0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+      0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95,
+      std::numeric_limits<double>::infinity()};
+  return layout == HistogramLayout::kUnit ? kUnitBounds : kLatencyBounds;
 }
 
 void Histogram::record(double value) {
-  const auto& bounds = bucket_bounds();
+  const auto& bucket_bounds = bounds();
   std::size_t bucket = 0;
-  while (bucket + 1 < kBucketCount && value > bounds[bucket]) ++bucket;
+  while (bucket + 1 < kBucketCount && value > bucket_bounds[bucket]) ++bucket;
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   atomic_fetch_max(max_, value);
 }
 
-double Histogram::percentile(double p) const {
-  const std::uint64_t total = count();
+double percentile_from_buckets(
+    const std::array<double, Histogram::kBucketCount>& bounds,
+    const std::array<std::uint64_t, Histogram::kBucketCount>& buckets,
+    std::uint64_t total, double observed_max, double p) {
   if (total == 0) return 0.0;
   const double target =
       std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
-  const auto& bounds = bucket_bounds();
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kBucketCount; ++i) {
-    const std::uint64_t in_bucket = bucket_count(i);
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t in_bucket = buckets[i];
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= target) {
       const double lower = i == 0 ? 0.0 : bounds[i - 1];
       double upper = bounds[i];
       // The overflow bucket has no finite upper bound; the observed max
       // is the tightest honest estimate.
-      if (std::isinf(upper)) upper = std::max(max(), lower);
+      if (std::isinf(upper)) upper = std::max(observed_max, lower);
       const double fraction =
           (target - static_cast<double>(cumulative)) /
           static_cast<double>(in_bucket);
-      return std::min(lower + fraction * (upper - lower), max());
+      return std::min(lower + fraction * (upper - lower), observed_max);
     }
     cumulative += in_bucket;
   }
-  return max();
+  return observed_max;
+}
+
+double Histogram::percentile(double p) const {
+  std::array<std::uint64_t, kBucketCount> counts;
+  for (std::size_t i = 0; i < kBucketCount; ++i) counts[i] = bucket_count(i);
+  return percentile_from_buckets(bounds(), counts, count(), max(), p);
 }
 
 void Histogram::reset() {
@@ -121,14 +134,21 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   return *it->second;
 }
 
-Histogram& MetricsRegistry::histogram(std::string_view name) {
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      HistogramLayout layout) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(layout))
              .first;
   }
   return *it->second;
+}
+
+void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_[std::string(name)] = std::string(help);
 }
 
 std::string MetricsRegistry::to_json() const {
@@ -160,7 +180,7 @@ std::string MetricsRegistry::to_json() const {
     out += ",\"p95\":" + format_double(histogram->p95());
     out += ",\"p99\":" + format_double(histogram->p99());
     out += ",\"buckets\":[";
-    const auto& bounds = Histogram::bucket_bounds();
+    const auto& bounds = histogram->bounds();
     for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
       if (i > 0) out += ',';
       out += '[' + format_double(bounds[i]) + ',' +
@@ -175,17 +195,34 @@ std::string MetricsRegistry::to_json() const {
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
+  // HELP precedes TYPE for every family, per the exposition-format spec;
+  // \ and newline are the only characters HELP text must escape.
+  const auto append_header = [&](const std::string& name,
+                                 const char* type) {
+    out += "# HELP " + name + ' ';
+    const auto it = help_.find(name);
+    const std::string_view help =
+        it != help_.end() ? std::string_view(it->second)
+                          : std::string_view("jst metric (no help set)");
+    for (char c : help) {
+      if (c == '\\') out += "\\\\";
+      else if (c == '\n') out += "\\n";
+      else out += c;
+    }
+    out += '\n';
+    out += "# TYPE " + name + ' ' + type + '\n';
+  };
   for (const auto& [name, counter] : counters_) {
-    out += "# TYPE " + name + " counter\n";
+    append_header(name, "counter");
     out += name + ' ' + std::to_string(counter->value()) + '\n';
   }
   for (const auto& [name, gauge] : gauges_) {
-    out += "# TYPE " + name + " gauge\n";
+    append_header(name, "gauge");
     out += name + ' ' + format_double(gauge->value()) + '\n';
   }
-  const auto& bounds = Histogram::bucket_bounds();
   for (const auto& [name, histogram] : histograms_) {
-    out += "# TYPE " + name + " histogram\n";
+    append_header(name, "histogram");
+    const auto& bounds = histogram->bounds();
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
       cumulative += histogram->bucket_count(i);

@@ -56,14 +56,32 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-// Fixed-bucket latency histogram. Bucket upper bounds are log-spaced from
-// 10 µs to 10 s (in ms) plus a +Inf overflow bucket; they cover everything
-// from a single lexer pass to a full forest training run.
+// Bucket layouts for histograms. kLatencyMs is the default: log-spaced
+// from 10 µs to 10 s (in ms), covering everything from a single lexer
+// pass to a full forest training run. kUnit is linear over [0, 1] for
+// classifier confidence scores, where log-ms bounds would dump every
+// observation into two buckets.
+enum class HistogramLayout { kLatencyMs, kUnit };
+
+// Fixed-bucket histogram (bounds chosen by layout, +Inf overflow last).
 class Histogram {
  public:
   static constexpr std::size_t kBucketCount = 20;
   // Upper bound (inclusive) of each bucket; the last is +Inf.
-  static const std::array<double, kBucketCount>& bucket_bounds();
+  static const std::array<double, kBucketCount>& layout_bounds(
+      HistogramLayout layout);
+  // Legacy alias for the latency layout's bounds.
+  static const std::array<double, kBucketCount>& bucket_bounds() {
+    return layout_bounds(HistogramLayout::kLatencyMs);
+  }
+
+  explicit Histogram(HistogramLayout layout = HistogramLayout::kLatencyMs)
+      : layout_(layout) {}
+
+  HistogramLayout layout() const { return layout_; }
+  const std::array<double, kBucketCount>& bounds() const {
+    return layout_bounds(layout_);
+  }
 
   void record(double value);
 
@@ -85,11 +103,21 @@ class Histogram {
   void reset();
 
  private:
+  HistogramLayout layout_;
   std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
 };
+
+// Shared percentile rule (p in [0, 100]): linear interpolation within the
+// bucket holding the target rank, clamped to `observed_max`. Used by the
+// cumulative Histogram above and by the sliding-window snapshots in
+// window.h, so windowed and since-boot percentiles are always comparable.
+double percentile_from_buckets(
+    const std::array<double, Histogram::kBucketCount>& bounds,
+    const std::array<std::uint64_t, Histogram::kBucketCount>& buckets,
+    std::uint64_t total, double observed_max, double p);
 
 // Thread-safe name → instrument registry. Registration takes a mutex once
 // per instrument; recording through the returned reference is lock-free.
@@ -99,13 +127,22 @@ class MetricsRegistry {
  public:
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  // `layout` is honored on first registration; later lookups of the same
+  // name return the existing instrument regardless of the layout asked.
+  Histogram& histogram(std::string_view name,
+                       HistogramLayout layout = HistogramLayout::kLatencyMs);
+
+  // Attaches a `# HELP` line to a metric for the Prometheus exposition.
+  // Metrics without explicit help get a generated placeholder, so every
+  // exported family is HELP+TYPE conformant either way.
+  void set_help(std::string_view name, std::string_view help);
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,max,
   // p50,p95,p99,buckets:[[le,count],...]}}} — one self-contained document.
   std::string to_json() const;
-  // Prometheus text exposition format (counter / gauge / histogram with
-  // cumulative `_bucket{le="..."}` series plus `_sum` / `_count`).
+  // Prometheus text exposition format: `# HELP` + `# TYPE` per family
+  // (counter / gauge / histogram), histograms as cumulative
+  // `_bucket{le="..."}` series plus `_sum` / `_count`.
   std::string to_prometheus() const;
 
   // Zeroes every registered instrument (references stay valid). Used by
@@ -121,6 +158,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 }  // namespace jst::obs

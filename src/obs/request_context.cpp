@@ -1,0 +1,70 @@
+#include "obs/request_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+namespace jst::obs {
+namespace {
+
+// Thread-local id slot. A fixed buffer (not std::string) so reads during
+// thread teardown and from signal-adjacent paths never allocate.
+thread_local char t_request_id[kRequestIdLength + 1] = {0};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t process_seed() {
+  static const std::uint64_t kSeed = [] {
+    std::random_device rd;
+    const std::uint64_t entropy =
+        (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    const std::uint64_t clock = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return splitmix64(entropy ^ clock);
+  }();
+  return kSeed;
+}
+
+}  // namespace
+
+std::string_view current_request_id() { return t_request_id; }
+
+std::string generate_request_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t value = splitmix64(
+      process_seed() + counter.fetch_add(1, std::memory_order_relaxed));
+  char buffer[kRequestIdLength + 1];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buffer, kRequestIdLength);
+}
+
+bool is_valid_request_id(std::string_view id) {
+  if (id.size() != kRequestIdLength) return false;
+  for (char c : id) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+RequestScope::RequestScope(std::string_view id) {
+  std::memcpy(saved_, t_request_id, sizeof(saved_));
+  const std::size_t n = id.size() < kRequestIdLength ? id.size()
+                                                     : kRequestIdLength;
+  std::memcpy(t_request_id, id.data(), n);
+  t_request_id[n] = '\0';
+}
+
+RequestScope::~RequestScope() {
+  std::memcpy(t_request_id, saved_, sizeof(saved_));
+}
+
+}  // namespace jst::obs

@@ -1,0 +1,64 @@
+// Request-scoped context propagation for the serving path.
+//
+// A request id is a 16-char lowercase-hex token minted at the daemon
+// boundary (or carried in on the wire, v2+). It rides a thread-local slot
+// so every JST_SPAN opened while a request is being served — lex, parse,
+// features, inference, pool.task — can stamp the id into its trace event,
+// letting one request's journey (queue → admission → pipeline → respond)
+// be reconstructed from the trace JSONL by joining on `rid`.
+//
+// Propagation is explicit and RAII-scoped:
+//
+//   obs::RequestScope scope(request_id);   // installs on this thread
+//   ... analysis runs; spans pick the id up ...
+//                                          // previous id restored
+//
+// ThreadPool::submit captures the submitting thread's current id and
+// re-installs it inside the worker, so the context survives the hop from
+// the connection reader into the pool lane. parallel_for intentionally
+// does NOT propagate: batch shards are not request-scoped work.
+//
+// The slot is a fixed char buffer (no allocation, no destruction-order
+// hazards); ids longer than 16 chars are truncated. Empty id == "no
+// request in scope" — spans then emit exactly the pre-PR-7 event shape,
+// keeping single-process batch traces byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace jst::obs {
+
+// Fixed capacity of a request id (16 hex chars; FNV/splitmix-width).
+inline constexpr std::size_t kRequestIdLength = 16;
+
+// The request id installed on the calling thread, or "" when none is in
+// scope. The view points at thread-local storage: valid until the scope
+// that installed it closes or the thread installs another id.
+std::string_view current_request_id();
+
+// Mints a fresh 16-hex id: splitmix64 over (process-random seed + atomic
+// counter), so ids are unique within a process and collide across
+// processes with ~2^-64 probability per pair.
+std::string generate_request_id();
+
+// True iff `id` is exactly 16 lowercase-hex chars (the only shape the
+// wire layer accepts and the only shape worth propagating).
+bool is_valid_request_id(std::string_view id);
+
+// RAII installer: saves the thread's current id, installs `id` (truncated
+// to 16 chars), restores the previous id on destruction. Safe to nest.
+class RequestScope {
+ public:
+  explicit RequestScope(std::string_view id);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  char saved_[kRequestIdLength + 1];
+};
+
+}  // namespace jst::obs

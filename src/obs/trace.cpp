@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <ostream>
 #include <string>
 #include <thread>
+
+#include "obs/request_context.h"
 
 namespace jst::obs {
 namespace {
@@ -26,13 +29,23 @@ std::chrono::steady_clock::time_point trace_epoch() {
 }  // namespace
 
 void TraceSink::write_complete_event(const char* name, double ts_us,
-                                     double dur_us, std::uint32_t tid) {
-  char line[256];
-  const int written = std::snprintf(
-      line, sizeof(line),
-      "{\"name\":\"%s\",\"cat\":\"jst\",\"ph\":\"X\",\"ts\":%.3f,"
-      "\"dur\":%.3f,\"pid\":1,\"tid\":%u}\n",
-      name, ts_us, dur_us, tid);
+                                     double dur_us, std::uint32_t tid,
+                                     const char* rid) {
+  char line[320];
+  int written;
+  if (rid != nullptr && rid[0] != '\0') {
+    written = std::snprintf(
+        line, sizeof(line),
+        "{\"name\":\"%s\",\"cat\":\"jst\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"rid\":\"%s\"}}\n",
+        name, ts_us, dur_us, tid, rid);
+  } else {
+    written = std::snprintf(
+        line, sizeof(line),
+        "{\"name\":\"%s\",\"cat\":\"jst\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u}\n",
+        name, ts_us, dur_us, tid);
+  }
   if (written <= 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   out_->write(line, std::min<std::size_t>(static_cast<std::size_t>(written),
@@ -73,6 +86,13 @@ TraceSink* span_acquire_sink() {
 
 void span_release_sink() {
   g_open_spans.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void span_capture_request_id(char* out) {
+  const std::string_view rid = current_request_id();
+  const std::size_t n = rid.size() < 16 ? rid.size() : 16;
+  std::memcpy(out, rid.data(), n);
+  out[n] = '\0';
 }
 
 std::uint32_t trace_thread_id() {

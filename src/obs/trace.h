@@ -50,9 +50,11 @@ class TraceSink {
   TraceSink(const TraceSink&) = delete;
   TraceSink& operator=(const TraceSink&) = delete;
 
-  // Emits one `ph:"X"` (complete) event line.
+  // Emits one `ph:"X"` (complete) event line. A non-empty `rid` lands as
+  // `"args":{"rid":"..."}` so request-scoped spans join against the
+  // flight recorder; empty/null keeps the pre-request-context shape.
   void write_complete_event(const char* name, double ts_us, double dur_us,
-                            std::uint32_t tid);
+                            std::uint32_t tid, const char* rid = nullptr);
 
   std::uint64_t event_count() const { return events_; }
 
@@ -81,19 +83,29 @@ double trace_now_us();
 TraceSink* span_acquire_sink();
 void span_release_sink();
 
+// Copies the calling thread's current request id (request_context.h) into
+// `out` (17-byte buffer, NUL-terminated; empty string when no request is
+// in scope). Out-of-line so this header stays standalone.
+void span_capture_request_id(char* out);
+
 // RAII span: records start at construction, emits a complete event at
 // destruction. When no sink is attached at construction it is inert.
+// The request id in scope at *construction* is what the event carries —
+// a span belongs to the request that opened it.
 class Span {
  public:
   explicit Span(const char* name)
       : name_(name), sink_(span_acquire_sink()) {
-    if (sink_ != nullptr) start_us_ = trace_now_us();
+    if (sink_ != nullptr) {
+      start_us_ = trace_now_us();
+      span_capture_request_id(rid_);
+    }
   }
   ~Span() {
     if (sink_ != nullptr) {
       sink_->write_complete_event(name_, start_us_,
                                   trace_now_us() - start_us_,
-                                  trace_thread_id());
+                                  trace_thread_id(), rid_);
       span_release_sink();
     }
   }
@@ -105,6 +117,7 @@ class Span {
   const char* name_;
   TraceSink* sink_;
   double start_us_ = 0.0;
+  char rid_[17] = {0};
 };
 
 }  // namespace jst::obs

@@ -1,0 +1,131 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace jst::obs {
+namespace {
+
+std::chrono::steady_clock::time_point window_epoch() {
+  static const auto kEpoch = std::chrono::steady_clock::now();
+  return kEpoch;
+}
+
+void atomic_fetch_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// Ring slack beyond the window: a slot is recycled only after this many
+// extra seconds, which bounds how stale a descheduled writer can be
+// before its observation lands in the wrong second.
+constexpr std::size_t kRingSlack = 4;
+
+}  // namespace
+
+std::uint64_t window_now_s() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - window_epoch())
+          .count());
+}
+
+WindowedCounter::WindowedCounter(std::size_t window_seconds)
+    : window_seconds_(window_seconds == 0 ? 1 : window_seconds),
+      slots_(window_seconds_ + kRingSlack) {}
+
+WindowedCounter::Slot& WindowedCounter::rotate(std::uint64_t now_s) {
+  Slot& slot = slots_[now_s % slots_.size()];
+  std::uint64_t seen = slot.epoch.load(std::memory_order_acquire);
+  while (seen != now_s) {
+    // Recycled slot: the CAS winner zeroes it for the new second. Losers
+    // retry the load and fall through once the epoch matches.
+    if (slot.epoch.compare_exchange_weak(seen, now_s,
+                                         std::memory_order_acq_rel)) {
+      slot.count.store(0, std::memory_order_relaxed);
+      break;
+    }
+  }
+  return slot;
+}
+
+void WindowedCounter::add_at(std::uint64_t now_s, std::uint64_t delta) {
+  rotate(now_s).count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t WindowedCounter::sum_at(std::uint64_t now_s) const {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch == kEmptyEpoch || epoch > now_s) continue;
+    if (now_s - epoch >= window_seconds_) continue;
+    total += slot.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+WindowedHistogram::WindowedHistogram(std::size_t window_seconds,
+                                     HistogramLayout layout)
+    : window_seconds_(window_seconds == 0 ? 1 : window_seconds),
+      layout_(layout),
+      slots_(window_seconds_ + kRingSlack) {}
+
+WindowedHistogram::Slot& WindowedHistogram::rotate(std::uint64_t now_s) {
+  Slot& slot = slots_[now_s % slots_.size()];
+  std::uint64_t seen = slot.epoch.load(std::memory_order_acquire);
+  while (seen != now_s) {
+    if (slot.epoch.compare_exchange_weak(seen, now_s,
+                                         std::memory_order_acq_rel)) {
+      for (auto& bucket : slot.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0.0, std::memory_order_relaxed);
+      slot.max.store(0.0, std::memory_order_relaxed);
+      break;
+    }
+  }
+  return slot;
+}
+
+void WindowedHistogram::record_at(std::uint64_t now_s, double value) {
+  Slot& slot = rotate(now_s);
+  const auto& bounds = Histogram::layout_bounds(layout_);
+  std::size_t bucket = 0;
+  while (bucket + 1 < Histogram::kBucketCount && value > bounds[bucket]) {
+    ++bucket;
+  }
+  slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  atomic_fetch_max(slot.max, value);
+}
+
+WindowSnapshot WindowedHistogram::snapshot_at(std::uint64_t now_s) const {
+  std::array<std::uint64_t, Histogram::kBucketCount> buckets{};
+  WindowSnapshot snap;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch == kEmptyEpoch || epoch > now_s) continue;
+    if (now_s - epoch >= window_seconds_) continue;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      buckets[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += slot.count.load(std::memory_order_relaxed);
+    snap.sum += slot.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, slot.max.load(std::memory_order_relaxed));
+  }
+  const auto& bounds = Histogram::layout_bounds(layout_);
+  snap.p50 = percentile_from_buckets(bounds, buckets, snap.count, snap.max,
+                                     50.0);
+  snap.p95 = percentile_from_buckets(bounds, buckets, snap.count, snap.max,
+                                     95.0);
+  snap.p99 = percentile_from_buckets(bounds, buckets, snap.count, snap.max,
+                                     99.0);
+  return snap;
+}
+
+}  // namespace jst::obs

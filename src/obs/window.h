@@ -1,0 +1,116 @@
+// Sliding-window telemetry: ring-of-epoch-slots counters and histograms.
+//
+// The cumulative instruments in metrics.h answer "since boot"; these
+// answer "over the last N seconds", which is what live admission control
+// and a `{"op":"stats"}` probe actually need (a slow burst ten minutes
+// ago must not poison the p95 the shed decision consults now — see
+// Server::should_shed).
+//
+// Design: a ring of (window_seconds + slack) one-second slots, each
+// tagged with the epoch second it covers. An observation hashes to
+// `now_s % ring_size`; the first writer to land in a new second CASes the
+// slot's epoch forward and zeroes it, so writes are lock-free (a handful
+// of relaxed atomics) and there is no reaper thread. Readers aggregate
+// every slot whose epoch lies inside [now_s - window + 1, now_s].
+//
+// Approximation contract: a writer descheduled for longer than the slack
+// (ring_size - window seconds) can land one observation in a recycled
+// slot, and a reader racing a slot rotation can see a second's counts
+// while they are still accumulating. Both errors are bounded by one
+// slot's worth of data — fine for telemetry, never consulted by the
+// analysis pipeline itself (bit-identity is preserved by construction).
+//
+// Deterministic tests inject the clock through the `*_at(now_s)`
+// overloads; production callers use the steady-clock default.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace jst::obs {
+
+// Seconds since the process-wide window epoch (steady clock, first use).
+std::uint64_t window_now_s();
+
+// Event counter over a sliding window: total adds in the last
+// `window_seconds()` seconds. rate() divides by the window, i.e. QPS.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(std::size_t window_seconds = 60);
+
+  void add(std::uint64_t delta = 1) { add_at(window_now_s(), delta); }
+  void add_at(std::uint64_t now_s, std::uint64_t delta = 1);
+
+  std::uint64_t sum() const { return sum_at(window_now_s()); }
+  std::uint64_t sum_at(std::uint64_t now_s) const;
+
+  double rate_at(std::uint64_t now_s) const {
+    return static_cast<double>(sum_at(now_s)) /
+           static_cast<double>(window_seconds_);
+  }
+
+  std::size_t window_seconds() const { return window_seconds_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{kEmptyEpoch};
+    std::atomic<std::uint64_t> count{0};
+  };
+  static constexpr std::uint64_t kEmptyEpoch = ~0ULL;
+
+  Slot& rotate(std::uint64_t now_s);
+
+  std::size_t window_seconds_;
+  std::vector<Slot> slots_;
+};
+
+// Aggregated view of a WindowedHistogram at one instant.
+struct WindowSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Latency histogram over a sliding window: same bucket layouts as the
+// cumulative Histogram, same interpolation rule for percentiles, but the
+// counts cover only the last `window_seconds()` seconds.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(std::size_t window_seconds = 60,
+                             HistogramLayout layout =
+                                 HistogramLayout::kLatencyMs);
+
+  void record(double value) { record_at(window_now_s(), value); }
+  void record_at(std::uint64_t now_s, double value);
+
+  WindowSnapshot snapshot() const { return snapshot_at(window_now_s()); }
+  WindowSnapshot snapshot_at(std::uint64_t now_s) const;
+
+  std::size_t window_seconds() const { return window_seconds_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{kEmptyEpoch};
+    std::array<std::atomic<std::uint64_t>, Histogram::kBucketCount>
+        buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+  };
+  static constexpr std::uint64_t kEmptyEpoch = ~0ULL;
+
+  Slot& rotate(std::uint64_t now_s);
+
+  std::size_t window_seconds_;
+  HistogramLayout layout_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace jst::obs

@@ -136,6 +136,24 @@ std::string Client::metrics_json() {
   return line.substr(at + 10, line.size() - (at + 10) - 1);
 }
 
+std::string Client::stats_json() {
+  std::string error;
+  const std::string line = call_raw("{\"op\":\"stats\"}");
+  std::optional<support::JsonValue> document =
+      support::parse_json(line, &error);
+  if (!document.has_value()) {
+    throw std::runtime_error("jstraced-client: malformed stats line (" +
+                             error + ")");
+  }
+  if (document->find("stats") == nullptr) {
+    throw std::runtime_error("jstraced-client: stats op missing 'stats'");
+  }
+  // Same raw-extraction trick as metrics_json: `"stats":` appears exactly
+  // once, as the envelope member holding the object.
+  const std::size_t at = line.find("\"stats\":");
+  return line.substr(at + 8, line.size() - (at + 8) - 1);
+}
+
 std::string LoadReport::to_json() const {
   JsonWriter writer;
   writer.begin_object();

@@ -41,6 +41,10 @@ class Client {
   // The registry snapshot as one JSON document (the "metrics" member of
   // the op response).
   std::string metrics_json();
+  // The recent-window serving view as one JSON document (the "stats"
+  // member of the {"op":"stats"} response): qps, shed rate, service
+  // percentiles, slowest-N exemplars. See Server::stats_json.
+  std::string stats_json();
 
   void close();
   bool connected() const { return fd_ >= 0; }

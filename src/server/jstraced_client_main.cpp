@@ -2,6 +2,7 @@
 //
 //   $ ./jstraced-client --socket /tmp/jstraced.sock --ping
 //   $ ./jstraced-client --socket /tmp/jstraced.sock --metrics
+//   $ ./jstraced-client --socket /tmp/jstraced.sock --stats
 //   $ ./jstraced-client --socket /tmp/jstraced.sock
 //         --connections 8 --requests 64 --deadline-ms 2000 --json
 //
@@ -10,9 +11,14 @@
 // and reports client-observed latency percentiles and the shed rate.
 // --json emits the LoadReport as one JSON object on stdout (the format
 // bench_server_latency aggregates); the default is a human summary.
+// --stats prints the daemon's recent-window {"op":"stats"} view;
+// --stats-out FILE captures that snapshot to FILE *after* a load run, so
+// one invocation records both the client-observed and the server-side
+// pictures of the same burst.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,9 +31,9 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: jstraced-client --socket PATH "
-               "[--ping | --metrics | --connections N --requests N "
+               "[--ping | --metrics | --stats | --connections N --requests N "
                "[--deadline-ms X] [--detail status|summary|full] "
-               "[--scripts N] [--json]]\n");
+               "[--scripts N] [--json] [--stats-out FILE]]\n");
 }
 
 }  // namespace
@@ -40,7 +46,9 @@ int main(int argc, char** argv) {
   std::size_t script_count = 32;
   bool ping = false;
   bool metrics = false;
+  bool stats = false;
   bool json = false;
+  std::string stats_out;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
@@ -70,6 +78,10 @@ int main(int argc, char** argv) {
       ping = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc) {
+      stats_out = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else {
@@ -94,6 +106,11 @@ int main(int argc, char** argv) {
       std::printf("%s\n", client.metrics_json().c_str());
       return 0;
     }
+    if (stats) {
+      server::Client client(socket_path);
+      std::printf("%s\n", client.stats_json().c_str());
+      return 0;
+    }
 
     const auto samples = analysis::simulate_population(
         analysis::alexa_spec(), script_count, strings::fnv1a("jstraced-client"));
@@ -103,6 +120,18 @@ int main(int argc, char** argv) {
     }
 
     const server::LoadReport report = server::run_load(socket_path, options);
+    if (!stats_out.empty()) {
+      // Capture the server-side recent-window view while the load burst
+      // is still inside the window.
+      server::Client client(socket_path);
+      std::ofstream out(stats_out, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "jstraced-client: cannot write %s\n",
+                     stats_out.c_str());
+        return 1;
+      }
+      out << client.stats_json() << "\n";
+    }
     if (json) {
       std::printf("%s\n", report.to_json().c_str());
     } else {

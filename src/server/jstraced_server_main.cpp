@@ -10,6 +10,11 @@
 // which triggers a graceful drain: stop accepting, answer every admitted
 // request, shed the rest with kDraining, remove the socket file.
 //
+// SIGUSR1 dumps the flight recorder (recent admit/shed verdicts, stage
+// timings, slowest exemplars) as NDJSON to --flight-out (default
+// jstraced_flight.ndjson next to the cwd) without interrupting serving;
+// the same data is reachable live via {"op":"flight"} on the socket.
+//
 // The limits flags (support/limits_flags.h) set the *default* per-request
 // ResourceLimits; any request may carry its own override.
 #include <csignal>
@@ -30,7 +35,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: jstraced-server --socket PATH [--workers N] "
                "[--max-queue-depth N] [--min-service-ms X] [--model FILE] "
-               "[--training-regular N] [--per-technique N] %s\n",
+               "[--training-regular N] [--per-technique N] "
+               "[--window-seconds N] [--flight-out FILE] %s\n",
                jst::support::limits_flags_usage());
 }
 
@@ -56,6 +62,10 @@ int main(int argc, char** argv) {
       config.max_queue_depth = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--min-service-ms") == 0 && i + 1 < argc) {
       config.min_service_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--window-seconds") == 0 && i + 1 < argc) {
+      config.window_seconds = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--flight-out") == 0 && i + 1 < argc) {
+      config.flight_dump_path = argv[++i];
     } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
       model_path = argv[++i];
     } else if (std::strcmp(argv[i], "--training-regular") == 0 &&
@@ -81,15 +91,20 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (config.flight_dump_path.empty()) {
+    config.flight_dump_path = "jstraced_flight.ndjson";
+  }
 
-  // Block the shutdown signals in every thread (workers inherit the mask)
+  // Block the handled signals in every thread (workers inherit the mask)
   // so they can be collected synchronously with sigwait below instead of
-  // in an async handler.
-  sigset_t shutdown_signals;
-  sigemptyset(&shutdown_signals);
-  sigaddset(&shutdown_signals, SIGTERM);
-  sigaddset(&shutdown_signals, SIGINT);
-  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+  // in an async handler. SIGUSR1 is collected on the same loop: it dumps
+  // the flight recorder and resumes waiting.
+  sigset_t handled_signals;
+  sigemptyset(&handled_signals);
+  sigaddset(&handled_signals, SIGTERM);
+  sigaddset(&handled_signals, SIGINT);
+  sigaddset(&handled_signals, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &handled_signals, nullptr);
 
   analysis::TransformationAnalyzer analyzer(pipeline_options);
   if (!model_path.empty()) {
@@ -121,7 +136,18 @@ int main(int argc, char** argv) {
     std::fflush(stderr);
 
     int signal_number = 0;
-    sigwait(&shutdown_signals, &signal_number);
+    for (;;) {
+      sigwait(&handled_signals, &signal_number);
+      if (signal_number != SIGUSR1) break;
+      // Synchronous context (sigwait, not a handler), so the full dump
+      // path — locks, allocation, file I/O — is safe here.
+      const bool dumped = jst::obs::FlightRecorder::global().dump_to_file(
+          config.flight_dump_path);
+      std::fprintf(stderr, "[jstraced] SIGUSR1: flight recorder %s %s\n",
+                   dumped ? "dumped to" : "dump FAILED for",
+                   config.flight_dump_path.c_str());
+      std::fflush(stderr);
+    }
     std::fprintf(stderr, "[jstraced] signal %d: draining...\n",
                  signal_number);
     daemon.shutdown();

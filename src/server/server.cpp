@@ -11,6 +11,7 @@
 
 #include "analysis/wire.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "support/json_writer.h"
 
 namespace jst::server {
@@ -19,7 +20,8 @@ namespace {
 // Daemon telemetry (DESIGN.md §13). One shared instrument family: the
 // registry is process-wide, and a process runs one serving daemon (tests
 // that start several servers share the family, which only blends the p95
-// estimate they already share).
+// estimate they already share). The *windowed* view is per-Server state
+// (see server.h) for exactly that reason.
 struct ServerMetrics {
   obs::Counter& requests =
       obs::MetricsRegistry::global().counter("jst_server_requests_total");
@@ -33,6 +35,22 @@ struct ServerMetrics {
       obs::MetricsRegistry::global().histogram("jst_server_queue_ms");
   obs::Histogram& service_ms =
       obs::MetricsRegistry::global().histogram("jst_server_service_ms");
+
+  ServerMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.set_help("jst_server_requests_total",
+                      "Requests answered by the daemon (any status)");
+    registry.set_help("jst_server_shed_total",
+                      "Requests shed by admission control or drain");
+    registry.set_help("jst_server_connections_total",
+                      "Client connections accepted");
+    registry.set_help("jst_server_queue_depth",
+                      "In-flight (queued + running) requests");
+    registry.set_help("jst_server_queue_ms",
+                      "Admission-to-pickup wait per request");
+    registry.set_help("jst_server_service_ms",
+                      "Pickup-to-response service time per request");
+  }
 };
 
 ServerMetrics& server_metrics() {
@@ -92,7 +110,12 @@ bool Server::should_shed(std::size_t queue_depth, std::size_t workers,
 }
 
 Server::Server(const analysis::AnalyzerService& service, ServerConfig config)
-    : service_(&service), config_(std::move(config)) {
+    : service_(&service),
+      config_(std::move(config)),
+      service_window_(config_.window_seconds),
+      requests_window_(config_.window_seconds),
+      shed_window_(config_.window_seconds),
+      slow_exemplars_(config_.slow_exemplars) {
   if (config_.socket_path.empty()) {
     throw std::runtime_error("jstraced-server: socket_path is empty");
   }
@@ -217,7 +240,8 @@ void Server::handle_line(Connection& connection, const std::string& line) {
 
   if (const support::JsonValue* op = document->find("op")) {
     const std::string& name = op->as_string();
-    if (name != "ping" && name != "metrics") {
+    if (name != "ping" && name != "metrics" && name != "stats" &&
+        name != "flight") {
       analysis::AnalyzeResponse response;
       response.status = analysis::ResponseStatus::kInvalidRequest;
       response.error = "unknown op '" + name + "'";
@@ -233,6 +257,16 @@ void Server::handle_line(Connection& connection, const std::string& line) {
     if (name == "ping") {
       writer.key("op");
       writer.value("ping");
+    } else if (name == "stats") {
+      writer.key("op");
+      writer.value("stats");
+      writer.key("stats");
+      writer.raw(stats_json());
+    } else if (name == "flight") {
+      writer.key("op");
+      writer.value("flight");
+      writer.key("events");
+      writer.raw(obs::FlightRecorder::global().dump_json_array());
     } else {
       const support::JsonValue* format = document->find("format");
       if (format != nullptr && format->as_string() == "prometheus") {
@@ -271,8 +305,20 @@ void Server::handle_line(Connection& connection, const std::string& line) {
 
 void Server::handle_request(Connection& connection,
                             analysis::AnalyzeRequest request) {
+  // Every request gets a trace-correlation id: the client's (wire v2)
+  // when supplied, else minted here at the boundary. Installed on this
+  // reader thread so the admission decision's spans and flight events —
+  // and, via ThreadPool::submit's context capture, everything the pool
+  // worker does — carry it.
+  if (request.request_id.empty()) {
+    request.request_id = obs::generate_request_id();
+  }
+  obs::RequestScope rid_scope(request.request_id);
+  requests_window_.add(1);
+
   analysis::AnalyzeResponse early;
   early.id = request.id;
+  early.request_id = request.request_id;
   early.detail = request.detail;
 
   if (draining_.load(std::memory_order_relaxed)) {
@@ -283,6 +329,8 @@ void Server::handle_request(Connection& connection,
       ++stats_.requests_shed;
     }
     server_metrics().shed.add(1);
+    shed_window_.add(1);
+    obs::flight_record(obs::FlightEventKind::kShed, {}, "draining");
     respond(connection, early);
     return;
   }
@@ -316,7 +364,10 @@ void Server::handle_request(Connection& connection,
   std::size_t depth_at_admission = 0;
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
-    const double p95 = server_metrics().service_ms.p95();
+    // The stale-admission fix: consult the sliding-window p95 (cumulative
+    // only until the window warms), so a slow burst minutes ago cannot
+    // shed today's fast traffic.
+    const double p95 = admission_p95_ms();
     if (should_shed(inflight_, workers_, p95, limits.deadline_ms,
                     config_.max_queue_depth)) {
       early.status = analysis::ResponseStatus::kOverloaded;
@@ -328,11 +379,19 @@ void Server::handle_request(Connection& connection,
         ++stats_.requests_shed;
       }
       server_metrics().shed.add(1);
+      shed_window_.add(1);
+      obs::flight_record(obs::FlightEventKind::kShed, {}, "overloaded",
+                         static_cast<double>(inflight_), p95,
+                         limits.deadline_ms);
       respond(connection, early);
+      maybe_dump_flight_on_shed_burst();
       return;
     }
     ++inflight_;
     depth_at_admission = inflight_;
+    obs::flight_record(obs::FlightEventKind::kAdmit, {}, "admitted",
+                       static_cast<double>(inflight_), p95,
+                       limits.deadline_ms);
   }
   server_metrics().queue_depth.set(static_cast<double>(depth_at_admission));
   {
@@ -356,9 +415,15 @@ void Server::process_request(
     Connection& connection, const analysis::AnalyzeRequest& request,
     std::chrono::steady_clock::time_point admitted_at,
     std::size_t depth_at_admission) {
+  // Re-anchor the request context on the worker lane (submit's capture
+  // already covers the common path; this keeps process_request correct
+  // if it is ever invoked outside the pool).
+  obs::RequestScope rid_scope(request.request_id);
   ServerMetrics& metrics = server_metrics();
   const double queue_ms = elapsed_ms(admitted_at);
   metrics.queue_ms.record(queue_ms);
+  obs::flight_record(obs::FlightEventKind::kPickup, {}, nullptr, queue_ms,
+                     static_cast<double>(depth_at_admission));
 
   analysis::AnalyzeResponse response;
   ResourceLimits limits =
@@ -370,6 +435,7 @@ void Server::process_request(
     // running an analysis guaranteed to be answered late.
     response.status = analysis::ResponseStatus::kOverloaded;
     response.id = request.id;
+    response.request_id = request.request_id;
     response.detail = request.detail;
     response.error = "deadline elapsed after " + std::to_string(queue_ms) +
                      " ms in queue";
@@ -378,6 +444,11 @@ void Server::process_request(
       ++stats_.requests_shed;
     }
     metrics.shed.add(1);
+    shed_window_.add(1);
+    obs::flight_record(obs::FlightEventKind::kShed, {},
+                       "deadline_elapsed_in_queue", queue_ms, 0.0,
+                       limits.deadline_ms);
+    maybe_dump_flight_on_shed_burst();
   } else {
     const auto picked_up = std::chrono::steady_clock::now();
     if (limits.deadline_ms > 0.0) {
@@ -399,15 +470,25 @@ void Server::process_request(
     }
     response.service_ms = elapsed_ms(picked_up);
     metrics.service_ms.record(response.service_ms);
+    service_window_.record(response.service_ms);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (response.ok()) ++stats_.requests_served;
       else ++stats_.requests_invalid;
     }
+    if (slow_exemplars_.offer(response.source_hash, request.request_id,
+                              response.service_ms)) {
+      obs::flight_record(obs::FlightEventKind::kSlowExemplar,
+                         response.source_hash, nullptr,
+                         response.service_ms);
+    }
   }
   response.queue_ms = queue_ms;
   response.queue_depth = depth_at_admission;
   metrics.requests.add(1);
+  obs::flight_record(obs::FlightEventKind::kRespond, response.source_hash,
+                     to_string(response.status).data(), response.service_ms,
+                     queue_ms);
 
   respond(connection, response);
 
@@ -472,6 +553,84 @@ void Server::serve_metrics_http(Connection& connection) {
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+double Server::admission_p95_ms() const {
+  const obs::WindowSnapshot recent = service_window_.snapshot();
+  if (recent.count >= config_.window_warm_min_count) return recent.p95;
+  // Cold window (boot, or an idle gap aged everything out): since-boot
+  // p95 is the best available estimate and is exact early on.
+  return server_metrics().service_ms.p95();
+}
+
+std::string Server::stats_json() const {
+  const obs::WindowSnapshot recent = service_window_.snapshot();
+  const std::uint64_t recent_requests = requests_window_.sum();
+  const std::uint64_t recent_shed = shed_window_.sum();
+  const double window_s =
+      static_cast<double>(service_window_.window_seconds());
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    depth = inflight_;
+  }
+  ServerMetrics& metrics = server_metrics();
+
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("window_seconds");
+  writer.value(service_window_.window_seconds());
+  writer.key("warm");
+  writer.value(recent.count >= config_.window_warm_min_count);
+  writer.key("queue_depth"); writer.value(depth);
+  writer.key("workers"); writer.value(workers_);
+  writer.key("admission_p95_ms"); writer.value(admission_p95_ms());
+  writer.key("recent");
+  writer.begin_object();
+  writer.key("requests"); writer.value(recent_requests);
+  writer.key("shed"); writer.value(recent_shed);
+  writer.key("qps");
+  writer.value(static_cast<double>(recent_requests) / window_s);
+  writer.key("shed_rate");
+  writer.value(recent_requests == 0
+                   ? 0.0
+                   : static_cast<double>(recent_shed) /
+                         static_cast<double>(recent_requests));
+  writer.key("served"); writer.value(recent.count);
+  writer.key("service_p50_ms"); writer.value(recent.p50);
+  writer.key("service_p95_ms"); writer.value(recent.p95);
+  writer.key("service_p99_ms"); writer.value(recent.p99);
+  writer.key("service_max_ms"); writer.value(recent.max);
+  writer.end_object();
+  writer.key("cumulative");
+  writer.begin_object();
+  writer.key("requests_total"); writer.value(metrics.requests.value());
+  writer.key("shed_total"); writer.value(metrics.shed.value());
+  writer.key("service_count"); writer.value(metrics.service_ms.count());
+  writer.key("service_p95_ms"); writer.value(metrics.service_ms.p95());
+  writer.end_object();
+  writer.key("slowest");
+  writer.raw(slow_exemplars_.to_json());
+  writer.end_object();
+  return writer.str();
+}
+
+void Server::maybe_dump_flight_on_shed_burst() {
+  if (config_.flight_dump_path.empty() ||
+      config_.shed_burst_dump_threshold == 0) {
+    return;
+  }
+  if (shed_window_.sum() < config_.shed_burst_dump_threshold) return;
+  const std::uint64_t now_s = obs::window_now_s();
+  std::uint64_t last = last_flight_dump_s_.load(std::memory_order_relaxed);
+  if (last != kNeverDumped &&
+      now_s - last < service_window_.window_seconds()) {
+    return;  // already dumped for this burst
+  }
+  if (last_flight_dump_s_.compare_exchange_strong(
+          last, now_s, std::memory_order_relaxed)) {
+    obs::FlightRecorder::global().dump_to_file(config_.flight_dump_path);
+  }
 }
 
 void Server::shutdown() {

@@ -13,14 +13,24 @@
 //   * the hard cap trips: in-flight requests >= max_queue_depth, or
 //   * the wait estimate exceeds the request's deadline:
 //       queue_depth × observed p95 service time / workers > deadline_ms
-// (the p95 comes from the server's own jst_server_service_ms histogram,
-// so the estimate adapts to the traffic actually being served). A request
-// whose deadline has already elapsed while queued is shed at pickup for
-// the same reason. The decision logic is a pure function
+// (the p95 is the *sliding-window* service-time p95 once the window has
+// warmed — admission_p95_ms() — so the estimate tracks the traffic being
+// served right now rather than everything since boot). A request whose
+// deadline has already elapsed while queued is shed at pickup for the
+// same reason. The decision logic is a pure function
 // (Server::should_shed) so shedding is deterministic and unit-testable.
+//
+// Observability (DESIGN.md §14): every request carries a 16-hex
+// request_id (client-supplied on wire v2, else minted at admission) that
+// flows through obs::RequestScope into every trace span and
+// flight-recorder event the request produces; admit/shed verdicts land
+// in the flight recorder with the exact inputs they consumed.
 //
 // Also served on the same socket:
 //   * {"op":"metrics"} → one JSON line with the obs::MetricsRegistry;
+//   * {"op":"stats"} → the recent-window view (qps, shed rate, service
+//     percentiles, slowest-N exemplars) — see Server::stats_json;
+//   * {"op":"flight"} → the flight-recorder contents as a JSON array;
 //   * a raw "GET /metrics" line → Prometheus text exposition over a
 //     minimal HTTP/1.0 response, then the connection closes (so
 //     `curl --unix-socket` scrape configs work unchanged);
@@ -44,6 +54,8 @@
 #include <vector>
 
 #include "analysis/service.h"
+#include "obs/flight_recorder.h"
+#include "obs/window.h"
 #include "support/budget.h"
 #include "support/thread_pool.h"
 
@@ -69,6 +81,26 @@ struct ServerConfig {
   // Capacity of the content-hash registry backing source_hash references
   // (entries; insertion stops at the cap). 0 disables resolution.
   std::size_t hash_registry_entries = 4096;
+  // Sliding window (seconds) behind the recent-traffic view: the
+  // admission p95, {"op":"stats"} rates, and the shed-burst detector all
+  // read this window rather than since-boot aggregates.
+  std::size_t window_seconds = 60;
+  // Warm-up rule: the windowed p95 steers admission only once the window
+  // holds at least this many observations; colder than that, admission
+  // falls back to the cumulative jst_server_service_ms p95 (which early
+  // on *is* recent traffic). Guards the estimate against one or two
+  // unlucky samples right after boot or after an idle gap.
+  std::size_t window_warm_min_count = 16;
+  // Overload forensics: when this many requests were shed within the
+  // window, dump the flight recorder to `flight_dump_path` (at most once
+  // per window). 0 disables the trigger.
+  std::size_t shed_burst_dump_threshold = 32;
+  // Destination for automatic flight-recorder dumps (shed bursts, and
+  // SIGUSR1 in the daemon binary). Empty disables automatic dumps;
+  // {"op":"flight"} works regardless.
+  std::string flight_dump_path;
+  // Slowest-N exemplar table size (distinct source_hash entries kept).
+  std::size_t slow_exemplars = 8;
 };
 
 // Point-in-time counters for tests and the drain log line.
@@ -104,6 +136,19 @@ class Server {
   std::size_t workers() const { return workers_; }
   ServerStats stats() const;
 
+  // The {"op":"stats"} payload: one JSON object with the recent-window
+  // view (qps / shed rate / service p50/p95/p99 + warm flag), the
+  // cumulative counters, current queue depth, and the slowest-N
+  // exemplars. Also reachable in-process for tests and bench capture.
+  std::string stats_json() const;
+
+  // The p95 service-time estimate admission control consults: the
+  // sliding-window p95 once the window holds at least
+  // `window_warm_min_count` samples, else the cumulative histogram's
+  // p95 (the stale-admission fix — a slow burst ages out of the window
+  // instead of poisoning the estimate for the life of the process).
+  double admission_p95_ms() const;
+
   // The admission-control predicate (DESIGN.md §13), exposed as a pure
   // function: shed when the hard cap trips or when the estimated queue
   // wait (queue_depth × p95 service ms / workers) exceeds the request's
@@ -126,6 +171,10 @@ class Server {
                        std::size_t depth_at_admission);
   void respond(Connection& connection, const analysis::AnalyzeResponse&);
   void serve_metrics_http(Connection& connection);
+  // Shed-burst trigger: dumps the flight recorder to
+  // config_.flight_dump_path when window-shed crosses the threshold,
+  // rate-limited to once per window.
+  void maybe_dump_flight_on_shed_burst();
   // Registers an inline source under its hash; returns false (registry
   // full / disabled) without error — resolution is best-effort.
   void register_source(const std::string& hash, const std::string& source);
@@ -159,6 +208,16 @@ class Server {
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
+
+  // Recent-traffic view (ServerConfig::window_seconds): per-server so
+  // tests running several servers in one process don't blend windows the
+  // way the process-wide cumulative registry does.
+  obs::WindowedHistogram service_window_;
+  obs::WindowedCounter requests_window_;
+  obs::WindowedCounter shed_window_;
+  obs::SlowExemplars slow_exemplars_;
+  static constexpr std::uint64_t kNeverDumped = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> last_flight_dump_s_{kNeverDumped};
 };
 
 }  // namespace jst::server

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 
 namespace jst::support {
@@ -119,6 +120,17 @@ void ThreadPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
     run_task_timed(task);
     return;
+  }
+  // Propagate the submitting thread's request context across the lane
+  // hop: the task runs under the same request id on the worker, so its
+  // pool.task span (and everything inside) joins the request's trace.
+  // No request in scope (the batch path) costs nothing extra.
+  const std::string_view rid = obs::current_request_id();
+  if (!rid.empty()) {
+    task = [rid = std::string(rid), inner = std::move(task)] {
+      obs::RequestScope scope(rid);
+      inner();
+    };
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);

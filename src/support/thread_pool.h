@@ -36,7 +36,9 @@ class ThreadPool {
   std::size_t parallelism() const { return workers_.size() + 1; }
 
   // Enqueues a task. Tasks start in FIFO order. With no workers
-  // (parallelism 1) the task runs inline, immediately.
+  // (parallelism 1) the task runs inline, immediately. The submitting
+  // thread's obs request context (if any) is captured and re-installed
+  // around the task on the worker lane.
   void submit(std::function<void()> task);
 
   // Runs body(0) .. body(count - 1), caller participating. Blocks until

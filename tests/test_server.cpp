@@ -18,8 +18,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <regex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,8 +31,14 @@
 #include "analysis/service.h"
 #include "analysis/wild.h"
 #include "analysis/wire.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
+#include "obs/window.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "support/json_reader.h"
 #include "support/rng.h"
 #include "transform/transform.h"
 
@@ -80,6 +89,36 @@ std::string strip_timing(const std::string& outcome_json) {
 std::string test_socket_path(const char* tag) {
   return "/tmp/jstraced_test_" + std::to_string(::getpid()) + "_" + tag +
          ".sock";
+}
+
+// Splits NDJSON / JSONL into non-empty lines.
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Extracts `"key":"..."` from a single-line JSON event ("" when absent).
+std::string json_string_field(const std::string& line,
+                              const std::string& key) {
+  const std::string needle = '"' + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string();
+  const std::size_t start = at + needle.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+// Extracts the numeric `"key":` value from a single-line JSON event.
+double json_number_field(const std::string& line, const std::string& key) {
+  const std::string needle = '"' + key + "\":";
+  const std::size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in " << line;
+  if (at == std::string::npos) return 0.0;
+  return std::atof(line.c_str() + at + needle.size());
 }
 
 // --- wire schema: requests -------------------------------------------------
@@ -144,6 +183,74 @@ TEST(WireSchema, RequestLimitsProductionThenOverride) {
   EXPECT_EQ(parsed->limits->max_tokens, 7u);  // override wins
   EXPECT_EQ(parsed->limits->max_source_bytes, production.max_source_bytes);
   EXPECT_DOUBLE_EQ(parsed->limits->deadline_ms, production.deadline_ms);
+}
+
+// --- wire schema: request_id (v2) ------------------------------------------
+
+TEST(WireSchema, RequestIdRoundTripsOnV2) {
+  analysis::AnalyzeRequest request =
+      analysis::AnalyzeRequest::for_source("var x = 1;", "rid-1");
+  request.request_id = "0123456789abcdef";
+  const std::string line = analysis::wire::analyze_request_json(request);
+  EXPECT_NE(line.find("\"request_id\":\"0123456789abcdef\""),
+            std::string::npos)
+      << line;
+
+  std::string error;
+  const auto parsed = analysis::wire::parse_analyze_request(line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->request_id, "0123456789abcdef");
+  EXPECT_EQ(parsed->id, "rid-1");
+
+  // Absent request_id parses as empty (the daemon mints one later).
+  const auto bare = analysis::wire::parse_analyze_request(
+      R"({"source":"x"})", &error);
+  ASSERT_TRUE(bare.has_value()) << error;
+  EXPECT_TRUE(bare->request_id.empty());
+}
+
+TEST(WireSchema, RequestIdRejectedUnderPinnedV1) {
+  std::string error;
+  EXPECT_FALSE(analysis::wire::parse_analyze_request(
+                   R"({"v":1,"source":"x","request_id":"0123456789abcdef"})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("wire v2"), std::string::npos) << error;
+  // An explicit v:2 pin accepts it.
+  const auto parsed = analysis::wire::parse_analyze_request(
+      R"({"v":2,"source":"x","request_id":"0123456789abcdef"})", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->request_id, "0123456789abcdef");
+}
+
+TEST(WireSchema, RequestIdRejectsMalformedShapes) {
+  std::string error;
+  for (const char* bad :
+       {R"({"source":"x","request_id":""})",
+        R"({"source":"x","request_id":"short"})",
+        R"({"source":"x","request_id":"0123456789ABCDEF"})",
+        R"({"source":"x","request_id":"0123456789abcdef0"})"}) {
+    EXPECT_FALSE(
+        analysis::wire::parse_analyze_request(bad, &error).has_value())
+        << bad;
+    EXPECT_NE(error.find("request_id"), std::string::npos) << error;
+  }
+}
+
+TEST(WireSchema, ResponseCarriesRequestIdThroughService) {
+  const analysis::AnalyzerService service(shared_analyzer());
+  analysis::AnalyzeRequest request =
+      analysis::AnalyzeRequest::for_source(seed_corpus()[0], "echo-1");
+  request.request_id = "feedfacefeedface";
+  const analysis::AnalyzeResponse response = service.analyze(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.request_id, "feedfacefeedface");
+
+  std::string error;
+  const auto parsed = analysis::wire::parse_analyze_response(
+      response.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->request_id, "feedfacefeedface");
 }
 
 // --- wire schema: responses ------------------------------------------------
@@ -297,6 +404,36 @@ TEST(AdmissionControl, NoDeadlineNeverShedsWithoutCap) {
   EXPECT_FALSE(server::Server::should_shed(0, 1, 5000.0, 1.0, 0));
 }
 
+// Regression for stale admission (PR 7): before the windowed p95, one
+// early slow burst poisoned the cumulative p95 for the life of the
+// process, so should_shed kept rejecting fast traffic minutes later. The
+// windowed estimate forgets the burst once it ages out of the window.
+TEST(AdmissionControl, WindowedP95RecoversFromEarlySlowBurst) {
+  obs::Histogram cumulative;          // the since-boot view (old behavior)
+  obs::WindowedHistogram windowed(60);  // what admission_p95_ms consults
+
+  // Second 0: a 200-request burst at 500 ms service time.
+  for (int i = 0; i < 200; ++i) {
+    cumulative.record(500.0);
+    windowed.record_at(0, 500.0);
+  }
+  // Ten minutes later: the same count of 1 ms requests.
+  for (int i = 0; i < 200; ++i) {
+    cumulative.record(1.0);
+    windowed.record_at(600, 1.0);
+  }
+
+  const double cumulative_p95 = cumulative.p95();
+  const double windowed_p95 = windowed.snapshot_at(600).p95;
+  EXPECT_GT(cumulative_p95, 100.0);  // still dominated by the burst
+  EXPECT_LT(windowed_p95, 10.0);     // burst aged out of the window
+
+  // 4 queued, 2 workers, 250 ms deadline: the cumulative estimate sheds
+  // traffic the server could easily serve; the windowed one admits it.
+  EXPECT_TRUE(server::Server::should_shed(4, 2, cumulative_p95, 250.0, 0));
+  EXPECT_FALSE(server::Server::should_shed(4, 2, windowed_p95, 250.0, 0));
+}
+
 // --- socket integration ----------------------------------------------------
 
 class ServerFixture : public ::testing::Test {
@@ -306,6 +443,17 @@ class ServerFixture : public ::testing::Test {
     service_ = std::make_unique<analysis::AnalyzerService>(shared_analyzer());
     daemon_ = std::make_unique<server::Server>(*service_, std::move(config));
     daemon_->start();
+  }
+
+  // Postmortem artifact: when a serving test fails, dump the flight
+  // recorder next to the test binary so CI can upload it (the workflow
+  // attaches test_server_flight.ndjson on failure).
+  void TearDown() override {
+    if (::testing::Test::HasFailure()) {
+      const char* path = std::getenv("JST_FLIGHT_ARTIFACT");
+      obs::FlightRecorder::global().dump_to_file(
+          path != nullptr ? path : "test_server_flight.ndjson");
+    }
   }
 
   std::unique_ptr<analysis::AnalyzerService> service_;
@@ -397,6 +545,12 @@ TEST_F(ServerFixture, OverloadShedsDeterministically) {
   config.workers = 1;
   config.max_queue_depth = 2;
   config.min_service_ms = 150.0;
+  // Shed-burst forensics: the four sheds below cross this threshold, so
+  // the server must auto-dump the flight recorder to this path.
+  const std::string dump_path =
+      "/tmp/jstraced_test_" + std::to_string(::getpid()) + "_burst.ndjson";
+  config.shed_burst_dump_threshold = 2;
+  config.flight_dump_path = dump_path;
   StartServer("overload", config);
 
   constexpr std::size_t kClients = 6;
@@ -427,6 +581,17 @@ TEST_F(ServerFixture, OverloadShedsDeterministically) {
   const server::ServerStats stats = daemon_->stats();
   EXPECT_EQ(stats.requests_admitted, 2u);
   EXPECT_EQ(stats.requests_shed, 4u);
+
+  // The shed burst crossed the threshold: the flight recorder was dumped
+  // automatically, and the dump names the overload verdicts.
+  std::ifstream dump(dump_path);
+  ASSERT_TRUE(dump.good()) << dump_path;
+  std::stringstream contents;
+  contents << dump.rdbuf();
+  EXPECT_NE(contents.str().find("\"kind\":\"shed\""), std::string::npos);
+  EXPECT_NE(contents.str().find("\"label\":\"overloaded\""),
+            std::string::npos);
+  std::remove(dump_path.c_str());
 }
 
 // Requests whose queue wait consumed the whole deadline are shed at
@@ -470,6 +635,167 @@ TEST_F(ServerFixture, DeadlineElapsedInQueueShedsAtPickup) {
   // estimate once a p95 exists, or at pickup) — never analyzed late.
   EXPECT_EQ(ok.load(), 1u);
   EXPECT_EQ(overloaded.load(), kClients - 1);
+}
+
+// --- observability ops and request-id plumbing (DESIGN.md §14) -------------
+
+TEST_F(ServerFixture, ServerMintsOrEchoesRequestId) {
+  StartServer("rid", server::ServerConfig{});
+  server::Client client(daemon_->socket_path());
+  const std::string source = seed_corpus()[0];
+
+  // No client-supplied id: the daemon mints a valid one.
+  const auto minted =
+      client.call(analysis::AnalyzeRequest::for_source(source, "m-1"));
+  ASSERT_TRUE(minted.ok());
+  EXPECT_TRUE(obs::is_valid_request_id(minted.request_id))
+      << minted.request_id;
+
+  // Client-supplied id (wire v2): echoed verbatim.
+  analysis::AnalyzeRequest request =
+      analysis::AnalyzeRequest::for_source(source, "m-2");
+  request.request_id = "00c0ffee00c0ffee";
+  const auto echoed = client.call(request);
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(echoed.request_id, "00c0ffee00c0ffee");
+
+  // Two mints never collide.
+  const auto second =
+      client.call(analysis::AnalyzeRequest::for_source(source, "m-3"));
+  EXPECT_NE(second.request_id, minted.request_id);
+}
+
+TEST_F(ServerFixture, StatsOpReportsRecentWindow) {
+  server::ServerConfig config;
+  config.workers = 2;
+  StartServer("statsop", config);
+  server::Client client(daemon_->socket_path());
+  const std::vector<std::string> corpus = seed_corpus();
+  constexpr std::size_t kRequests = 20;  // past the default warm-up of 16
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client
+                    .call(analysis::AnalyzeRequest::for_source(
+                        corpus[i % corpus.size()], std::to_string(i)))
+                    .ok());
+  }
+
+  const std::string stats = client.stats_json();
+  std::string error;
+  const auto document = support::parse_json(stats, &error);
+  ASSERT_TRUE(document.has_value()) << error << ": " << stats;
+
+  EXPECT_EQ(document->find("window_seconds")->as_number(), 60.0);
+  EXPECT_TRUE(document->find("warm")->as_bool()) << stats;
+  EXPECT_EQ(document->find("workers")->as_number(), 2.0);
+  EXPECT_GE(document->find("admission_p95_ms")->as_number(), 0.0);
+
+  const support::JsonValue* recent = document->find("recent");
+  ASSERT_NE(recent, nullptr);
+  EXPECT_EQ(recent->find("requests")->as_number(),
+            static_cast<double>(kRequests));
+  EXPECT_EQ(recent->find("served")->as_number(),
+            static_cast<double>(kRequests));
+  EXPECT_EQ(recent->find("shed")->as_number(), 0.0);
+  EXPECT_GT(recent->find("qps")->as_number(), 0.0);
+  EXPECT_LE(recent->find("service_p50_ms")->as_number(),
+            recent->find("service_p95_ms")->as_number());
+  EXPECT_LE(recent->find("service_p95_ms")->as_number(),
+            recent->find("service_p99_ms")->as_number());
+
+  // Cumulative section and the slowest-exemplar table exist; exemplars
+  // reference real source hashes with valid request ids.
+  ASSERT_NE(document->find("cumulative"), nullptr);
+  const support::JsonValue* slowest = document->find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_TRUE(slowest->is_array());
+  EXPECT_FALSE(slowest->as_array().empty());
+  // In-process accessor matches the wire surface's shape.
+  EXPECT_NE(daemon_->stats_json().find("\"recent\":"), std::string::npos);
+}
+
+TEST_F(ServerFixture, FlightOpReturnsEventArray) {
+  obs::FlightRecorder::global().clear();
+  StartServer("flightop", server::ServerConfig{});
+  server::Client client(daemon_->socket_path());
+  ASSERT_TRUE(
+      client.call(analysis::AnalyzeRequest::for_source(seed_corpus()[0]))
+          .ok());
+
+  const std::string line = client.call_raw("{\"op\":\"flight\"}");
+  std::string error;
+  const auto document = support::parse_json(line, &error);
+  ASSERT_TRUE(document.has_value()) << error << ": " << line;
+  EXPECT_EQ(document->find("status")->as_string(), "ok");
+  const support::JsonValue* events = document->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_FALSE(events->as_array().empty());
+  // The served request left its admit and respond breadcrumbs.
+  EXPECT_NE(line.find("\"kind\":\"admit\""), std::string::npos);
+  EXPECT_NE(line.find("\"kind\":\"respond\""), std::string::npos);
+}
+
+// The PR-7 acceptance criterion: one request's full lifecycle — admission
+// verdict, queue pickup, pipeline stages, respond — reconstructs from the
+// trace JSONL and the flight-recorder dump joined on request_id.
+TEST_F(ServerFixture, LifecycleReconstructsFromTraceAndFlightJoin) {
+  obs::FlightRecorder::global().clear();
+  server::ServerConfig config;
+  config.workers = 1;
+  StartServer("lifecycle", config);
+
+  std::ostringstream trace_out;
+  obs::TraceSink sink(trace_out);
+  if (JST_TRACING) obs::set_trace_sink(&sink);
+
+  const std::string rid = "abcdef0123456789";
+  server::Client client(daemon_->socket_path());
+  analysis::AnalyzeRequest request =
+      analysis::AnalyzeRequest::for_source(seed_corpus()[0], "lc-1");
+  request.request_id = rid;
+  const auto response = client.call(request);
+  // Drain before detaching the sink so no server-side span is mid-write.
+  daemon_->shutdown();
+  obs::set_trace_sink(nullptr);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.request_id, rid);
+
+  // Flight side of the join: admit → pickup → stages → respond, in
+  // timestamp order, all carrying the request id.
+  double admit_ts = -1.0, pickup_ts = -1.0, respond_ts = -1.0;
+  std::size_t stage_events = 0;
+  for (const std::string& line :
+       split_lines(obs::FlightRecorder::global().dump_ndjson())) {
+    if (json_string_field(line, "rid") != rid) continue;
+    const std::string kind = json_string_field(line, "kind");
+    const double ts = json_number_field(line, "ts_us");
+    if (kind == "admit") admit_ts = ts;
+    if (kind == "pickup") pickup_ts = ts;
+    if (kind == "respond") respond_ts = ts;
+    if (kind == "stage") ++stage_events;
+  }
+  ASSERT_GE(admit_ts, 0.0) << "no admit event for " << rid;
+  ASSERT_GE(pickup_ts, 0.0) << "no pickup event for " << rid;
+  ASSERT_GE(respond_ts, 0.0) << "no respond event for " << rid;
+  EXPECT_LE(admit_ts, pickup_ts);
+  EXPECT_LE(pickup_ts, respond_ts);
+  EXPECT_GE(stage_events, 3u);  // static_analysis, features, inference
+
+  // Trace side of the join: the pipeline spans carry the same rid.
+  if (JST_TRACING) {
+    std::size_t rid_spans = 0;
+    bool saw_script = false, saw_inference = false;
+    for (const std::string& line : split_lines(trace_out.str())) {
+      if (json_string_field(line, "rid") != rid) continue;
+      ++rid_spans;
+      const std::string name = json_string_field(line, "name");
+      if (name == "script") saw_script = true;
+      if (name == "inference") saw_inference = true;
+    }
+    EXPECT_GE(rid_spans, 4u);
+    EXPECT_TRUE(saw_script);
+    EXPECT_TRUE(saw_inference);
+  }
 }
 
 TEST_F(ServerFixture, DrainAnswersAdmittedRequests) {
