@@ -247,6 +247,16 @@ class AnalyzerService {
 
 // Content hash used for AnalyzeRequest::source_hash references: FNV-1a 64
 // of the raw source bytes, formatted as 16 lowercase hex digits.
+//
+// Trust assumption (DESIGN.md §13): FNV-1a is not collision-resistant —
+// colliding inputs are trivially constructible — and the daemon's hash
+// registry is shared across connections, returning the first source
+// registered under a hash. source_hash references are therefore only
+// reliable among mutually-trusted local clients (the daemon listens on a
+// Unix socket, filesystem-permission-gated). If the registry is ever
+// exposed to untrusted writers, swap this for a cryptographic digest
+// (e.g. truncated SHA-256); the wire field is an opaque hex token, so
+// only kWireFormatVersion needs bumping.
 std::string content_hash(std::string_view source);
 
 }  // namespace jst::analysis

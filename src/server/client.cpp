@@ -130,10 +130,9 @@ std::string Client::metrics_json() {
   if (metrics == nullptr) {
     throw std::runtime_error("jstraced-client: metrics op missing 'metrics'");
   }
-  // Re-locating the raw object in the line avoids re-serializing the DOM;
-  // the member is the only place `"metrics":` appears in the envelope.
-  const std::size_t at = line.find("\"metrics\":");
-  return line.substr(at + 10, line.size() - (at + 10) - 1);
+  // Re-serialize the parsed member: immune to envelope key reordering or
+  // new members, unlike substring extraction from the raw line.
+  return support::to_json(*metrics);
 }
 
 std::string Client::stats_json() {
@@ -145,13 +144,11 @@ std::string Client::stats_json() {
     throw std::runtime_error("jstraced-client: malformed stats line (" +
                              error + ")");
   }
-  if (document->find("stats") == nullptr) {
+  const support::JsonValue* stats = document->find("stats");
+  if (stats == nullptr) {
     throw std::runtime_error("jstraced-client: stats op missing 'stats'");
   }
-  // Same raw-extraction trick as metrics_json: `"stats":` appears exactly
-  // once, as the envelope member holding the object.
-  const std::size_t at = line.find("\"stats\":");
-  return line.substr(at + 8, line.size() - (at + 8) - 1);
+  return support::to_json(*stats);
 }
 
 std::string LoadReport::to_json() const {

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -60,17 +61,29 @@ ServerMetrics& server_metrics() {
 
 // Writes the whole buffer, retrying on EINTR / partial writes. Returns
 // false on any hard error (EPIPE when the peer vanished is the common
-// one); MSG_NOSIGNAL keeps a dead peer from killing the daemon.
+// one); MSG_NOSIGNAL keeps a dead peer from killing the daemon. The fd
+// carries SO_SNDTIMEO (ServerConfig::write_timeout_ms), so a client that
+// stops reading surfaces here as EAGAIN within the timeout instead of
+// blocking the writer — and its write_mutex — forever.
 bool write_all(int fd, std::string_view data) {
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // EAGAIN/EWOULDBLOCK (send timeout) included
     }
     data.remove_prefix(static_cast<std::size_t>(n));
   }
   return true;
+}
+
+// Bounds every blocking send on `fd` to `timeout_ms` (0 = unbounded).
+void set_send_timeout(int fd, std::size_t timeout_ms) {
+  if (timeout_ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 double elapsed_ms(std::chrono::steady_clock::time_point since) {
@@ -164,6 +177,7 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       return;  // listening socket closed (shutdown) or hard error
     }
+    set_send_timeout(fd, config_.write_timeout_ms);
     server_metrics().connections.add(1);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -278,8 +292,7 @@ void Server::handle_line(Connection& connection, const std::string& line) {
       }
     }
     writer.end_object();
-    std::lock_guard<std::mutex> lock(connection.write_mutex);
-    if (connection.fd >= 0) write_all(connection.fd, writer.str() + "\n");
+    write_line(connection, writer.str() + "\n");
     return;
   }
 
@@ -335,12 +348,18 @@ void Server::handle_request(Connection& connection,
     return;
   }
 
+  const ResourceLimits& limits =
+      request.limits.has_value() ? *request.limits : config_.default_limits;
+
   // Resolve a content-hash reference against the registry before
   // admission, so an unresolvable request never occupies queue space.
   // Inline sources register under their hash on the way in — the hash
-  // echoed in the response is immediately usable as a reference.
+  // echoed in the response is immediately usable as a reference. A source
+  // the effective limits would refuse anyway (max_source_bytes) is not
+  // worth registry space.
   if (request.has_source) {
-    register_source(analysis::content_hash(request.source), request.source);
+    register_source(analysis::content_hash(request.source), request.source,
+                    limits.max_source_bytes);
   } else {
     if (!resolve_source(request.source_hash, request.source)) {
       early.status = analysis::ResponseStatus::kNotFound;
@@ -356,43 +375,48 @@ void Server::handle_request(Connection& connection,
     request.has_source = true;
   }
 
-  const ResourceLimits& limits =
-      request.limits.has_value() ? *request.limits : config_.default_limits;
-
   // Admission control (header comment): hard cap on in-flight requests,
-  // plus the queue-wait estimate against this request's deadline.
+  // plus the queue-wait estimate against this request's deadline. Only
+  // the verdict and the counter update happen under inflight_mutex_ —
+  // respond() is a blocking send and the burst dump is file I/O, and a
+  // slow client must never wedge every worker's inflight_ decrement (and
+  // every other connection's admission) behind this lock.
+  bool shed = false;
+  std::size_t depth_at_verdict = 0;
   std::size_t depth_at_admission = 0;
+  double p95 = 0.0;
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     // The stale-admission fix: consult the sliding-window p95 (cumulative
     // only until the window warms), so a slow burst minutes ago cannot
     // shed today's fast traffic.
-    const double p95 = admission_p95_ms();
-    if (should_shed(inflight_, workers_, p95, limits.deadline_ms,
-                    config_.max_queue_depth)) {
-      early.status = analysis::ResponseStatus::kOverloaded;
-      early.queue_depth = inflight_;
-      early.error = "overloaded: " + std::to_string(inflight_) +
-                    " in flight, p95 " + std::to_string(p95) + " ms";
-      {
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++stats_.requests_shed;
-      }
-      server_metrics().shed.add(1);
-      shed_window_.add(1);
-      obs::flight_record(obs::FlightEventKind::kShed, {}, "overloaded",
-                         static_cast<double>(inflight_), p95,
-                         limits.deadline_ms);
-      respond(connection, early);
-      maybe_dump_flight_on_shed_burst();
-      return;
-    }
-    ++inflight_;
-    depth_at_admission = inflight_;
-    obs::flight_record(obs::FlightEventKind::kAdmit, {}, "admitted",
-                       static_cast<double>(inflight_), p95,
-                       limits.deadline_ms);
+    p95 = admission_p95_ms();
+    depth_at_verdict = inflight_;
+    shed = should_shed(inflight_, workers_, p95, limits.deadline_ms,
+                       config_.max_queue_depth);
+    if (!shed) depth_at_admission = ++inflight_;
   }
+  if (shed) {
+    early.status = analysis::ResponseStatus::kOverloaded;
+    early.queue_depth = depth_at_verdict;
+    early.error = "overloaded: " + std::to_string(depth_at_verdict) +
+                  " in flight, p95 " + std::to_string(p95) + " ms";
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.requests_shed;
+    }
+    server_metrics().shed.add(1);
+    shed_window_.add(1);
+    obs::flight_record(obs::FlightEventKind::kShed, {}, "overloaded",
+                       static_cast<double>(depth_at_verdict), p95,
+                       limits.deadline_ms);
+    respond(connection, early);
+    maybe_dump_flight_on_shed_burst();
+    return;
+  }
+  obs::flight_record(obs::FlightEventKind::kAdmit, {}, "admitted",
+                     static_cast<double>(depth_at_admission), p95,
+                     limits.deadline_ms);
   server_metrics().queue_depth.set(static_cast<double>(depth_at_admission));
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -509,27 +533,59 @@ void Server::process_request(
 void Server::respond(Connection& connection,
                      const analysis::AnalyzeResponse& response) {
   const std::string line = analysis::wire::analyze_response_json(response);
+  write_line(connection, line + "\n");
+}
+
+void Server::write_line(Connection& connection, const std::string& data) {
   std::lock_guard<std::mutex> lock(connection.write_mutex);
-  if (connection.fd >= 0) write_all(connection.fd, line + "\n");
+  if (connection.fd < 0) return;
+  if (!write_all(connection.fd, data)) {
+    // Write failed — the peer vanished, or stalled past the send timeout.
+    // The response stream is no longer coherent, so drop the connection:
+    // shutdown() fails the reader's recv(), the reader drains pending
+    // responses (each failing fast the same way) and closes the fd.
+    ::shutdown(connection.fd, SHUT_RDWR);
+  }
 }
 
 void Server::register_source(const std::string& hash,
-                             const std::string& source) {
-  if (config_.hash_registry_entries == 0) return;
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  if (sources_by_hash_.size() >= config_.hash_registry_entries &&
-      sources_by_hash_.find(hash) == sources_by_hash_.end()) {
-    return;  // registry full; references to this script will miss
+                             const std::string& source,
+                             std::size_t max_entry_bytes) {
+  if (config_.hash_registry_entries == 0 ||
+      config_.hash_registry_bytes == 0) {
+    return;
   }
-  sources_by_hash_.emplace(hash, source);
+  // Per-entry caps: a source the request's own limits would refuse, or
+  // one bigger than the whole byte budget, never enters the registry.
+  if (max_entry_bytes > 0 && source.size() > max_entry_bytes) return;
+  if (source.size() > config_.hash_registry_bytes) return;
+
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = registry_index_.find(hash);
+  if (it != registry_index_.end()) {
+    registry_lru_.splice(registry_lru_.begin(), registry_lru_, it->second);
+    return;
+  }
+  // Evict least-recently-used entries until both budgets admit the new
+  // source; the caps guarantee this terminates with room to spare.
+  while (!registry_lru_.empty() &&
+         (registry_index_.size() >= config_.hash_registry_entries ||
+          registry_bytes_ + source.size() > config_.hash_registry_bytes)) {
+    registry_bytes_ -= registry_lru_.back().second.size();
+    registry_index_.erase(registry_lru_.back().first);
+    registry_lru_.pop_back();
+  }
+  registry_lru_.emplace_front(hash, source);
+  registry_bytes_ += source.size();
+  registry_index_.emplace(hash, registry_lru_.begin());
 }
 
-bool Server::resolve_source(const std::string& hash,
-                            std::string& source) const {
+bool Server::resolve_source(const std::string& hash, std::string& source) {
   std::lock_guard<std::mutex> lock(registry_mutex_);
-  const auto it = sources_by_hash_.find(hash);
-  if (it == sources_by_hash_.end()) return false;
-  source = it->second;
+  const auto it = registry_index_.find(hash);
+  if (it == registry_index_.end()) return false;
+  registry_lru_.splice(registry_lru_.begin(), registry_lru_, it->second);
+  source = it->second->second;
   return true;
 }
 
@@ -543,8 +599,11 @@ void Server::serve_metrics_http(Connection& connection) {
   {
     std::lock_guard<std::mutex> lock(connection.write_mutex);
     if (connection.fd >= 0) {
-      write_all(connection.fd, response);
-      ::shutdown(connection.fd, SHUT_WR);
+      if (write_all(connection.fd, response)) {
+        ::shutdown(connection.fd, SHUT_WR);
+      } else {
+        ::shutdown(connection.fd, SHUT_RDWR);
+      }
     }
   }
   connection.stop_reading = true;

@@ -46,11 +46,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <map>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/service.h"
@@ -78,9 +80,21 @@ struct ServerConfig {
   // and drain tests use it to make queue pressure reproducible on corpora
   // whose real scripts analyze in microseconds; 0 disables.
   double min_service_ms = 0.0;
-  // Capacity of the content-hash registry backing source_hash references
-  // (entries; insertion stops at the cap). 0 disables resolution.
+  // Content-hash registry backing source_hash references: bounded both by
+  // entry count and by total stored bytes, evicting least-recently-used
+  // entries (a registration or a successful resolution is a use) instead
+  // of refusing inserts once full. A source larger than the effective
+  // request limits' max_source_bytes is never registered — the registry
+  // can't be used to pin sources the pipeline would refuse to analyze.
+  // hash_registry_entries = 0 disables resolution entirely.
   std::size_t hash_registry_entries = 4096;
+  std::size_t hash_registry_bytes = 64 * 1024 * 1024;
+  // Upper bound on any single blocking send to a client, in milliseconds
+  // (SO_SNDTIMEO on every accepted fd). A client that stops reading its
+  // responses is dropped when a write stalls past this, instead of
+  // pinning the writer (a pool worker lane, or the reader answering an
+  // op) on a full socket buffer forever. 0 = unbounded.
+  std::size_t write_timeout_ms = 10000;
   // Sliding window (seconds) behind the recent-traffic view: the
   // admission p95, {"op":"stats"} rates, and the shed-burst detector all
   // read this window rather than since-boot aggregates.
@@ -170,15 +184,22 @@ class Server {
                        std::chrono::steady_clock::time_point admitted_at,
                        std::size_t depth_at_admission);
   void respond(Connection& connection, const analysis::AnalyzeResponse&);
+  // Writes one already-framed line under the connection's write_mutex;
+  // a failed write (peer gone, or stalled past write_timeout_ms) drops
+  // the connection via ::shutdown so the reader tears it down.
+  void write_line(Connection& connection, const std::string& data);
   void serve_metrics_http(Connection& connection);
   // Shed-burst trigger: dumps the flight recorder to
   // config_.flight_dump_path when window-shed crosses the threshold,
   // rate-limited to once per window.
   void maybe_dump_flight_on_shed_burst();
-  // Registers an inline source under its hash; returns false (registry
-  // full / disabled) without error — resolution is best-effort.
-  void register_source(const std::string& hash, const std::string& source);
-  bool resolve_source(const std::string& hash, std::string& source) const;
+  // Registers an inline source under its hash (LRU-touching it if already
+  // present), silently skipping sources above `max_entry_bytes` (0 = no
+  // per-entry cap) — registration is best-effort, never an error.
+  void register_source(const std::string& hash, const std::string& source,
+                       std::size_t max_entry_bytes);
+  // Resolves a hash reference, refreshing the entry's LRU position.
+  bool resolve_source(const std::string& hash, std::string& source);
 
   const analysis::AnalyzerService* service_;
   ServerConfig config_;
@@ -203,8 +224,16 @@ class Server {
   mutable std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
 
+  // Content-hash registry: LRU list (front = most recently used) plus a
+  // hash → list-node index, bounded by config_.hash_registry_entries and
+  // config_.hash_registry_bytes (payload bytes; registry_bytes_ tracks
+  // the current total).
   mutable std::mutex registry_mutex_;
-  std::map<std::string, std::string> sources_by_hash_;
+  std::list<std::pair<std::string, std::string>> registry_lru_;
+  std::unordered_map<
+      std::string, std::list<std::pair<std::string, std::string>>::iterator>
+      registry_index_;
+  std::size_t registry_bytes_ = 0;
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;

@@ -1,7 +1,11 @@
 #include "support/json_reader.h"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
+
+#include "support/json_writer.h"
 
 namespace jst::support {
 namespace {
@@ -337,6 +341,67 @@ JsonValue JsonValue::make_object(std::map<std::string, JsonValue> members) {
 
 std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
   return Parser(text).parse(error);
+}
+
+namespace {
+
+// Shortest decimal that strtod reads back to exactly `value`; ±infinity
+// becomes ±1e999 so the overflow-saturation in parse_number round-trips.
+void write_number(JsonWriter& writer, double value) {
+  if (std::isnan(value)) {
+    writer.null();  // JSON has no NaN; parse never produces one either
+    return;
+  }
+  if (std::isinf(value)) {
+    writer.raw(value > 0 ? "1e999" : "-1e999");
+    return;
+  }
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  writer.raw(buf);
+}
+
+void write_value(JsonWriter& writer, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      writer.null();
+      break;
+    case JsonValue::Kind::kBool:
+      writer.value(value.as_bool());
+      break;
+    case JsonValue::Kind::kNumber:
+      write_number(writer, value.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      writer.value(value.as_string());
+      break;
+    case JsonValue::Kind::kArray:
+      writer.begin_array();
+      for (const JsonValue& element : value.as_array()) {
+        write_value(writer, element);
+      }
+      writer.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      writer.begin_object();
+      for (const auto& [key, member] : value.as_object()) {
+        writer.key(key);
+        write_value(writer, member);
+      }
+      writer.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_json(const JsonValue& value) {
+  JsonWriter writer;
+  write_value(writer, value);
+  return writer.str();
 }
 
 }  // namespace jst::support

@@ -72,4 +72,14 @@ class JsonValue {
 std::optional<JsonValue> parse_json(std::string_view text,
                                     std::string* error = nullptr);
 
+// Serializes a DOM back to one compact JSON document. Semantically a
+// parse inverse — parse_json(to_json(v)) reproduces v — though not a
+// byte inverse: object members emit in the DOM's (sorted) key order,
+// numbers in shortest-round-trip decimal, and the ±infinity that
+// overflowing literals saturate to re-emits as ±1e999 (the idiom the
+// metrics registry uses for unbounded bucket edges). This is how callers
+// should extract an embedded sub-object from an envelope they parsed —
+// never by substring arithmetic on the original text.
+std::string to_json(const JsonValue& value);
+
 }  // namespace jst::support

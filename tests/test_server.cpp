@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -341,6 +342,39 @@ TEST(ContentHash, StableFormat) {
   EXPECT_NE(hash, analysis::content_hash("var x = 2;"));
 }
 
+// --- JSON DOM serializer ---------------------------------------------------
+
+// support::to_json is what Client::metrics_json/stats_json use to lift an
+// embedded payload out of the op envelope — it must reproduce the parsed
+// document (including the ±1e999 infinity idiom the metrics registry
+// emits) and be its own fixpoint.
+TEST(JsonRoundTrip, SerializerReproducesDocument) {
+  const std::string text =
+      R"({"b":true,"inf":1e999,"neg":-1e999,)"
+      R"("list":[1,2.5,-0.1,"x\ny",null],)"
+      R"("nested":{"count":12345,"frac":0.1}})";
+  std::string error;
+  const auto parsed = support::parse_json(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const std::string serialized = support::to_json(*parsed);
+
+  const auto reparsed = support::parse_json(serialized, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error << ": " << serialized;
+  EXPECT_EQ(support::to_json(*reparsed), serialized);  // fixpoint
+
+  EXPECT_TRUE(std::isinf(reparsed->find("inf")->as_number()));
+  EXPECT_GT(reparsed->find("inf")->as_number(), 0.0);
+  EXPECT_TRUE(std::isinf(reparsed->find("neg")->as_number()));
+  EXPECT_LT(reparsed->find("neg")->as_number(), 0.0);
+  EXPECT_NE(serialized.find("1e999"), std::string::npos) << serialized;
+  EXPECT_DOUBLE_EQ(reparsed->find("nested")->find("frac")->as_number(), 0.1);
+  EXPECT_NE(serialized.find("\"frac\":0.1"), std::string::npos) << serialized;
+  EXPECT_EQ(reparsed->find("nested")->find("count")->as_number(), 12345.0);
+  EXPECT_NE(serialized.find("\"count\":12345"), std::string::npos)
+      << serialized;
+  EXPECT_EQ(reparsed->find("list")->as_array()[3].as_string(), "x\ny");
+}
+
 // --- deprecated-shim equivalence ------------------------------------------
 
 void expect_shim_equivalence(std::size_t threads) {
@@ -502,6 +536,79 @@ TEST_F(ServerFixture, HashReferenceResolvesAfterInlineSubmission) {
   ASSERT_TRUE(by_hash.ok());
   EXPECT_EQ(by_hash.outcome_status, inline_response.outcome_status);
   EXPECT_EQ(by_hash.source_hash, inline_response.source_hash);
+}
+
+// A parseable script of exactly `size` bytes whose tail is comment
+// padding — distinct tags give distinct content hashes.
+std::string padded_source(char tag, std::size_t size) {
+  std::string source = "var v = 1; //";
+  source.resize(size, tag);
+  return source;
+}
+
+// The registry is a byte-budgeted LRU: once the budget is exceeded the
+// least-recently-used source is evicted (references miss with not_found),
+// and resolving a reference refreshes the entry it hit.
+TEST_F(ServerFixture, HashRegistryEvictsLeastRecentlyUsed) {
+  server::ServerConfig config;
+  config.hash_registry_bytes = 700;  // fits two 320-byte sources, not three
+  StartServer("lru", config);
+  server::Client client(daemon_->socket_path());
+
+  const std::string a = padded_source('a', 320);
+  const std::string b = padded_source('b', 320);
+  const std::string c = padded_source('c', 320);
+
+  ASSERT_TRUE(client.call(analysis::AnalyzeRequest::for_source(a, "a")).ok());
+  ASSERT_TRUE(client.call(analysis::AnalyzeRequest::for_source(b, "b")).ok());
+
+  // Touch A: it becomes most-recently-used, so registering C evicts B.
+  ASSERT_TRUE(
+      client
+          .call(analysis::AnalyzeRequest::for_hash(analysis::content_hash(a)))
+          .ok());
+  ASSERT_TRUE(client.call(analysis::AnalyzeRequest::for_source(c, "c")).ok());
+
+  EXPECT_EQ(client
+                .call(analysis::AnalyzeRequest::for_hash(
+                    analysis::content_hash(b)))
+                .status,
+            analysis::ResponseStatus::kNotFound);
+  EXPECT_TRUE(
+      client
+          .call(analysis::AnalyzeRequest::for_hash(analysis::content_hash(a)))
+          .ok());
+  EXPECT_TRUE(
+      client
+          .call(analysis::AnalyzeRequest::for_hash(analysis::content_hash(c)))
+          .ok());
+}
+
+// A source bigger than the request's effective max_source_bytes is never
+// registered: the registry cannot pin memory the pipeline would refuse
+// to analyze.
+TEST_F(ServerFixture, HashRegistrySkipsSourcesOverLimit) {
+  server::ServerConfig config;
+  config.default_limits.max_source_bytes = 128;
+  StartServer("regcap", config);
+  server::Client client(daemon_->socket_path());
+
+  const std::string big = padded_source('g', 320);
+  ASSERT_TRUE(
+      client.call(analysis::AnalyzeRequest::for_source(big, "big")).ok());
+  EXPECT_EQ(client
+                .call(analysis::AnalyzeRequest::for_hash(
+                    analysis::content_hash(big)))
+                .status,
+            analysis::ResponseStatus::kNotFound);
+
+  const std::string small = padded_source('s', 64);
+  ASSERT_TRUE(
+      client.call(analysis::AnalyzeRequest::for_source(small, "small")).ok());
+  EXPECT_TRUE(client
+                  .call(analysis::AnalyzeRequest::for_hash(
+                      analysis::content_hash(small)))
+                  .ok());
 }
 
 TEST_F(ServerFixture, PingMetricsAndHttpScrape) {
