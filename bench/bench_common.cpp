@@ -81,6 +81,9 @@ std::string write_bench_json(std::string_view bench,
       writer.key("frontend_ms"); writer.value(record.lex_ms + record.parse_ms);
       writer.key("postparse_ms"); writer.value(record.postparse_ms);
     }
+    if (record.cache_hit_rate >= 0.0) {
+      writer.key("cache_hit_rate"); writer.value(record.cache_hit_rate);
+    }
     if (record.latency_p50_ms > 0.0) {
       writer.key("latency_p50_ms"); writer.value(record.latency_p50_ms);
       writer.key("latency_p95_ms"); writer.value(record.latency_p95_ms);
@@ -147,12 +150,14 @@ PopulationMeasurement measure_population(const analysis::PopulationSpec& spec,
   for (const analysis::Sample& sample : samples) {
     sources.push_back(sample.source);
   }
-  const analysis::BatchResult batch = service.analyze_batch(sources);
+  const analysis::BatchResponse batch =
+      service.analyze_batch(analysis::make_source_requests(sources));
 
   PopulationMeasurement out;
   out.technique_confidence.assign(transform::kTechniqueCount, 0.0);
   std::size_t transformed = 0;
-  for (const analysis::ScriptOutcome& outcome : batch.outcomes) {
+  for (const analysis::AnalyzeResponse& response : batch.responses) {
+    const analysis::ScriptOutcome& outcome = response.outcome;
     if (outcome.parse_failed()) continue;
     const analysis::ScriptReport& report = outcome.report;
     ++out.script_count;

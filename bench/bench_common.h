@@ -65,6 +65,10 @@ struct BenchRecord {
   double latency_p99_ms = 0.0;
   double shed_rate = 0.0;
   double offered_qps = 0.0;
+  // Optional result-cache measurement (bench_cache): fraction of the
+  // batch served from the cache for this config. Negative = not
+  // measured (a measured cold pass is a legitimate 0.0).
+  double cache_hit_rate = -1.0;
 };
 
 // Writes `BENCH_<bench>.json` — {"bench":…,"scale":…,"results":[…]} —

@@ -232,6 +232,8 @@ std::map<std::string, jst::bench::BenchRecord>& batch_records() {
 void BM_AnalyzeBatch(benchmark::State& state) {
   static const std::vector<std::string> kCorpus =
       jst::bench::held_out_regular(48, 0xba7c4);
+  static const std::vector<analysis::AnalyzeRequest> kRequests =
+      analysis::make_source_requests(kCorpus);
   const analysis::AnalyzerService service(jst::bench::analyzer());
   const bool governed = state.range(1) != 0;
   analysis::BatchOptions options;
@@ -243,8 +245,8 @@ void BM_AnalyzeBatch(benchmark::State& state) {
 
   analysis::BatchStats last_stats;
   for (auto _ : state) {
-    const analysis::BatchResult result =
-        service.analyze_batch(kCorpus, options);
+    const analysis::BatchResponse result =
+        service.analyze_batch(kRequests, options);
     benchmark::DoNotOptimize(result.stats.ok);
     last_stats = result.stats;
   }
@@ -284,6 +286,8 @@ jst::bench::BenchRecord run_stage_split(int reps) {
   };
   const std::vector<std::string> corpus =
       jst::bench::held_out_regular(48, 0xba7c4);
+  const std::vector<analysis::AnalyzeRequest> requests =
+      analysis::make_source_requests(corpus);
   const analysis::AnalyzerService service(jst::bench::analyzer());
   analysis::BatchOptions options;
   options.threads = 1;
@@ -307,8 +311,8 @@ jst::bench::BenchRecord run_stage_split(int reps) {
     frontend_ms = std::min(frontend_ms, ms_since(parse_start));
 
     const auto batch_start = clock::now();
-    const analysis::BatchResult result =
-        service.analyze_batch(corpus, options);
+    const analysis::BatchResponse result =
+        service.analyze_batch(requests, options);
     benchmark::DoNotOptimize(result.stats.ok);
     batch_ms = std::min(batch_ms, ms_since(batch_start));
     scripts_per_second =
@@ -346,6 +350,8 @@ int run_obs_overhead(int reps) {
   };
   const std::vector<std::string> corpus =
       jst::bench::held_out_regular(48, 0xba7c4);
+  const std::vector<analysis::AnalyzeRequest> requests =
+      analysis::make_source_requests(corpus);
   const analysis::AnalyzerService service(jst::bench::analyzer());
   analysis::BatchOptions options;
   options.threads = 1;
@@ -355,8 +361,8 @@ int run_obs_overhead(int reps) {
     double best = 1e300;
     for (int rep = 0; rep < reps; ++rep) {
       const auto start = clock::now();
-      const analysis::BatchResult result =
-          service.analyze_batch(corpus, options);
+      const analysis::BatchResponse result =
+          service.analyze_batch(requests, options);
       benchmark::DoNotOptimize(result.stats.ok);
       best = std::min(best, ms_since(start));
     }
@@ -365,7 +371,7 @@ int run_obs_overhead(int reps) {
 
   // One untimed warm-up batch so model lazies, pooled arenas, and page
   // faults are paid before either timed configuration.
-  benchmark::DoNotOptimize(service.analyze_batch(corpus, options).stats.ok);
+  benchmark::DoNotOptimize(service.analyze_batch(requests, options).stats.ok);
   const double off_ms = best_wall(/*sinks_on=*/false);
   const double on_ms = best_wall(/*sinks_on=*/true);
   obs::FlightRecorder::global().set_enabled(true);

@@ -108,9 +108,10 @@ int main(int argc, char** argv) {
     sources.push_back(std::move(source));
   }
 
-  const analysis::BatchResult batch = service.analyze_batch(sources);
-  for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
-    report_json(names[i], batch.outcomes[i]);
+  const analysis::BatchResponse batch =
+      service.analyze_batch(analysis::make_source_requests(sources));
+  for (std::size_t i = 0; i < batch.responses.size(); ++i) {
+    report_json(names[i], batch.responses[i].outcome);
   }
   std::fprintf(stderr,
                "[detect] %zu scripts in %.1f ms (%.1f scripts/s, %zu threads, "

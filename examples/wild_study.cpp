@@ -6,7 +6,7 @@
 //
 //   $ ./wild_study [scripts_per_population]
 //   $ ./wild_study 120 --trace-out trace.json --metrics-out metrics.json
-//   $ ./wild_study 120 --deadline-ms 120000 --max-ast-nodes 1000000 \
+//   $ ./wild_study 120 --deadline-ms 120000 --max-ast-nodes 1000000
 //         --ndjson-out outcomes.ndjson
 //
 // --trace-out writes Chrome trace_event JSONL (load in Perfetto or
@@ -21,6 +21,11 @@
 // populate BatchOptions::limits; 0 (the default) disables a ceiling.
 // --production-limits applies ResourceLimits::production() first, then
 // lets the individual flags override.
+//
+// Result cache (DESIGN.md §15): --cache-dir / --cache-bytes attach a
+// content-addressed ResultCache, so re-running the study over overlapping
+// corpora (or with --cache-dir, across process restarts) re-analyzes only
+// content-new scripts; --cache-mode refresh recomputes and overwrites.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,10 +34,12 @@
 #include <string>
 
 #include "analysis/pipeline.h"
+#include "analysis/result_cache.h"
 #include "analysis/service.h"
 #include "analysis/wild.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/cache_flags.h"
 #include "support/limits_flags.h"
 #include "support/strings.h"
 
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string ndjson_out;
   ResourceLimits limits;
+  support::CacheOptions cache_options;
   for (int i = 1; i < argc; ++i) {
     std::string limits_error;
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
@@ -62,7 +70,9 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--ndjson-out") == 0 && i + 1 < argc) {
       ndjson_out = argv[++i];
-    } else if (support::consume_limits_flag(argc, argv, i, limits,
+    } else if (support::consume_cache_flag(argc, argv, i, cache_options,
+                                           limits_error) ||
+               support::consume_limits_flag(argc, argv, i, limits,
                                             limits_error)) {
       if (!limits_error.empty()) {
         std::fprintf(stderr, "wild_study: %s\n", limits_error.c_str());
@@ -74,7 +84,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: wild_study [scripts_per_population] "
                    "[--metrics-out FILE] [--trace-out FILE] "
-                   "[--ndjson-out FILE] %s\n",
+                   "[--ndjson-out FILE] %s %s\n",
+                   support::cache_flags_usage(),
                    support::limits_flags_usage());
       return 2;
     }
@@ -100,7 +111,18 @@ int main(int argc, char** argv) {
   analysis::TransformationAnalyzer analyzer(options);
   std::fprintf(stderr, "[wild] training detectors...\n");
   analyzer.train();
-  const analysis::AnalyzerService service(analyzer);
+
+  std::unique_ptr<analysis::ResultCache> cache;
+  if (cache_options.enabled() && cache_options.mode != CacheMode::kBypass) {
+    analysis::ResultCache::Config cache_config;
+    cache_config.dir = cache_options.dir;
+    cache_config.max_bytes = cache_options.effective_bytes();
+    cache = std::make_unique<analysis::ResultCache>(cache_config);
+    if (!cache->load_error().empty()) {
+      std::fprintf(stderr, "[wild] cache: %s\n", cache->load_error().c_str());
+    }
+  }
+  const analysis::AnalyzerService service(analyzer, cache.get());
 
   struct Population {
     const char* name;
@@ -138,12 +160,14 @@ int main(int argc, char** argv) {
     for (const analysis::Sample& sample : samples) {
       sources.push_back(sample.source);
     }
-    const analysis::BatchResult batch =
-        service.analyze_batch(sources, batch_options);
+    const std::vector<analysis::AnalyzeRequest> requests =
+        analysis::make_source_requests(sources, cache_options.mode);
+    const analysis::BatchResponse batch =
+        service.analyze_batch(requests, batch_options);
     quarantined += batch.stats.budget_tripped();
     if (ndjson_stream.is_open()) {
-      for (const analysis::ScriptOutcome& outcome : batch.outcomes) {
-        ndjson_stream << outcome.to_json() << '\n';
+      for (const analysis::AnalyzeResponse& response : batch.responses) {
+        ndjson_stream << response.outcome.to_json() << '\n';
       }
     }
 
@@ -152,7 +176,8 @@ int main(int argc, char** argv) {
     double id_obf = 0.0;
     double str_obf = 0.0;
     double minified = 0.0;
-    for (const analysis::ScriptOutcome& outcome : batch.outcomes) {
+    for (const analysis::AnalyzeResponse& response : batch.responses) {
+      const analysis::ScriptOutcome& outcome = response.outcome;
       // Budget-tripped and parse-failed scripts carry no predictions, so
       // they are excluded from the table (but counted in `quarantined`).
       if (!outcome.has_predictions()) continue;
@@ -191,6 +216,14 @@ int main(int argc, char** argv) {
   if (ndjson_stream.is_open()) {
     std::fprintf(stderr, "[wild] wrote per-script NDJSON to %s\n",
                  ndjson_out.c_str());
+  }
+  if (cache) {
+    const analysis::ResultCache::Counters counters = cache->counters();
+    std::fprintf(stderr,
+                 "[wild] cache: %llu hits, %llu misses, %llu stores\n",
+                 static_cast<unsigned long long>(counters.hits),
+                 static_cast<unsigned long long>(counters.misses),
+                 static_cast<unsigned long long>(counters.stores));
   }
 
   if (trace_sink) {

@@ -101,4 +101,25 @@ PopulationSpec malware_month_spec(const PopulationSpec& base,
   return spec;
 }
 
+std::vector<std::string> evolve_snapshot(
+    const std::vector<std::string>& previous, const PopulationSpec& spec,
+    double persistence, std::uint64_t seed) {
+  // Draw a full replacement set up front so slot i's refresh script does
+  // not depend on which other slots persisted — the diff between two
+  // persistence values touches only the slots whose coin flip changed.
+  const std::vector<Sample> fresh =
+      simulate_population(spec, previous.size(), seed);
+  Rng churn(seed ^ strings::fnv1a(spec.name) ^ 0x5eedf00dULL);
+  std::vector<std::string> next;
+  next.reserve(previous.size());
+  for (std::size_t i = 0; i < previous.size(); ++i) {
+    if (churn.bernoulli(persistence)) {
+      next.push_back(previous[i]);
+    } else {
+      next.push_back(fresh[i].source);
+    }
+  }
+  return next;
+}
+
 }  // namespace jst::analysis

@@ -30,4 +30,16 @@ PopulationSpec npm_month_spec(std::size_t month_index);
 PopulationSpec malware_month_spec(const PopulationSpec& base,
                                   std::size_t month_index);
 
+// Evolves one month's corpus snapshot into the next month's: slot i
+// keeps its script with probability `persistence` (the paper's §IV crawl
+// finds well over half of scripts byte-identical across snapshots) and
+// is otherwise refreshed with a script drawn from `spec`. Decisions and
+// replacements are a pure function of (previous, spec, persistence,
+// seed), so consecutive snapshots are reproducible — the workload the
+// jstraced-snapshot driver diffs through the result cache
+// (DESIGN.md §15).
+std::vector<std::string> evolve_snapshot(
+    const std::vector<std::string>& previous, const PopulationSpec& spec,
+    double persistence, std::uint64_t seed);
+
 }  // namespace jst::analysis

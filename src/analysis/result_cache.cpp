@@ -1,0 +1,532 @@
+#include "analysis/result_cache.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "analysis/wire.h"
+#include "obs/metrics.h"
+#include "support/json_writer.h"
+#include "support/strings.h"
+#include "transform/technique.h"
+
+namespace jst::analysis {
+namespace {
+
+// Record-file format version, independent of the wire schema version the
+// header also pins (model_io discipline: bump on any layout change).
+constexpr std::uint32_t kCacheFileVersion = 1;
+constexpr std::string_view kCacheMagic = "jstcache";
+constexpr std::string_view kRecordFileName = "results.ndjson";
+
+// Cache telemetry (DESIGN.md §15). Registered on first cache
+// construction; counters export from zero like every jst_* family.
+struct CacheMetrics {
+  obs::Counter& hits =
+      obs::MetricsRegistry::global().counter("jst_cache_hit_total");
+  obs::Counter& misses =
+      obs::MetricsRegistry::global().counter("jst_cache_miss_total");
+  obs::Counter& stores =
+      obs::MetricsRegistry::global().counter("jst_cache_store_total");
+  obs::Counter& evictions =
+      obs::MetricsRegistry::global().counter("jst_cache_evict_total");
+  obs::Counter& bypasses =
+      obs::MetricsRegistry::global().counter("jst_cache_bypass_total");
+  obs::Histogram& hit_ms =
+      obs::MetricsRegistry::global().histogram("jst_cache_hit_ms");
+
+  CacheMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.set_help("jst_cache_hit_total",
+                      "Result-cache lookups answered from a tier");
+    registry.set_help("jst_cache_miss_total",
+                      "Result-cache lookups that fell through to analysis");
+    registry.set_help("jst_cache_store_total",
+                      "Outcomes appended to the result cache");
+    registry.set_help("jst_cache_evict_total",
+                      "Memory-tier entries evicted by the byte budget");
+    registry.set_help("jst_cache_bypass_total",
+                      "Requests that bypassed the result cache");
+    registry.set_help("jst_cache_hit_ms",
+                      "Latency of result-cache hits (lookup to outcome)");
+  }
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics* metrics = new CacheMetrics();  // outlives statics
+  return *metrics;
+}
+
+bool parse_script_status(std::string_view text, ScriptStatus& status) {
+  if (text == "ok") status = ScriptStatus::kOk;
+  else if (text == "parse_error") status = ScriptStatus::kParseError;
+  else if (text == "ineligible_size") status = ScriptStatus::kIneligibleSize;
+  else if (text == "ineligible_ast") status = ScriptStatus::kIneligibleAst;
+  else if (text == "budget_tokens") status = ScriptStatus::kBudgetTokens;
+  else if (text == "budget_ast_nodes") status = ScriptStatus::kBudgetAstNodes;
+  else if (text == "budget_depth") status = ScriptStatus::kBudgetDepth;
+  else if (text == "deadline_exceeded") {
+    status = ScriptStatus::kDeadlineExceeded;
+  } else if (text == "budget_dataflow") {
+    status = ScriptStatus::kBudgetDataflow;
+  } else if (text == "degraded") {
+    status = ScriptStatus::kDegraded;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_resource_kind(std::string_view text, ResourceKind& kind) {
+  if (text == "source_bytes") kind = ResourceKind::kSourceBytes;
+  else if (text == "tokens") kind = ResourceKind::kTokens;
+  else if (text == "ast_nodes") kind = ResourceKind::kAstNodes;
+  else if (text == "ast_depth") kind = ResourceKind::kAstDepth;
+  else if (text == "dataflow_edges") kind = ResourceKind::kDataflowEdges;
+  else if (text == "deadline") kind = ResourceKind::kDeadline;
+  else return false;
+  return true;
+}
+
+std::string header_line() {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("magic"); writer.value(kCacheMagic);
+  writer.key("version");
+  writer.value(static_cast<long long>(kCacheFileVersion));
+  writer.key("wire");
+  writer.value(static_cast<long long>(wire::kWireFormatVersion));
+  writer.end_object();
+  return writer.str();
+}
+
+// Validates one header line; a false return means the whole file is from
+// another schema generation and must be discarded (never reinterpreted).
+bool header_matches(const support::JsonValue& document, std::string* why) {
+  const support::JsonValue* magic = document.find("magic");
+  if (magic == nullptr || magic->as_string() != kCacheMagic) {
+    *why = "bad magic (not a jstcache record file)";
+    return false;
+  }
+  const support::JsonValue* version = document.find("version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<std::uint32_t>(version->as_number()) != kCacheFileVersion) {
+    *why = "cache file version mismatch (expected " +
+           std::to_string(kCacheFileVersion) + ")";
+    return false;
+  }
+  const support::JsonValue* wire_version = document.find("wire");
+  if (wire_version == nullptr || !wire_version->is_number() ||
+      static_cast<std::uint32_t>(wire_version->as_number()) !=
+          wire::kWireFormatVersion) {
+    *why = "wire version mismatch (expected " +
+           std::to_string(wire::kWireFormatVersion) + ")";
+    return false;
+  }
+  return true;
+}
+
+bool write_all_fd(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string limits_fingerprint(const ResourceLimits& limits) {
+  char canonical[160];
+  const int length = std::snprintf(
+      canonical, sizeof(canonical), "%zu|%zu|%zu|%zu|%zu|%.17g",
+      limits.max_source_bytes, limits.max_tokens, limits.max_ast_nodes,
+      limits.max_ast_depth, limits.max_dataflow_edges, limits.deadline_ms);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(strings::fnv1a(
+                    std::string_view(canonical,
+                                     static_cast<std::size_t>(length)))));
+  return std::string(hex, 16);
+}
+
+std::optional<ScriptOutcome> parse_script_outcome(
+    const support::JsonValue& value) {
+  if (!value.is_object()) return std::nullopt;
+  ScriptOutcome outcome;
+
+  const support::JsonValue* status = value.find("status");
+  if (status == nullptr || !status->is_string() ||
+      !parse_script_status(status->as_string(), outcome.status)) {
+    return std::nullopt;
+  }
+  if (const support::JsonValue* message = value.find("error")) {
+    if (!message->is_string()) return std::nullopt;
+    outcome.error_message = message->as_string();
+  }
+
+  const support::JsonValue* timing = value.find("timing");
+  if (timing == nullptr || !timing->is_object()) return std::nullopt;
+  const auto timing_field = [&](const char* name, double& field) {
+    const support::JsonValue* member = timing->find(name);
+    if (member == nullptr || !member->is_number()) return false;
+    field = member->as_number();
+    return true;
+  };
+  if (!timing_field("total_ms", outcome.timing.total_ms) ||
+      !timing_field("static_analysis_ms", outcome.timing.static_analysis_ms) ||
+      !timing_field("features_ms", outcome.timing.features_ms) ||
+      !timing_field("inference_ms", outcome.timing.inference_ms)) {
+    return std::nullopt;
+  }
+
+  const support::JsonValue* budget = value.find("budget");
+  if (budget == nullptr) return std::nullopt;  // always emitted at kFull
+  if (budget->is_object()) {
+    BudgetTrip trip;
+    const support::JsonValue* kind = budget->find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        !parse_resource_kind(kind->as_string(), trip.kind)) {
+      return std::nullopt;
+    }
+    const support::JsonValue* limit = budget->find("limit");
+    const support::JsonValue* observed = budget->find("observed");
+    const support::JsonValue* stage = budget->find("stage");
+    if (limit == nullptr || !limit->is_number() || observed == nullptr ||
+        !observed->is_number() || stage == nullptr || !stage->is_string()) {
+      return std::nullopt;
+    }
+    trip.limit = limit->as_number();
+    trip.observed = observed->as_number();
+    trip.stage = stage->as_string();
+    outcome.budget = std::move(trip);
+  } else if (!budget->is_null()) {
+    return std::nullopt;
+  }
+
+  if (const support::JsonValue* skipped = value.find("skipped_stages")) {
+    if (!skipped->is_array()) return std::nullopt;
+    for (const support::JsonValue& stage : skipped->as_array()) {
+      if (!stage.is_string()) return std::nullopt;
+      outcome.skipped_stages.push_back(stage.as_string());
+    }
+  }
+  if (const support::JsonValue* partial = value.find("partial_features")) {
+    if (!partial->is_array()) return std::nullopt;
+    outcome.partial_features.reserve(partial->as_array().size());
+    for (const support::JsonValue& feature : partial->as_array()) {
+      if (!feature.is_number()) return std::nullopt;
+      outcome.partial_features.push_back(
+          static_cast<float>(feature.as_number()));
+    }
+  }
+
+  const support::JsonValue* report = value.find("report");
+  if (report == nullptr) return std::nullopt;  // always emitted at kFull
+  if (report->is_object()) {
+    outcome.report.status = outcome.status;
+    const auto probability = [&](const char* name, double& field) {
+      const support::JsonValue* member = report->find(name);
+      if (member == nullptr || !member->is_number()) return false;
+      field = member->as_number();
+      return true;
+    };
+    if (!probability("p_regular", outcome.report.level1.p_regular) ||
+        !probability("p_minified", outcome.report.level1.p_minified) ||
+        !probability("p_obfuscated", outcome.report.level1.p_obfuscated)) {
+      return std::nullopt;
+    }
+    const support::JsonValue* confidence =
+        report->find("technique_confidence");
+    if (confidence == nullptr || !confidence->is_array()) return std::nullopt;
+    for (const support::JsonValue& entry : confidence->as_array()) {
+      if (!entry.is_number()) return std::nullopt;
+      outcome.report.technique_confidence.push_back(entry.as_number());
+    }
+    const support::JsonValue* techniques = report->find("techniques");
+    if (techniques == nullptr || !techniques->is_array()) return std::nullopt;
+    for (const support::JsonValue& name : techniques->as_array()) {
+      if (!name.is_string()) return std::nullopt;
+      const std::optional<transform::Technique> technique =
+          transform::technique_from_name(name.as_string());
+      if (!technique.has_value()) return std::nullopt;
+      outcome.report.techniques.push_back(*technique);
+    }
+  } else if (!report->is_null()) {
+    return std::nullopt;
+  } else {
+    // Report-less outcome: mirror the status so in-process callers see
+    // report.status == outcome.status, as the pipeline leaves it.
+    outcome.report.status = outcome.status;
+  }
+  return outcome;
+}
+
+std::string ResultCache::make_key(std::string_view content_hash,
+                                  std::string_view model_fingerprint,
+                                  const ResourceLimits& limits) {
+  std::string key;
+  key.reserve(content_hash.size() + model_fingerprint.size() + 16 + 8);
+  key.append(content_hash);
+  key.push_back('|');
+  key.append(model_fingerprint);
+  key.push_back('|');
+  key.append(limits_fingerprint(limits));
+  key.append("|v");
+  key.append(std::to_string(wire::kWireFormatVersion));
+  return key;
+}
+
+ResultCache::ResultCache(Config config) : config_(std::move(config)) {
+  cache_metrics();  // register the family even if this cache stays cold
+  if (config_.dir.empty()) return;
+  // Create the leaf directory if absent (parents must exist) — the
+  // common --cache-dir flow points at a not-yet-created scratch dir.
+  if (::mkdir(config_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    load_error_ = config_.dir + ": mkdir: " + std::strerror(errno);
+    return;
+  }
+  path_ = config_.dir;
+  if (path_.back() != '/') path_.push_back('/');
+  path_.append(kRecordFileName);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    load_error_ = path_ + ": " + std::strerror(errno);
+    path_.clear();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  load_locked();
+}
+
+ResultCache::~ResultCache() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ResultCache::load_locked() {
+  // Read the whole record file (cache files are line-oriented and
+  // append-only, so a single sequential read is the fast path).
+  std::string contents;
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      load_error_ = path_ + ": read: " + std::strerror(errno);
+      return;
+    }
+    if (n == 0) break;
+    contents.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  if (contents.empty()) {
+    // Fresh file: write the header so the next open validates it.
+    const std::string header = header_line() + "\n";
+    if (!write_all_fd(fd_, header)) {
+      load_error_ = path_ + ": write header: " + std::strerror(errno);
+    }
+    return;
+  }
+
+  std::uint64_t offset = 0;
+  bool header_seen = false;
+  bool truncate_at_offset = false;
+  while (offset < contents.size()) {
+    const std::size_t newline = contents.find('\n', offset);
+    if (newline == std::string::npos) {
+      // A line without its newline is a torn append; drop it.
+      truncate_at_offset = true;
+      break;
+    }
+    const std::string_view line(contents.data() + offset, newline - offset);
+    const std::uint64_t line_length = newline - offset + 1;
+    std::optional<support::JsonValue> document = support::parse_json(line);
+    if (!document.has_value() || !document->is_object()) {
+      truncate_at_offset = true;
+      break;
+    }
+    if (!header_seen) {
+      std::string why;
+      if (!header_matches(*document, &why)) {
+        // Another generation's file: discard it wholesale and restart
+        // with a fresh header (model_io discipline — never reinterpret).
+        load_error_ = path_ + ": " + why + "; starting fresh";
+        if (::ftruncate(fd_, 0) == 0) {
+          const std::string header = header_line() + "\n";
+          if (!write_all_fd(fd_, header)) {
+            load_error_ += " (header rewrite failed)";
+          }
+        }
+        return;
+      }
+      header_seen = true;
+      offset += line_length;
+      continue;
+    }
+    const support::JsonValue* key = document->find("key");
+    const support::JsonValue* outcome_value = document->find("outcome");
+    if (key == nullptr || !key->is_string() || outcome_value == nullptr) {
+      truncate_at_offset = true;
+      break;
+    }
+    std::optional<ScriptOutcome> outcome =
+        parse_script_outcome(*outcome_value);
+    if (!outcome.has_value()) {
+      truncate_at_offset = true;
+      break;
+    }
+    disk_index_[key->as_string()] = DiskRecord{offset, line_length};
+    // Warm the memory tier in file order: the newest appends land at the
+    // front of the LRU and survive the byte budget longest.
+    insert_memory_locked(key->as_string(), *outcome, line.size());
+    offset += line_length;
+  }
+  if (truncate_at_offset) {
+    load_error_ = path_ + ": corrupt record at byte " +
+                  std::to_string(offset) + "; truncated";
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+      load_error_ += " (truncate failed: ";
+      load_error_ += std::strerror(errno);
+      load_error_ += ")";
+    }
+  }
+  counters_.disk_records = disk_index_.size();
+}
+
+void ResultCache::insert_memory_locked(const std::string& key,
+                                       const ScriptOutcome& outcome,
+                                       std::size_t outcome_bytes) {
+  const auto existing = index_.find(key);
+  if (existing != index_.end()) {
+    memory_bytes_ -= existing->second->bytes;
+    lru_.erase(existing->second);
+    index_.erase(existing);
+  }
+  const std::size_t entry_bytes = key.size() + outcome_bytes;
+  if (entry_bytes > config_.max_bytes) return;  // never fits; disk only
+  while (!lru_.empty() && memory_bytes_ + entry_bytes > config_.max_bytes) {
+    memory_bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+    cache_metrics().evictions.add(1);
+  }
+  lru_.emplace_front(MemoryEntry{key, outcome, entry_bytes});
+  memory_bytes_ += entry_bytes;
+  index_.emplace(key, lru_.begin());
+}
+
+bool ResultCache::read_disk_locked(const std::string& key,
+                                   ScriptOutcome& outcome) {
+  const auto it = disk_index_.find(key);
+  if (it == disk_index_.end() || fd_ < 0) return false;
+  std::string line(it->second.length, '\0');
+  const ssize_t n = ::pread(fd_, line.data(), line.size(),
+                            static_cast<off_t>(it->second.offset));
+  if (n != static_cast<ssize_t>(line.size())) return false;
+  std::optional<support::JsonValue> document = support::parse_json(
+      std::string_view(line.data(), line.size() - 1));  // strip newline
+  if (!document.has_value()) return false;
+  const support::JsonValue* outcome_value = document->find("outcome");
+  if (outcome_value == nullptr) return false;
+  std::optional<ScriptOutcome> parsed = parse_script_outcome(*outcome_value);
+  if (!parsed.has_value()) return false;
+  outcome = *std::move(parsed);
+  return true;
+}
+
+std::optional<ScriptOutcome> ResultCache::lookup(const std::string& key) {
+  const auto started = std::chrono::steady_clock::now();
+  const auto hit_latency = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - started)
+        .count();
+  };
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++counters_.hits;
+    cache_metrics().hits.add(1);
+    cache_metrics().hit_ms.record(hit_latency());
+    return it->second->outcome;
+  }
+  ScriptOutcome outcome;
+  if (read_disk_locked(key, outcome)) {
+    const auto record = disk_index_.find(key);
+    insert_memory_locked(key, outcome,
+                         static_cast<std::size_t>(record->second.length));
+    ++counters_.hits;
+    cache_metrics().hits.add(1);
+    cache_metrics().hit_ms.record(hit_latency());
+    return outcome;
+  }
+  ++counters_.misses;
+  cache_metrics().misses.add(1);
+  return std::nullopt;
+}
+
+bool ResultCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.contains(key) || disk_index_.contains(key);
+}
+
+void ResultCache::store(const std::string& key, const ScriptOutcome& outcome) {
+  if (!cacheable(outcome)) return;
+  const std::string outcome_json =
+      wire::script_outcome_json(outcome, OutputDetail::kFull);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    if (!append_locked(key, outcome_json)) return;
+  }
+  insert_memory_locked(key, outcome, outcome_json.size());
+  ++counters_.stores;
+  cache_metrics().stores.add(1);
+}
+
+bool ResultCache::append_locked(const std::string& key,
+                                const std::string& outcome_json) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("key"); writer.value(key);
+  writer.key("outcome"); writer.raw(outcome_json);
+  writer.end_object();
+  std::string line = writer.str();
+  line.push_back('\n');
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0 || !write_all_fd(fd_, line)) {
+    // A failed append may have torn the tail; the next load truncates it.
+    return false;
+  }
+  disk_index_[key] =
+      DiskRecord{static_cast<std::uint64_t>(end), line.size()};
+  counters_.disk_records = disk_index_.size();
+  return true;
+}
+
+void ResultCache::note_bypass() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.bypasses;
+  cache_metrics().bypasses.add(1);
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counters snapshot = counters_;
+  snapshot.entries = index_.size();
+  snapshot.bytes = memory_bytes_;
+  snapshot.disk_records = disk_index_.size();
+  return snapshot;
+}
+
+}  // namespace jst::analysis

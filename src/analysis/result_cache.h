@@ -1,0 +1,167 @@
+// Content-addressed cache of analysis outcomes (DESIGN.md §15).
+//
+// The paper's §IV crawl deduplicates scripts by content hash — well over
+// half of the scripts observed across monthly snapshots repeat byte-for-
+// byte — so re-running the pipeline on repeat traffic is pure waste. A
+// ResultCache keys finished ScriptOutcomes by (content_hash, model
+// fingerprint, limits fingerprint, wire version): any input that changes
+// what the pipeline would produce changes the key, so a lookup hit is
+// bit-identical to recomputation by construction.
+//
+// Two tiers share one key space:
+//   - an in-memory, byte-budgeted LRU of parsed outcomes (the same
+//     list+index discipline as the daemon's source registry, DESIGN.md
+//     §13), serving hot keys without touching the disk or the parser;
+//   - an append-only NDJSON record file (<dir>/results.ndjson) fronted
+//     by an offset index, so a restart — or an entry evicted from the
+//     memory tier — still resolves without re-analysis.
+// The record file opens with a versioned header checked model_io-style
+// (magic, format version, wire version); a mismatch discards the file
+// rather than risking stale-schema outcomes. Loading is crash-tolerant:
+// the first corrupt record truncates the file back to the last good
+// byte, which is exactly the state an interrupted append leaves behind.
+//
+// Staleness policy lives in the caller (AnalyzerService): only settled
+// outcomes — never degraded or budget/deadline-tripped ones — are
+// stored, and CacheMode::kRefresh overwrites via a fresh append (last
+// record wins on reload).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "analysis/pipeline.h"
+#include "support/budget.h"
+#include "support/json_reader.h"
+
+namespace jst::analysis {
+
+// FNV-1a 64 of the six ResourceLimits ceilings in declaration order, as
+// 16 lowercase hex digits. Part of the cache key: the same source under
+// different governance can legitimately produce different outcomes
+// (ineligible_size vs ok, budget trips), so limits isolate entries.
+std::string limits_fingerprint(const ResourceLimits& limits);
+
+// Reconstructs a ScriptOutcome from its wire::write_script_outcome JSON
+// (kFull detail). Returns std::nullopt on unknown status/technique names
+// or structural damage. Round-trip invariant, relied on for the cache's
+// bit-identity guarantee and checked by test_cache:
+//   script_outcome_json(*parse_script_outcome(d)) == to_json(d) bytes.
+std::optional<ScriptOutcome> parse_script_outcome(
+    const support::JsonValue& value);
+
+class ResultCache {
+ public:
+  struct Config {
+    // Directory for the persistent tier; empty = memory-only cache.
+    std::string dir;
+    // Byte budget of the in-memory LRU tier (keys + parsed outcomes).
+    std::size_t max_bytes = std::size_t{64} << 20;
+  };
+
+  // Monotonic counters mirrored into the jst_cache_* metric family.
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bypasses = 0;
+    std::size_t entries = 0;       // memory-tier entries
+    std::size_t bytes = 0;         // memory-tier footprint
+    std::size_t disk_records = 0;  // live keys in the record file
+  };
+
+  // Opens (or creates) the record file when config.dir is set; never
+  // throws on I/O or format trouble — the cache degrades to memory-only
+  // and load_error() carries the diagnostic.
+  explicit ResultCache(Config config);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Builds the composite key for one (source, model, limits) triple.
+  // `content_hash` and `model_fingerprint` are 16-hex tokens
+  // (analysis::content_hash / AnalyzerService::model_fingerprint); the
+  // wire format version is folded in here so a schema bump invalidates
+  // every old entry at once.
+  static std::string make_key(std::string_view content_hash,
+                              std::string_view model_fingerprint,
+                              const ResourceLimits& limits);
+
+  // Memory tier first, then the record file (promoting into memory).
+  // Counts a hit or a miss either way.
+  std::optional<ScriptOutcome> lookup(const std::string& key);
+
+  // True when the key resolves in either tier; no promotion, no counter.
+  bool contains(const std::string& key) const;
+
+  // Appends the outcome under `key` (overwriting any previous entry —
+  // last record wins on reload). Callers gate on cacheable(); store()
+  // also enforces it and silently drops uncacheable outcomes.
+  void store(const std::string& key, const ScriptOutcome& outcome);
+
+  // Records a CacheMode::kBypass request against this cache's counters.
+  void note_bypass();
+
+  // The never-cache-degraded rule: only settled outcomes whose bytes are
+  // a pure function of (source, model, limits). Budget-dataflow/degraded
+  // outcomes and deadline trips depend on wall-clock scheduling; hard
+  // count trips stay out too so a limits change is the only thing that
+  // can re-admit them (their fingerprint changes anyway).
+  static bool cacheable(const ScriptOutcome& outcome) {
+    switch (outcome.status) {
+      case ScriptStatus::kOk:
+      case ScriptStatus::kParseError:
+      case ScriptStatus::kIneligibleSize:
+      case ScriptStatus::kIneligibleAst:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Counters counters() const;
+
+  // Path of the record file ("" for a memory-only cache).
+  const std::string& path() const { return path_; }
+  // Diagnostic from opening/loading the record file; empty when clean.
+  const std::string& load_error() const { return load_error_; }
+
+ private:
+  struct DiskRecord {
+    std::uint64_t offset = 0;  // byte offset of the record line
+    std::uint64_t length = 0;  // line length including the newline
+  };
+  struct MemoryEntry {
+    std::string key;
+    ScriptOutcome outcome;
+    std::size_t bytes = 0;  // key + serialized-outcome footprint estimate
+  };
+
+  void load_locked();
+  void insert_memory_locked(const std::string& key,
+                            const ScriptOutcome& outcome,
+                            std::size_t outcome_bytes);
+  bool read_disk_locked(const std::string& key, ScriptOutcome& outcome);
+  bool append_locked(const std::string& key, const std::string& outcome_json);
+
+  Config config_;
+  std::string path_;
+  std::string load_error_;
+  int fd_ = -1;  // O_APPEND record file; -1 for memory-only caches
+
+  mutable std::mutex mutex_;
+  std::list<MemoryEntry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<MemoryEntry>::iterator> index_;
+  std::unordered_map<std::string, DiskRecord> disk_index_;
+  std::size_t memory_bytes_ = 0;
+  Counters counters_;
+};
+
+}  // namespace jst::analysis

@@ -5,9 +5,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "analysis/result_cache.h"
 #include "analysis/wire.h"
 #include "obs/metrics.h"
 #include "obs/request_context.h"
@@ -109,6 +111,17 @@ std::string_view to_string(ResponseStatus status) {
   return "invalid_request";
 }
 
+std::string_view to_string(CacheState state) {
+  switch (state) {
+    case CacheState::kNone: return "none";
+    case CacheState::kHit: return "hit";
+    case CacheState::kMiss: return "miss";
+    case CacheState::kBypass: return "bypass";
+    case CacheState::kStale: return "stale";
+  }
+  return "none";
+}
+
 std::string content_hash(std::string_view source) {
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
@@ -132,6 +145,18 @@ AnalyzeRequest AnalyzeRequest::for_hash(std::string source_hash,
   return request;
 }
 
+std::vector<AnalyzeRequest> make_source_requests(
+    std::span<const std::string> sources, CacheMode cache_mode) {
+  std::vector<AnalyzeRequest> requests;
+  requests.reserve(sources.size());
+  for (const std::string& source : sources) {
+    AnalyzeRequest request = AnalyzeRequest::for_source(source);
+    request.cache_mode = cache_mode;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
 std::string AnalyzeResponse::to_json() const {
   return wire::analyze_response_json(*this);
 }
@@ -140,10 +165,23 @@ std::string BatchStats::to_json() const {
   return wire::batch_stats_json(*this);
 }
 
-AnalyzerService::AnalyzerService(const TransformationAnalyzer& analyzer)
+AnalyzerService::AnalyzerService(const TransformationAnalyzer& analyzer,
+                                 ResultCache* cache)
     : analyzer_(&analyzer) {
   if (!analyzer.trained()) {
     throw ModelError("AnalyzerService: analyzer is not trained");
+  }
+  set_cache(cache);
+}
+
+void AnalyzerService::set_cache(ResultCache* cache) {
+  cache_ = cache;
+  if (cache_ != nullptr && model_fingerprint_.empty()) {
+    // One serialization pass pins the model_version cache-key component:
+    // any retrain or options change alters the stream and so the key.
+    std::ostringstream serialized;
+    analyzer_->save(serialized);
+    model_fingerprint_ = content_hash(serialized.str());
   }
 }
 
@@ -183,10 +221,62 @@ AnalyzeResponse AnalyzerService::analyze_with_scratch(
   }
   const ResourceLimits& limits =
       request.limits.has_value() ? *request.limits : default_limits;
+
+  // Cache consult (DESIGN.md §15). The key covers everything the outcome
+  // is a function of — content, model, limits, wire schema — so a hit is
+  // bit-identical to recomputation and the pipeline is skipped outright.
+  std::string cache_key;
+  bool store_after_analysis = false;
+  if (cache_ != nullptr) {
+    const auto lookup_started = std::chrono::steady_clock::now();
+    const auto lookup_ms = [&] {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - lookup_started)
+          .count();
+    };
+    switch (request.cache_mode) {
+      case CacheMode::kBypass:
+        cache_->note_bypass();
+        response.cache = CacheState::kBypass;
+        break;
+      case CacheMode::kRefresh:
+        cache_key = ResultCache::make_key(response.source_hash,
+                                          model_fingerprint_, limits);
+        response.cache =
+            cache_->contains(cache_key) ? CacheState::kStale
+                                        : CacheState::kMiss;
+        response.cache_lookup_ms = lookup_ms();
+        store_after_analysis = true;
+        break;
+      case CacheMode::kDefault: {
+        cache_key = ResultCache::make_key(response.source_hash,
+                                          model_fingerprint_, limits);
+        std::optional<ScriptOutcome> cached = cache_->lookup(cache_key);
+        response.cache_lookup_ms = lookup_ms();
+        if (cached.has_value()) {
+          // The cached outcome carries the original analysis timings;
+          // the actual serving cost of this hit is the lookup alone.
+          response.outcome = *std::move(cached);
+          response.status = ResponseStatus::kOk;
+          response.cache = CacheState::kHit;
+          response.service_ms = response.cache_lookup_ms;
+          return response;
+        }
+        response.cache = CacheState::kMiss;
+        store_after_analysis = true;
+        break;
+      }
+    }
+  }
+
   response.outcome = analyzer_->analyze_outcome(request.source, limits,
                                                 scratch);
   response.status = ResponseStatus::kOk;
   response.service_ms = response.outcome.timing.total_ms;
+  if (store_after_analysis) {
+    // store() drops uncacheable (degraded / budget-tripped) outcomes.
+    cache_->store(cache_key, response.outcome);
+  }
   return response;
 }
 
@@ -239,11 +329,7 @@ BatchResult AnalyzerService::analyze_batch(
   // Deprecated shim: adapt each source into an inline request and run the
   // request-path batch. Outcomes and stats are identical; the adapter
   // costs one copy of each source.
-  std::vector<AnalyzeRequest> requests;
-  requests.reserve(sources.size());
-  for (const std::string& source : sources) {
-    requests.push_back(AnalyzeRequest::for_source(source));
-  }
+  const std::vector<AnalyzeRequest> requests = make_source_requests(sources);
   BatchResponse batch = analyze_batch(requests, options);
   BatchResult result;
   result.stats = batch.stats;

@@ -20,8 +20,11 @@
 #include <vector>
 
 #include "analysis/pipeline.h"
+#include "support/cache_flags.h"  // CacheMode
 
 namespace jst::analysis {
+
+class ResultCache;
 
 struct BatchOptions {
   // Parallelism for the batch (0 = JST_THREADS / hardware default via
@@ -65,6 +68,21 @@ enum class ResponseStatus : std::uint8_t {
 
 std::string_view to_string(ResponseStatus status);
 
+// How a request interacted with the service's ResultCache
+// (AnalyzeResponse::cache). kNone means no cache was consulted — the
+// service has none attached — and the field stays off the wire, so a
+// cacheless daemon's responses are byte-identical to wire v2 modulo the
+// version number.
+enum class CacheState : std::uint8_t {
+  kNone,    // no cache attached; no metadata emitted
+  kHit,     // outcome served from the cache, pipeline skipped
+  kMiss,    // not cached; analyzed (and stored when cacheable)
+  kBypass,  // CacheMode::kBypass: cache deliberately ignored
+  kStale,   // CacheMode::kRefresh over an existing entry: recomputed
+};
+
+std::string_view to_string(CacheState state);
+
 // One unit of service work: an inline source (or a content-hash reference
 // to one the resolver has already seen), an optional per-request limits
 // override, and the requested response detail.
@@ -92,12 +110,24 @@ struct AnalyzeRequest {
   // Per-request override of the service/batch default limits.
   std::optional<ResourceLimits> limits;
   OutputDetail detail = OutputDetail::kFull;
+  // Cache discipline for this request (wire v3). kDefault consults the
+  // service's ResultCache when one is attached; kBypass skips it
+  // entirely; kRefresh recomputes and overwrites. Ignored (all modes
+  // behave alike) when the service has no cache.
+  CacheMode cache_mode = CacheMode::kDefault;
 
   static AnalyzeRequest for_source(std::string source,
                                    std::string id = std::string());
   static AnalyzeRequest for_hash(std::string source_hash,
                                  std::string id = std::string());
 };
+
+// Adapts a span of raw sources into inline-source requests — the
+// migration helper for callers leaving the deprecated analyze_batch
+// overload. Requests are positionally aligned with the sources.
+std::vector<AnalyzeRequest> make_source_requests(
+    std::span<const std::string> sources,
+    CacheMode cache_mode = CacheMode::kDefault);
 
 // The service's answer: request disposition, the content hash of the
 // analyzed source, the ScriptOutcome (kOk only), and server-side queue
@@ -111,6 +141,12 @@ struct AnalyzeResponse {
   ScriptOutcome outcome;    // meaningful only when status == kOk
   std::string error;        // diagnostic for every non-kOk status
   OutputDetail detail = OutputDetail::kFull;  // serialization level
+  // --- cache metadata (DESIGN.md §15) ---
+  // kNone when the service has no cache (fields stay off the wire). On a
+  // kHit the outcome carries the timings of the original analysis, while
+  // service_ms reflects the actual (lookup-only) serving cost.
+  CacheState cache = CacheState::kNone;
+  double cache_lookup_ms = 0.0;  // time spent consulting the cache
   // --- daemon-filled queue metadata (DESIGN.md §13) ---
   double queue_ms = 0.0;    // admission -> worker pickup
   double service_ms = 0.0;  // worker pickup -> response ready
@@ -201,8 +237,11 @@ struct BatchResponse {
 class AnalyzerService {
  public:
   // The analyzer must already be trained (or loaded); throws ModelError
-  // otherwise. The service borrows the analyzer, which must outlive it.
-  explicit AnalyzerService(const TransformationAnalyzer& analyzer);
+  // otherwise. The service borrows the analyzer — and the optional
+  // ResultCache — both of which must outlive it. Attaching a cache
+  // computes the model fingerprint once (one serialization pass).
+  explicit AnalyzerService(const TransformationAnalyzer& analyzer,
+                           ResultCache* cache = nullptr);
 
   // --- request/response API (the primary entry points) ---
 
@@ -221,21 +260,35 @@ class AnalyzerService {
                               const BatchOptions& options = {}) const;
 
   // --- deprecated shims (thin adapters over the request path) ---
+  // Every in-tree caller has migrated (PR 8); the shims remain solely
+  // for the shim-equivalence tests and out-of-tree users, and will be
+  // removed one wire-version cycle after deprecation (DESIGN.md §13).
 
-  // DEPRECATED: build an AnalyzeRequest and call analyze() instead.
-  // Equivalent to the request path on an inline-source request; kept
-  // working for existing callers, like the ScriptStatus and max_bytes
-  // migrations before it.
+  // DEPRECATED: build an AnalyzeRequest (make_source_requests /
+  // AnalyzeRequest::for_source) and call analyze() instead. Equivalent
+  // to the request path on an inline-source request.
+  [[deprecated("build an AnalyzeRequest and call analyze()")]]
   ScriptOutcome analyze_one(std::string_view source,
                             const ResourceLimits& limits = {}) const;
 
   // DEPRECATED: build AnalyzeRequests and call the request-path overload.
   // Same outcomes and stats; costs one copy of each source into its
   // adapter request.
+  [[deprecated("build AnalyzeRequests and call the request-path overload")]]
   BatchResult analyze_batch(std::span<const std::string> sources,
                             const BatchOptions& options = {}) const;
 
   const TransformationAnalyzer& analyzer() const { return *analyzer_; }
+
+  // Attach (or detach, with nullptr) the result cache. Not thread-safe
+  // against in-flight analyze calls; configure before serving.
+  void set_cache(ResultCache* cache);
+  ResultCache* cache() const { return cache_; }
+
+  // FNV-1a 64 of the serialized trained model as 16 lowercase hex — the
+  // model_version component of the cache key. Empty until a cache is
+  // attached (computing it costs one full model serialization).
+  const std::string& model_fingerprint() const { return model_fingerprint_; }
 
  private:
   AnalyzeResponse analyze_with_scratch(const AnalyzeRequest& request,
@@ -243,6 +296,8 @@ class AnalyzerService {
                                        ScriptScratch& scratch) const;
 
   const TransformationAnalyzer* analyzer_;
+  ResultCache* cache_ = nullptr;
+  std::string model_fingerprint_;  // computed when a cache is attached
 };
 
 // Content hash used for AnalyzeRequest::source_hash references: FNV-1a 64

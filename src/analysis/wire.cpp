@@ -206,6 +206,10 @@ std::string analyze_request_json(const AnalyzeRequest& request) {
     writer.key("request_id"); writer.value(request.request_id);
   }
   writer.key("detail"); writer.value(to_string(request.detail));
+  if (request.cache_mode != CacheMode::kDefault) {
+    writer.key("cache_mode");
+    writer.value(jst::to_string(request.cache_mode));
+  }
   if (request.limits.has_value()) {
     writer.key("limits");
     write_resource_limits(writer, *request.limits);
@@ -237,6 +241,10 @@ std::string analyze_response_json(const AnalyzeResponse& response) {
   writer.key("queue_ms"); writer.value(response.queue_ms);
   writer.key("service_ms"); writer.value(response.service_ms);
   writer.key("queue_depth"); writer.value(response.queue_depth);
+  if (response.cache != CacheState::kNone) {
+    writer.key("cache"); writer.value(to_string(response.cache));
+    writer.key("cache_lookup_ms"); writer.value(response.cache_lookup_ms);
+  }
   if (response.status == ResponseStatus::kOk) {
     writer.key("outcome_status");
     writer.value(to_string(response.outcome.status));
@@ -360,6 +368,21 @@ std::optional<AnalyzeRequest> parse_analyze_request(
         return std::nullopt;
       }
       request.request_id = member.as_string();
+    } else if (key == "cache_mode") {
+      if (version < kWireCacheVersion) {
+        set_error(error, "cache_mode requires wire v" +
+                             std::to_string(kWireCacheVersion) +
+                             " (request pins v" + std::to_string(version) +
+                             ")");
+        return std::nullopt;
+      }
+      if (!member.is_string() ||
+          !parse_cache_mode(member.as_string(), request.cache_mode)) {
+        set_error(error,
+                  "cache_mode: expected \"default\", \"bypass\", or "
+                  "\"refresh\"");
+        return std::nullopt;
+      }
     } else if (key == "id") {
       if (!member.is_string()) {
         set_error(error, "id: expected a string");
@@ -447,6 +470,12 @@ std::optional<ParsedResponse> parse_analyze_response(std::string_view line,
   }
   if (const support::JsonValue* value = document->find("queue_depth")) {
     response.queue_depth = static_cast<std::size_t>(value->as_number());
+  }
+  if (const support::JsonValue* value = document->find("cache")) {
+    response.cache = value->as_string();
+  }
+  if (const support::JsonValue* value = document->find("cache_lookup_ms")) {
+    response.cache_lookup_ms = value->as_number();
   }
   if (const support::JsonValue* value = document->find("outcome_status")) {
     response.outcome_status = value->as_string();

@@ -21,6 +21,16 @@
 //        without the field parse exactly as before. ScriptOutcome /
 //        BatchStats bytes are unchanged (the golden fixture still
 //        matches).
+//   v3 — result-cache metadata (DESIGN.md §15): requests gain an
+//        optional "cache_mode" ("default" | "bypass" | "refresh",
+//        emitted only when not default), responses gain "cache"
+//        ("hit" | "miss" | "bypass" | "stale") and "cache_lookup_ms" —
+//        emitted only when the serving service actually consulted a
+//        cache, so a cacheless daemon's responses differ from v2 in
+//        the version number alone. Same pinning rule as v2: a request
+//        that pins "v":1 or "v":2 while carrying cache_mode is
+//        rejected; v1/v2 documents without the field parse exactly as
+//        before. ScriptOutcome / BatchStats bytes are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -34,10 +44,14 @@
 
 namespace jst::analysis::wire {
 
-inline constexpr std::uint32_t kWireFormatVersion = 2;
+inline constexpr std::uint32_t kWireFormatVersion = 3;
 
 // First version that understands the optional "request_id" field.
 inline constexpr std::uint32_t kWireRequestIdVersion = 2;
+
+// First version that understands the cache fields ("cache_mode" on
+// requests; "cache" / "cache_lookup_ms" on responses).
+inline constexpr std::uint32_t kWireCacheVersion = 3;
 
 // --- serialization -------------------------------------------------------
 
@@ -97,8 +111,16 @@ struct ParsedResponse {
   std::size_t queue_depth = 0;
   std::string outcome_status;       // set at every detail level when kOk
   support::JsonValue outcome;       // object at kSummary/kFull, else null
+  // Cache metadata (v3): "hit" | "miss" | "bypass" | "stale", or empty
+  // when the serving daemon consulted no cache (including every pre-v3
+  // response line).
+  std::string cache;
+  double cache_lookup_ms = 0.0;
 
   bool ok() const { return status == ResponseStatus::kOk; }
+  // Typed view of the cache field, for callers branching on reuse.
+  bool cache_hit() const { return cache == "hit"; }
+  bool cached() const { return !cache.empty(); }
 };
 
 std::optional<ParsedResponse> parse_analyze_response(std::string_view line,

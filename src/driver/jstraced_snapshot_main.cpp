@@ -1,0 +1,425 @@
+// jstraced-snapshot: longitudinal snapshot-diff driver (DESIGN.md §15).
+//
+// Walks consecutive corpus snapshots — by default the 65 longitudinal
+// month specs of analysis/longitudinal.h (2015-05 .. 2020-09), with a
+// persistence model carrying most scripts byte-identical month to month
+// the way the paper's §IV crawl observes — and analyzes each month
+// through a cache-aware AnalyzerService. Repeat scripts resolve from the
+// result cache, so after month 1 only content-new scripts reach the
+// pipeline; carried-forward outcomes still merge into each month's
+// BatchStats because a cache hit returns the full ScriptOutcome. One
+// NDJSON trend row per month (transformed share, per-technique
+// positives, cache traffic, BatchStats) reproduces the data behind the
+// paper's Figures 5-8.
+//
+//   $ ./jstraced-snapshot                              # Alexa, 65 months
+//   $ ./jstraced-snapshot --population npm --scripts 128 --out trend.ndjson
+//   $ ./jstraced-snapshot --cache-dir /tmp/jstcache    # persist across runs
+//   $ ./jstraced-snapshot --manifest corpora.txt       # real snapshots
+//
+// --manifest names a text file with one NDJSON corpus path per line
+// (each file is one snapshot; every line is either a JSON string or an
+// object with a "source" member). --verify asserts the snapshot-diff
+// invariant — per-month cache misses equal content-new scripts — and
+// requires --threads 1 (concurrent duplicate misses would be benign but
+// break the exact count) plus a cold cache (the content-new set is
+// per-process; a pre-warmed --cache-dir legitimately beats it).
+// --require-hits fails the run when the cache never hit (the CI
+// cold/warm smoke runs --verify on the cold pass, --require-hits on the
+// warm one).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/longitudinal.h"
+#include "analysis/pipeline.h"
+#include "analysis/result_cache.h"
+#include "analysis/service.h"
+#include "analysis/wild.h"
+#include "support/cache_flags.h"
+#include "support/json_reader.h"
+#include "support/json_writer.h"
+#include "support/limits_flags.h"
+#include "support/strings.h"
+#include "transform/technique.h"
+
+namespace {
+
+using namespace jst;
+
+struct SnapshotOptions {
+  std::string population = "alexa";
+  std::size_t months = analysis::kMonthCount;
+  std::size_t scripts = 64;
+  double persistence = 0.7;
+  std::uint64_t seed = 0x5eed5a9;
+  std::size_t threads = 0;
+  std::string out;
+  std::string manifest;
+  bool verify = false;
+  bool require_hits = false;
+  std::size_t training_regular = 100;
+  std::size_t per_technique = 20;
+  support::CacheOptions cache;
+  ResourceLimits limits;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: jstraced-snapshot [--population alexa|npm|malware] "
+      "[--months N] [--scripts N] [--persistence P] [--seed N] "
+      "[--threads N] [--out FILE] [--manifest FILE] [--verify] "
+      "[--require-hits] [--training-regular N] [--per-technique N] %s %s\n",
+      support::cache_flags_usage(), support::limits_flags_usage());
+  return 2;
+}
+
+bool parse_count(const char* flag, const char* text, std::size_t& field) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "jstraced-snapshot: %s: invalid count '%s'\n", flag,
+                 text);
+    return false;
+  }
+  field = static_cast<std::size_t>(value);
+  return true;
+}
+
+// One snapshot's sources from a manifest-listed NDJSON corpus file.
+std::optional<std::vector<std::string>> load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "jstraced-snapshot: cannot open corpus %s\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  std::vector<std::string> sources;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string error;
+    std::optional<support::JsonValue> document =
+        support::parse_json(line, &error);
+    if (!document.has_value()) {
+      std::fprintf(stderr, "jstraced-snapshot: %s:%zu: %s\n", path.c_str(),
+                   line_number, error.c_str());
+      return std::nullopt;
+    }
+    if (document->is_string()) {
+      sources.push_back(document->as_string());
+      continue;
+    }
+    const support::JsonValue* source = document->find("source");
+    if (source == nullptr || !source->is_string()) {
+      std::fprintf(stderr,
+                   "jstraced-snapshot: %s:%zu: expected a JSON string or an "
+                   "object with a \"source\" member\n",
+                   path.c_str(), line_number);
+      return std::nullopt;
+    }
+    sources.push_back(source->as_string());
+  }
+  return sources;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SnapshotOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag_error;
+    const char* flag = argv[i];
+    if (std::strcmp(flag, "--population") == 0 && i + 1 < argc) {
+      options.population = argv[++i];
+      if (options.population != "alexa" && options.population != "npm" &&
+          options.population != "malware") {
+        std::fprintf(stderr,
+                     "jstraced-snapshot: --population: expected alexa, npm, "
+                     "or malware\n");
+        return 2;
+      }
+    } else if (std::strcmp(flag, "--months") == 0 && i + 1 < argc) {
+      if (!parse_count(flag, argv[++i], options.months)) return 2;
+      if (options.months == 0 || options.months > analysis::kMonthCount) {
+        std::fprintf(stderr, "jstraced-snapshot: --months: expected 1..%zu\n",
+                     analysis::kMonthCount);
+        return 2;
+      }
+    } else if (std::strcmp(flag, "--scripts") == 0 && i + 1 < argc) {
+      if (!parse_count(flag, argv[++i], options.scripts)) return 2;
+    } else if (std::strcmp(flag, "--persistence") == 0 && i + 1 < argc) {
+      options.persistence = std::atof(argv[++i]);
+      if (options.persistence < 0.0 || options.persistence > 1.0) {
+        std::fprintf(stderr,
+                     "jstraced-snapshot: --persistence: expected [0, 1]\n");
+        return 2;
+      }
+    } else if (std::strcmp(flag, "--seed") == 0 && i + 1 < argc) {
+      std::size_t seed = 0;
+      if (!parse_count(flag, argv[++i], seed)) return 2;
+      options.seed = seed;
+    } else if (std::strcmp(flag, "--threads") == 0 && i + 1 < argc) {
+      if (!parse_count(flag, argv[++i], options.threads)) return 2;
+    } else if (std::strcmp(flag, "--out") == 0 && i + 1 < argc) {
+      options.out = argv[++i];
+    } else if (std::strcmp(flag, "--manifest") == 0 && i + 1 < argc) {
+      options.manifest = argv[++i];
+    } else if (std::strcmp(flag, "--verify") == 0) {
+      options.verify = true;
+    } else if (std::strcmp(flag, "--require-hits") == 0) {
+      options.require_hits = true;
+    } else if (std::strcmp(flag, "--training-regular") == 0 && i + 1 < argc) {
+      if (!parse_count(flag, argv[++i], options.training_regular)) return 2;
+    } else if (std::strcmp(flag, "--per-technique") == 0 && i + 1 < argc) {
+      if (!parse_count(flag, argv[++i], options.per_technique)) return 2;
+    } else if (support::consume_cache_flag(argc, argv, i, options.cache,
+                                           flag_error) ||
+               support::consume_limits_flag(argc, argv, i, options.limits,
+                                            flag_error)) {
+      if (!flag_error.empty()) {
+        std::fprintf(stderr, "jstraced-snapshot: %s\n", flag_error.c_str());
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (options.verify && options.threads != 1) {
+    std::fprintf(stderr,
+                 "jstraced-snapshot: --verify requires --threads 1 (exact "
+                 "per-month miss accounting)\n");
+    return 2;
+  }
+
+  // The snapshot differ is the cache's reason to exist, so one is always
+  // attached unless the run explicitly bypasses caching.
+  std::unique_ptr<analysis::ResultCache> cache;
+  if (options.cache.mode != CacheMode::kBypass) {
+    analysis::ResultCache::Config config;
+    config.dir = options.cache.dir;
+    config.max_bytes = options.cache.effective_bytes();
+    cache = std::make_unique<analysis::ResultCache>(config);
+    if (!cache->load_error().empty()) {
+      std::fprintf(stderr, "jstraced-snapshot: cache: %s\n",
+                   cache->load_error().c_str());
+    }
+  }
+
+  analysis::PipelineOptions pipeline_options;
+  pipeline_options.training_regular_count = options.training_regular;
+  pipeline_options.per_technique_count = options.per_technique;
+  analysis::TransformationAnalyzer analyzer(pipeline_options);
+  std::fprintf(stderr, "[snapshot] training detectors...\n");
+  analyzer.train();
+  const analysis::AnalyzerService service(analyzer, cache.get());
+
+  std::vector<std::string> manifest_paths;
+  if (!options.manifest.empty()) {
+    std::ifstream manifest(options.manifest);
+    if (!manifest) {
+      std::fprintf(stderr, "jstraced-snapshot: cannot open manifest %s\n",
+                   options.manifest.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(manifest, line)) {
+      if (!line.empty()) manifest_paths.push_back(line);
+    }
+    if (manifest_paths.empty()) {
+      std::fprintf(stderr, "jstraced-snapshot: manifest %s lists no files\n",
+                   options.manifest.c_str());
+      return 1;
+    }
+    options.months = manifest_paths.size();
+  }
+
+  std::ofstream out_stream;
+  if (!options.out.empty()) {
+    out_stream.open(options.out);
+    if (!out_stream) {
+      std::fprintf(stderr, "jstraced-snapshot: cannot open %s\n",
+                   options.out.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = options.out.empty()
+                          ? static_cast<std::ostream&>(std::cout)
+                          : out_stream;
+
+  analysis::BatchOptions batch_options;
+  batch_options.threads = options.threads;
+  batch_options.limits = options.limits;
+
+  const analysis::PopulationSpec malware_base = analysis::dnc_spec();
+  const auto month_spec = [&](std::size_t month) {
+    if (options.population == "npm") return analysis::npm_month_spec(month);
+    if (options.population == "malware") {
+      return analysis::malware_month_spec(malware_base, month);
+    }
+    return analysis::alexa_month_spec(month);
+  };
+
+  std::unordered_set<std::string> seen_hashes;
+  std::vector<std::string> sources;
+  std::uint64_t previous_hits = 0;
+  std::uint64_t previous_misses = 0;
+  std::uint64_t total_hits = 0;
+  bool verify_failed = false;
+
+  for (std::size_t month = 0; month < options.months; ++month) {
+    std::string label;
+    if (!manifest_paths.empty()) {
+      label = manifest_paths[month];
+      std::optional<std::vector<std::string>> corpus =
+          load_corpus(manifest_paths[month]);
+      if (!corpus.has_value()) return 1;
+      sources = *std::move(corpus);
+    } else {
+      label = analysis::month_label(month);
+      const analysis::PopulationSpec spec = month_spec(month);
+      if (month == 0) {
+        const auto samples = analysis::simulate_population(
+            spec, options.scripts, options.seed);
+        sources.clear();
+        sources.reserve(samples.size());
+        for (const analysis::Sample& sample : samples) {
+          sources.push_back(sample.source);
+        }
+      } else {
+        sources = analysis::evolve_snapshot(sources, spec,
+                                            options.persistence,
+                                            options.seed + month);
+      }
+    }
+
+    // Content-new scripts this month: hashes never seen in any earlier
+    // snapshot. This is the exact set the cache should re-analyze.
+    std::size_t new_scripts = 0;
+    for (const std::string& source : sources) {
+      if (seen_hashes.insert(analysis::content_hash(source)).second) {
+        ++new_scripts;
+      }
+    }
+
+    const std::vector<analysis::AnalyzeRequest> requests =
+        analysis::make_source_requests(sources, options.cache.mode);
+    const analysis::BatchResponse batch =
+        service.analyze_batch(requests, batch_options);
+
+    std::uint64_t month_hits = 0;
+    std::uint64_t month_misses = 0;
+    if (cache) {
+      const analysis::ResultCache::Counters counters = cache->counters();
+      month_hits = counters.hits - previous_hits;
+      month_misses = counters.misses - previous_misses;
+      previous_hits = counters.hits;
+      previous_misses = counters.misses;
+      total_hits += month_hits;
+    }
+
+    // Trend aggregates over every outcome carrying predictions — cache
+    // hits included, which is what "merges carried-forward outcomes"
+    // means: month m's row reflects the full population, not just the
+    // newly analyzed slice.
+    std::size_t predicted = 0;
+    std::size_t transformed = 0;
+    std::vector<std::size_t> technique_positives(transform::kTechniqueCount,
+                                                 0);
+    for (const analysis::AnalyzeResponse& response : batch.responses) {
+      if (!response.ok() || !response.outcome.has_predictions()) continue;
+      ++predicted;
+      if (!response.outcome.report.level1.transformed()) continue;
+      ++transformed;
+      for (const transform::Technique technique :
+           response.outcome.report.techniques) {
+        ++technique_positives[static_cast<std::size_t>(technique)];
+      }
+    }
+
+    JsonWriter row;
+    row.begin_object();
+    row.key("month"); row.value(label);
+    row.key("scripts"); row.value(sources.size());
+    row.key("new_scripts"); row.value(new_scripts);
+    row.key("carried"); row.value(sources.size() - new_scripts);
+    row.key("transformed_share");
+    row.value(predicted > 0 ? static_cast<double>(transformed) /
+                                  static_cast<double>(predicted)
+                            : 0.0);
+    row.key("techniques");
+    row.begin_object();
+    for (const transform::Technique technique : transform::all_techniques()) {
+      row.key(transform::technique_name(technique));
+      row.value(technique_positives[static_cast<std::size_t>(technique)]);
+    }
+    row.end_object();
+    row.key("cache");
+    if (cache) {
+      row.begin_object();
+      row.key("hits"); row.value(static_cast<std::size_t>(month_hits));
+      row.key("misses"); row.value(static_cast<std::size_t>(month_misses));
+      row.end_object();
+    } else {
+      row.null();
+    }
+    row.key("stats");
+    row.raw(batch.stats.to_json());
+    row.end_object();
+    out << row.str() << '\n';
+
+    std::fprintf(stderr,
+                 "[snapshot] %s: %zu scripts (%zu new), cache hits %llu, "
+                 "misses %llu, wall %.1f ms\n",
+                 label.c_str(), sources.size(), new_scripts,
+                 static_cast<unsigned long long>(month_hits),
+                 static_cast<unsigned long long>(month_misses),
+                 batch.stats.wall_ms);
+
+    // The snapshot-diff invariant: with a warm cache and serial workers,
+    // the pipeline runs exactly once per content-new script.
+    if (options.verify && cache &&
+        options.cache.mode == CacheMode::kDefault &&
+        month_misses != new_scripts) {
+      std::fprintf(stderr,
+                   "[snapshot] VERIFY FAILED %s: %llu misses != %zu "
+                   "content-new scripts\n",
+                   label.c_str(),
+                   static_cast<unsigned long long>(month_misses),
+                   new_scripts);
+      verify_failed = true;
+    }
+  }
+
+  if (cache) {
+    const analysis::ResultCache::Counters counters = cache->counters();
+    std::fprintf(stderr,
+                 "[snapshot] cache totals: %llu hits, %llu misses, %llu "
+                 "stores, %llu evictions (%zu memory entries, %zu disk "
+                 "records)\n",
+                 static_cast<unsigned long long>(counters.hits),
+                 static_cast<unsigned long long>(counters.misses),
+                 static_cast<unsigned long long>(counters.stores),
+                 static_cast<unsigned long long>(counters.evictions),
+                 counters.entries, counters.disk_records);
+  }
+  if (verify_failed) return 1;
+  if (options.require_hits && total_hits == 0) {
+    std::fprintf(stderr,
+                 "[snapshot] --require-hits: cache never hit over %zu "
+                 "month(s)\n",
+                 options.months);
+    return 1;
+  }
+  return 0;
+}

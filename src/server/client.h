@@ -43,7 +43,12 @@ class Client {
   std::string metrics_json();
   // The recent-window serving view as one JSON document (the "stats"
   // member of the {"op":"stats"} response): qps, shed rate, service
-  // percentiles, slowest-N exemplars. See Server::stats_json.
+  // percentiles, slowest-N exemplars, and — when the daemon has a result
+  // cache attached — a "cache" object (mode, hits, misses, stores,
+  // evictions, bypasses, entries, bytes, disk_records); "cache" is null
+  // on a cacheless daemon. Per-response cache metadata arrives typed on
+  // ParsedResponse (cache / cache_lookup_ms / cache_hit() / cached()).
+  // See Server::stats_json.
   std::string stats_json();
 
   void close();

@@ -16,17 +16,24 @@
 // the same data is reachable live via {"op":"flight"} on the socket.
 //
 // The limits flags (support/limits_flags.h) set the *default* per-request
-// ResourceLimits; any request may carry its own override.
+// ResourceLimits; any request may carry its own override. The cache flags
+// (support/cache_flags.h) attach a content-addressed ResultCache
+// (DESIGN.md §15): --cache-dir and/or --cache-bytes enable it,
+// --cache-mode sets the default discipline for requests that don't name
+// one (an explicit per-request cache_mode always wins).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "analysis/pipeline.h"
+#include "analysis/result_cache.h"
 #include "analysis/service.h"
 #include "server/server.h"
+#include "support/cache_flags.h"
 #include "support/limits_flags.h"
 
 namespace {
@@ -36,7 +43,8 @@ void usage() {
                "usage: jstraced-server --socket PATH [--workers N] "
                "[--max-queue-depth N] [--min-service-ms X] [--model FILE] "
                "[--training-regular N] [--per-technique N] "
-               "[--window-seconds N] [--flight-out FILE] %s\n",
+               "[--window-seconds N] [--flight-out FILE] %s %s\n",
+               jst::support::cache_flags_usage(),
                jst::support::limits_flags_usage());
 }
 
@@ -47,6 +55,7 @@ int main(int argc, char** argv) {
 
   server::ServerConfig config;
   std::string model_path;
+  support::CacheOptions cache_options;
   analysis::PipelineOptions pipeline_options;
   pipeline_options.training_regular_count = 100;
   pipeline_options.per_technique_count = 20;
@@ -75,7 +84,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--per-technique") == 0 && i + 1 < argc) {
       pipeline_options.per_technique_count =
           static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (support::consume_limits_flag(argc, argv, i,
+    } else if (support::consume_cache_flag(argc, argv, i, cache_options,
+                                           limits_error) ||
+               support::consume_limits_flag(argc, argv, i,
                                             config.default_limits,
                                             limits_error)) {
       if (!limits_error.empty()) {
@@ -125,7 +136,27 @@ int main(int argc, char** argv) {
                  pipeline_options.per_technique_count);
     analyzer.train();
   }
-  const analysis::AnalyzerService service(analyzer);
+
+  // The cache is attached only when asked for; --cache-mode bypass keeps
+  // it detached even then (responses then carry no cache metadata at
+  // all, matching a cacheless daemon byte-for-byte).
+  std::unique_ptr<analysis::ResultCache> cache;
+  if (cache_options.enabled() && cache_options.mode != CacheMode::kBypass) {
+    analysis::ResultCache::Config cache_config;
+    cache_config.dir = cache_options.dir;
+    cache_config.max_bytes = cache_options.effective_bytes();
+    cache = std::make_unique<analysis::ResultCache>(cache_config);
+    if (!cache->load_error().empty()) {
+      std::fprintf(stderr, "[jstraced] cache: %s\n",
+                   cache->load_error().c_str());
+    }
+    config.default_cache_mode = cache_options.mode;
+    std::fprintf(stderr, "[jstraced] result cache: %zu MiB memory tier%s%s\n",
+                 cache_config.max_bytes >> 20,
+                 cache_config.dir.empty() ? "" : ", persisted under ",
+                 cache_config.dir.c_str());
+  }
+  const analysis::AnalyzerService service(analyzer, cache.get());
 
   try {
     server::Server daemon(service, config);

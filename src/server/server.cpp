@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/result_cache.h"
 #include "analysis/wire.h"
 #include "obs/metrics.h"
 #include "obs/request_context.h"
@@ -328,6 +329,12 @@ void Server::handle_request(Connection& connection,
   }
   obs::RequestScope rid_scope(request.request_id);
   requests_window_.add(1);
+
+  // Process-wide cache discipline: an unspecified cache_mode inherits the
+  // daemon's default; an explicit bypass/refresh on the request wins.
+  if (request.cache_mode == CacheMode::kDefault) {
+    request.cache_mode = config_.default_cache_mode;
+  }
 
   analysis::AnalyzeResponse early;
   early.id = request.id;
@@ -668,6 +675,29 @@ std::string Server::stats_json() const {
   writer.key("service_count"); writer.value(metrics.service_ms.count());
   writer.key("service_p95_ms"); writer.value(metrics.service_ms.p95());
   writer.end_object();
+  writer.key("cache");
+  if (const analysis::ResultCache* cache = service_->cache()) {
+    const analysis::ResultCache::Counters counters = cache->counters();
+    writer.begin_object();
+    writer.key("mode");
+    writer.value(jst::to_string(config_.default_cache_mode));
+    writer.key("hits");
+    writer.value(static_cast<std::size_t>(counters.hits));
+    writer.key("misses");
+    writer.value(static_cast<std::size_t>(counters.misses));
+    writer.key("stores");
+    writer.value(static_cast<std::size_t>(counters.stores));
+    writer.key("evictions");
+    writer.value(static_cast<std::size_t>(counters.evictions));
+    writer.key("bypasses");
+    writer.value(static_cast<std::size_t>(counters.bypasses));
+    writer.key("entries"); writer.value(counters.entries);
+    writer.key("bytes"); writer.value(counters.bytes);
+    writer.key("disk_records"); writer.value(counters.disk_records);
+    writer.end_object();
+  } else {
+    writer.null();
+  }
   writer.key("slowest");
   writer.raw(slow_exemplars_.to_json());
   writer.end_object();

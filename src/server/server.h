@@ -76,6 +76,13 @@ struct ServerConfig {
   std::size_t max_queue_depth = 256;
   // Default per-request limits when a request carries no override.
   ResourceLimits default_limits;
+  // Cache discipline applied to requests that carry no explicit
+  // cache_mode (wire v3, DESIGN.md §15): a request arriving with
+  // kDefault is rewritten to this before serving, so --cache-mode on the
+  // daemon command line governs the whole process. Requests naming
+  // bypass/refresh explicitly always win. Meaningless unless the
+  // AnalyzerService has a ResultCache attached.
+  CacheMode default_cache_mode = CacheMode::kDefault;
   // Artificial floor on per-request service time, in milliseconds. Load
   // and drain tests use it to make queue pressure reproducible on corpora
   // whose real scripts analyze in microseconds; 0 disables.

@@ -1,0 +1,91 @@
+#include "support/cache_flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace jst {
+
+std::string_view to_string(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kDefault: return "default";
+    case CacheMode::kBypass: return "bypass";
+    case CacheMode::kRefresh: return "refresh";
+  }
+  return "default";
+}
+
+bool parse_cache_mode(std::string_view text, CacheMode& mode) {
+  if (text == "default") mode = CacheMode::kDefault;
+  else if (text == "bypass") mode = CacheMode::kBypass;
+  else if (text == "refresh") mode = CacheMode::kRefresh;
+  else return false;
+  return true;
+}
+
+}  // namespace jst
+
+namespace jst::support {
+namespace {
+
+bool next_value(int argc, char** argv, int& i, const char** out,
+                std::string& error) {
+  if (i + 1 >= argc) {
+    error = std::string(argv[i]) + ": missing value";
+    return false;
+  }
+  *out = argv[++i];
+  return true;
+}
+
+}  // namespace
+
+bool consume_cache_flag(int argc, char** argv, int& i, CacheOptions& options,
+                        std::string& error) {
+  const char* flag = argv[i];
+  if (std::strcmp(flag, "--cache-dir") == 0) {
+    const char* value = nullptr;
+    if (next_value(argc, argv, i, &value, error)) {
+      if (*value == '\0') {
+        error = "--cache-dir: empty path";
+      } else {
+        options.dir = value;
+      }
+    }
+    return true;
+  }
+  if (std::strcmp(flag, "--cache-bytes") == 0) {
+    const char* value = nullptr;
+    if (next_value(argc, argv, i, &value, error)) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long bytes = std::strtoull(value, &end, 10);
+      if (errno != 0 || end == value || *end != '\0' || bytes == 0) {
+        error = std::string("--cache-bytes: invalid byte count '") + value +
+                "'";
+      } else {
+        options.max_bytes = static_cast<std::size_t>(bytes);
+      }
+    }
+    return true;
+  }
+  if (std::strcmp(flag, "--cache-mode") == 0) {
+    const char* value = nullptr;
+    if (next_value(argc, argv, i, &value, error)) {
+      if (!parse_cache_mode(value, options.mode)) {
+        error = std::string("--cache-mode: expected default, bypass, or "
+                            "refresh (got '") +
+                value + "')";
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+const char* cache_flags_usage() {
+  return "[--cache-dir PATH] [--cache-bytes N] "
+         "[--cache-mode default|bypass|refresh]";
+}
+
+}  // namespace jst::support

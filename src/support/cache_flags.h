@@ -1,0 +1,61 @@
+// Shared command-line parser for the result-cache flag family
+// (DESIGN.md §15), mirroring limits_flags for ResourceLimits.
+//
+// jstraced-server, jstraced-snapshot, and wild_study all accept the same
+// cache configuration; this is the single implementation so the flags
+// cannot drift apart:
+//   --cache-dir PATH     persist outcomes under PATH (results.ndjson)
+//   --cache-bytes N      in-memory LRU tier budget (0 keeps the default)
+//   --cache-mode MODE    default | bypass | refresh
+// A cache is enabled once either --cache-dir or --cache-bytes is given;
+// --cache-mode bypass leaves the cache detached entirely.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace jst {
+
+// Per-request cache discipline (AnalyzeRequest::cache_mode). Lives here —
+// below the analysis layer — so the flag parser and the service API share
+// one definition.
+enum class CacheMode : std::uint8_t {
+  kDefault,  // consult the cache; store on miss
+  kBypass,   // ignore the cache entirely (no lookup, no store)
+  kRefresh,  // recompute and overwrite any existing entry
+};
+
+std::string_view to_string(CacheMode mode);
+// Accepts "default" | "bypass" | "refresh"; false on anything else.
+bool parse_cache_mode(std::string_view text, CacheMode& mode);
+
+}  // namespace jst
+
+namespace jst::support {
+
+struct CacheOptions {
+  std::string dir;             // empty = memory-only tier
+  std::size_t max_bytes = 0;   // 0 = use effective_bytes() default
+  CacheMode mode = CacheMode::kDefault;
+
+  // A cache was asked for on the command line.
+  bool enabled() const { return max_bytes > 0 || !dir.empty(); }
+  // In-memory LRU budget to configure (64 MiB unless overridden).
+  std::size_t effective_bytes() const {
+    return max_bytes > 0 ? max_bytes : std::size_t{64} << 20;
+  }
+};
+
+// Attempts to consume argv[i] (and its value argument, if any) as one of
+// the shared cache flags, updating `options` and advancing `i` past
+// consumed arguments. Returns true when the flag was recognized. A
+// recognized flag with a missing or malformed value also returns true
+// but sets `error` to a diagnostic; callers should fail usage on it.
+bool consume_cache_flag(int argc, char** argv, int& i, CacheOptions& options,
+                        std::string& error);
+
+// One-line usage fragment listing every flag above, for --help texts.
+const char* cache_flags_usage();
+
+}  // namespace jst::support

@@ -91,11 +91,11 @@ void expect_batch_matches_golden(std::size_t threads, bool governed) {
   analysis::BatchOptions options;
   options.threads = threads;
   if (governed) options.limits = ResourceLimits::production();
-  const analysis::BatchResult result =
-      service.analyze_batch(seed_corpus(), options);
-  ASSERT_EQ(result.outcomes.size(), golden.size());
+  const analysis::BatchResponse result = service.analyze_batch(
+      analysis::make_source_requests(seed_corpus()), options);
+  ASSERT_EQ(result.responses.size(), golden.size());
   for (std::size_t i = 0; i < golden.size(); ++i) {
-    EXPECT_EQ(strip_timing(result.outcomes[i].to_json()), golden[i])
+    EXPECT_EQ(strip_timing(result.responses[i].outcome.to_json()), golden[i])
         << "script " << i << " threads=" << threads
         << " governed=" << governed;
   }

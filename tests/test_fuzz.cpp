@@ -182,12 +182,23 @@ std::string dataflow_flood(std::size_t uses) {
   return source;
 }
 
+// Request-path adapter for the single-script assertions below (the
+// deprecated analyze_one shim is exercised by the shim-equivalence tests
+// in test_server.cpp, not here).
+analysis::ScriptOutcome analyze_source(const analysis::AnalyzerService& service,
+                                       std::string source,
+                                       const ResourceLimits& limits = {}) {
+  return service
+      .analyze(analysis::AnalyzeRequest::for_source(std::move(source)), limits)
+      .outcome;
+}
+
 TEST(HostileInputs, SourceBytesCeilingTripsOnMegabyteLiteral) {
   analysis::AnalyzerService service(fuzz_analyzer());
   ResourceLimits limits;
   limits.max_source_bytes = 64 * 1024;
   const analysis::ScriptOutcome outcome =
-      service.analyze_one(megabyte_literal(), limits);
+      analyze_source(service, megabyte_literal(), limits);
   EXPECT_EQ(outcome.status, analysis::ScriptStatus::kIneligibleSize);
   ASSERT_TRUE(outcome.budget.has_value());
   EXPECT_EQ(outcome.budget->kind, ResourceKind::kSourceBytes);
@@ -202,7 +213,7 @@ TEST(HostileInputs, TokenCeilingTripsOnJsfuckBlob) {
   ResourceLimits limits;
   limits.max_tokens = 1000;
   const analysis::ScriptOutcome outcome =
-      service.analyze_one(jsfuck_blob(2000), limits);
+      analyze_source(service, jsfuck_blob(2000), limits);
   EXPECT_EQ(outcome.status, analysis::ScriptStatus::kBudgetTokens);
   ASSERT_TRUE(outcome.budget.has_value());
   EXPECT_EQ(outcome.budget->kind, ResourceKind::kTokens);
@@ -217,7 +228,7 @@ TEST(HostileInputs, AstNodeCeilingTripsOnStatementFlood) {
   ResourceLimits limits;
   limits.max_ast_nodes = 200;
   const analysis::ScriptOutcome outcome =
-      service.analyze_one(statement_flood(2000), limits);
+      analyze_source(service, statement_flood(2000), limits);
   EXPECT_EQ(outcome.status, analysis::ScriptStatus::kBudgetAstNodes);
   ASSERT_TRUE(outcome.budget.has_value());
   EXPECT_EQ(outcome.budget->kind, ResourceKind::kAstNodes);
@@ -231,7 +242,7 @@ TEST(HostileInputs, DepthCeilingTripsOnDeepNesting) {
   ResourceLimits limits;
   limits.max_ast_depth = 32;
   const analysis::ScriptOutcome outcome =
-      service.analyze_one(deeply_nested(200), limits);
+      analyze_source(service, deeply_nested(200), limits);
   EXPECT_EQ(outcome.status, analysis::ScriptStatus::kBudgetDepth);
   ASSERT_TRUE(outcome.budget.has_value());
   EXPECT_EQ(outcome.budget->kind, ResourceKind::kAstDepth);
@@ -246,11 +257,11 @@ TEST(HostileInputs, BudgetDepthTripsBeforeParserHardGuard) {
   // status wins, so governed services never see the raw exception text.
   analysis::AnalyzerService service(fuzz_analyzer());
   const analysis::ScriptOutcome ungoverned =
-      service.analyze_one(deeply_nested(5000));
+      analyze_source(service, deeply_nested(5000));
   EXPECT_EQ(ungoverned.status, analysis::ScriptStatus::kParseError);
   ResourceLimits limits = ResourceLimits::production();
   const analysis::ScriptOutcome governed =
-      service.analyze_one(deeply_nested(5000), limits);
+      analyze_source(service, deeply_nested(5000), limits);
   EXPECT_EQ(governed.status, analysis::ScriptStatus::kBudgetDepth);
   ASSERT_TRUE(governed.budget.has_value());
   EXPECT_EQ(governed.budget->kind, ResourceKind::kAstDepth);
@@ -261,7 +272,7 @@ TEST(HostileInputs, DataflowCeilingDegradesButStillPredicts) {
   ResourceLimits limits;
   limits.max_dataflow_edges = 8;
   const analysis::ScriptOutcome outcome =
-      service.analyze_one(dataflow_flood(500), limits);
+      analyze_source(service, dataflow_flood(500), limits);
   EXPECT_EQ(outcome.status, analysis::ScriptStatus::kBudgetDataflow);
   EXPECT_TRUE(outcome.degraded());
   ASSERT_TRUE(outcome.budget.has_value());
@@ -283,7 +294,7 @@ TEST(HostileInputs, DeadlineTripsHardInLexOnHugeScript) {
   ResourceLimits limits;
   limits.deadline_ms = 1e-9;
   const std::string source = jsfuck_blob(10000);  // ≫ kDeadlinePollStride
-  const analysis::ScriptOutcome outcome = service.analyze_one(source, limits);
+  const analysis::ScriptOutcome outcome = analyze_source(service, source, limits);
   EXPECT_EQ(outcome.status, analysis::ScriptStatus::kDeadlineExceeded);
   ASSERT_TRUE(outcome.budget.has_value());
   EXPECT_EQ(outcome.budget->kind, ResourceKind::kDeadline);
@@ -300,7 +311,7 @@ TEST(HostileInputs, DeadlineDegradesSmallScriptAtSoftCheckpoint) {
   ResourceLimits limits;
   limits.deadline_ms = 1e-9;
   const analysis::ScriptOutcome outcome =
-      service.analyze_one("var x = 1; function f(a) { return a + x; } f(2);",
+      analyze_source(service, "var x = 1; function f(a) { return a + x; } f(2);",
                           limits);
   EXPECT_EQ(outcome.status, analysis::ScriptStatus::kDegraded);
   EXPECT_TRUE(outcome.degraded());
@@ -336,9 +347,9 @@ TEST(HostileInputs, BudgetTrippedScriptsNeverThrowOutOfBatch) {
   options.limits.max_tokens = 20000;
   options.limits.max_ast_nodes = 5000;
   options.limits.max_dataflow_edges = 64;
-  const analysis::BatchResult result =
-      service.analyze_batch(sources, options);  // must not throw
-  ASSERT_EQ(result.outcomes.size(), sources.size());
+  const analysis::BatchResponse result = service.analyze_batch(
+      analysis::make_source_requests(sources), options);  // must not throw
+  ASSERT_EQ(result.responses.size(), sources.size());
   EXPECT_EQ(result.stats.budget_depth, 2u);     // both nesting bombs
   EXPECT_EQ(result.stats.ineligible_size, 1u);  // megabyte literal
   EXPECT_EQ(result.stats.budget_tokens, 1u);
@@ -346,7 +357,8 @@ TEST(HostileInputs, BudgetTrippedScriptsNeverThrowOutOfBatch) {
   EXPECT_EQ(result.stats.budget_dataflow, 1u);
   EXPECT_EQ(result.stats.parse_errors, 1u);  // the syntax-error script
   EXPECT_EQ(result.stats.budget_tripped(), 5u);
-  for (const analysis::ScriptOutcome& outcome : result.outcomes) {
+  for (const analysis::AnalyzeResponse& response : result.responses) {
+    const analysis::ScriptOutcome& outcome = response.outcome;
     if (outcome.budget.has_value()) {
       EXPECT_FALSE(outcome.error_message.empty());
       EXPECT_GT(outcome.budget->limit, 0.0);
@@ -384,12 +396,14 @@ TEST(HostileInputs, GovernedBatchBitIdenticalAcrossThreadCounts) {
       serial.limits = limits;
       wide.limits = limits;
     }
-    const analysis::BatchResult a = service.analyze_batch(sources, serial);
-    const analysis::BatchResult b = service.analyze_batch(sources, wide);
-    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
-    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
-      const analysis::ScriptOutcome& x = a.outcomes[i];
-      const analysis::ScriptOutcome& y = b.outcomes[i];
+    const std::vector<analysis::AnalyzeRequest> requests =
+        analysis::make_source_requests(sources);
+    const analysis::BatchResponse a = service.analyze_batch(requests, serial);
+    const analysis::BatchResponse b = service.analyze_batch(requests, wide);
+    ASSERT_EQ(a.responses.size(), b.responses.size());
+    for (std::size_t i = 0; i < a.responses.size(); ++i) {
+      const analysis::ScriptOutcome& x = a.responses[i].outcome;
+      const analysis::ScriptOutcome& y = b.responses[i].outcome;
       EXPECT_EQ(x.status, y.status) << "script " << i;
       EXPECT_EQ(x.error_message, y.error_message) << "script " << i;
       EXPECT_EQ(x.budget.has_value(), y.budget.has_value()) << "script " << i;
@@ -424,21 +438,25 @@ TEST(HostileInputs, SeedCorpusUnaffectedByGovernance) {
     sources.push_back(generator.generate(generator_options));
   }
 
-  const analysis::BatchResult ungoverned = service.analyze_batch(sources);
+  const std::vector<analysis::AnalyzeRequest> requests =
+      analysis::make_source_requests(sources);
+  const analysis::BatchResponse ungoverned = service.analyze_batch(requests);
   analysis::BatchOptions production;
   production.limits = ResourceLimits::production();
-  const analysis::BatchResult governed =
-      service.analyze_batch(sources, production);
+  const analysis::BatchResponse governed =
+      service.analyze_batch(requests, production);
 
   EXPECT_EQ(ungoverned.stats.budget_tripped(), 0u);
   EXPECT_EQ(governed.stats.budget_tripped(), 0u);
-  ASSERT_EQ(ungoverned.outcomes.size(), governed.outcomes.size());
-  for (std::size_t i = 0; i < governed.outcomes.size(); ++i) {
-    EXPECT_EQ(governed.outcomes[i].status, ungoverned.outcomes[i].status);
-    EXPECT_FALSE(governed.outcomes[i].budget.has_value());
-    EXPECT_TRUE(governed.outcomes[i].skipped_stages.empty());
-    EXPECT_EQ(governed.outcomes[i].report.technique_confidence,
-              ungoverned.outcomes[i].report.technique_confidence);
+  ASSERT_EQ(ungoverned.responses.size(), governed.responses.size());
+  for (std::size_t i = 0; i < governed.responses.size(); ++i) {
+    const analysis::ScriptOutcome& gov = governed.responses[i].outcome;
+    const analysis::ScriptOutcome& raw = ungoverned.responses[i].outcome;
+    EXPECT_EQ(gov.status, raw.status);
+    EXPECT_FALSE(gov.budget.has_value());
+    EXPECT_TRUE(gov.skipped_stages.empty());
+    EXPECT_EQ(gov.report.technique_confidence,
+              raw.report.technique_confidence);
   }
 }
 
@@ -447,7 +465,7 @@ TEST(HostileInputs, OutcomeJsonRoundTripsKeyFields) {
   ResourceLimits limits;
   limits.max_tokens = 100;
   const analysis::ScriptOutcome tripped =
-      service.analyze_one(jsfuck_blob(500), limits);
+      analyze_source(service, jsfuck_blob(500), limits);
   const std::string json = tripped.to_json();
   EXPECT_NE(json.find("\"status\":\"budget_tokens\""), std::string::npos);
   EXPECT_NE(json.find("\"kind\":\"tokens\""), std::string::npos);
@@ -455,7 +473,7 @@ TEST(HostileInputs, OutcomeJsonRoundTripsKeyFields) {
   EXPECT_NE(json.find("\"report\":null"), std::string::npos);
 
   const analysis::ScriptOutcome clean =
-      service.analyze_one("var ok = function(a) { return a + 1; };");
+      analyze_source(service, "var ok = function(a) { return a + 1; };");
   const std::string clean_json = clean.to_json();
   EXPECT_NE(clean_json.find("\"budget\":null"), std::string::npos);
   EXPECT_NE(clean_json.find("\"technique_confidence\""), std::string::npos);

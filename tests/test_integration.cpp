@@ -212,20 +212,22 @@ TEST(Service, BatchOutcomesAlignedWithStatuses) {
 
   BatchOptions options;
   options.threads = 3;
-  const BatchResult result = service.analyze_batch(sources, options);
+  const BatchResponse result =
+      service.analyze_batch(make_source_requests(sources), options);
 
-  ASSERT_EQ(result.outcomes.size(), sources.size());
+  ASSERT_EQ(result.responses.size(), sources.size());
   for (std::size_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(result.outcomes[i].status, ScriptStatus::kOk) << i;
-    EXPECT_TRUE(result.outcomes[i].error_message.empty());
-    EXPECT_GT(result.outcomes[i].timing.total_ms, 0.0);
+    EXPECT_EQ(result.responses[i].outcome.status, ScriptStatus::kOk) << i;
+    EXPECT_TRUE(result.responses[i].outcome.error_message.empty());
+    EXPECT_GT(result.responses[i].outcome.timing.total_ms, 0.0);
   }
-  EXPECT_EQ(result.outcomes[4].status, ScriptStatus::kParseError);
-  EXPECT_FALSE(result.outcomes[4].error_message.empty());
-  EXPECT_EQ(result.outcomes[5].status, ScriptStatus::kIneligibleSize);
-  EXPECT_EQ(result.outcomes[6].status, ScriptStatus::kIneligibleAst);
+  EXPECT_EQ(result.responses[4].outcome.status, ScriptStatus::kParseError);
+  EXPECT_FALSE(result.responses[4].outcome.error_message.empty());
+  EXPECT_EQ(result.responses[5].outcome.status, ScriptStatus::kIneligibleSize);
+  EXPECT_EQ(result.responses[6].outcome.status, ScriptStatus::kIneligibleAst);
   // Ineligible-but-parseable scripts still carry predictions.
-  EXPECT_FALSE(result.outcomes[5].report.technique_confidence.empty());
+  EXPECT_FALSE(
+      result.responses[5].outcome.report.technique_confidence.empty());
 
   const BatchStats& stats = result.stats;
   EXPECT_EQ(stats.total, sources.size());
@@ -248,20 +250,22 @@ TEST(Service, BatchDeterministicAcrossThreadCounts) {
   serial.threads = 1;
   BatchOptions wide;
   wide.threads = 4;
-  const BatchResult a = service.analyze_batch(sources, serial);
-  const BatchResult b = service.analyze_batch(sources, wide);
+  const std::vector<AnalyzeRequest> requests = make_source_requests(sources);
+  const BatchResponse a = service.analyze_batch(requests, serial);
+  const BatchResponse b = service.analyze_batch(requests, wide);
 
-  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
-  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
-    EXPECT_EQ(a.outcomes[i].status, b.outcomes[i].status);
-    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_regular,
-                     b.outcomes[i].report.level1.p_regular);
-    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_minified,
-                     b.outcomes[i].report.level1.p_minified);
-    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_obfuscated,
-                     b.outcomes[i].report.level1.p_obfuscated);
-    EXPECT_EQ(a.outcomes[i].report.technique_confidence,
-              b.outcomes[i].report.technique_confidence);
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    const ScriptOutcome& lhs = a.responses[i].outcome;
+    const ScriptOutcome& rhs = b.responses[i].outcome;
+    EXPECT_EQ(lhs.status, rhs.status);
+    EXPECT_DOUBLE_EQ(lhs.report.level1.p_regular, rhs.report.level1.p_regular);
+    EXPECT_DOUBLE_EQ(lhs.report.level1.p_minified,
+                     rhs.report.level1.p_minified);
+    EXPECT_DOUBLE_EQ(lhs.report.level1.p_obfuscated,
+                     rhs.report.level1.p_obfuscated);
+    EXPECT_EQ(lhs.report.technique_confidence,
+              rhs.report.technique_confidence);
   }
 }
 
@@ -270,8 +274,10 @@ TEST(Service, SourceBytesLimitSkipsParsing) {
   const std::vector<std::string> sources = held_out_regular(2, 9911);
   BatchOptions options;
   options.limits.max_source_bytes = 16;  // everything is larger than this
-  const BatchResult result = service.analyze_batch(sources, options);
-  for (const ScriptOutcome& outcome : result.outcomes) {
+  const BatchResponse result =
+      service.analyze_batch(make_source_requests(sources), options);
+  for (const AnalyzeResponse& response : result.responses) {
+    const ScriptOutcome& outcome = response.outcome;
     EXPECT_EQ(outcome.status, ScriptStatus::kIneligibleSize);
     ASSERT_TRUE(outcome.budget.has_value());
     EXPECT_EQ(outcome.budget->kind, ResourceKind::kSourceBytes);
@@ -286,8 +292,8 @@ TEST(Service, SourceBytesLimitSkipsParsing) {
 
 TEST(Service, EmptyBatchStatsAreWellDefined) {
   AnalyzerService service(shared_analyzer());
-  const std::vector<std::string> sources;
-  const BatchResult result = service.analyze_batch(sources);
+  const std::vector<AnalyzeRequest> requests;
+  const BatchResponse result = service.analyze_batch(requests);
   const BatchStats& stats = result.stats;
   EXPECT_EQ(stats.total, 0u);
   EXPECT_EQ(stats.budget_tripped(), 0u);

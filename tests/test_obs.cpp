@@ -376,20 +376,22 @@ std::vector<std::string> smoke_sources() {
   return sources;
 }
 
-void expect_outcomes_bit_identical(const analysis::BatchResult& a,
-                                   const analysis::BatchResult& b) {
-  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
-  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
-    EXPECT_EQ(a.outcomes[i].status, b.outcomes[i].status) << i;
-    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_regular,
-                     b.outcomes[i].report.level1.p_regular) << i;
-    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_minified,
-                     b.outcomes[i].report.level1.p_minified) << i;
-    EXPECT_DOUBLE_EQ(a.outcomes[i].report.level1.p_obfuscated,
-                     b.outcomes[i].report.level1.p_obfuscated) << i;
-    EXPECT_EQ(a.outcomes[i].report.technique_confidence,
-              b.outcomes[i].report.technique_confidence) << i;
-    EXPECT_EQ(a.outcomes[i].error_message, b.outcomes[i].error_message) << i;
+void expect_outcomes_bit_identical(const analysis::BatchResponse& a,
+                                   const analysis::BatchResponse& b) {
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    const analysis::ScriptOutcome& lhs = a.responses[i].outcome;
+    const analysis::ScriptOutcome& rhs = b.responses[i].outcome;
+    EXPECT_EQ(lhs.status, rhs.status) << i;
+    EXPECT_DOUBLE_EQ(lhs.report.level1.p_regular,
+                     rhs.report.level1.p_regular) << i;
+    EXPECT_DOUBLE_EQ(lhs.report.level1.p_minified,
+                     rhs.report.level1.p_minified) << i;
+    EXPECT_DOUBLE_EQ(lhs.report.level1.p_obfuscated,
+                     rhs.report.level1.p_obfuscated) << i;
+    EXPECT_EQ(lhs.report.technique_confidence,
+              rhs.report.technique_confidence) << i;
+    EXPECT_EQ(lhs.error_message, rhs.error_message) << i;
   }
 }
 
@@ -400,14 +402,16 @@ TEST(ObsSmoke, BatchIsBitIdenticalWithAndWithoutSinks) {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     analysis::BatchOptions options;
     options.threads = threads;
-    const analysis::BatchResult detached =
-        service.analyze_batch(sources, options);
+    const analysis::BatchResponse detached =
+        service.analyze_batch(analysis::make_source_requests(sources),
+                              options);
 
     std::ostringstream trace_out;
     obs::TraceSink sink(trace_out);
     obs::set_trace_sink(&sink);
-    const analysis::BatchResult attached =
-        service.analyze_batch(sources, options);
+    const analysis::BatchResponse attached =
+        service.analyze_batch(analysis::make_source_requests(sources),
+                              options);
     obs::set_trace_sink(nullptr);
 
     expect_outcomes_bit_identical(detached, attached);
@@ -427,7 +431,8 @@ TEST(ObsSmoke, TraceJsonlAndPrometheusParseCleanly) {
   obs::set_trace_sink(&sink);
   analysis::BatchOptions options;
   options.threads = 2;
-  const analysis::BatchResult result = service.analyze_batch(sources, options);
+  const analysis::BatchResponse result =
+      service.analyze_batch(analysis::make_source_requests(sources), options);
   obs::set_trace_sink(nullptr);
 
   // Every trace line is a complete JSON event; the span taxonomy covers
@@ -489,7 +494,8 @@ TEST(ObsSmoke, BatchSpanCoversWallTime) {
   obs::set_trace_sink(&sink);
   analysis::BatchOptions options;
   options.threads = 2;
-  const analysis::BatchResult result = service.analyze_batch(sources, options);
+  const analysis::BatchResponse result =
+      service.analyze_batch(analysis::make_source_requests(sources), options);
   obs::set_trace_sink(nullptr);
 
   double batch_dur_us = 0.0;
@@ -867,7 +873,7 @@ TEST(ObsSmoke, PredictionTelemetryCountsVerdictsAndConfidences) {
   const std::size_t predicted = sources.size() - 1;
   analysis::BatchOptions options;
   options.threads = 1;
-  service.analyze_batch(sources, options);
+  service.analyze_batch(analysis::make_source_requests(sources), options);
 
   // One level-1 verdict and one per-technique confidence observation per
   // script that reached inference; the parse-error script records none.

@@ -319,7 +319,10 @@ TEST(WireSchema, ResponseErrorRoundTrip) {
 }
 
 // Satellite: the legacy to_json surfaces route through the wire schema —
-// same bytes, one serializer.
+// same bytes, one serializer. This test exercises the deprecated batch
+// shim on purpose (it IS the legacy surface under test).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(WireSchema, LegacyToJsonRoutesThroughWire) {
   const analysis::AnalyzerService service(shared_analyzer());
   const std::vector<std::string> corpus = seed_corpus();
@@ -331,6 +334,7 @@ TEST(WireSchema, LegacyToJsonRoutesThroughWire) {
   EXPECT_EQ(batch.stats.to_json(),
             analysis::wire::batch_stats_json(batch.stats));
 }
+#pragma GCC diagnostic pop
 
 // --- content hashing -------------------------------------------------------
 
@@ -376,6 +380,11 @@ TEST(JsonRoundTrip, SerializerReproducesDocument) {
 }
 
 // --- deprecated-shim equivalence ------------------------------------------
+// The whole point of these tests is to call the deprecated shims and pin
+// them to the request path, so the deprecation warning is suppressed
+// here — and only here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 void expect_shim_equivalence(std::size_t threads) {
   const analysis::AnalyzerService service(shared_analyzer());
@@ -416,6 +425,8 @@ void expect_shim_equivalence(std::size_t threads) {
 TEST(ShimEquivalence, Serial) { expect_shim_equivalence(1); }
 
 TEST(ShimEquivalence, FourThreads) { expect_shim_equivalence(4); }
+
+#pragma GCC diagnostic pop
 
 // --- admission control (pure function) ------------------------------------
 
