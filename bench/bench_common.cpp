@@ -84,6 +84,10 @@ std::string write_bench_json(std::string_view bench,
     if (record.cache_hit_rate >= 0.0) {
       writer.key("cache_hit_rate"); writer.value(record.cache_hit_rate);
     }
+    if (record.bytes > 0) {
+      writer.key("bytes"); writer.value(record.bytes);
+      writer.key("mb_per_second"); writer.value(record.mb_per_second);
+    }
     if (record.latency_p50_ms > 0.0) {
       writer.key("latency_p50_ms"); writer.value(record.latency_p50_ms);
       writer.key("latency_p95_ms"); writer.value(record.latency_p95_ms);

@@ -69,6 +69,11 @@ struct BenchRecord {
   // batch served from the cache for this config. Negative = not
   // measured (a measured cold pass is a legitimate 0.0).
   double cache_hit_rate = -1.0;
+  // Optional byte-throughput measurement (bench_lexer): total input
+  // bytes processed per pass and the resulting rate. Emitted only when
+  // bytes > 0.
+  std::size_t bytes = 0;
+  double mb_per_second = 0.0;
 };
 
 // Writes `BENCH_<bench>.json` — {"bench":…,"scale":…,"results":[…]} —

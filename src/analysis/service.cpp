@@ -317,27 +317,4 @@ BatchResponse AnalyzerService::analyze_batch(
   return result;
 }
 
-ScriptOutcome AnalyzerService::analyze_one(
-    std::string_view source, const ResourceLimits& limits) const {
-  // Deprecated shim: one inline-source request through the request path.
-  AnalyzeRequest request = AnalyzeRequest::for_source(std::string(source));
-  return analyze(request, limits).outcome;
-}
-
-BatchResult AnalyzerService::analyze_batch(
-    std::span<const std::string> sources, const BatchOptions& options) const {
-  // Deprecated shim: adapt each source into an inline request and run the
-  // request-path batch. Outcomes and stats are identical; the adapter
-  // costs one copy of each source.
-  const std::vector<AnalyzeRequest> requests = make_source_requests(sources);
-  BatchResponse batch = analyze_batch(requests, options);
-  BatchResult result;
-  result.stats = batch.stats;
-  result.outcomes.reserve(batch.responses.size());
-  for (AnalyzeResponse& response : batch.responses) {
-    result.outcomes.push_back(std::move(response.outcome));
-  }
-  return result;
-}
-
 }  // namespace jst::analysis

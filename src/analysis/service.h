@@ -3,13 +3,13 @@
 // The paper's wild study (§IV) classifies hundreds of thousands of scripts
 // under a per-script timeout — a workload shaped like a service, not a
 // batch CLI. This header is the service contract (DESIGN.md §13): every
-// frontend (the batch CLI shims below, the jstraced-server daemon, the
-// bench drivers) builds an AnalyzeRequest, the service answers with an
+// frontend (the jstraced-server daemon, the bench drivers, the example
+// CLIs) builds an AnalyzeRequest, the service answers with an
 // AnalyzeResponse, and both sides of that exchange serialize through the
 // versioned NDJSON wire schema in analysis/wire.h. The original
-// analyze_one / analyze_batch entry points remain as thin adapters over
-// the request path — deprecated but working, like the ScriptStatus and
-// max_bytes migrations before them (DESIGN.md §8, §10).
+// analyze_one / analyze_batch(span<string>) adapters completed their
+// deprecation cycle (introduced PR 6, callers migrated PR 8, removed
+// PR 9) — make_source_requests covers the raw-source case.
 #pragma once
 
 #include <cstdint>
@@ -122,9 +122,8 @@ struct AnalyzeRequest {
                                  std::string id = std::string());
 };
 
-// Adapts a span of raw sources into inline-source requests — the
-// migration helper for callers leaving the deprecated analyze_batch
-// overload. Requests are positionally aligned with the sources.
+// Adapts a span of raw sources into inline-source requests. Requests are
+// positionally aligned with the sources.
 std::vector<AnalyzeRequest> make_source_requests(
     std::span<const std::string> sources,
     CacheMode cache_mode = CacheMode::kDefault);
@@ -222,11 +221,6 @@ struct BatchStats {
   std::string to_json() const;
 };
 
-struct BatchResult {
-  std::vector<ScriptOutcome> outcomes;  // aligned with the input span
-  BatchStats stats;
-};
-
 // Result of a request-path batch: responses positionally aligned with the
 // requests, plus aggregate stats over the analyzed subset.
 struct BatchResponse {
@@ -258,25 +252,6 @@ class AnalyzerService {
   // bit-identical to analyze() on each request in isolation.
   BatchResponse analyze_batch(std::span<const AnalyzeRequest> requests,
                               const BatchOptions& options = {}) const;
-
-  // --- deprecated shims (thin adapters over the request path) ---
-  // Every in-tree caller has migrated (PR 8); the shims remain solely
-  // for the shim-equivalence tests and out-of-tree users, and will be
-  // removed one wire-version cycle after deprecation (DESIGN.md §13).
-
-  // DEPRECATED: build an AnalyzeRequest (make_source_requests /
-  // AnalyzeRequest::for_source) and call analyze() instead. Equivalent
-  // to the request path on an inline-source request.
-  [[deprecated("build an AnalyzeRequest and call analyze()")]]
-  ScriptOutcome analyze_one(std::string_view source,
-                            const ResourceLimits& limits = {}) const;
-
-  // DEPRECATED: build AnalyzeRequests and call the request-path overload.
-  // Same outcomes and stats; costs one copy of each source into its
-  // adapter request.
-  [[deprecated("build AnalyzeRequests and call the request-path overload")]]
-  BatchResult analyze_batch(std::span<const std::string> sources,
-                            const BatchOptions& options = {}) const;
 
   const TransformationAnalyzer& analyzer() const { return *analyzer_; }
 

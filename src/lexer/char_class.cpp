@@ -1,0 +1,150 @@
+// Compile-time generator for the 256-entry character-class tables.
+//
+// The tables are built by constexpr functions from reference predicates
+// that restate, byte for byte, the classification the scalar lexer used
+// before the table-driven rebuild. static_asserts below then prove the
+// generated tables agree with the reference predicates on every byte
+// value, so a taxonomy regression is a compile error, not a lexing bug.
+#include "lexer/char_class.h"
+
+#include <array>
+
+namespace jst::lex {
+namespace {
+
+// --- reference predicates (the pre-table scalar definitions) ---
+
+constexpr bool ref_ws(unsigned char c) {
+  return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r';
+}
+constexpr bool ref_digit(unsigned char c) { return c >= '0' && c <= '9'; }
+constexpr bool ref_alpha(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+constexpr bool ref_id_start(unsigned char c) {
+  return ref_alpha(c) || c == '_' || c == '$';
+}
+constexpr bool ref_id_part(unsigned char c) {
+  return ref_id_start(c) || ref_digit(c) || c >= 0x80;
+}
+constexpr bool ref_hex(unsigned char c) {
+  return ref_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+constexpr bool ref_line_terminator(unsigned char c) {
+  return c == '\n' || c == '\r';
+}
+// First bytes of the ES punctuator set (scan_punctuator's tables).
+constexpr bool ref_punct_start(unsigned char c) {
+  constexpr const char* kStarts = "{}()[];,<>+-*/%&|^!~?:=.";
+  for (const char* p = kStarts; *p != '\0'; ++p) {
+    if (static_cast<unsigned char>(*p) == c) return true;
+  }
+  return false;
+}
+
+// --- table generators ---
+
+constexpr std::array<std::uint8_t, 256> make_flags() {
+  std::array<std::uint8_t, 256> flags{};
+  for (unsigned i = 0; i < 256; ++i) {
+    const auto c = static_cast<unsigned char>(i);
+    std::uint8_t f = 0;
+    if (ref_ws(c)) f |= kFlagWhitespace;
+    if (ref_id_start(c)) f |= kFlagIdStart;
+    if (ref_id_part(c)) f |= kFlagIdPart;
+    if (ref_digit(c)) f |= kFlagDigit;
+    if (ref_hex(c)) f |= kFlagHexDigit;
+    if (ref_line_terminator(c)) f |= kFlagLineTerminator;
+    flags[i] = f;
+  }
+  return flags;
+}
+
+constexpr std::array<CharClass, 256> make_classes() {
+  std::array<CharClass, 256> classes{};
+  for (unsigned i = 0; i < 256; ++i) {
+    const auto c = static_cast<unsigned char>(i);
+    // Mirrors the dispatch ladder of the pre-table Lexer::next(): the
+    // first matching branch wins, so order matters for bytes in several
+    // sets ('\r' is whitespace before line terminator, '.' and '/' get
+    // their lookahead classes before the generic punctuator class).
+    CharClass cls = CharClass::kOther;
+    if (c == '\n') {
+      cls = CharClass::kNewline;
+    } else if (ref_ws(c)) {
+      cls = CharClass::kWhitespace;
+    } else if (ref_id_start(c)) {
+      cls = CharClass::kIdStart;
+    } else if (c == '\\') {
+      cls = CharClass::kBackslash;
+    } else if (ref_digit(c)) {
+      cls = CharClass::kDigit;
+    } else if (c == '.') {
+      cls = CharClass::kDot;
+    } else if (c == '"' || c == '\'') {
+      cls = CharClass::kQuote;
+    } else if (c == '`') {
+      cls = CharClass::kBacktick;
+    } else if (c == '/') {
+      cls = CharClass::kSlash;
+    } else if (ref_punct_start(c)) {
+      cls = CharClass::kPunct;
+    }
+    classes[i] = cls;
+  }
+  return classes;
+}
+
+constexpr std::array<std::uint8_t, 256> kFlagsTable = make_flags();
+constexpr std::array<CharClass, 256> kClassTable = make_classes();
+
+// --- exhaustive cross-checks (every byte, every predicate) ---
+
+constexpr bool flags_match_reference() {
+  for (unsigned i = 0; i < 256; ++i) {
+    const auto c = static_cast<unsigned char>(i);
+    const std::uint8_t f = kFlagsTable[i];
+    if (((f & kFlagWhitespace) != 0) != ref_ws(c)) return false;
+    if (((f & kFlagIdStart) != 0) != ref_id_start(c)) return false;
+    if (((f & kFlagIdPart) != 0) != ref_id_part(c)) return false;
+    if (((f & kFlagDigit) != 0) != ref_digit(c)) return false;
+    if (((f & kFlagHexDigit) != 0) != ref_hex(c)) return false;
+    if (((f & kFlagLineTerminator) != 0) != ref_line_terminator(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr bool classes_partition_bytes() {
+  for (unsigned i = 0; i < 256; ++i) {
+    const auto c = static_cast<unsigned char>(i);
+    const CharClass cls = kClassTable[i];
+    // Every byte lands in exactly the class its reference branch chose.
+    if (c == '\n' && cls != CharClass::kNewline) return false;
+    if (c != '\n' && ref_ws(c) && cls != CharClass::kWhitespace) return false;
+    if (ref_id_start(c) && cls != CharClass::kIdStart) return false;
+    if (c == '\\' && cls != CharClass::kBackslash) return false;
+    if (ref_digit(c) && cls != CharClass::kDigit) return false;
+    if (c == '.' && cls != CharClass::kDot) return false;
+    if ((c == '"' || c == '\'') && cls != CharClass::kQuote) return false;
+    if (c == '`' && cls != CharClass::kBacktick) return false;
+    if (c == '/' && cls != CharClass::kSlash) return false;
+    if (c >= 0x80 && cls != CharClass::kOther) return false;
+  }
+  return true;
+}
+
+static_assert(flags_match_reference());
+static_assert(classes_partition_bytes());
+static_assert(kClassTable['#'] == CharClass::kOther);
+static_assert(kClassTable['@'] == CharClass::kOther);
+static_assert(kClassTable['<'] == CharClass::kPunct);
+static_assert(kClassTable[':'] == CharClass::kPunct);
+
+}  // namespace
+
+const std::array<std::uint8_t, 256> kCharFlags = kFlagsTable;
+const std::array<CharClass, 256> kCharClass = kClassTable;
+
+}  // namespace jst::lex

@@ -1,36 +1,17 @@
 #include "lexer/lexer.h"
 
-#include <array>
-#include <cmath>
 #include <cstdlib>
-#include <unordered_set>
 
-#include "support/strings.h"
+#include "lexer/char_class.h"
+#include "lexer/scan.h"
 
 namespace jst {
 namespace {
 
-const std::unordered_set<std::string_view>& keyword_set() {
-  static const std::unordered_set<std::string_view> kKeywords = {
-      "break",    "case",     "catch",   "class",  "const",   "continue",
-      "debugger", "default",  "delete",  "do",     "else",    "export",
-      "extends",  "finally",  "for",     "function", "if",    "import",
-      "in",       "instanceof", "new",   "return", "super",   "switch",
-      "this",     "throw",    "try",     "typeof", "var",     "void",
-      "while",    "with",     "yield",
-  };
-  return kKeywords;
-}
+using lex::CharClass;
+using lex::kCharClass;
 
-bool is_id_start(char c) {
-  return strings::is_ascii_alpha(c) || c == '_' || c == '$';
-}
-
-bool is_id_part(char c) {
-  return strings::is_ascii_alnum(c) || c == '_' || c == '$';
-}
-
-bool is_line_terminator(char c) { return c == '\n' || c == '\r'; }
+inline unsigned char uc(char c) { return static_cast<unsigned char>(c); }
 
 unsigned hex_value(char c) {
   if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
@@ -44,8 +25,33 @@ std::string_view view_of(const support::ArenaVec<char>& cooked) {
 
 }  // namespace
 
-bool is_js_keyword(std::string_view word) {
-  return keyword_set().count(word) > 0;
+// Length-bucketed keyword membership: a switch on the word length plus
+// direct comparisons replaces the historical unordered_set probe (same
+// 33-word set, no hashing, no cold table walk).
+bool is_js_keyword(std::string_view w) {
+  switch (w.size()) {
+    case 2:
+      return w == "do" || w == "if" || w == "in";
+    case 3:
+      return w == "for" || w == "new" || w == "try" || w == "var";
+    case 4:
+      return w == "case" || w == "else" || w == "this" || w == "void" ||
+             w == "with";
+    case 5:
+      return w == "break" || w == "catch" || w == "class" || w == "const" ||
+             w == "super" || w == "throw" || w == "while" || w == "yield";
+    case 6:
+      return w == "delete" || w == "export" || w == "import" ||
+             w == "return" || w == "switch" || w == "typeof";
+    case 7:
+      return w == "default" || w == "extends" || w == "finally";
+    case 8:
+      return w == "continue" || w == "debugger" || w == "function";
+    case 10:
+      return w == "instanceof";
+    default:
+      return false;
+  }
 }
 
 Lexer::Lexer(std::string_view source, support::Arena& arena, Budget* budget)
@@ -76,6 +82,11 @@ bool Lexer::match(char expected) {
   return true;
 }
 
+void Lexer::skip_run(std::size_t count) {
+  pos_ += count;
+  column_ += count;
+}
+
 void Lexer::fail(const std::string& message) const {
   throw ParseError(message, line_, column_);
 }
@@ -85,44 +96,68 @@ std::string_view Lexer::slice(std::size_t begin, std::size_t end) const {
 }
 
 void Lexer::skip_trivia() {
-  while (!eof()) {
-    const char c = peek();
-    if (c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r') {
-      advance();
-    } else if (c == '\n') {
-      newline_pending_ = true;
-      advance();
-    } else if (c == '/' && peek(1) == '/') {
-      const std::size_t start = pos_;
-      while (!eof() && !is_line_terminator(peek())) advance();
-      ++comment_count_;
-      comment_bytes_ += pos_ - start;
-    } else if (c == '/' && peek(1) == '*') {
-      const std::size_t start = pos_;
-      advance();
-      advance();
-      bool closed = false;
-      while (!eof()) {
-        if (peek() == '\n') newline_pending_ = true;
-        if (peek() == '*' && peek(1) == '/') {
-          advance();
-          advance();
-          closed = true;
+  const char* data = source_.data();
+  const std::size_t size = source_.size();
+  while (pos_ < size) {
+    const char c = data[pos_];
+    switch (kCharClass[uc(c)]) {
+      case CharClass::kWhitespace:
+        // Inline whitespace run (never contains '\n').
+        skip_run(lex::find_ws_end(data, size, pos_ + 1) - pos_);
+        break;
+      case CharClass::kNewline:
+        newline_pending_ = true;
+        advance();
+        break;
+      case CharClass::kSlash:
+        if (peek(1) == '/') {
+          // Line comment: everything up to (not including) the next
+          // line terminator, counted toward comment volume.
+          const std::size_t start = pos_;
+          skip_run(lex::find_line_end(data, size, pos_ + 2) - pos_);
+          ++comment_count_;
+          comment_bytes_ += pos_ - start;
           break;
         }
-        advance();
-      }
-      if (!closed) fail("unterminated block comment");
-      ++comment_count_;
-      comment_bytes_ += pos_ - start;
-    } else if (c == '<' && peek(1) == '!' && peek(2) == '-' && peek(3) == '-') {
-      // HTML-style open comment: skip to end of line (legacy web JS).
-      const std::size_t start = pos_;
-      while (!eof() && !is_line_terminator(peek())) advance();
-      ++comment_count_;
-      comment_bytes_ += pos_ - start;
-    } else {
-      break;
+        if (peek(1) == '*') {
+          const std::size_t start = pos_;
+          advance();
+          advance();
+          bool closed = false;
+          while (pos_ < size) {
+            // Skip the escape-free body to the next '*' or newline.
+            skip_run(lex::find_block_comment_end(data, size, pos_) - pos_);
+            if (pos_ >= size) break;
+            if (data[pos_] == '\n') {
+              newline_pending_ = true;
+              advance();
+              continue;
+            }
+            if (pos_ + 1 < size && data[pos_ + 1] == '/') {
+              skip_run(2);
+              closed = true;
+              break;
+            }
+            skip_run(1);  // lone '*'
+          }
+          if (!closed) fail("unterminated block comment");
+          ++comment_count_;
+          comment_bytes_ += pos_ - start;
+          break;
+        }
+        return;
+      case CharClass::kPunct:
+        if (c == '<' && peek(1) == '!' && peek(2) == '-' && peek(3) == '-') {
+          // HTML-style open comment: skip to end of line (legacy web JS).
+          const std::size_t start = pos_;
+          skip_run(lex::find_line_end(data, size, pos_ + 4) - pos_);
+          ++comment_count_;
+          comment_bytes_ += pos_ - start;
+          break;
+        }
+        return;
+      default:
+        return;
     }
   }
 }
@@ -140,9 +175,8 @@ Token Lexer::make_token(TokenType type, std::size_t start_offset,
 }
 
 bool Lexer::regex_allowed() const {
-  if (!previous_.has_value()) return true;
-  const Token& prev = *previous_;
-  switch (prev.type) {
+  if (!has_previous_) return true;
+  switch (previous_type_) {
     case TokenType::kIdentifier:
     case TokenType::kNumericLiteral:
     case TokenType::kStringLiteral:
@@ -154,15 +188,15 @@ bool Lexer::regex_allowed() const {
     case TokenType::kKeyword:
       // `this` and `super` end an expression; everything else (return,
       // typeof, in, case, ...) is followed by an expression position.
-      return prev.value != "this" && prev.value != "super";
+      return previous_value_ != "this" && previous_value_ != "super";
     case TokenType::kPunctuator:
       // After a closing bracket of an expression, '/' is division. After
       // ')' it is ambiguous (if/for/while conditions end with ')'), and
       // Esprima resolves this with parser feedback; our tokenizer-level
       // heuristic treats ')' and ']' as expression ends, '}' as a block
       // end (regex allowed), matching typical minified code.
-      return prev.value != ")" && prev.value != "]" && prev.value != "++" &&
-             prev.value != "--";
+      return previous_value_ != ")" && previous_value_ != "]" &&
+             previous_value_ != "++" && previous_value_ != "--";
     default:
       return true;
   }
@@ -181,74 +215,83 @@ Token Lexer::next() {
     return token;
   }
 
-  const char c = peek();
+  // One table load + indexed jump routes the leading byte to its scanner.
+  const char c = source_[pos_];
   Token token;
-  if (is_id_start(c) || c == '\\') {
-    token = scan_identifier_or_keyword();
-  } else if (strings::is_ascii_digit(c) ||
-             (c == '.' && strings::is_ascii_digit(peek(1)))) {
-    token = scan_number();
-  } else if (c == '"' || c == '\'') {
-    token = scan_string(c);
-  } else if (c == '`') {
-    token = scan_template();
-  } else if (c == '/' && regex_allowed()) {
-    token = scan_regex();
-  } else {
-    token = scan_punctuator();
+  switch (kCharClass[uc(c)]) {
+    case CharClass::kIdStart:
+    case CharClass::kBackslash:
+      token = scan_identifier_or_keyword();
+      break;
+    case CharClass::kDigit:
+      token = scan_number();
+      break;
+    case CharClass::kDot:
+      token = lex::is_digit_byte(uc(peek(1))) ? scan_number()
+                                              : scan_punctuator();
+      break;
+    case CharClass::kQuote:
+      token = scan_string(c);
+      break;
+    case CharClass::kBacktick:
+      token = scan_template();
+      break;
+    case CharClass::kSlash:
+      token = regex_allowed() ? scan_regex() : scan_punctuator();
+      break;
+    default:
+      token = scan_punctuator();
+      break;
   }
-  previous_ = token;
+  has_previous_ = true;
+  previous_type_ = token.type;
+  previous_value_ = token.value;
   return token;
 }
 
 Token Lexer::scan_identifier_or_keyword() {
+  const char* data = source_.data();
+  const std::size_t size = source_.size();
   const std::size_t start_offset = pos_;
   const std::size_t start_line = line_;
   const std::size_t start_column = column_;
   // Zero-copy fast path: the name is the source slice until a \uXXXX
   // escape makes the cooked name differ, at which point the prefix is
-  // copied into the arena and cooking continues there.
+  // copied into the arena and cooking continues there. Identifier
+  // continuation bytes (ASCII id-part plus >= 0x80 UTF-8 passthrough)
+  // are consumed as block-scanned runs.
   support::ArenaVec<char> cooked(*arena_);
   bool dirty = false;
-  while (!eof()) {
-    const char c = peek();
-    if (is_id_part(c)) {
-      advance();
-      if (dirty) cooked.push_back(c);
-    } else if (c == '\\' && peek(1) == 'u') {
-      // \uXXXX identifier escape: decode the hex, keep the low byte as the
-      // cooked character (sufficient for the ASCII identifiers we target).
-      if (!dirty) {
-        cooked.append(source_.data() + start_offset, pos_ - start_offset);
-        dirty = true;
-      }
-      advance();
-      advance();
-      unsigned code = 0;
-      if (peek() == '{') {
-        advance();
-        while (!eof() && peek() != '}') {
-          if (!strings::is_hex_digit(peek())) fail("bad unicode escape");
-          code = code * 16 + hex_value(advance());
-        }
-        if (!match('}')) fail("unterminated unicode escape");
-      } else {
-        for (int i = 0; i < 4; ++i) {
-          if (eof() || !strings::is_hex_digit(peek())) {
-            fail("bad unicode escape in identifier");
-          }
-          code = code * 16 + hex_value(advance());
-        }
-      }
-      cooked.push_back(static_cast<char>(code & 0x7f));
-    } else if (static_cast<unsigned char>(c) >= 0x80) {
-      // Pass non-ASCII identifier bytes through (UTF-8 identifiers occur in
-      // obfuscated code).
-      advance();
-      if (dirty) cooked.push_back(c);
-    } else {
-      break;
+  while (true) {
+    const std::size_t run_end = lex::find_id_end(data, size, pos_);
+    if (dirty && run_end > pos_) cooked.append(data + pos_, run_end - pos_);
+    skip_run(run_end - pos_);
+    if (pos_ >= size || data[pos_] != '\\' || peek(1) != 'u') break;
+    // \uXXXX identifier escape: decode the hex, keep the low byte as the
+    // cooked character (sufficient for the ASCII identifiers we target).
+    if (!dirty) {
+      cooked.append(data + start_offset, pos_ - start_offset);
+      dirty = true;
     }
+    advance();
+    advance();
+    unsigned code = 0;
+    if (peek() == '{') {
+      advance();
+      while (!eof() && peek() != '}') {
+        if (!lex::is_hex_digit_byte(uc(peek()))) fail("bad unicode escape");
+        code = code * 16 + hex_value(advance());
+      }
+      if (!match('}')) fail("unterminated unicode escape");
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        if (eof() || !lex::is_hex_digit_byte(uc(peek()))) {
+          fail("bad unicode escape in identifier");
+        }
+        code = code * 16 + hex_value(advance());
+      }
+    }
+    cooked.push_back(static_cast<char>(code & 0x7f));
   }
   if (pos_ == start_offset) {
     // A lone '\' not starting a \uXXXX escape: no progress was made; this
@@ -284,8 +327,8 @@ Token Lexer::scan_number() {
   if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
     advance();
     advance();
-    if (!strings::is_hex_digit(peek())) fail("missing hex digits");
-    while (!eof() && strings::is_hex_digit(peek())) {
+    if (!lex::is_hex_digit_byte(uc(peek()))) fail("missing hex digits");
+    while (!eof() && lex::is_hex_digit_byte(uc(peek()))) {
       value = value * 16 + hex_value(advance());
     }
   } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
@@ -298,33 +341,35 @@ Token Lexer::scan_number() {
     advance();
     if (peek() < '0' || peek() > '7') fail("missing octal digits");
     while (peek() >= '0' && peek() <= '7') value = value * 8 + (advance() - '0');
-  } else if (peek() == '0' && strings::is_ascii_digit(peek(1))) {
+  } else if (peek() == '0' && lex::is_digit_byte(uc(peek(1)))) {
     // Legacy octal (non-strict); fall back to decimal if 8/9 appear.
     // Short digit runs stay in the std::string SSO buffer (strtod needs a
     // NUL-terminated copy, the source slice is not).
     std::string digits;
     advance();
-    while (strings::is_ascii_digit(peek())) digits.push_back(advance());
+    while (lex::is_digit_byte(uc(peek()))) digits.push_back(advance());
     const bool octal = digits.find('8') == std::string::npos &&
                        digits.find('9') == std::string::npos;
     value = std::strtod(digits.c_str(), nullptr);
     if (octal) value = static_cast<double>(std::strtoll(digits.c_str(), nullptr, 8));
   } else {
     std::string digits;
-    while (strings::is_ascii_digit(peek())) digits.push_back(advance());
+    while (lex::is_digit_byte(uc(peek()))) digits.push_back(advance());
     if (peek() == '.') {
       digits.push_back(advance());
-      while (strings::is_ascii_digit(peek())) digits.push_back(advance());
+      while (lex::is_digit_byte(uc(peek()))) digits.push_back(advance());
     }
     if (peek() == 'e' || peek() == 'E') {
       digits.push_back(advance());
       if (peek() == '+' || peek() == '-') digits.push_back(advance());
-      if (!strings::is_ascii_digit(peek())) fail("missing exponent digits");
-      while (strings::is_ascii_digit(peek())) digits.push_back(advance());
+      if (!lex::is_digit_byte(uc(peek()))) fail("missing exponent digits");
+      while (lex::is_digit_byte(uc(peek()))) digits.push_back(advance());
     }
     value = std::strtod(digits.c_str(), nullptr);
   }
-  if (is_id_start(peek())) fail("identifier starts immediately after number");
+  if (lex::is_id_start_byte(uc(peek()))) {
+    fail("identifier starts immediately after number");
+  }
 
   Token token = make_token(TokenType::kNumericLiteral, start_offset, start_line,
                            start_column);
@@ -334,28 +379,32 @@ Token Lexer::scan_number() {
 }
 
 Token Lexer::scan_string(char quote) {
+  const char* data = source_.data();
+  const std::size_t size = source_.size();
   const std::size_t start_offset = pos_;
   const std::size_t start_line = line_;
   const std::size_t start_column = column_;
   advance();  // opening quote
   // Zero-copy fast path: the cooked value equals the source slice between
   // the quotes until the first backslash; from there the prefix is copied
-  // into the arena and escapes decode into the copy.
+  // into the arena and escapes decode into the copy. The escape-free
+  // payload spans between interesting bytes (quote, backslash, newline)
+  // are block-scanned — for the common no-escape literal the scanner
+  // finds the closing quote in one pass and the value stays a view.
   const std::size_t content_start = pos_;
   support::ArenaVec<char> cooked(*arena_);
   bool dirty = false;
   while (true) {
-    if (eof()) fail("unterminated string literal");
-    char c = advance();
+    const std::size_t stop = lex::find_string_end(data, size, pos_, quote);
+    if (dirty && stop > pos_) cooked.append(data + pos_, stop - pos_);
+    skip_run(stop - pos_);
+    if (pos_ >= size) fail("unterminated string literal");
+    const char c = advance();
     if (c == quote) break;
-    if (is_line_terminator(c)) fail("newline in string literal");
-    if (c != '\\') {
-      if (dirty) cooked.push_back(c);
-      continue;
-    }
+    if (c == '\n' || c == '\r') fail("newline in string literal");
+    // c == '\\': decode one escape into the cooked copy.
     if (!dirty) {
-      cooked.append(source_.data() + content_start,
-                    (pos_ - 1) - content_start);
+      cooked.append(data + content_start, (pos_ - 1) - content_start);
       dirty = true;
     }
     if (eof()) fail("unterminated escape sequence");
@@ -368,7 +417,7 @@ Token Lexer::scan_string(char quote) {
       case 'f': cooked.push_back('\f'); break;
       case 'v': cooked.push_back('\v'); break;
       case '0':
-        if (!strings::is_ascii_digit(peek())) {
+        if (!lex::is_digit_byte(uc(peek()))) {
           cooked.push_back('\0');
           break;
         }
@@ -387,7 +436,9 @@ Token Lexer::scan_string(char quote) {
       case 'x': {
         unsigned code = 0;
         for (int i = 0; i < 2; ++i) {
-          if (eof() || !strings::is_hex_digit(peek())) fail("bad hex escape");
+          if (eof() || !lex::is_hex_digit_byte(uc(peek()))) {
+            fail("bad hex escape");
+          }
           code = code * 16 + hex_value(advance());
         }
         cooked.push_back(static_cast<char>(code));
@@ -398,13 +449,15 @@ Token Lexer::scan_string(char quote) {
         if (peek() == '{') {
           advance();
           while (!eof() && peek() != '}') {
-            if (!strings::is_hex_digit(peek())) fail("bad unicode escape");
+            if (!lex::is_hex_digit_byte(uc(peek()))) {
+              fail("bad unicode escape");
+            }
             code = code * 16 + hex_value(advance());
           }
           if (!match('}')) fail("unterminated unicode escape");
         } else {
           for (int i = 0; i < 4; ++i) {
-            if (eof() || !strings::is_hex_digit(peek())) {
+            if (eof() || !lex::is_hex_digit_byte(uc(peek()))) {
               fail("bad unicode escape");
             }
             code = code * 16 + hex_value(advance());
@@ -439,6 +492,8 @@ Token Lexer::scan_string(char quote) {
 }
 
 Token Lexer::scan_template() {
+  const char* data = source_.data();
+  const std::size_t size = source_.size();
   const std::size_t start_offset = pos_;
   const std::size_t start_line = line_;
   const std::size_t start_column = column_;
@@ -447,12 +502,15 @@ Token Lexer::scan_template() {
   // Quasis are always verbatim source slices (escapes are kept raw);
   // substitution expressions are slices too unless a comment inside was
   // skipped, which switches that expression to arena-cooked copying.
+  // Quasi text between interesting bytes ('`', '\', '$', '\n') is
+  // block-scanned; the balanced substitution scan stays scalar.
   support::ArenaVec<std::string_view> quasis(*arena_);
   support::ArenaVec<std::string_view> expressions(*arena_);
   std::size_t chunk_start = pos_;
   while (true) {
-    if (eof()) fail("unterminated template literal");
-    char c = advance();
+    skip_run(lex::find_template_end(data, size, pos_) - pos_);
+    if (pos_ >= size) fail("unterminated template literal");
+    const char c = advance();
     if (c == '`') {
       quasis.push_back(slice(chunk_start, pos_ - 1));
       break;
@@ -462,6 +520,7 @@ Token Lexer::scan_template() {
       advance();
       continue;
     }
+    if (c == '\n') continue;  // advance() already tracked the line
     if (c == '$' && peek() == '{') {
       quasis.push_back(slice(chunk_start, pos_ - 1));
       advance();  // '{'
@@ -520,15 +579,13 @@ Token Lexer::scan_template() {
           // Comment bytes are dropped from the expression, so the cooked
           // text diverges from the slice here.
           if (!dirty) {
-            cooked.append(source_.data() + expr_start,
-                          (pos_ - 1) - expr_start);
+            cooked.append(data + expr_start, (pos_ - 1) - expr_start);
             dirty = true;
           }
-          while (!eof() && !is_line_terminator(peek())) advance();
+          skip_run(lex::find_line_end(data, size, pos_) - pos_);
         } else if (e == '/' && peek() == '*') {
           if (!dirty) {
-            cooked.append(source_.data() + expr_start,
-                          (pos_ - 1) - expr_start);
+            cooked.append(data + expr_start, (pos_ - 1) - expr_start);
             dirty = true;
           }
           advance();
@@ -545,6 +602,8 @@ Token Lexer::scan_template() {
                                   : slice(expr_start, pos_ - 1));
       chunk_start = pos_;
     }
+    // A '$' not followed by '{' is plain quasi text: fall through and
+    // let the next block scan resume after it.
   }
 
   Token token =
@@ -569,7 +628,9 @@ Token Lexer::scan_regex() {
   while (true) {
     if (eof()) fail("unterminated regular expression");
     char c = advance();
-    if (is_line_terminator(c)) fail("newline in regular expression");
+    if (lex::is_line_terminator_byte(uc(c))) {
+      fail("newline in regular expression");
+    }
     if (c == '\\') {
       if (eof()) fail("unterminated regex escape");
       advance();
@@ -581,7 +642,11 @@ Token Lexer::scan_regex() {
   }
   const std::string_view pattern = slice(pattern_start, pos_ - 1);
   const std::size_t flags_start = pos_;
-  while (!eof() && is_id_part(peek())) advance();
+  // Flags are ASCII id-part only (no >= 0x80 passthrough, unlike
+  // identifier tails), so this stays a short scalar loop.
+  while (!eof() && uc(peek()) < 0x80 && lex::is_id_part_byte(uc(peek()))) {
+    advance();
+  }
 
   Token token = make_token(TokenType::kRegularExpression, start_offset,
                            start_line, start_column);
@@ -595,36 +660,87 @@ Token Lexer::scan_punctuator() {
   const std::size_t start_line = line_;
   const std::size_t start_column = column_;
 
-  // Longest-match over the ES punctuator table.
-  static constexpr std::array<std::string_view, 50> kMulti = {
-      ">>>=", "...",  "===", "!==", ">>>", "**=", "<<=", ">>=", "&&=", "||=",
-      "?\?=", "=>",   "==",  "!=",  "<=",  ">=",  "&&",  "||",  "??",  "?.",
-      "++",   "--",   "<<",  ">>",  "+=",  "-=",  "*=",  "/=",  "%=",  "&=",
-      "|=",   "^=",   "**",  "{",   "}",   "(",   ")",   "[",   "]",   ";",
-      ",",    "<",    ">",   "+",   "-",   "*",   "/",   "%",   "&",   "|",
+  // Table-driven longest match: a switch on the first byte with ordered
+  // follower checks replaces the historical linear scan over the 57-entry
+  // punctuator list. Every returned text is a string literal (static
+  // storage), so the value view outlives every arena.
+  const auto emit = [&](std::string_view text) {
+    skip_run(text.size());
+    Token token = make_token(TokenType::kPunctuator, start_offset, start_line,
+                             start_column);
+    token.value = text;
+    return token;
   };
-  static constexpr std::array<std::string_view, 7> kSingle = {
-      "^", "!", "~", "?", ":", "=", ".",
-  };
-
-  const std::string_view rest = source_.substr(pos_);
-  for (std::string_view candidate : kMulti) {
-    if (rest.substr(0, candidate.size()) == candidate) {
-      for (std::size_t i = 0; i < candidate.size(); ++i) advance();
-      Token token = make_token(TokenType::kPunctuator, start_offset, start_line,
-                               start_column);
-      token.value = candidate;  // static storage, outlives every arena
-      return token;
-    }
-  }
-  for (std::string_view candidate : kSingle) {
-    if (!rest.empty() && rest[0] == candidate[0]) {
-      advance();
-      Token token = make_token(TokenType::kPunctuator, start_offset, start_line,
-                               start_column);
-      token.value = candidate;
-      return token;
-    }
+  const char c1 = peek();
+  const char c2 = peek(1);
+  const char c3 = peek(2);
+  switch (c1) {
+    case '{': return emit("{");
+    case '}': return emit("}");
+    case '(': return emit("(");
+    case ')': return emit(")");
+    case '[': return emit("[");
+    case ']': return emit("]");
+    case ';': return emit(";");
+    case ',': return emit(",");
+    case ':': return emit(":");
+    case '~': return emit("~");
+    case '.':
+      if (c2 == '.' && c3 == '.') return emit("...");
+      return emit(".");
+    case '<':
+      if (c2 == '<') return emit(c3 == '=' ? "<<=" : "<<");
+      if (c2 == '=') return emit("<=");
+      return emit("<");
+    case '>':
+      if (c2 == '>') {
+        if (c3 == '>') return emit(peek(3) == '=' ? ">>>=" : ">>>");
+        return emit(c3 == '=' ? ">>=" : ">>");
+      }
+      if (c2 == '=') return emit(">=");
+      return emit(">");
+    case '=':
+      if (c2 == '=') return emit(c3 == '=' ? "===" : "==");
+      if (c2 == '>') return emit("=>");
+      return emit("=");
+    case '!':
+      if (c2 == '=') return emit(c3 == '=' ? "!==" : "!=");
+      return emit("!");
+    case '+':
+      if (c2 == '+') return emit("++");
+      if (c2 == '=') return emit("+=");
+      return emit("+");
+    case '-':
+      if (c2 == '-') return emit("--");
+      if (c2 == '=') return emit("-=");
+      return emit("-");
+    case '*':
+      if (c2 == '*') return emit(c3 == '=' ? "**=" : "**");
+      if (c2 == '=') return emit("*=");
+      return emit("*");
+    case '/':
+      if (c2 == '=') return emit("/=");
+      return emit("/");
+    case '%':
+      if (c2 == '=') return emit("%=");
+      return emit("%");
+    case '&':
+      if (c2 == '&') return emit(c3 == '=' ? "&&=" : "&&");
+      if (c2 == '=') return emit("&=");
+      return emit("&");
+    case '|':
+      if (c2 == '|') return emit(c3 == '=' ? "||=" : "||");
+      if (c2 == '=') return emit("|=");
+      return emit("|");
+    case '^':
+      if (c2 == '=') return emit("^=");
+      return emit("^");
+    case '?':
+      if (c2 == '?') return emit(c3 == '=' ? "?\?=" : "??");
+      if (c2 == '.') return emit("?.");
+      return emit("?");
+    default:
+      break;
   }
   fail(std::string("unexpected character '") + peek() + "'");
 }

@@ -8,6 +8,17 @@
 // from division by previous-token context, as in Esprima's tokenizer),
 // comments (line, block, and HTML-comment-like `<!--`), and the full
 // punctuator set.
+//
+// The scanner is table-driven (DESIGN.md §16): Lexer::next() dispatches
+// on a 256-entry character-class table (lexer/char_class.h) instead of a
+// predicate ladder, and the long homogeneous runs obfuscated code is
+// full of — identifier floods, escape-free string/template payloads,
+// whitespace walls, comment bodies — are skipped by SWAR/SIMD block
+// scanners (lexer/scan.h) that only locate the next interesting byte.
+// All classification, line/column bookkeeping, budget charging, and
+// error reporting stay in the scalar code, so the token stream is
+// bit-identical under every scan policy.
+//
 // Tokens are zero-copy: payload views point into the caller's `source`
 // buffer (which must stay alive and unmoved for as long as the tokens
 // are used) or, when unescaping changed the text, into storage cooked
@@ -15,7 +26,6 @@
 // coincide by copying the script into the arena first (DESIGN.md §12).
 #pragma once
 
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,6 +67,9 @@ class Lexer {
   bool eof(std::size_t ahead = 0) const;
   char advance();
   bool match(char expected);
+  // Skips `count` bytes known to contain no '\n' (block-scanned runs):
+  // one position and one column add instead of per-byte advance() calls.
+  void skip_run(std::size_t count);
   [[noreturn]] void fail(const std::string& message) const;
   // View of source_[begin, end).
   std::string_view slice(std::size_t begin, std::size_t end) const;
@@ -84,7 +97,11 @@ class Lexer {
   std::size_t line_ = 1;
   std::size_t column_ = 0;
   bool newline_pending_ = false;
-  std::optional<Token> previous_;
+  // Previous-token context for regex disambiguation: only the type and
+  // the payload view matter, so the full Token is not copied per next().
+  bool has_previous_ = false;
+  TokenType previous_type_ = TokenType::kEndOfFile;
+  std::string_view previous_value_;
   std::size_t comment_count_ = 0;
   std::size_t comment_bytes_ = 0;
   Budget* budget_ = nullptr;  // non-owning; nullptr = ungoverned

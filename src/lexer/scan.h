@@ -1,0 +1,100 @@
+// Block scanners for the lexer's long homogeneous runs.
+//
+// Obfuscated inputs are pathologically lexer-heavy in a very particular
+// way: kilobyte string blobs, identifier floods, comment walls — long
+// spans where every byte is "boring" and only the first interesting byte
+// (a quote, a backslash, a newline, the end of an identifier) matters.
+// Each find_* function below answers exactly that simdjson-style
+// question: given [from, size) of `data`, return the index of the first
+// byte the scalar lexer must actually look at, or `size` when the run
+// reaches the end of input.
+//
+// Three implementations sit behind each function:
+//   * scalar — byte-at-a-time over the char_class tables; the reference
+//     oracle the differential suite (test_lexer_diff) compares against,
+//     and the fallback for short runs and tail bytes.
+//   * swar   — 8 bytes per 64-bit word via support/swar.h, portable to
+//     any 64-bit target.
+//   * simd   — 16 bytes per step via SSE2 (x86-64) or NEON (AArch64),
+//     selected at compile time (support/cpu.h); on targets with neither,
+//     requesting it falls back to swar.
+//
+// Dispatch is a process-global policy resolved once from JST_LEX_SCAN
+// (scalar|swar|simd|auto, default auto = widest compiled-in path) and
+// overridable from tests via set_scan_policy(). The scanners only ever
+// SKIP bytes — every classification decision, every line/column update,
+// and all budget charging stay in the scalar lexer — so the token stream
+// is bit-identical under every policy (DESIGN.md §16).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace jst::lex {
+
+enum class ScanPolicy : unsigned char {
+  kScalar,
+  kSwar,
+  kSimd,
+};
+
+// The active policy (JST_LEX_SCAN on first use unless overridden).
+ScanPolicy scan_policy();
+
+// Overrides the process-global policy (tests, benches). Requesting
+// kSimd on a target without a compiled-in 16-byte path selects kSwar;
+// the return value is the policy actually installed.
+ScanPolicy set_scan_policy(ScanPolicy policy);
+
+std::string_view scan_policy_name(ScanPolicy policy);
+
+// RAII policy override for tests: installs `policy`, restores the
+// previous policy on destruction.
+class ScopedScanPolicy {
+ public:
+  explicit ScopedScanPolicy(ScanPolicy policy)
+      : previous_(scan_policy()) {
+    set_scan_policy(policy);
+  }
+  ~ScopedScanPolicy() { set_scan_policy(previous_); }
+  ScopedScanPolicy(const ScopedScanPolicy&) = delete;
+  ScopedScanPolicy& operator=(const ScopedScanPolicy&) = delete;
+
+ private:
+  ScanPolicy previous_;
+};
+
+// --- the scanners -----------------------------------------------------
+// All contracts: 0 <= from <= size, `data` valid for `size` bytes;
+// returns the first index >= from whose byte is in the stop set, or
+// `size` if the run covers the rest of the input.
+
+// Identifier tail: first byte that is NOT an identifier continuation
+// (continuations are [A-Za-z0-9_$] and every byte >= 0x80, matching the
+// scalar lexer's UTF-8 passthrough).
+std::size_t find_id_end(const char* data, std::size_t size, std::size_t from);
+
+// Inline whitespace run: first byte not in {' ', '\t', '\v', '\f', '\r'}
+// (never consumes '\n' — the trivia loop owns newline_pending_).
+std::size_t find_ws_end(const char* data, std::size_t size, std::size_t from);
+
+// Line comment / HTML-open-comment body: first '\n' or '\r'.
+std::size_t find_line_end(const char* data, std::size_t size,
+                          std::size_t from);
+
+// String payload: first occurrence of `quote`, '\\', '\n', or '\r' —
+// everything before it is escape-free payload the dirty-flag slicing
+// keeps as a zero-copy view.
+std::size_t find_string_end(const char* data, std::size_t size,
+                            std::size_t from, char quote);
+
+// Template payload: first '`', '\\', '$', or '\n' (newlines are legal in
+// templates but advance the line counter, so the scalar loop takes over).
+std::size_t find_template_end(const char* data, std::size_t size,
+                              std::size_t from);
+
+// Block comment body: first '*' or '\n'.
+std::size_t find_block_comment_end(const char* data, std::size_t size,
+                                   std::size_t from);
+
+}  // namespace jst::lex

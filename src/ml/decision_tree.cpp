@@ -31,7 +31,15 @@ void DecisionTree::fit(const Matrix& data, std::span<const std::uint8_t> labels,
   feature_count_ = data.column_count();
   std::vector<std::size_t> working(indices.begin(), indices.end());
   if (working.empty()) throw ModelError("DecisionTree::fit: empty index set");
-  build(data, labels, working, 0, working.size(), 1, params, rng);
+
+  SplitScratch scratch;
+  scratch.sorted_slots.resize(feature_count_);
+  scratch.counts.assign(data.row_count(), 0);
+  scratch.bootstrap.reserve(working.size());
+  for (const std::size_t row : working) {
+    scratch.bootstrap.push_back(static_cast<std::uint32_t>(row));
+  }
+  build(data, labels, working, 0, working.size(), 1, params, rng, scratch);
 }
 
 std::int32_t DecisionTree::build(const Matrix& data,
@@ -39,7 +47,7 @@ std::int32_t DecisionTree::build(const Matrix& data,
                                  std::vector<std::size_t>& indices,
                                  std::size_t begin, std::size_t end,
                                  std::size_t depth, const TreeParams& params,
-                                 Rng& rng) {
+                                 Rng& rng, SplitScratch& scratch) {
   depth_ = std::max(depth_, depth);
   const std::size_t count = end - begin;
   std::size_t positives = 0;
@@ -76,14 +84,52 @@ std::int32_t DecisionTree::build(const Matrix& data,
   std::vector<std::pair<float, std::uint8_t>> values;
   values.reserve(count);
 
+  // The auto policy pays the presorted filter's O(N) walk only where it
+  // beats re-sorting: nodes still holding at least a quarter of the
+  // tree's samples (the top of the tree, where sorts are biggest).
+  const std::size_t total_slots = scratch.bootstrap.size();
+  const bool use_presorted =
+      params.split_finder == SplitFinder::kPresorted ||
+      (params.split_finder == SplitFinder::kAuto && count * 4 >= total_slots);
+
   const std::vector<std::size_t> feature_subset =
       rng.sample_indices(feature_count_, candidates);
   for (const std::size_t feature : feature_subset) {
     values.clear();
-    for (std::size_t i = begin; i < end; ++i) {
-      values.emplace_back(data.at(indices[i], feature), labels[indices[i]]);
+    if (use_presorted) {
+      // Once per tree per feature: order the bootstrap slots by
+      // (value, label) — exactly the pair ordering std::sort applies to
+      // the gathered vector, so ties are interchangeable duplicates.
+      std::vector<std::uint32_t>& slots = scratch.sorted_slots[feature];
+      if (slots.empty()) {
+        slots = scratch.bootstrap;
+        std::sort(slots.begin(), slots.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                    const float va = data.at(a, feature);
+                    const float vb = data.at(b, feature);
+                    if (va != vb) return va < vb;
+                    return labels[a] < labels[b];
+                  });
+      }
+      // Filter the presorted column down to this node's rows. Bootstrap
+      // sampling repeats rows, so membership is a multiplicity count, not
+      // a flag; the walk consumes every count it planted (node slots are
+      // a sub-multiset of the tree's), leaving `counts` all-zero again.
+      for (std::size_t i = begin; i < end; ++i) {
+        ++scratch.counts[indices[i]];
+      }
+      for (const std::uint32_t row : slots) {
+        if (scratch.counts[row] > 0) {
+          --scratch.counts[row];
+          values.emplace_back(data.at(row, feature), labels[row]);
+        }
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        values.emplace_back(data.at(indices[i], feature), labels[indices[i]]);
+      }
+      std::sort(values.begin(), values.end());
     }
-    std::sort(values.begin(), values.end());
     if (values.front().first == values.back().first) continue;  // constant
 
     std::size_t left_count = 0;
@@ -137,10 +183,10 @@ std::int32_t DecisionTree::build(const Matrix& data,
   nodes_[self].threshold = best_threshold;
   nodes_[self].importance =
       static_cast<float>(best_gain * static_cast<double>(count));
-  const std::int32_t left =
-      build(data, labels, indices, begin, middle, depth + 1, params, rng);
+  const std::int32_t left = build(data, labels, indices, begin, middle,
+                                  depth + 1, params, rng, scratch);
   const std::int32_t right =
-      build(data, labels, indices, middle, end, depth + 1, params, rng);
+      build(data, labels, indices, middle, end, depth + 1, params, rng, scratch);
   nodes_[self].left = left;
   nodes_[self].right = right;
   return self;

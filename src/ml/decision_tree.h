@@ -28,12 +28,32 @@ struct Matrix {
   }
 };
 
+// How fit() produces the per-feature sorted (value, label) sequence a
+// split scan consumes. Both strategies yield byte-for-byte identical
+// fitted trees (asserted by test_ml's serialization-hash test): the
+// presorted filter emits exactly the sequence gather+sort would, so the
+// choice is purely a performance knob.
+//   kGather    — per node: gather the node's pairs and std::sort them
+//                (the historical code path; O(n log n) per feature).
+//   kPresorted — per tree: lazily sort each feature's bootstrap column
+//                once, then per node filter that ordering through a
+//                multiplicity count array (O(N) walk, no re-sorting).
+//   kAuto      — presorted filter for nodes holding a large share of the
+//                tree's samples (where the O(N) walk is cheaper than
+//                re-sorting), gather+sort for small deep nodes.
+enum class SplitFinder : std::uint8_t {
+  kAuto,
+  kGather,
+  kPresorted,
+};
+
 struct TreeParams {
   std::size_t max_depth = 24;
   std::size_t min_samples_split = 4;
   std::size_t min_samples_leaf = 1;
   // Number of feature candidates per split; 0 = sqrt(feature count).
   std::size_t max_features = 0;
+  SplitFinder split_finder = SplitFinder::kAuto;
 };
 
 // Serialization encoding for trained models (see analysis/model_io.h for
@@ -94,10 +114,26 @@ class DecisionTree {
   void load_binary(std::istream& in);
 
  private:
+  // Per-fit scratch for split finding (freed when fit returns). The
+  // presorted columns are computed lazily — a feature pays its one-time
+  // O(N log N) sort only when the auto/presorted policy first consults it.
+  struct SplitScratch {
+    // Per feature: the tree's bootstrap row ids (one entry per slot,
+    // duplicates included) ordered by (feature value, label). Empty until
+    // first use.
+    std::vector<std::vector<std::uint32_t>> sorted_slots;
+    // Row-id multiplicity workspace for the presorted filter; all zeros
+    // between uses (each walk consumes exactly what it planted).
+    std::vector<std::uint32_t> counts;
+    // The bootstrap multiset fit() was called with (rows, slot order).
+    std::vector<std::uint32_t> bootstrap;
+  };
+
   std::int32_t build(const Matrix& data, std::span<const std::uint8_t> labels,
                      std::vector<std::size_t>& indices, std::size_t begin,
                      std::size_t end, std::size_t depth,
-                     const TreeParams& params, Rng& rng);
+                     const TreeParams& params, Rng& rng,
+                     SplitScratch& scratch);
 
   std::vector<TreeNode> nodes_;
   std::size_t depth_ = 0;

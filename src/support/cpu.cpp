@@ -1,0 +1,17 @@
+#include "support/cpu.h"
+
+namespace jst::support {
+
+std::string_view simd_kind_name(SimdKind kind) {
+  switch (kind) {
+    case SimdKind::kSse2:
+      return "sse2";
+    case SimdKind::kNeon:
+      return "neon";
+    case SimdKind::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace jst::support

@@ -1,0 +1,47 @@
+// CPU feature discovery for the vectorized scanners.
+//
+// x86-64 guarantees SSE2 and AArch64 guarantees NEON, so the 16-byte
+// scanner paths are compile-time facts, not runtime probes; this header
+// centralizes the detection macros so lexer/scan.cpp and the benches ask
+// one place. simd_kind() is what the dispatch policy and BENCH_lexer.json
+// report as the active vector ISA.
+#pragma once
+
+#include <string_view>
+
+#if defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define JST_HAVE_SSE2 1
+#else
+#define JST_HAVE_SSE2 0
+#endif
+
+#if defined(__aarch64__) || defined(_M_ARM64)
+#define JST_HAVE_NEON 1
+#else
+#define JST_HAVE_NEON 0
+#endif
+
+namespace jst::support {
+
+enum class SimdKind {
+  kNone,  // no 16-byte path compiled in; SWAR is the widest scanner
+  kSse2,
+  kNeon,
+};
+
+// The vector ISA the scanners were compiled against (fixed per binary).
+constexpr SimdKind simd_kind() {
+#if JST_HAVE_SSE2
+  return SimdKind::kSse2;
+#elif JST_HAVE_NEON
+  return SimdKind::kNeon;
+#else
+  return SimdKind::kNone;
+#endif
+}
+
+constexpr bool simd_available() { return simd_kind() != SimdKind::kNone; }
+
+std::string_view simd_kind_name(SimdKind kind);
+
+}  // namespace jst::support

@@ -182,9 +182,7 @@ std::string dataflow_flood(std::size_t uses) {
   return source;
 }
 
-// Request-path adapter for the single-script assertions below (the
-// deprecated analyze_one shim is exercised by the shim-equivalence tests
-// in test_server.cpp, not here).
+// Request-path adapter for the single-script assertions below.
 analysis::ScriptOutcome analyze_source(const analysis::AnalyzerService& service,
                                        std::string source,
                                        const ResourceLimits& limits = {}) {

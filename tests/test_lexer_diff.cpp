@@ -1,0 +1,358 @@
+// Differential lexer fuzz suite (DESIGN.md §16): the scalar block
+// scanners are the reference oracle; every hostile input below must lex
+// to a byte-identical token stream — every Token field, the TokenStats
+// the parser derives, comment accounting, error positions, and budget
+// trip points — under the SWAR and SIMD scan policies. The suite carries
+// the `robustness` label so the asan/ubsan presets run the wide scanners
+// (unaligned 8/16-byte loads over arena-backed buffers) under the
+// sanitizers, and it runs in the JST_THREADS 1/4 matrix alongside the
+// other bit-identity gates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lexer/char_class.h"
+#include "lexer/lexer.h"
+#include "lexer/scan.h"
+#include "parser/parser.h"
+#include "support/arena.h"
+#include "support/budget.h"
+#include "support/rng.h"
+
+namespace jst {
+namespace {
+
+using lex::ScanPolicy;
+using lex::ScopedScanPolicy;
+
+// Every policy the build can express. kSimd degrades to kSwar on targets
+// without a compiled-in 16-byte path (set_scan_policy clamps), which
+// still differentially tests the SWAR scanners twice — harmless.
+const std::vector<ScanPolicy> kPolicies = {
+    ScanPolicy::kScalar, ScanPolicy::kSwar, ScanPolicy::kSimd};
+
+// The complete observable result of lexing one source: the full token
+// stream (every field), comment accounting, the final line number, and —
+// when the run failed or tripped a budget — the exact error. One string
+// so a mismatch diffs readably in the gtest output.
+std::string lex_fingerprint(const std::string& source,
+                            const ResourceLimits& limits = {}) {
+  support::Arena arena;
+  Budget budget(limits);
+  Lexer lexer(source, arena, limits.any_enabled() ? &budget : nullptr);
+  std::string out;
+  out.reserve(source.size() * 2);
+  const auto append_number = [&out](double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out += buffer;
+  };
+  try {
+    std::size_t token_index = 0;
+    while (true) {
+      const Token token = lexer.next();
+      if (token.type == TokenType::kEndOfFile) break;
+      out += token_type_name(token.type);
+      out += ' ';
+      append_number(static_cast<double>(token.offset));
+      out += ':';
+      append_number(static_cast<double>(token.line));
+      out += ':';
+      append_number(static_cast<double>(token.column));
+      out += token.newline_before ? " nl " : " - ";
+      out.append(token.value.data(), token.value.size());
+      out += '\x1f';
+      out.append(token.raw.data(), token.raw.size());
+      out += '\x1f';
+      if (token.type == TokenType::kNumericLiteral) {
+        append_number(token.number);
+      }
+      if (token.type == TokenType::kRegularExpression) {
+        out.append(token.regex_flags.data(), token.regex_flags.size());
+      }
+      for (const std::string_view quasi : token.template_quasis) {
+        out += "q[";
+        out.append(quasi.data(), quasi.size());
+        out += ']';
+      }
+      for (const std::string_view expr : token.template_expressions) {
+        out += "e[";
+        out.append(expr.data(), expr.size());
+        out += ']';
+      }
+      out += '\n';
+      ++token_index;
+    }
+    out += "eof tokens=";
+    append_number(static_cast<double>(token_index));
+  } catch (const ParseError& error) {
+    out += "parse_error ";
+    out += error.what();
+  } catch (const BudgetExceeded& error) {
+    out += "budget_trip ";
+    out += error.what();
+  }
+  out += " comments=";
+  out += std::to_string(lexer.comment_count());
+  out += '/';
+  out += std::to_string(lexer.comment_bytes());
+  out += " line=";
+  out += std::to_string(lexer.line());
+  return out;
+}
+
+// Full-frontend fingerprint: parse_program's TokenStats and AST shape
+// (the downstream consumers of the token stream).
+std::string parse_fingerprint(const std::string& source) {
+  support::Arena arena;
+  try {
+    const ParseResult result = parse_program(source, nullptr, &arena);
+    std::string out = "nodes=" + std::to_string(result.ast.node_count());
+    out += " tokens=" + std::to_string(result.token_stats.count);
+    out += " punct=" + std::to_string(result.token_stats.punctuators);
+    out += " maxline=" + std::to_string(result.token_stats.max_line_length);
+    char raw[64];
+    std::snprintf(raw, sizeof(raw), " raw=%.17g",
+                  result.token_stats.raw_bytes);
+    out += raw;
+    out += " comments=" + std::to_string(result.comment_count);
+    out += "/" + std::to_string(result.comment_bytes);
+    out += " lines=" + std::to_string(result.source_lines);
+    return out;
+  } catch (const ParseError& error) {
+    return std::string("parse_error ") + error.what();
+  }
+}
+
+// Asserts that every policy reproduces the scalar oracle byte for byte.
+void expect_policy_identical(const std::string& source,
+                             const ResourceLimits& limits = {}) {
+  std::string oracle;
+  {
+    ScopedScanPolicy scoped(ScanPolicy::kScalar);
+    oracle = lex_fingerprint(source, limits);
+  }
+  for (const ScanPolicy policy : kPolicies) {
+    ScopedScanPolicy scoped(policy);
+    EXPECT_EQ(lex_fingerprint(source, limits), oracle)
+        << "policy=" << lex::scan_policy_name(policy)
+        << " source bytes=" << source.size();
+  }
+}
+
+void expect_parse_identical(const std::string& source) {
+  std::string oracle;
+  {
+    ScopedScanPolicy scoped(ScanPolicy::kScalar);
+    oracle = parse_fingerprint(source);
+  }
+  for (const ScanPolicy policy : kPolicies) {
+    ScopedScanPolicy scoped(policy);
+    EXPECT_EQ(parse_fingerprint(source), oracle)
+        << "policy=" << lex::scan_policy_name(policy);
+  }
+}
+
+// --- hostile input generators ----------------------------------------------
+
+// JSFuck-style flood: the six-character alphabet, long unbroken runs of
+// punctuators with interleaved identifier islands.
+std::string jsfuck_flood(std::size_t length, std::uint64_t seed) {
+  // Balanced fragments only, so the flood both lexes and parses.
+  static const char* kFragments[] = {"+[]",   "+!![]", "+(+[])", "+[[]]",
+                                     "+!+[]", "+(!![]+[])"};
+  Rng rng(seed);
+  std::string source = "var x = []";
+  while (source.size() < length) {
+    source += kFragments[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  }
+  source += ";";
+  return source;
+}
+
+// One string literal covering a size target (the 1 MB case) with escapes
+// sprinkled at irregular offsets so the dirty-path run-appends exercise
+// every word/vector boundary phase.
+std::string huge_string_literal(std::size_t payload, std::size_t escape_every,
+                                char quote) {
+  std::string source = "var s = ";
+  source += quote;
+  for (std::size_t i = 0; i < payload; ++i) {
+    if (escape_every != 0 && i % escape_every == 0) {
+      source += "\\x41";
+    } else {
+      source += static_cast<char>('a' + (i % 23));
+    }
+  }
+  source += quote;
+  source += ';';
+  return source;
+}
+
+// Deeply nested template literals: `t0${`t1${...}u1`}u0`.
+std::string deep_template(std::size_t depth) {
+  std::string inner = "1";
+  for (std::size_t i = 0; i < depth; ++i) {
+    inner = "`t" + std::to_string(i % 10) + "${" + inner + "}u" +
+            std::to_string(i % 10) + "`";
+  }
+  return "var t = " + inner + ";";
+}
+
+}  // namespace
+
+// --- the suites -------------------------------------------------------------
+
+TEST(LexerDiff, JsFuckFloods) {
+  for (const std::size_t length : {64u, 4096u, 65536u}) {
+    expect_policy_identical(jsfuck_flood(length, 0xf00d + length));
+  }
+  expect_parse_identical(jsfuck_flood(4096, 0xf00d));
+}
+
+TEST(LexerDiff, MegabyteStringLiterals) {
+  // Escape-free (pure block-scan fast path), sparse escapes (dirty-path
+  // run appends), dense escapes (short runs), both quote kinds.
+  expect_policy_identical(huge_string_literal(1 << 20, 0, '"'));
+  expect_policy_identical(huge_string_literal(1 << 20, 4097, '\''));
+  expect_policy_identical(huge_string_literal(1 << 16, 3, '"'));
+  expect_parse_identical(huge_string_literal(1 << 18, 0, '"'));
+}
+
+TEST(LexerDiff, DeepTemplateNesting) {
+  for (const std::size_t depth : {1u, 7u, 63u, 255u}) {
+    expect_policy_identical(deep_template(depth));
+  }
+  expect_parse_identical(deep_template(31));
+}
+
+TEST(LexerDiff, EveryByteValueInStringPayloads) {
+  // All 256 byte values inside a double-quoted literal, escaping only the
+  // bytes the grammar cannot carry raw ('"', '\\', '\n', '\r'). Repeated
+  // at shifted alignments so every value crosses word and vector
+  // boundaries in every lane position.
+  std::string payload;
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    if (c == '"') {
+      payload += "\\\"";
+    } else if (c == '\\') {
+      payload += "\\\\";
+    } else if (c == '\n') {
+      payload += "\\n";
+    } else if (c == '\r') {
+      payload += "\\r";
+    } else {
+      payload += c;
+    }
+  }
+  for (std::size_t shift = 0; shift < 17; ++shift) {
+    std::string source = "var b = \"";
+    source += std::string(shift, '=');
+    for (int repeat = 0; repeat < 4; ++repeat) source += payload;
+    source += "\";";
+    expect_policy_identical(source);
+  }
+}
+
+TEST(LexerDiff, EveryByteValueStandalone) {
+  // Each byte value alone after a valid statement: identical token-or-
+  // error outcome (most high bytes are lexer errors — the error line and
+  // column must match, too).
+  for (int b = 1; b < 256; ++b) {
+    std::string source = "var v = 1;\n";
+    source += static_cast<char>(b);
+    expect_policy_identical(source);
+  }
+}
+
+TEST(LexerDiff, IdentifierAndWhitespaceWalls) {
+  // Identifier floods (ASCII and UTF-8 passthrough), whitespace walls
+  // with '\r' islands, comment walls — the trivia block scanners.
+  std::string identifiers = "var ";
+  for (int i = 0; i < 5000; ++i) {
+    identifiers += "_a$9";
+  }
+  identifiers += "\xc3\xa9\xe2\x82\xac = 1;";
+  expect_policy_identical(identifiers);
+
+  std::string whitespace = "var\t\t  \f\v w";
+  whitespace += std::string(10000, ' ');
+  whitespace += "\r\n\r  = \r1;";
+  expect_policy_identical(whitespace);
+
+  std::string comments = "// " + std::string(8000, 'x') + "\n";
+  comments += "/* " + std::string(8000, '*') + " */ var c = 1;\n";
+  comments += "<!-- html comment " + std::string(100, '-') + "\nc;";
+  expect_policy_identical(comments);
+  expect_parse_identical(comments);
+}
+
+TEST(LexerDiff, EscapePhasesAndUnterminatedErrors) {
+  // Error positions must survive the block scanners: unterminated
+  // strings/templates/comments/regexes, newline-in-string at every
+  // alignment phase, lone backslashes.
+  for (std::size_t pad = 0; pad < 20; ++pad) {
+    const std::string fill(pad, 'p');
+    expect_policy_identical("var s = \"" + fill + "\nrest\";");
+    expect_policy_identical("var s = \"" + fill);
+    expect_policy_identical("var t = `" + fill);
+    expect_policy_identical("/* " + fill);
+    expect_policy_identical("var r = /" + fill);
+    expect_policy_identical("var i = " + fill + "\\;");
+  }
+}
+
+TEST(LexerDiff, BudgetTripPointsIdentical) {
+  // A tight token ceiling must trip at the same token under every policy
+  // (same BudgetExceeded message, same observed count), on sources whose
+  // token boundaries the block scanners produce.
+  ResourceLimits limits;
+  limits.max_tokens = 100;
+  expect_policy_identical(jsfuck_flood(4096, 0xbead), limits);
+  expect_policy_identical(huge_string_literal(1 << 16, 5, '"'), limits);
+  ResourceLimits generous;
+  generous.max_tokens = 1 << 20;
+  expect_policy_identical(deep_template(63), generous);
+}
+
+TEST(LexerDiff, RandomizedMixedSources) {
+  // Deterministic random soup over token kinds: every policy must agree
+  // on 64 generated programs (and the parser must agree on a sample).
+  Rng rng(0x5eed);
+  for (int round = 0; round < 64; ++round) {
+    std::string source;
+    const int pieces = 20 + static_cast<int>(rng.uniform_int(0, 60));
+    for (int i = 0; i < pieces; ++i) {
+      switch (rng.uniform_int(0, 9)) {
+        case 0: source += "var v" + std::to_string(i) + " = 1;"; break;
+        case 1: source += "\"s" + std::string(
+            static_cast<std::size_t>(rng.uniform_int(0, 40)), 's') + "\";";
+          break;
+        case 2: source += "`t${i" + std::to_string(i) + "}`;"; break;
+        case 3: source += "// c" + std::string(
+            static_cast<std::size_t>(rng.uniform_int(0, 30)), 'c') + "\n";
+          break;
+        case 4: source += "/* " + std::string(
+            static_cast<std::size_t>(rng.uniform_int(0, 30)), 'b') + " */";
+          break;
+        case 5: source += "x = 0x" + std::to_string(rng.uniform_int(1, 9)) +
+                          "f + .5e2;";
+          break;
+        case 6: source += "r = /[a-z\\]]+/gi;"; break;
+        case 7: source += "o = {a: [1, 2], b: c ? d : e};"; break;
+        case 8: source += std::string(
+            static_cast<std::size_t>(rng.uniform_int(1, 12)), ' ');
+          break;
+        default: source += "f(a, b) >>> 2 !== 3;\n"; break;
+      }
+    }
+    expect_policy_identical(source);
+    if (round % 8 == 0) expect_parse_identical(source);
+  }
+}
+
+}  // namespace jst

@@ -7,6 +7,7 @@
 #include "ml/metrics.h"
 #include "ml/multilabel.h"
 #include "ml/random_forest.h"
+#include "support/strings.h"
 
 namespace jst::ml {
 namespace {
@@ -106,6 +107,68 @@ TEST(DecisionTree, FeatureImportanceFindsSignal) {
   ASSERT_EQ(importance.size(), 3u);
   // The distractor must matter less than the true signal features.
   EXPECT_GT(importance[0] + importance[1], importance[2]);
+}
+
+TEST(DecisionTree, SplitFinderModesAreBitIdentical) {
+  // The presorted-column split finder must reproduce the gather+sort
+  // finder's trees byte for byte: both consume the same sorted
+  // (value, label) sequence per candidate feature, so every split,
+  // threshold, importance, and leaf probability is identical. Exercised
+  // on a bootstrap-style index multiset (duplicate rows) because the
+  // presorted filter tracks membership by multiplicity.
+  Rng data_rng(7);
+  const BinaryTask task = make_binary_task(400, data_rng, 0.1);
+  Rng bootstrap_rng(11);
+  std::vector<std::size_t> bootstrap;
+  for (std::size_t i = 0; i < task.rows.size(); ++i) {
+    bootstrap.push_back(static_cast<std::size_t>(bootstrap_rng.uniform_int(
+        0, static_cast<std::int64_t>(task.rows.size()) - 1)));
+  }
+
+  const auto fit_with = [&](SplitFinder finder) {
+    DecisionTree tree;
+    TreeParams params;
+    params.max_features = 2;
+    params.split_finder = finder;
+    Rng fit_rng(1234);
+    tree.fit(Matrix{&task.rows}, task.labels, bootstrap, params, fit_rng);
+    std::ostringstream bytes;
+    tree.save(bytes);
+    return bytes.str();
+  };
+
+  const std::string gathered = fit_with(SplitFinder::kGather);
+  const std::string presorted = fit_with(SplitFinder::kPresorted);
+  const std::string automatic = fit_with(SplitFinder::kAuto);
+  EXPECT_FALSE(gathered.empty());
+  EXPECT_EQ(strings::fnv1a(presorted), strings::fnv1a(gathered));
+  EXPECT_EQ(presorted, gathered);
+  EXPECT_EQ(automatic, gathered);
+}
+
+TEST(RandomForest, SplitFinderModesAreBitIdentical) {
+  // Same invariant end to end: a whole forest (bootstrap sampling, per-
+  // tree RNG streams, parallel fit) serializes identically under every
+  // split-finder policy.
+  Rng data_rng(42);
+  const BinaryTask task = make_binary_task(500, data_rng, 0.05);
+
+  const auto fit_with = [&task](SplitFinder finder) {
+    RandomForest forest;
+    ForestParams params;
+    params.tree_count = 8;
+    params.tree.split_finder = finder;
+    Rng fit_rng(777);
+    forest.fit(Matrix{&task.rows}, task.labels, params, fit_rng);
+    std::ostringstream bytes;
+    forest.save(bytes);
+    return bytes.str();
+  };
+
+  const std::string gathered = fit_with(SplitFinder::kGather);
+  EXPECT_EQ(strings::fnv1a(fit_with(SplitFinder::kPresorted)),
+            strings::fnv1a(gathered));
+  EXPECT_EQ(fit_with(SplitFinder::kAuto), gathered);
 }
 
 TEST(RandomForest, BeatsNoiseOnNoisyTask) {

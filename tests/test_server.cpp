@@ -4,9 +4,6 @@
 //  * Wire round-trips: request and response lines survive
 //    serialize → parse with every field intact; unknown fields, bad
 //    types, and newer format versions are rejected with diagnostics.
-//  * Shim equivalence: the deprecated analyze_one / analyze_batch
-//    surfaces produce bit-identical outcomes (timing stripped) to the
-//    request-path API over the seed corpus, serial and four-wide.
 //  * Admission control: Server::should_shed is a pure function — the
 //    hard cap and the queue-wait estimate shed deterministically.
 //  * Socket integration: a live daemon serves concurrent bursts with
@@ -318,23 +315,19 @@ TEST(WireSchema, ResponseErrorRoundTrip) {
   EXPECT_TRUE(parsed->outcome.is_null());
 }
 
-// Satellite: the legacy to_json surfaces route through the wire schema —
-// same bytes, one serializer. This test exercises the deprecated batch
-// shim on purpose (it IS the legacy surface under test).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(WireSchema, LegacyToJsonRoutesThroughWire) {
+// The member to_json surfaces route through the wire schema — same
+// bytes, one serializer.
+TEST(WireSchema, ToJsonRoutesThroughWire) {
   const analysis::AnalyzerService service(shared_analyzer());
-  const std::vector<std::string> corpus = seed_corpus();
-  const analysis::BatchResult batch = service.analyze_batch(corpus);
-  for (const analysis::ScriptOutcome& outcome : batch.outcomes) {
-    EXPECT_EQ(outcome.to_json(),
-              analysis::wire::script_outcome_json(outcome));
+  const analysis::BatchResponse batch = service.analyze_batch(
+      analysis::make_source_requests(seed_corpus()));
+  for (const analysis::AnalyzeResponse& response : batch.responses) {
+    EXPECT_EQ(response.outcome.to_json(),
+              analysis::wire::script_outcome_json(response.outcome));
   }
   EXPECT_EQ(batch.stats.to_json(),
             analysis::wire::batch_stats_json(batch.stats));
 }
-#pragma GCC diagnostic pop
 
 // --- content hashing -------------------------------------------------------
 
@@ -378,55 +371,6 @@ TEST(JsonRoundTrip, SerializerReproducesDocument) {
       << serialized;
   EXPECT_EQ(reparsed->find("list")->as_array()[3].as_string(), "x\ny");
 }
-
-// --- deprecated-shim equivalence ------------------------------------------
-// The whole point of these tests is to call the deprecated shims and pin
-// them to the request path, so the deprecation warning is suppressed
-// here — and only here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-void expect_shim_equivalence(std::size_t threads) {
-  const analysis::AnalyzerService service(shared_analyzer());
-  const std::vector<std::string> corpus = seed_corpus();
-
-  analysis::BatchOptions options;
-  options.threads = threads;
-  const analysis::BatchResult legacy = service.analyze_batch(corpus, options);
-
-  std::vector<analysis::AnalyzeRequest> requests;
-  requests.reserve(corpus.size());
-  for (const std::string& source : corpus) {
-    requests.push_back(analysis::AnalyzeRequest::for_source(source));
-  }
-  const analysis::BatchResponse batch =
-      service.analyze_batch(requests, options);
-
-  ASSERT_EQ(legacy.outcomes.size(), batch.responses.size());
-  for (std::size_t i = 0; i < legacy.outcomes.size(); ++i) {
-    ASSERT_TRUE(batch.responses[i].ok());
-    EXPECT_EQ(strip_timing(legacy.outcomes[i].to_json()),
-              strip_timing(batch.responses[i].outcome.to_json()))
-        << "script " << i << " threads=" << threads;
-  }
-  EXPECT_EQ(legacy.stats.total, batch.stats.total);
-  EXPECT_EQ(legacy.stats.ok, batch.stats.ok);
-  EXPECT_EQ(legacy.stats.parse_errors, batch.stats.parse_errors);
-  EXPECT_EQ(legacy.stats.threads, batch.stats.threads);
-
-  // Single-script shim against the request path.
-  const analysis::ScriptOutcome one = service.analyze_one(corpus[0]);
-  const analysis::AnalyzeResponse single =
-      service.analyze(analysis::AnalyzeRequest::for_source(corpus[0]));
-  EXPECT_EQ(strip_timing(one.to_json()),
-            strip_timing(single.outcome.to_json()));
-}
-
-TEST(ShimEquivalence, Serial) { expect_shim_equivalence(1); }
-
-TEST(ShimEquivalence, FourThreads) { expect_shim_equivalence(4); }
-
-#pragma GCC diagnostic pop
 
 // --- admission control (pure function) ------------------------------------
 
