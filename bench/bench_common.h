@@ -56,6 +56,15 @@ struct BenchRecord {
   double lex_ms = 0.0;
   double parse_ms = 0.0;
   double postparse_ms = 0.0;
+  // Post-parse decomposition (also --stage-split): postparse_ms broken
+  // into the static-analysis stage (CFG + data flow + the eligibility
+  // walk, static_ms), feature extraction (features_ms), and the
+  // remainder of the serial batch wall (inference plus outcome
+  // assembly, inference_ms). Emitted only when the decomposition was
+  // measured; bench/README.md documents the capture method.
+  double static_ms = 0.0;
+  double features_ms = 0.0;
+  double inference_ms = 0.0;
   // Optional serving-path measurements (bench_server_latency): client-
   // observed round-trip percentiles, shed fraction, and the sustained
   // request rate the closed-loop clients achieved. Emitted only when a

@@ -270,11 +270,19 @@ void BM_AnalyzeBatch(benchmark::State& state) {
 
 // Front-end stage split (--stage-split): one serial pass over the batch
 // corpus per stage, pooled arenas reset per script (the steady-state
-// analyze_batch configuration), best of `reps` repetitions.
+// analyze_batch configuration), best of `reps` repetitions. Each pass is
+// a strict prefix of the pipeline, so subtracting consecutive passes
+// attributes the wall time of exactly one stage:
 //
 //   lex_ms       tokenize-only pass (Lexer::tokenize into a pooled arena)
-//   parse_ms    parse_program total minus the lex share
+//   parse_ms     parse_program total minus the lex share
+//   static_ms    analyze_script + eligibility walk minus parse_program
+//                (CFG + data flow + the §III-D1 AST walk)
+//   features_ms  the same pass plus extract_into, minus the static pass
+//   inference_ms serial analyze_batch wall minus the features pass
+//                (prediction plus per-script outcome assembly)
 //   postparse_ms serial analyze_batch wall minus the front end
+//                (== static_ms + features_ms + inference_ms)
 //
 // The method is documented in bench/README.md; the committed
 // BENCH_pipeline.json carries paired pr4/pr5 rows captured with it.
@@ -288,13 +296,27 @@ jst::bench::BenchRecord run_stage_split(int reps) {
       jst::bench::held_out_regular(48, 0xba7c4);
   const std::vector<analysis::AnalyzeRequest> requests =
       analysis::make_source_requests(corpus);
-  const analysis::AnalyzerService service(jst::bench::analyzer());
+  const auto& model = jst::bench::analyzer();
+  const analysis::AnalyzerService service(model);
   analysis::BatchOptions options;
   options.threads = 1;
 
-  double lex_ms = 1e300, frontend_ms = 1e300, batch_ms = 1e300;
+  // The post-parse passes reuse one scratch set the way a batch worker
+  // does: pooled arena, data-flow workspace, and extraction scratch.
+  const features::FeatureConfig& feature_config =
+      model.options().detector.features;
+  features::ExtractScratch extract_scratch;
+  AnalysisOptions analysis_options = feature_config.analysis;
+
+  double lex_ms = 1e300, frontend_ms = 1e300, static_total_ms = 1e300,
+         features_total_ms = 1e300, batch_ms = 1e300;
   double scripts_per_second = 0.0;
   support::Arena arena;
+  support::AtomTable atoms;
+  analysis_options.arena = &arena;
+  analysis_options.atoms = &atoms;
+  analysis_options.dataflow_scratch = &extract_scratch.dataflow;
+  analysis_options.cfg_scratch = &extract_scratch.cfg;
   for (int rep = 0; rep < reps; ++rep) {
     const auto lex_start = clock::now();
     for (const std::string& source : corpus) {
@@ -306,9 +328,28 @@ jst::bench::BenchRecord run_stage_split(int reps) {
     const auto parse_start = clock::now();
     for (const std::string& source : corpus) {
       benchmark::DoNotOptimize(
-          parse_program(source, nullptr, &arena).ast.node_count());
+          parse_program(source, nullptr, &arena, &atoms).ast.node_count());
     }
     frontend_ms = std::min(frontend_ms, ms_since(parse_start));
+
+    const auto static_start = clock::now();
+    for (const std::string& source : corpus) {
+      const ScriptAnalysis analysis = analyze_script(source, analysis_options);
+      benchmark::DoNotOptimize(
+          script_eligible(analysis, &extract_scratch.eligibility_stack));
+    }
+    static_total_ms = std::min(static_total_ms, ms_since(static_start));
+
+    const auto features_start = clock::now();
+    for (const std::string& source : corpus) {
+      const ScriptAnalysis analysis = analyze_script(source, analysis_options);
+      benchmark::DoNotOptimize(
+          script_eligible(analysis, &extract_scratch.eligibility_stack));
+      benchmark::DoNotOptimize(
+          features::extract_into(analysis, feature_config, extract_scratch)
+              .data());
+    }
+    features_total_ms = std::min(features_total_ms, ms_since(features_start));
 
     const auto batch_start = clock::now();
     const analysis::BatchResponse result =
@@ -328,11 +369,16 @@ jst::bench::BenchRecord run_stage_split(int reps) {
   record.lex_ms = lex_ms;
   record.parse_ms = std::max(0.0, frontend_ms - lex_ms);
   record.postparse_ms = std::max(0.0, batch_ms - frontend_ms);
+  record.static_ms = std::max(0.0, static_total_ms - frontend_ms);
+  record.features_ms = std::max(0.0, features_total_ms - static_total_ms);
+  record.inference_ms = std::max(0.0, batch_ms - features_total_ms);
   std::printf(
       "stage-split (best of %d, serial, %zu scripts): lex %.3f ms, "
-      "parse %.3f ms, front end %.3f ms, post-parse %.3f ms\n",
+      "parse %.3f ms, front end %.3f ms, post-parse %.3f ms "
+      "(static %.3f ms, features %.3f ms, inference %.3f ms)\n",
       reps, corpus.size(), record.lex_ms, record.parse_ms, frontend_ms,
-      record.postparse_ms);
+      record.postparse_ms, record.static_ms, record.features_ms,
+      record.inference_ms);
   return record;
 }
 

@@ -444,7 +444,9 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
       AnalysisOptions analysis_options = options_.detector.features.analysis;
       analysis_options.budget = governed ? &budget : nullptr;
       analysis_options.dataflow_scratch = &scratch.extract.dataflow;
+      analysis_options.cfg_scratch = &scratch.extract.cfg;
       analysis_options.arena = &scratch.arena;
+      analysis_options.atoms = &scratch.atoms;
       analysis = analyze_script(source, analysis_options);
     } catch (const BudgetExceeded& error) {
       outcome.status = status_for_trip(error.trip().kind);
@@ -469,7 +471,7 @@ ScriptOutcome TransformationAnalyzer::analyze_outcome(
     // a partition of total_ms (the BatchStats invariant in service.h).
     if (!size_eligible(source)) {
       outcome.status = ScriptStatus::kIneligibleSize;
-    } else if (!ast_eligible(analysis)) {
+    } else if (!ast_eligible(analysis, &scratch.extract.eligibility_stack)) {
       outcome.status = ScriptStatus::kIneligibleAst;
     } else {
       outcome.status = ScriptStatus::kOk;

@@ -19,6 +19,7 @@
 #include "analysis/dataset.h"
 #include "analysis/detector.h"
 #include "support/arena.h"
+#include "support/atom.h"
 #include "support/budget.h"
 
 namespace jst::analysis {
@@ -133,10 +134,14 @@ struct ScriptScratch {
   // chunks and allocates nothing. Reuse and footprint are reported via
   // jst_arena_reuse_total and jst_arena_peak_bytes.
   support::Arena arena;
+  // Pooled identifier atom table, cleared per script in lockstep with the
+  // arena reset (parse_program). Dense atom ids index the data-flow
+  // builder's per-atom binding stacks (DESIGN.md §17).
+  support::AtomTable atoms;
 
   std::size_t capacity_bytes() const {
     return extract.capacity_bytes() + predict.capacity_bytes() +
-           arena.capacity_bytes();
+           arena.capacity_bytes() + atoms.capacity_bytes();
   }
 };
 

@@ -173,6 +173,7 @@ Node* Ast::make(NodeKind kind) {
 Node* Ast::make_identifier(std::string_view name) {
   Node* node = make(NodeKind::kIdentifier);
   node->str_value = intern(name);
+  node->atom = atoms_->intern(node->str_value);
   return node;
 }
 
@@ -216,8 +217,13 @@ Node* Ast::clone(const Node* node) {
   Node* copy = make(node->kind);
   // Payload text is re-interned so a clone into a fresh Ast (different
   // arena) owns its bytes and survives the source tree's arena reset.
+  // Identifier atoms likewise: the source node's atom indexes the source
+  // tree's table, so the spelling is re-interned into this tree's.
   copy->str_value = intern(node->str_value);
   copy->raw = intern(node->raw);
+  if (node->kind == NodeKind::kIdentifier) {
+    copy->atom = atoms_->intern(copy->str_value);
+  }
   copy->num_value = node->num_value;
   copy->lit_kind = node->lit_kind;
   copy->flag_a = node->flag_a;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "support/arena.h"
+#include "support/atom.h"
 #include "support/budget.h"
 #include "support/error.h"
 
@@ -241,6 +242,12 @@ struct Node {
 
   // Stable id within the owning Ast; assigned by Ast::finalize().
   std::uint32_t id = 0;
+  // Dense interned-identifier id (support::AtomTable::kNoAtom for
+  // non-identifier nodes). Assigned by Ast::make_identifier / clone() so
+  // the data-flow pass resolves scopes by integer, never re-hashing the
+  // spelling. Code that mutates an identifier's str_value in place must
+  // re-intern (see transform/rename.cpp).
+  std::uint32_t atom = 0xffffffffu;
   Node* parent = nullptr;
 
   bool is_statement() const;
@@ -261,12 +268,24 @@ struct Node {
 //
 // An Ast either owns a private arena (default constructor) or borrows a
 // pooled one (analysis::ScriptScratch hands the same arena to every
-// script its worker analyzes; parse_program resets it per script).
+// script its worker analyzes; parse_program resets it per script). The
+// identifier atom table follows the same ownership split: private by
+// default, or borrowed from the pool alongside the arena.
 class Ast {
  public:
   Ast() : owned_arena_(std::make_unique<support::Arena>()),
-          arena_(owned_arena_.get()) {}
-  explicit Ast(support::Arena* arena) : arena_(arena) {}
+          arena_(owned_arena_.get()),
+          owned_atoms_(std::make_unique<support::AtomTable>()),
+          atoms_(owned_atoms_.get()) {}
+  explicit Ast(support::Arena* arena, support::AtomTable* atoms = nullptr)
+      : arena_(arena) {
+    if (atoms != nullptr) {
+      atoms_ = atoms;
+    } else {
+      owned_atoms_ = std::make_unique<support::AtomTable>();
+      atoms_ = owned_atoms_.get();
+    }
+  }
   Ast(Ast&&) noexcept = default;
   Ast& operator=(Ast&&) noexcept = default;
   Ast(const Ast&) = delete;
@@ -290,6 +309,12 @@ class Ast {
   // The arena nodes, payloads, and kid arrays live in.
   support::Arena& arena() { return *arena_; }
   const support::Arena& arena() const { return *arena_; }
+
+  // The identifier atom table the tree's Node::atom ids index into.
+  // Deliberately non-const from a const Ast: interning a straggler
+  // identifier (a transformer-created node analyzed before the next
+  // re-parse) mutates only the table, never the tree.
+  support::AtomTable& atoms() const { return *atoms_; }
 
   // Deep copy of `node` (and its subtree) into this arena.
   Node* clone(const Node* node);
@@ -316,6 +341,8 @@ class Ast {
  private:
   std::unique_ptr<support::Arena> owned_arena_;  // null when pooled
   support::Arena* arena_ = nullptr;
+  std::unique_ptr<support::AtomTable> owned_atoms_;  // null when pooled
+  support::AtomTable* atoms_ = nullptr;
   Node* root_ = nullptr;
   std::size_t allocated_ = 0;
   std::size_t node_count_ = 0;

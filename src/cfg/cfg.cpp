@@ -1,52 +1,78 @@
 #include "cfg/cfg.h"
 
 #include <algorithm>
-#include <set>
-#include <string>
-
-#include "ast/walk.h"
+#include <string_view>
 
 namespace jst {
+
+// Grants build_control_flow access to the cached adjacency counts.
+struct CfgBuildAccess {
+  static void set_counts(ControlFlow& flow, std::size_t branches,
+                         std::size_t backs) {
+    flow.branch_node_count_ = branches;
+    flow.back_edge_count_ = backs;
+  }
+};
+
 namespace {
 
-// Builder with break/continue context stacks. Exits of a statement are the
-// CFG nodes from which control falls through to the lexically following
-// statement.
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+// Builder with break/continue context stacks. Exits of a statement are
+// the CFG nodes from which control falls through to the lexically
+// following statement; they live as segments on a shared stack in the
+// scratch (DESIGN.md §17) — a caller marks the stack top, lets
+// visit_statement push the statement's exits above the mark, consumes
+// them, and truncates back. Break sites chain through a pooled link
+// array per breakable target, so a labeled break deep in a nested
+// statement lands in its own target's sink without touching the segments
+// in between. Every edge is appended raw; build() finalizes through a
+// CSR adjacency into the sorted, deduplicated public list.
 class CfgBuilder {
  public:
-  explicit CfgBuilder(Budget* budget) : budget_(budget) {}
+  CfgBuilder(Budget* budget, CfgScratch& ws) : budget_(budget), ws_(ws) {}
 
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> build(const Node* root) {
+  void build(const Node* root, std::size_t node_count, ControlFlow& out) {
+    ws_.edges.clear();
+    ws_.exits.clear();
+    ws_.cond_stack.clear();
+    ws_.breakables.clear();
+    ws_.break_links.clear();
+    ws_.func_stack.clear();
     if (root != nullptr) {
       visit_body(root->kids, *root);
-      // Nested functions get their own sub-graphs.
-      walk_preorder(root, [this](const Node& node) {
-        if (node.is_function()) {
-          const Node* body = function_body(node);
+      ws_.exits.clear();
+      // Nested functions get their own sub-graphs: one explicit pre-order
+      // sweep finds every function node (the statement walk above never
+      // descends into them), and each block body is visited with the
+      // breakable stack floored so enclosing loop/switch targets are
+      // invisible inside the function.
+      std::vector<const Node*>& stack = ws_.func_stack;
+      stack.push_back(root);
+      while (!stack.empty()) {
+        const Node* node = stack.back();
+        stack.pop_back();
+        if (node->is_function()) {
+          const Node* body = function_body(*node);
           if (body != nullptr && body->kind == NodeKind::kBlockStatement) {
-            BreakableStack saved_breakables;
-            saved_breakables.swap(breakables_);
+            const std::size_t saved_floor = breakable_floor_;
+            breakable_floor_ = ws_.breakables.size();
             visit_body(body->kids, *body);
-            saved_breakables.swap(breakables_);
+            ws_.exits.clear();
+            breakable_floor_ = saved_floor;
           }
-          // Expression-bodied arrows have conditional-expression nodes only.
+          // Expression-bodied arrows have conditional-expression nodes
+          // only.
         }
-      });
+        for (std::size_t i = node->kids.size(); i > 0; --i) {
+          if (node->kids[i - 1] != nullptr) stack.push_back(node->kids[i - 1]);
+        }
+      }
     }
-    std::sort(edges_.begin(), edges_.end());
-    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-    return std::move(edges_);
+    finalize(node_count, out);
   }
 
  private:
-  using Exits = std::vector<const Node*>;
-  struct Breakable {
-    std::string label;          // empty for unlabeled targets
-    const Node* continue_target;  // nullptr for switch
-    Exits* break_sink;
-  };
-  using BreakableStack = std::vector<Breakable>;
-
   static const Node* function_body(const Node& function) {
     // Layout: FunctionDeclaration/Expression: [id, body, params...];
     // ArrowFunctionExpression: [body, params...].
@@ -59,11 +85,14 @@ class CfgBuilder {
   void edge(const Node* from, const Node* to) {
     if (budget_ != nullptr) budget_->poll_deadline();
     if (from == nullptr || to == nullptr) return;
-    edges_.emplace_back(from->id, to->id);
+    ws_.edges.emplace_back(from->id, to->id);
   }
 
-  void edges_from(const Exits& froms, const Node* to) {
-    for (const Node* from : froms) edge(from, to);
+  // Edges from every exit in the segment [mark, top) to `to`.
+  void edges_from(std::size_t mark, const Node* to) {
+    for (std::size_t i = mark; i < ws_.exits.size(); ++i) {
+      edge(ws_.exits[i], to);
+    }
   }
 
   // Adds statement -> ConditionalExpression edges for every conditional
@@ -72,7 +101,8 @@ class CfgBuilder {
   void link_conditional_expressions(const Node& statement) {
     // Manual stack walk that stops at nested functions and nested
     // statements (those are visited on their own).
-    std::vector<std::pair<const Node*, const Node*>> stack;  // (node, nearest cfg parent)
+    std::vector<std::pair<const Node*, const Node*>>& stack = ws_.cond_stack;
+    const std::size_t base = stack.size();
     for (const Node* kid : statement.kids) {
       if (kid != nullptr && !kid->is_statement() &&
           kid->kind != NodeKind::kSwitchCase &&
@@ -80,8 +110,8 @@ class CfgBuilder {
         stack.emplace_back(kid, &statement);
       }
     }
-    while (!stack.empty()) {
-      auto [node, cfg_parent] = stack.back();
+    while (stack.size() > base) {
+      const auto [node, cfg_parent] = stack.back();
       stack.pop_back();
       const Node* next_parent = cfg_parent;
       if (node->kind == NodeKind::kConditionalExpression) {
@@ -97,8 +127,43 @@ class CfgBuilder {
     }
   }
 
-  Exits visit_body(const NodeList& statements, const Node& owner) {
-    Exits previous = {&owner};
+  // --- breakable stack ---------------------------------------------------
+
+  void push_breakable(std::string_view label, const Node* continue_target) {
+    ws_.breakables.push_back({label, continue_target, kNone, kNone});
+  }
+
+  void record_break(CfgScratch::Breakable& target, const Node* site) {
+    const std::uint32_t link =
+        static_cast<std::uint32_t>(ws_.break_links.size());
+    ws_.break_links.push_back({site, kNone});
+    if (target.sink_tail == kNone) {
+      target.sink_head = link;
+    } else {
+      ws_.break_links[target.sink_tail].next = link;
+    }
+    target.sink_tail = link;
+  }
+
+  // Pops the innermost breakable, appending its recorded break sites to
+  // the exits segment on top of the stack.
+  void pop_breakable_into_exits() {
+    const CfgScratch::Breakable target = ws_.breakables.back();
+    ws_.breakables.pop_back();
+    for (std::uint32_t link = target.sink_head; link != kNone;
+         link = ws_.break_links[link].next) {
+      ws_.exits.push_back(ws_.break_links[link].site);
+    }
+  }
+
+  // --- statement walk ----------------------------------------------------
+
+  // Visits a statement list: `previous` exits flow into each following
+  // statement. On return, the final statement's exits sit on top of the
+  // stack (the body's own exits).
+  void visit_body(const NodeList& statements, const Node& owner) {
+    const std::size_t mark = ws_.exits.size();
+    ws_.exits.push_back(&owner);
     bool first = true;
     for (const Node* statement : statements) {
       if (statement == nullptr) continue;
@@ -108,38 +173,35 @@ class CfgBuilder {
         // first statement as the entry, so skip the self edge there.
         first = false;
         if (owner.kind != NodeKind::kProgram) {
-          edges_from(previous, statement);
+          edges_from(mark, statement);
         }
       } else {
-        edges_from(previous, statement);
+        edges_from(mark, statement);
       }
-      previous = visit_statement(*statement);
+      ws_.exits.resize(mark);
+      visit_statement(*statement);
     }
-    return previous;
   }
 
-  Exits visit_statement(const Node& node) {
+  // Pushes the exits of `node` onto the shared stack.
+  void visit_statement(const Node& node) {
     link_conditional_expressions(node);
     switch (node.kind) {
       case NodeKind::kBlockStatement:
-        return visit_body(node.kids, node);
+        visit_body(node.kids, node);
+        return;
 
       case NodeKind::kIfStatement: {
-        Exits exits;
         const Node* consequent = node.kid(1);
         edge(&node, consequent);
-        Exits consequent_exits = visit_statement(*consequent);
-        exits.insert(exits.end(), consequent_exits.begin(),
-                     consequent_exits.end());
+        visit_statement(*consequent);
         if (node.kid(2) != nullptr) {
           edge(&node, node.kids[2]);
-          Exits alternate_exits = visit_statement(*node.kids[2]);
-          exits.insert(exits.end(), alternate_exits.begin(),
-                       alternate_exits.end());
+          visit_statement(*node.kids[2]);  // appended: union of branches
         } else {
-          exits.push_back(&node);  // false branch falls through
+          ws_.exits.push_back(&node);  // false branch falls through
         }
-        return exits;
+        return;
       }
 
       case NodeKind::kWhileStatement:
@@ -147,50 +209,50 @@ class CfgBuilder {
       case NodeKind::kForStatement:
       case NodeKind::kForInStatement:
       case NodeKind::kForOfStatement: {
-        Exits breaks;
-        breakables_.push_back({pending_label_, &node, &breaks});
-        pending_label_.clear();
+        push_breakable(pending_label_, &node);
+        pending_label_ = {};
         const Node* body = loop_body(node);
         edge(&node, body);
-        Exits body_exits = visit_statement(*body);
-        edges_from(body_exits, &node);  // back edge
-        breakables_.pop_back();
-        Exits exits = {&node};
-        exits.insert(exits.end(), breaks.begin(), breaks.end());
-        return exits;
+        const std::size_t mark = ws_.exits.size();
+        visit_statement(*body);
+        edges_from(mark, &node);  // back edge
+        ws_.exits.resize(mark);
+        ws_.exits.push_back(&node);
+        pop_breakable_into_exits();
+        return;
       }
 
       case NodeKind::kSwitchStatement: {
-        Exits breaks;
-        breakables_.push_back({pending_label_, nullptr, &breaks});
-        pending_label_.clear();
-        Exits previous_case_exits;
+        push_breakable(pending_label_, nullptr);
+        pending_label_ = {};
+        // The previous case's exits (fallthrough sources) live as the
+        // segment above `mark` across case visits.
+        const std::size_t mark = ws_.exits.size();
         bool has_default = false;
         for (std::size_t i = 1; i < node.kids.size(); ++i) {
           const Node& switch_case = *node.kids[i];
           if (switch_case.kid(0) == nullptr) has_default = true;
-          // Dispatch edge from the switch to the case's first statement.
-          const Node* first_statement = nullptr;
-          Exits case_exits = previous_case_exits;
+          bool first_statement = true;
           for (std::size_t j = 1; j < switch_case.kids.size(); ++j) {
             const Node* statement = switch_case.kids[j];
-            if (first_statement == nullptr) {
-              first_statement = statement;
+            if (first_statement) {
+              first_statement = false;
+              // Dispatch edge from the switch to the case's first
+              // statement, plus fallthrough from the previous case.
               edge(&node, statement);
-              edges_from(previous_case_exits, statement);  // fallthrough
-              case_exits.clear();
+              edges_from(mark, statement);
             } else {
-              edges_from(case_exits, statement);
+              edges_from(mark, statement);
             }
-            case_exits = visit_statement(*statement);
+            ws_.exits.resize(mark);
+            visit_statement(*statement);
           }
-          previous_case_exits = case_exits;
+          // A case with no statements leaves the previous exits in place
+          // (fallthrough continues through the empty case).
         }
-        breakables_.pop_back();
-        Exits exits = previous_case_exits;
-        exits.insert(exits.end(), breaks.begin(), breaks.end());
-        if (!has_default) exits.push_back(&node);
-        return exits;
+        pop_breakable_into_exits();
+        if (!has_default) ws_.exits.push_back(&node);
+        return;
       }
 
       case NodeKind::kTryStatement: {
@@ -198,19 +260,20 @@ class CfgBuilder {
         const Node* handler = node.kid(1);
         const Node* finalizer = node.kid(2);
         edge(&node, block);
-        Exits exits = visit_statement(*block);
+        const std::size_t mark = ws_.exits.size();
+        visit_statement(*block);
         if (handler != nullptr) {
           edge(&node, handler);  // exception path
           const Node* handler_body = handler->kid(1);
           edge(handler, handler_body);
-          Exits handler_exits = visit_statement(*handler_body);
-          exits.insert(exits.end(), handler_exits.begin(), handler_exits.end());
+          visit_statement(*handler_body);  // appended: union
         }
         if (finalizer != nullptr) {
-          edges_from(exits, finalizer);
-          exits = visit_statement(*finalizer);
+          edges_from(mark, finalizer);
+          ws_.exits.resize(mark);
+          visit_statement(*finalizer);
         }
-        return exits;
+        return;
       }
 
       case NodeKind::kLabeledStatement: {
@@ -218,58 +281,63 @@ class CfgBuilder {
         const Node* body = node.kid(1);
         edge(&node, body);
         if (body->is_loop() || body->kind == NodeKind::kSwitchStatement) {
-          return visit_statement(*body);
+          visit_statement(*body);  // the loop/switch consumes the label
+          return;
         }
         // Labeled block: breaks to this label exit the block.
-        Exits breaks;
-        breakables_.push_back({pending_label_, nullptr, &breaks});
-        pending_label_.clear();
-        Exits exits = visit_statement(*body);
-        breakables_.pop_back();
-        exits.insert(exits.end(), breaks.begin(), breaks.end());
-        return exits;
+        push_breakable(pending_label_, nullptr);
+        pending_label_ = {};
+        visit_statement(*body);
+        pop_breakable_into_exits();
+        return;
       }
 
       case NodeKind::kBreakStatement: {
-        const std::string label =
-            node.kid(0) != nullptr ? std::string(node.kids[0]->str_value)
-                                   : std::string();
-        for (auto it = breakables_.rbegin(); it != breakables_.rend(); ++it) {
-          if (label.empty() || it->label == label) {
-            it->break_sink->push_back(&node);
+        const std::string_view label =
+            node.kid(0) != nullptr ? node.kids[0]->str_value
+                                   : std::string_view();
+        for (std::size_t i = ws_.breakables.size(); i > breakable_floor_;
+             --i) {
+          CfgScratch::Breakable& target = ws_.breakables[i - 1];
+          if (label.empty() || target.label == label) {
+            record_break(target, &node);
             break;
           }
         }
-        return {};
+        return;  // no fall-through exits
       }
 
       case NodeKind::kContinueStatement: {
-        const std::string label =
-            node.kid(0) != nullptr ? std::string(node.kids[0]->str_value)
-                                   : std::string();
-        for (auto it = breakables_.rbegin(); it != breakables_.rend(); ++it) {
-          if (it->continue_target != nullptr &&
-              (label.empty() || it->label == label)) {
-            edge(&node, it->continue_target);
+        const std::string_view label =
+            node.kid(0) != nullptr ? node.kids[0]->str_value
+                                   : std::string_view();
+        for (std::size_t i = ws_.breakables.size(); i > breakable_floor_;
+             --i) {
+          const CfgScratch::Breakable& target = ws_.breakables[i - 1];
+          if (target.continue_target != nullptr &&
+              (label.empty() || target.label == label)) {
+            edge(&node, target.continue_target);
             break;
           }
         }
-        return {};
+        return;  // no fall-through exits
       }
 
       case NodeKind::kReturnStatement:
       case NodeKind::kThrowStatement:
-        return {};  // leaves the function / propagates
+        return;  // leaves the function / propagates
 
       case NodeKind::kWithStatement: {
         const Node* body = node.kid(1);
         edge(&node, body);
-        return visit_statement(*body);
+        visit_statement(*body);
+        return;
       }
 
       default:
         // Straight-line statements: the node itself is the single exit.
-        return {&node};
+        ws_.exits.push_back(&node);
+        return;
     }
   }
 
@@ -286,53 +354,79 @@ class CfgBuilder {
     }
   }
 
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  // --- CSR finalization --------------------------------------------------
+
+  // Counting-sorts the raw edges by source row, sorts each row's targets,
+  // and writes the deduplicated (from, to)-sorted list — the same list
+  // std::sort + std::unique produced — while reading the branch and
+  // back-edge counts off the adjacency in the same pass.
+  void finalize(std::size_t node_count, ControlFlow& out) {
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& raw =
+        ws_.edges;
+    std::vector<std::uint32_t>& offsets = ws_.row_offsets;
+    offsets.assign(node_count + 1, 0);
+    for (const auto& [from, to] : raw) {
+      (void)to;
+      ++offsets[from + 1];
+    }
+    for (std::size_t row = 0; row < node_count; ++row) {
+      offsets[row + 1] += offsets[row];
+    }
+    ws_.col.resize(raw.size());
+    {
+      // `offsets[row]` doubles as the write cursor; after placement each
+      // entry has advanced to the next row's start, restored below.
+      for (const auto& [from, to] : raw) {
+        ws_.col[offsets[from]++] = to;
+      }
+      for (std::size_t row = node_count; row > 0; --row) {
+        offsets[row] = offsets[row - 1];
+      }
+      offsets[0] = 0;
+    }
+    out.edges.clear();
+    out.edges.reserve(raw.size());
+    std::size_t branches = 0;
+    std::size_t backs = 0;
+    for (std::size_t row = 0; row < node_count; ++row) {
+      const std::size_t begin = offsets[row];
+      const std::size_t end = offsets[row + 1];
+      if (begin == end) continue;
+      std::sort(ws_.col.begin() + static_cast<std::ptrdiff_t>(begin),
+                ws_.col.begin() + static_cast<std::ptrdiff_t>(end));
+      const std::uint32_t from = static_cast<std::uint32_t>(row);
+      std::size_t degree = 0;
+      std::uint32_t previous = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t to = ws_.col[i];
+        if (degree > 0 && to == previous) continue;  // duplicate edge
+        out.edges.emplace_back(from, to);
+        if (to <= from) ++backs;
+        previous = to;
+        ++degree;
+      }
+      if (degree >= 2) ++branches;
+    }
+    CfgBuildAccess::set_counts(out, branches, backs);
+  }
+
   Budget* budget_ = nullptr;
-  BreakableStack breakables_;
-  std::string pending_label_;
+  CfgScratch& ws_;
+  // Breakables below the floor belong to an enclosing function and are
+  // invisible to break/continue inside the current one.
+  std::size_t breakable_floor_ = 0;
+  std::string_view pending_label_;
 };
 
 }  // namespace
 
-std::unordered_map<std::uint32_t, std::size_t> ControlFlow::out_degrees()
-    const {
-  std::unordered_map<std::uint32_t, std::size_t> degrees;
-  for (const auto& [from, to] : edges) {
-    (void)to;
-    ++degrees[from];
-  }
-  return degrees;
-}
-
-std::size_t ControlFlow::branch_node_count() const {
-  // `edges` is sorted by (from, to) and deduplicated (see build()), so an
-  // out-degree is the length of a run of equal `from` values — a linear
-  // scan, where the previous implementation built an unordered_map per
-  // call (a per-script allocation on the feature fast path).
-  std::size_t count = 0;
-  std::size_t run = 0;
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    ++run;
-    if (i + 1 == edges.size() || edges[i + 1].first != edges[i].first) {
-      if (run >= 2) ++count;
-      run = 0;
-    }
-  }
-  return count;
-}
-
-std::size_t ControlFlow::back_edge_count() const {
-  std::size_t count = 0;
-  for (const auto& [from, to] : edges) {
-    if (to <= from) ++count;
-  }
-  return count;
-}
-
-ControlFlow build_control_flow(const Ast& ast, Budget* budget) {
+ControlFlow build_control_flow(const Ast& ast, Budget* budget,
+                               CfgScratch* scratch) {
   ControlFlow flow;
-  CfgBuilder builder(budget);
-  flow.edges = builder.build(ast.root());
+  CfgScratch local_scratch;
+  CfgScratch& workspace = scratch != nullptr ? *scratch : local_scratch;
+  CfgBuilder builder(budget, workspace);
+  builder.build(ast.root(), ast.node_count(), flow);
   return flow;
 }
 

@@ -11,7 +11,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "ast/ast.h"
@@ -19,28 +19,80 @@
 namespace jst {
 
 struct ControlFlow {
-  // Deduplicated directed edges between node ids (Ast::finalize() order).
+  // Deduplicated directed edges between node ids (Ast::finalize() order),
+  // sorted by (from, to).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
 
   std::size_t edge_count() const { return edges.size(); }
 
-  // Out-degree per source node id.
-  std::unordered_map<std::uint32_t, std::size_t> out_degrees() const;
-
-  // Number of nodes with out-degree >= 2 (branch points). Relies on
-  // `edges` being sorted by (from, to), which build_control_flow
-  // guarantees.
-  std::size_t branch_node_count() const;
+  // Number of nodes with out-degree >= 2 (branch points). Computed once
+  // from the CSR adjacency while build_control_flow finalizes the edge
+  // list (DESIGN.md §17); previously a per-call linear scan, and before
+  // that an unordered_map built per call.
+  std::size_t branch_node_count() const { return branch_node_count_; }
 
   // Number of back edges (edge to an id <= own id, i.e., loops; pre-order
-  // ids make ancestors smaller).
-  std::size_t back_edge_count() const;
+  // ids make ancestors smaller). Cached at build like the branch count.
+  std::size_t back_edge_count() const { return back_edge_count_; }
+
+ private:
+  friend struct CfgBuildAccess;
+  std::size_t branch_node_count_ = 0;
+  std::size_t back_edge_count_ = 0;
+};
+
+// Reusable builder workspace: the raw (unsorted) edge list, the shared
+// exits/conditional/breakable stacks the statement walk runs on, and the
+// CSR arrays the edge list is finalized through. Capacity survives across
+// scripts; steady-state CFG builds allocate only the returned edge
+// vector.
+struct CfgScratch {
+  // One break/continue target on the breakable stack. `label` views the
+  // AST arena; `sink_head`/`sink_tail` chain this target's recorded break
+  // sites through `break_links`.
+  struct Breakable {
+    std::string_view label;       // empty for unlabeled targets
+    const Node* continue_target;  // nullptr for switch / labeled block
+    std::uint32_t sink_head;
+    std::uint32_t sink_tail;
+  };
+  struct BreakLink {
+    const Node* site = nullptr;
+    std::uint32_t next = 0;
+  };
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;  // raw order
+  // Shared exits stack: each statement's fall-through exits are a
+  // segment on top; callers mark/consume/truncate.
+  std::vector<const Node*> exits;
+  // (node, nearest cfg parent) stack for conditional-expression linking.
+  std::vector<std::pair<const Node*, const Node*>> cond_stack;
+  std::vector<Breakable> breakables;
+  std::vector<BreakLink> break_links;
+  // Nested-function discovery stack.
+  std::vector<const Node*> func_stack;
+  // CSR finalization: per-row cursors/offsets and the column array.
+  std::vector<std::uint32_t> row_offsets;
+  std::vector<std::uint32_t> col;
+
+  std::size_t capacity_bytes() const {
+    return edges.capacity() * sizeof(edges[0]) +
+           exits.capacity() * sizeof(const Node*) +
+           cond_stack.capacity() * sizeof(cond_stack[0]) +
+           breakables.capacity() * sizeof(Breakable) +
+           break_links.capacity() * sizeof(BreakLink) +
+           func_stack.capacity() * sizeof(const Node*) +
+           row_offsets.capacity() * sizeof(std::uint32_t) +
+           col.capacity() * sizeof(std::uint32_t);
+  }
 };
 
 // Builds the control-flow edges for a finalized AST. The AST must have had
 // Ast::finalize() called (ids and parents assigned). A non-null `budget`
 // is polled for the wall-clock deadline while edges are emitted; a passed
-// deadline throws BudgetExceeded.
-ControlFlow build_control_flow(const Ast& ast, Budget* budget = nullptr);
+// deadline throws BudgetExceeded. `scratch`, when non-null, is the
+// reusable workspace above; nullptr allocates per call.
+ControlFlow build_control_flow(const Ast& ast, Budget* budget = nullptr,
+                               CfgScratch* scratch = nullptr);
 
 }  // namespace jst

@@ -1,156 +1,183 @@
 #include "dataflow/dataflow.h"
 
-#include <memory>
 #include <span>
 #include <string_view>
 #include <utility>
 
-#include "ast/walk.h"
-
 namespace jst {
 namespace {
 
-struct Scope {
-  enum class Kind { kFunction, kBlock, kCatch };
-  Kind kind = Kind::kFunction;
-  Scope* parent = nullptr;
-  std::unordered_map<std::string, std::size_t> bindings;  // name -> index
-};
+constexpr std::uint32_t kNone = 0xffffffffu;
 
+// Flat scope/data-flow builder (DESIGN.md §17).
+//
+// The previous implementation kept one heap-allocated Scope per lexical
+// scope, each holding an unordered_map<std::string, index>, and resolved
+// every reference by materializing a std::string key and walking the
+// parent chain of maps. This builder exploits two structural facts the
+// traversal already guarantees:
+//
+//  1. Scopes open and close in strict LIFO order (every scope-opening
+//     helper drains its subtree before returning), so the set of live
+//     scopes is a stack and "innermost" is a single index.
+//  2. Every bind targets the scope being opened (hoisting, lexical
+//     collection, parameters, catch params and for-heads all run at
+//     scope-open time), so a per-atom stack of live bindings — indexed
+//     by the parse-time atom id — resolves any reference in O(1): the
+//     top of the atom's stack IS the innermost binding.
+//
+// Bindings therefore carry `prev_top` (the shadowed stack entry) and the
+// bind log records which atoms a scope pushed, so closing a scope pops
+// its bindings in O(bindings). No hashing, no string compares, no
+// per-scope allocation; every table lives in the DataFlowScratch.
 class DataFlowBuilder {
  public:
-  DataFlowBuilder(DataFlow& out, Budget* budget, DataFlowScratch* scratch)
-      : out_(out), budget_(budget), scratch_(scratch) {}
+  DataFlowBuilder(const Ast& ast, DataFlow& out, Budget* budget,
+                  DataFlowScratch& ws)
+      : ast_(ast), out_(out), budget_(budget), ws_(ws) {}
 
   void run(const Node* root) {
     if (root == nullptr) return;
-    Scope* global = new_scope(Scope::Kind::kFunction, nullptr);
-    hoist_into_function_scope(root, global);
-    collect_lexical(root->kids, global);
+    ws_.scopes.clear();
+    ws_.aux.clear();
+    ws_.bind_log.clear();
+    ws_.site_links.clear();
+    ws_.spine.clear();
+    ws_.hoist_stack.clear();
+    ws_.atom_tops.assign(ast_.atoms().size(), kNone);
+
+    open_scope();  // global
+    hoist_into_function_scope(root);
+    collect_lexical(root->kids);
     for (const Node* statement : root->kids) {
-      visit(statement, global);
-      if (aborted_) return;  // deadline noticed mid-resolution
+      visit(statement);
+      if (aborted_) break;  // deadline noticed mid-resolution
     }
-    // Emit def -> use edges: declaration and every assignment site are
-    // definition sources; every read is a destination. This product is the
-    // quadratic blow-up on adversarial inputs (one binding, thousands of
-    // writes × thousands of reads), so the edge ceiling and deadline are
-    // checked per edge; a trip truncates the edge list and records itself
-    // instead of throwing — the pipeline degrades around it.
-    DataFlowScratch local_scratch;
-    DataFlowScratch& workspace =
-        scratch_ != nullptr ? *scratch_ : local_scratch;
-    for (const Binding& binding : out_.bindings) {
-      std::vector<const Node*>& defs = workspace.defs;
-      defs.clear();
-      if (binding.declaration != nullptr) defs.push_back(binding.declaration);
-      defs.insert(defs.end(), binding.assignments.begin(),
-                  binding.assignments.end());
-      for (const Node* def : defs) {
-        for (const Node* use : binding.uses) {
-          if (def == use) continue;
-          if (budget_ != nullptr) {
-            if (!budget_->try_charge_dataflow_edges()) {
-              abort_with(ResourceKind::kDataflowEdges);
-              return;
-            }
-            if (budget_->dataflow_edges_charged() %
-                        Budget::kDeadlinePollStride ==
-                    0 &&
-                budget_->deadline_expired()) {
-              abort_with(ResourceKind::kDeadline);
-              return;
-            }
-          }
-          out_.edges.emplace_back(def->id, use->id);
-        }
-      }
-    }
+    // Pack the chained sites into contiguous spans before (possibly
+    // budget-truncated) edge emission, so the bindings are fully formed
+    // even when a ceiling stops the pass mid-product.
+    pack_sites();
+    if (aborted_) return;
+    emit_edges();
   }
 
  private:
-  void abort_with(ResourceKind kind) {
-    out_.tripped = budget_->make_trip(kind);
-    out_.completed = false;
-    aborted_ = true;
-  }
-  Scope* new_scope(Scope::Kind kind, Scope* parent) {
-    scopes_.push_back(std::make_unique<Scope>());
-    Scope* scope = scopes_.back().get();
-    scope->kind = kind;
-    scope->parent = parent;
+  // --- scope stack -------------------------------------------------------
+
+  void open_scope() {
+    DataFlowScratch::ScopeRec scope;
+    scope.parent = current_;
+    scope.log_mark = static_cast<std::uint32_t>(ws_.bind_log.size());
+    current_ = static_cast<std::uint32_t>(ws_.scopes.size());
+    ws_.scopes.push_back(scope);
     ++out_.scope_count;
-    return scope;
   }
 
-  Scope* enclosing_function_scope(Scope* scope) {
-    while (scope->kind != Scope::Kind::kFunction && scope->parent != nullptr) {
-      scope = scope->parent;
+  void close_scope() {
+    const DataFlowScratch::ScopeRec& scope = ws_.scopes[current_];
+    while (ws_.bind_log.size() > scope.log_mark) {
+      const std::uint32_t atom = ws_.bind_log.back();
+      ws_.bind_log.pop_back();
+      ws_.atom_tops[atom] = ws_.aux[ws_.atom_tops[atom]].prev_top;
     }
-    return scope;
+    current_ = scope.parent;
   }
 
-  std::size_t bind(std::string_view name, Scope* scope,
-                   const Node* declaration) {
-    const std::string key(name);
-    auto it = scope->bindings.find(key);
-    if (it != scope->bindings.end()) {
+  // --- atoms -------------------------------------------------------------
+
+  // Every parser-made identifier carries its atom; transformer-created
+  // stragglers (atom-less nodes analyzed before the next re-parse) are
+  // interned on first sight so they join the same id space.
+  std::uint32_t atom_of(const Node* identifier) {
+    const std::uint32_t atom = identifier->atom;
+    if (atom != support::AtomTable::kNoAtom) return atom;
+    const std::uint32_t interned =
+        ast_.atoms().intern(identifier->str_value);
+    if (interned >= ws_.atom_tops.size()) {
+      ws_.atom_tops.resize(interned + 1, kNone);
+    }
+    return interned;
+  }
+
+  // --- binding table -----------------------------------------------------
+
+  std::size_t bind(const Node* declaration) {
+    const std::uint32_t atom = atom_of(declaration);
+    const std::uint32_t top = ws_.atom_tops[atom];
+    if (top != kNone && ws_.aux[top].scope == current_) {
       // Redeclaration (var x twice, or function overriding var): keep the
       // first binding, update the declaration node if missing.
-      Binding& binding = out_.bindings[it->second];
+      Binding& binding = out_.bindings[top];
       if (binding.declaration == nullptr) binding.declaration = declaration;
-      return it->second;
+      return top;
     }
     Binding binding;
-    binding.name = key;
+    binding.name = declaration->str_value;
     binding.declaration = declaration;
-    out_.bindings.push_back(std::move(binding));
-    const std::size_t index = out_.bindings.size() - 1;
-    scope->bindings.emplace(key, index);
+    out_.bindings.push_back(binding);
+    DataFlowScratch::BindingAux aux;
+    aux.scope = current_;
+    aux.prev_top = top;
+    aux.use_head = aux.use_tail = aux.asg_head = aux.asg_tail = kNone;
+    ws_.aux.push_back(aux);
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(out_.bindings.size() - 1);
+    ws_.atom_tops[atom] = index;
+    ws_.bind_log.push_back(atom);
     return index;
   }
 
-  Binding* resolve(std::string_view name, Scope* scope) {
-    const std::string key(name);
-    for (Scope* s = scope; s != nullptr; s = s->parent) {
-      auto it = s->bindings.find(key);
-      if (it != s->bindings.end()) return &out_.bindings[it->second];
+  // Innermost live binding for the identifier, or kNone (unresolved).
+  std::uint32_t resolve(const Node* identifier) {
+    return ws_.atom_tops[atom_of(identifier)];
+  }
+
+  void append_site(std::uint32_t& head, std::uint32_t& tail,
+                   std::uint32_t& count, const Node* site) {
+    const std::uint32_t link =
+        static_cast<std::uint32_t>(ws_.site_links.size());
+    ws_.site_links.push_back({site, kNone});
+    if (tail == kNone) {
+      head = link;
+    } else {
+      ws_.site_links[tail].next = link;
     }
-    return nullptr;
+    tail = link;
+    ++count;
   }
 
   // --- declaration collection ---
 
-  // Binds all identifiers in a binding pattern into `scope`.
-  void bind_pattern(const Node* pattern, Scope* scope, bool is_parameter) {
+  // Binds all identifiers in a binding pattern into the current scope.
+  void bind_pattern(const Node* pattern, bool is_parameter) {
     if (pattern == nullptr) return;
     switch (pattern->kind) {
       case NodeKind::kIdentifier: {
-        const std::size_t index = bind(pattern->str_value, scope, pattern);
+        const std::size_t index = bind(pattern);
         out_.bindings[index].is_parameter = is_parameter;
         break;
       }
       case NodeKind::kArrayPattern:
         for (const Node* element : pattern->kids) {
-          bind_pattern(element, scope, is_parameter);
+          bind_pattern(element, is_parameter);
         }
         break;
       case NodeKind::kObjectPattern:
         for (const Node* property : pattern->kids) {
           if (property == nullptr) continue;
           if (property->kind == NodeKind::kRestElement) {
-            bind_pattern(property->kid(0), scope, is_parameter);
+            bind_pattern(property->kid(0), is_parameter);
           } else {
-            bind_pattern(property->kid(1), scope, is_parameter);
+            bind_pattern(property->kid(1), is_parameter);
           }
         }
         break;
       case NodeKind::kAssignmentPattern:
-        bind_pattern(pattern->kid(0), scope, is_parameter);
+        bind_pattern(pattern->kid(0), is_parameter);
         // The default value is an expression, resolved during visit().
         break;
       case NodeKind::kRestElement:
-        bind_pattern(pattern->kid(0), scope, is_parameter);
+        bind_pattern(pattern->kid(0), is_parameter);
         break;
       default:
         break;  // member-expression targets bind nothing
@@ -158,16 +185,17 @@ class DataFlowBuilder {
   }
 
   // Hoists `var` declarators and function declarations from the subtree
-  // into the function scope, without descending into nested functions.
-  // Iterative pre-order with pruning: deep expression chains make the
-  // subtree arbitrarily deep (the parser's recursion guard only bounds
-  // nested statements), so per-node recursion would overflow the native
-  // stack on hostile inputs. The explicit stack visits every descendant
-  // in exactly the order the recursive version did, so bindings are
-  // created in the same order and get the same indices.
-  void hoist_into_function_scope(const Node* node, Scope* function_scope) {
+  // into the (currently innermost) function scope, without descending
+  // into nested functions. Iterative pre-order with pruning: deep
+  // expression chains make the subtree arbitrarily deep (the parser's
+  // recursion guard only bounds nested statements), so per-node recursion
+  // would overflow the native stack on hostile inputs. The explicit stack
+  // visits every descendant in exactly the order the recursive version
+  // did, so bindings are created in the same order and get the same
+  // indices.
+  void hoist_into_function_scope(const Node* node) {
     if (node == nullptr) return;
-    std::vector<const Node*>& stack = hoist_stack_;
+    std::vector<const Node*>& stack = ws_.hoist_stack;
     const std::size_t base = stack.size();  // re-entered via visit_function
     for (std::size_t i = node->kids.size(); i > 0; --i) {
       if (node->kids[i - 1] != nullptr) stack.push_back(node->kids[i - 1]);
@@ -177,8 +205,7 @@ class DataFlowBuilder {
       stack.pop_back();
       if (kid->kind == NodeKind::kFunctionDeclaration) {
         if (kid->kid(0) != nullptr) {
-          const std::size_t index =
-              bind(kid->kids[0]->str_value, function_scope, kid->kids[0]);
+          const std::size_t index = bind(kid->kids[0]);
           out_.bindings[index].is_function_name = true;
           out_.bindings[index].init = kid;
         }
@@ -188,7 +215,7 @@ class DataFlowBuilder {
       if (kid->kind == NodeKind::kVariableDeclaration &&
           kid->str_value == "var") {
         for (const Node* declarator : kid->kids) {
-          bind_pattern(declarator->kid(0), function_scope, false);
+          bind_pattern(declarator->kid(0), false);
         }
         // Initializers may contain more nested statements (rare); fall
         // through to descend into the declarators.
@@ -199,139 +226,143 @@ class DataFlowBuilder {
     }
   }
 
-  // Binds let/const/class declared directly in this statement list.
-  // Templated over the list type: callers pass the arena-backed NodeList
-  // or (for switch cases) a span over a kid-list tail.
+  // Binds let/const/class declared directly in this statement list into
+  // the current scope. Templated over the list type: callers pass the
+  // arena-backed NodeList or (for switch cases) a span over a kid-list
+  // tail.
   template <typename StatementList>
-  void collect_lexical(const StatementList& statements, Scope* scope) {
+  void collect_lexical(const StatementList& statements) {
     for (const Node* statement : statements) {
       if (statement == nullptr) continue;
       if (statement->kind == NodeKind::kVariableDeclaration &&
           statement->str_value != "var") {
         for (const Node* declarator : statement->kids) {
-          bind_pattern(declarator->kid(0), scope, false);
+          bind_pattern(declarator->kid(0), false);
         }
       } else if (statement->kind == NodeKind::kClassDeclaration &&
                  statement->kid(0) != nullptr) {
-        bind(statement->kids[0]->str_value, scope, statement->kids[0]);
+        bind(statement->kids[0]);
       }
     }
   }
 
   // --- reference resolution ---
 
-  void record_use(const Node* identifier, Scope* scope) {
-    Binding* binding = resolve(identifier->str_value, scope);
-    if (binding == nullptr) {
+  void record_use(const Node* identifier) {
+    const std::uint32_t index = resolve(identifier);
+    if (index == kNone) {
       ++out_.unresolved_uses;
       return;
     }
-    binding->uses.push_back(identifier);
+    DataFlowScratch::BindingAux& aux = ws_.aux[index];
+    append_site(aux.use_head, aux.use_tail, aux.use_count, identifier);
   }
 
-  void record_write(const Node* identifier, Scope* scope) {
-    Binding* binding = resolve(identifier->str_value, scope);
-    if (binding == nullptr) {
+  void record_write(const Node* identifier) {
+    const std::uint32_t index = resolve(identifier);
+    if (index == kNone) {
       ++out_.unresolved_uses;
       return;
     }
-    binding->assignments.push_back(identifier);
+    DataFlowScratch::BindingAux& aux = ws_.aux[index];
+    append_site(aux.asg_head, aux.asg_tail, aux.asg_count, identifier);
   }
 
   // Visits write targets (assignment LHS / for-in heads): identifiers are
   // writes; member expressions read their object; patterns recurse.
-  void visit_target(const Node* target, Scope* scope) {
+  void visit_target(const Node* target) {
     if (target == nullptr) return;
     switch (target->kind) {
       case NodeKind::kIdentifier:
-        record_write(target, scope);
+        record_write(target);
         break;
       case NodeKind::kMemberExpression:
-        visit(target->kid(0), scope);
-        if (target->flag_a) visit(target->kid(1), scope);
+        visit(target->kid(0));
+        if (target->flag_a) visit(target->kid(1));
         break;
       case NodeKind::kArrayPattern:
-        for (const Node* element : target->kids) visit_target(element, scope);
+        for (const Node* element : target->kids) visit_target(element);
         break;
       case NodeKind::kObjectPattern:
         for (const Node* property : target->kids) {
           if (property == nullptr) continue;
           if (property->kind == NodeKind::kRestElement) {
-            visit_target(property->kid(0), scope);
+            visit_target(property->kid(0));
           } else {
-            if (property->flag_a) visit(property->kid(0), scope);
-            visit_target(property->kid(1), scope);
+            if (property->flag_a) visit(property->kid(0));
+            visit_target(property->kid(1));
           }
         }
         break;
       case NodeKind::kAssignmentPattern:
-        visit_target(target->kid(0), scope);
-        visit(target->kid(1), scope);
+        visit_target(target->kid(0));
+        visit(target->kid(1));
         break;
       case NodeKind::kRestElement:
-        visit_target(target->kid(0), scope);
+        visit_target(target->kid(0));
         break;
       default:
-        visit(target, scope);
+        visit(target);
     }
   }
 
-  void visit_function(const Node* function, Scope* outer) {
-    Scope* scope = new_scope(Scope::Kind::kFunction, outer);
+  void visit_function(const Node* function) {
+    open_scope();
     const bool is_arrow = function->kind == NodeKind::kArrowFunctionExpression;
     const std::size_t first_param = is_arrow ? 1 : 2;
     const Node* body = is_arrow ? function->kid(0) : function->kid(1);
     // Function-expression names are visible inside the function.
     if (!is_arrow && function->kind == NodeKind::kFunctionExpression &&
         function->kid(0) != nullptr) {
-      const std::size_t index =
-          bind(function->kids[0]->str_value, scope, function->kids[0]);
+      const std::size_t index = bind(function->kids[0]);
       out_.bindings[index].is_function_name = true;
       out_.bindings[index].init = function;
     }
     for (std::size_t i = first_param; i < function->kids.size(); ++i) {
-      bind_pattern(function->kids[i], scope, /*is_parameter=*/true);
+      bind_pattern(function->kids[i], /*is_parameter=*/true);
     }
     if (body != nullptr && body->kind == NodeKind::kBlockStatement) {
-      hoist_into_function_scope(body, scope);
-      collect_lexical(body->kids, scope);
+      hoist_into_function_scope(body);
+      collect_lexical(body->kids);
       // Parameter defaults are expressions in the function scope.
       for (std::size_t i = first_param; i < function->kids.size(); ++i) {
-        visit_pattern_defaults(function->kids[i], scope);
+        visit_pattern_defaults(function->kids[i]);
       }
-      for (const Node* statement : body->kids) visit(statement, scope);
+      for (const Node* statement : body->kids) visit(statement);
     } else if (body != nullptr) {
       for (std::size_t i = first_param; i < function->kids.size(); ++i) {
-        visit_pattern_defaults(function->kids[i], scope);
+        visit_pattern_defaults(function->kids[i]);
       }
-      visit(body, scope);  // expression-bodied arrow
+      visit(body);  // expression-bodied arrow
     }
+    close_scope();
   }
 
-  void visit_pattern_defaults(const Node* pattern, Scope* scope) {
+  void visit_pattern_defaults(const Node* pattern) {
     if (pattern == nullptr) return;
     if (pattern->kind == NodeKind::kAssignmentPattern) {
-      visit(pattern->kid(1), scope);
-      visit_pattern_defaults(pattern->kid(0), scope);
+      visit(pattern->kid(1));
+      visit_pattern_defaults(pattern->kid(0));
       return;
     }
-    for (const Node* kid : pattern->kids) visit_pattern_defaults(kid, scope);
+    for (const Node* kid : pattern->kids) visit_pattern_defaults(kid);
   }
 
-  void visit_block_like(const Node* node, Scope* outer) {
-    Scope* scope = new_scope(Scope::Kind::kBlock, outer);
-    collect_lexical(node->kids, scope);
-    for (const Node* statement : node->kids) visit(statement, scope);
+  void visit_block_like(const Node* node) {
+    open_scope();
+    collect_lexical(node->kids);
+    for (const Node* statement : node->kids) visit(statement);
+    close_scope();
   }
 
-  void push_kid(const Node* node, Scope* scope) {
-    if (node != nullptr) spine_.emplace_back(node, scope);
+  void push_kid(const Node* node) {
+    if (node != nullptr) ws_.spine.push_back(node);
   }
 
   // Pushes `node`'s kids so they pop in source order.
-  void push_kids_of(const Node* node, Scope* scope) {
+  void push_kids_of(const Node* node) {
     for (std::size_t i = node->kids.size(); i > 0; --i) {
-      push_kid(node->kids[i - 1], scope);
+      push_kid(node->kids[i - 1]);
     }
   }
 
@@ -345,23 +376,26 @@ class DataFlowBuilder {
   // re-enter visit() and consume native frames. A re-entrant call drains
   // its own segment of the shared stack (everything above `base`), which
   // preserves the exact pre-order visitation — and budget-poll order —
-  // of the recursive implementation it replaced.
-  void visit(const Node* node, Scope* scope) {
-    const std::size_t base = spine_.size();
-    push_kid(node, scope);
-    while (spine_.size() > base) {
+  // of the recursive implementation it replaced. Spine entries need no
+  // scope tag: a deferred node is popped only after every scope opened
+  // since it was pushed has closed again, so the current scope at pop
+  // time is exactly the scope it was pushed under.
+  void visit(const Node* node) {
+    const std::size_t base = ws_.spine.size();
+    push_kid(node);
+    while (ws_.spine.size() > base) {
       if (aborted_) {
-        spine_.resize(base);
+        ws_.spine.resize(base);
         return;
       }
-      const auto [next, next_scope] = spine_.back();
-      spine_.pop_back();
-      step(next, next_scope);
+      const Node* next = ws_.spine.back();
+      ws_.spine.pop_back();
+      step(next);
     }
   }
 
   // Handles one node; same-scope subtrees are pushed, not recursed.
-  void step(const Node* node, Scope* scope) {
+  void step(const Node* node) {
     if (budget_ != nullptr &&
         ++visits_ % Budget::kDeadlinePollStride == 0 &&
         budget_->deadline_expired()) {
@@ -370,11 +404,11 @@ class DataFlowBuilder {
     }
     switch (node->kind) {
       case NodeKind::kIdentifier:
-        record_use(node, scope);
+        record_use(node);
         break;
 
       case NodeKind::kBlockStatement:
-        visit_block_like(node, scope);
+        visit_block_like(node);
         break;
 
       case NodeKind::kVariableDeclaration:
@@ -384,139 +418,144 @@ class DataFlowBuilder {
           const Node* id = declarator->kid(0);
           const Node* init = declarator->kid(1);
           if (id != nullptr && id->kind == NodeKind::kIdentifier) {
-            Binding* binding = resolve(id->str_value, scope);
-            if (binding != nullptr) {
-              if (binding->init == nullptr) binding->init = init;
+            const std::uint32_t index = resolve(id);
+            if (index != kNone) {
+              Binding& binding = out_.bindings[index];
+              if (binding.init == nullptr) binding.init = init;
               // Redeclarations (`var x` appearing twice) share one binding;
               // record the extra declarator identifiers as write sites so
               // renaming and def-use edges cover them.
-              if (binding->declaration != id) {
-                binding->assignments.push_back(id);
+              if (binding.declaration != id) {
+                DataFlowScratch::BindingAux& aux = ws_.aux[index];
+                append_site(aux.asg_head, aux.asg_tail, aux.asg_count, id);
               }
             }
           } else {
-            visit_pattern_defaults(id, scope);
+            visit_pattern_defaults(id);
           }
-          visit(init, scope);
+          visit(init);
         }
         break;
 
       case NodeKind::kFunctionDeclaration:
       case NodeKind::kFunctionExpression:
       case NodeKind::kArrowFunctionExpression:
-        visit_function(node, scope);
+        visit_function(node);
         break;
 
       case NodeKind::kClassDeclaration:
       case NodeKind::kClassExpression: {
-        visit(node->kid(1), scope);  // superclass expression
+        visit(node->kid(1));  // superclass expression
         const Node* body = node->kid(2);
         if (body != nullptr) {
           for (const Node* method : body->kids) {
-            if (method->flag_a) visit(method->kid(0), scope);  // computed key
-            visit_function(method->kid(1), scope);
+            if (method->flag_a) visit(method->kid(0));  // computed key
+            visit_function(method->kid(1));
           }
         }
         break;
       }
 
       case NodeKind::kCatchClause: {
-        Scope* catch_scope = new_scope(Scope::Kind::kCatch, scope);
+        open_scope();  // catch-parameter scope
         if (node->kid(0) != nullptr) {
-          bind_pattern(node->kids[0], catch_scope, false);
+          bind_pattern(node->kids[0], false);
         }
         // The catch body is a block; give it its own lexical scope under
         // the catch scope.
-        visit_block_like(node->kid(1), catch_scope);
+        visit_block_like(node->kid(1));
+        close_scope();
         break;
       }
 
       case NodeKind::kTryStatement:
-        push_kid(node->kid(2), scope);
-        push_kid(node->kid(1), scope);  // CatchClause handled above
-        push_kid(node->kid(0), scope);
+        push_kid(node->kid(2));
+        push_kid(node->kid(1));  // CatchClause handled above
+        push_kid(node->kid(0));
         break;
 
       case NodeKind::kForStatement: {
-        Scope* for_scope = new_scope(Scope::Kind::kBlock, scope);
+        open_scope();
         const Node* init = node->kid(0);
         if (init != nullptr &&
             init->kind == NodeKind::kVariableDeclaration &&
             init->str_value != "var") {
           for (const Node* declarator : init->kids) {
-            bind_pattern(declarator->kid(0), for_scope, false);
+            bind_pattern(declarator->kid(0), false);
           }
         }
-        visit(init, for_scope);
-        visit(node->kid(1), for_scope);
-        visit(node->kid(2), for_scope);
-        visit(node->kid(3), for_scope);
+        visit(init);
+        visit(node->kid(1));
+        visit(node->kid(2));
+        visit(node->kid(3));
+        close_scope();
         break;
       }
 
       case NodeKind::kForInStatement:
       case NodeKind::kForOfStatement: {
-        Scope* for_scope = new_scope(Scope::Kind::kBlock, scope);
+        open_scope();
         const Node* left = node->kid(0);
         if (left != nullptr && left->kind == NodeKind::kVariableDeclaration) {
           if (left->str_value != "var") {
             for (const Node* declarator : left->kids) {
-              bind_pattern(declarator->kid(0), for_scope, false);
+              bind_pattern(declarator->kid(0), false);
             }
           }
           // Loop variable is written each iteration.
           const Node* id = left->kid(0) != nullptr ? left->kids[0]->kid(0)
                                                    : nullptr;
           if (id != nullptr && id->kind == NodeKind::kIdentifier) {
-            record_write(id, for_scope);
+            record_write(id);
           }
         } else {
-          visit_target(left, for_scope);
+          visit_target(left);
         }
-        visit(node->kid(1), for_scope);
-        visit(node->kid(2), for_scope);
+        visit(node->kid(1));
+        visit(node->kid(2));
+        close_scope();
         break;
       }
 
       case NodeKind::kAssignmentExpression: {
         const Node* target = node->kid(0);
-        visit_target(target, scope);
+        visit_target(target);
         if (node->str_value != "=" && target != nullptr &&
             target->kind == NodeKind::kIdentifier) {
-          record_use(target, scope);  // compound assignment also reads
+          record_use(target);  // compound assignment also reads
         }
-        push_kid(node->kid(1), scope);
+        push_kid(node->kid(1));
         break;
       }
 
       case NodeKind::kUpdateExpression: {
         const Node* argument = node->kid(0);
         if (argument != nullptr && argument->kind == NodeKind::kIdentifier) {
-          record_use(argument, scope);
-          record_write(argument, scope);
+          record_use(argument);
+          record_write(argument);
         } else {
-          push_kid(argument, scope);
+          push_kid(argument);
         }
         break;
       }
 
       case NodeKind::kMemberExpression:
-        if (node->flag_a) push_kid(node->kid(1), scope);  // computed only
-        push_kid(node->kid(0), scope);
+        if (node->flag_a) push_kid(node->kid(1));  // computed only
+        push_kid(node->kid(0));
         break;
 
       case NodeKind::kProperty:
-        push_kid(node->kid(1), scope);
-        if (node->flag_a) push_kid(node->kid(0), scope);  // computed key
+        push_kid(node->kid(1));
+        if (node->flag_a) push_kid(node->kid(0));  // computed key
         break;
 
       case NodeKind::kMethodDefinition:
-        if (node->flag_a) visit(node->kid(0), scope);
-        visit_function(node->kid(1), scope);
+        if (node->flag_a) visit(node->kid(0));
+        visit_function(node->kid(1));
         break;
 
       case NodeKind::kLabeledStatement:
-        push_kid(node->kid(1), scope);  // label identifier is not a reference
+        push_kid(node->kid(1));  // label identifier is not a reference
         break;
 
       case NodeKind::kBreakStatement:
@@ -524,40 +563,123 @@ class DataFlowBuilder {
         break;  // label identifier is not a reference
 
       case NodeKind::kSwitchStatement: {
-        visit(node->kid(0), scope);
-        Scope* switch_scope = new_scope(Scope::Kind::kBlock, scope);
+        visit(node->kid(0));
+        open_scope();  // one lexical scope for the whole case list
         for (std::size_t i = 1; i < node->kids.size(); ++i) {
           const Node* switch_case = node->kids[i];
-          collect_lexical(
-              std::span<Node* const>(switch_case->kids.begin() + 1,
-                                     switch_case->kids.end()),
-              switch_scope);
+          collect_lexical(std::span<Node* const>(
+              switch_case->kids.begin() + 1, switch_case->kids.end()));
         }
         for (std::size_t i = 1; i < node->kids.size(); ++i) {
           const Node* switch_case = node->kids[i];
-          visit(switch_case->kid(0), switch_scope);
+          visit(switch_case->kid(0));
           for (std::size_t j = 1; j < switch_case->kids.size(); ++j) {
-            visit(switch_case->kids[j], switch_scope);
+            visit(switch_case->kids[j]);
           }
         }
+        close_scope();
         break;
       }
 
       default:
-        push_kids_of(node, scope);
+        push_kids_of(node);
     }
   }
 
+  // --- results -----------------------------------------------------------
+
+  // Copies each binding's chained sites into one contiguous pool —
+  // [assignments][uses] per binding — and points the public spans at it.
+  // The pool is reserved to exact size first so data() is stable while
+  // the spans are formed.
+  void pack_sites() {
+    std::vector<const Node*>& pool = site_pool();
+    pool.clear();
+    std::size_t total = 0;
+    for (const DataFlowScratch::BindingAux& aux : ws_.aux) {
+      total += aux.asg_count + aux.use_count;
+    }
+    pool.reserve(total);
+    for (std::size_t i = 0; i < out_.bindings.size(); ++i) {
+      const DataFlowScratch::BindingAux& aux = ws_.aux[i];
+      Binding& binding = out_.bindings[i];
+      const std::size_t asg_offset = pool.size();
+      for (std::uint32_t link = aux.asg_head; link != kNone;
+           link = ws_.site_links[link].next) {
+        pool.push_back(ws_.site_links[link].site);
+      }
+      const std::size_t use_offset = pool.size();
+      for (std::uint32_t link = aux.use_head; link != kNone;
+           link = ws_.site_links[link].next) {
+        pool.push_back(ws_.site_links[link].site);
+      }
+      binding.assignments = std::span<const Node* const>(
+          pool.data() + asg_offset, aux.asg_count);
+      binding.uses = std::span<const Node* const>(pool.data() + use_offset,
+                                                  aux.use_count);
+    }
+  }
+
+  // Emits def -> use edges: the declaration and every assignment site are
+  // definition sources; every read is a destination. This product is the
+  // quadratic blow-up on adversarial inputs (one binding, thousands of
+  // writes × thousands of reads), so the edge ceiling and deadline are
+  // checked per edge; a trip truncates the edge list and records itself
+  // instead of throwing — the pipeline degrades around it.
+  void emit_edges() {
+    for (const Binding& binding : out_.bindings) {
+      if (binding.declaration != nullptr) {
+        if (!emit_edges_from(binding.declaration, binding.uses)) return;
+      }
+      for (const Node* def : binding.assignments) {
+        if (!emit_edges_from(def, binding.uses)) return;
+      }
+    }
+  }
+
+  bool emit_edges_from(const Node* def, std::span<const Node* const> uses) {
+    for (const Node* use : uses) {
+      if (def == use) continue;
+      if (budget_ != nullptr) {
+        if (!budget_->try_charge_dataflow_edges()) {
+          abort_with(ResourceKind::kDataflowEdges);
+          return false;
+        }
+        if (budget_->dataflow_edges_charged() % Budget::kDeadlinePollStride ==
+                0 &&
+            budget_->deadline_expired()) {
+          abort_with(ResourceKind::kDeadline);
+          return false;
+        }
+      }
+      out_.edges.emplace_back(def->id, use->id);
+    }
+    return true;
+  }
+
+  // Owned pool for scratchless calls; the caller's scratch otherwise.
+  std::vector<const Node*>& site_pool() {
+    return owns_sites_ ? out_.site_pool : ws_.sites;
+  }
+
+  void abort_with(ResourceKind kind) {
+    out_.tripped = budget_->make_trip(kind);
+    out_.completed = false;
+    aborted_ = true;
+  }
+
+ public:
+  void set_owns_sites(bool owns) { owns_sites_ = owns; }
+
+ private:
+  const Ast& ast_;
   DataFlow& out_;
   Budget* budget_ = nullptr;
-  DataFlowScratch* scratch_ = nullptr;
+  DataFlowScratch& ws_;
   std::size_t visits_ = 0;
+  std::uint32_t current_ = kNone;  // innermost open scope
   bool aborted_ = false;
-  std::vector<std::unique_ptr<Scope>> scopes_;
-  // Shared stacks for the iterative walkers; re-entrant calls operate on
-  // the segment above their own base index.
-  std::vector<std::pair<const Node*, Scope*>> spine_;
-  std::vector<const Node*> hoist_stack_;
+  bool owns_sites_ = false;
 };
 
 }  // namespace
@@ -568,7 +690,11 @@ DataFlow build_data_flow(const Ast& ast, const DataFlowOptions& options) {
     flow.completed = false;
     return flow;
   }
-  DataFlowBuilder builder(flow, options.budget, options.scratch);
+  DataFlowScratch local_scratch;
+  DataFlowScratch& workspace =
+      options.scratch != nullptr ? *options.scratch : local_scratch;
+  DataFlowBuilder builder(ast, flow, options.budget, workspace);
+  builder.set_owns_sites(options.scratch == nullptr);
   builder.run(ast.root());
   return flow;
 }

@@ -22,14 +22,22 @@ struct AnalysisOptions {
   // DataFlow::tripped and the analysis returns with truncated edges.
   Budget* budget = nullptr;
   // Non-owning reusable data-flow builder workspace (capacity survives
-  // across scripts); nullptr allocates per call.
+  // across scripts); nullptr allocates per call. With a scratch, the
+  // returned bindings' site spans alias it and follow the same pooling
+  // contract as the arena below.
   DataFlowScratch* dataflow_scratch = nullptr;
+  // Non-owning reusable CFG builder workspace; nullptr allocates per call.
+  CfgScratch* cfg_scratch = nullptr;
   // Non-owning pooled front-end arena (support/arena.h). When set, the
   // lexer, token stream, and AST all live in it and parse_program resets
   // it first — the per-script pooling contract: the returned
   // ScriptAnalysis is valid only until the arena's next reset. nullptr
   // gives the Ast a private arena (fully self-contained result).
   support::Arena* arena = nullptr;
+  // Non-owning pooled identifier atom table, cleared per script in
+  // lockstep with the arena (parse_program). nullptr gives the Ast a
+  // private table.
+  support::AtomTable* atoms = nullptr;
 };
 
 struct ScriptAnalysis {
@@ -45,9 +53,14 @@ ScriptAnalysis analyze_script(std::string_view source,
 // The paper's script-eligibility filter (§III-D1): between 512 bytes and
 // 2 MB, and the AST contains at least one conditional control-flow node,
 // function node, or CallExpression. `ast_eligible` checks only the AST
-// half so callers can report *which* criterion failed.
-bool script_eligible(const ScriptAnalysis& analysis);
+// half so callers can report *which* criterion failed. The walk stops at
+// the first qualifying node; `walk_stack`, when non-null, is a reusable
+// traversal stack (batch callers hand one from their scratch so the
+// check allocates nothing).
+bool script_eligible(const ScriptAnalysis& analysis,
+                     std::vector<const Node*>* walk_stack = nullptr);
 bool size_eligible(std::string_view source);
-bool ast_eligible(const ScriptAnalysis& analysis);
+bool ast_eligible(const ScriptAnalysis& analysis,
+                  std::vector<const Node*>* walk_stack = nullptr);
 
 }  // namespace jst

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "cfg/cfg.h"
 #include "dataflow/dataflow.h"
 #include "features/ngram.h"
 
@@ -224,10 +225,15 @@ struct ExtractScratch {
   std::vector<float> ngram_histogram;
   // The assembled feature vector extract_into returns a view of.
   std::vector<float> row;
-  // Data-flow builder workspace (def-site list), threaded through
-  // AnalysisOptions::dataflow_scratch when this scratch drives the
-  // analysis stage too.
+  // Data-flow builder workspace (scope/binding tables and pooled site
+  // spans), threaded through AnalysisOptions::dataflow_scratch when this
+  // scratch drives the analysis stage too.
   DataFlowScratch dataflow;
+  // CFG builder workspace (edge list, statement-walk stacks, CSR arrays),
+  // threaded through AnalysisOptions::cfg_scratch alongside `dataflow`.
+  CfgScratch cfg;
+  // Early-exit traversal stack for script_eligible / ast_eligible.
+  std::vector<const Node*> eligibility_stack;
   // Number of times this scratch has been handed an extraction; >0 means
   // a reuse (the allocation-free steady state the obs counter tracks).
   std::uint64_t uses = 0;
@@ -238,7 +244,8 @@ struct ExtractScratch {
            level_counts.capacity() * sizeof(std::size_t) +
            fnv_ring.capacity() * sizeof(std::uint64_t) +
            (ngram_histogram.capacity() + row.capacity()) * sizeof(float) +
-           dataflow.capacity_bytes();
+           dataflow.capacity_bytes() + cfg.capacity_bytes() +
+           eligibility_stack.capacity() * sizeof(const Node*);
   }
 };
 

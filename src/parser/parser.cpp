@@ -72,11 +72,13 @@ struct ParserDepthGuard {
 };
 
 ParseResult parse_program(std::string_view source, Budget* budget,
-                          support::Arena* arena) {
+                          support::Arena* arena, support::AtomTable* atoms) {
   // Pooled contract: the caller's arena is rewound for this script; any
-  // previous ParseResult built in it is dead from here on.
+  // previous ParseResult built in it is dead from here on. The pooled
+  // atom table is cleared in the same breath — its views alias the arena.
   if (arena != nullptr) arena->reset();
-  ParseResult result{arena != nullptr ? Ast(arena) : Ast()};
+  if (atoms != nullptr) atoms->clear();
+  ParseResult result{arena != nullptr ? Ast(arena, atoms) : Ast()};
   support::Arena& frontend_arena = result.ast.arena();
   // Copy the script into the arena so token/node views never dangle on
   // the caller's buffer (one memcpy; reclaimed by the pooled reset).

@@ -62,9 +62,13 @@ struct ParseResult {
 // pooled arena), the source is copied in so every token/node view has
 // arena lifetime, and the Ast borrows it instead of owning one. With a
 // null arena the Ast owns a private arena and the result is fully
-// self-contained.
+// self-contained. `atoms`, when non-null, is the pooled identifier atom
+// table the parser interns into (cleared here, in lockstep with the
+// arena reset, because the interned views alias the arena); null gives
+// the Ast a private table.
 ParseResult parse_program(std::string_view source, Budget* budget = nullptr,
-                          support::Arena* arena = nullptr);
+                          support::Arena* arena = nullptr,
+                          support::AtomTable* atoms = nullptr);
 
 // Convenience: true if the source parses.
 bool parses(std::string_view source);

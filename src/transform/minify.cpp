@@ -40,6 +40,7 @@ void replace_node(Node& node, const Node& replacement) {
   node.kind = replacement.kind;
   node.kids = replacement.kids;
   node.str_value = replacement.str_value;
+  node.atom = replacement.atom;
   node.raw = replacement.raw;
   node.num_value = replacement.num_value;
   node.lit_kind = replacement.lit_kind;

@@ -26,16 +26,18 @@ std::size_t rename_bindings(
     // a global like `window` redeclared locally in one scope). Simpler and
     // safe: skip very common host globals.
     if (binding.name.empty()) continue;
-    auto [it, inserted] = mapping.emplace(binding.name, "");
+    auto [it, inserted] = mapping.emplace(std::string(binding.name), "");
     if (inserted) {
-      it->second = make_name(ordinal++, binding.name);
+      it->second = make_name(ordinal++, std::string(binding.name));
     }
     // Interned so the payload view outlives the local mapping table.
     const std::string_view new_name = ast.intern(it->second);
+    const std::uint32_t new_atom = ast.atoms().intern(new_name);
     const auto apply = [&](const Node* node) {
       // Nodes come from this AST; renaming via const_cast is confined here.
       auto* mutable_node = const_cast<Node*>(node);
       mutable_node->str_value = new_name;
+      mutable_node->atom = new_atom;
     };
     if (binding.declaration != nullptr &&
         binding.declaration->kind == NodeKind::kIdentifier) {
